@@ -1,0 +1,78 @@
+"""E10 — multiparty goals reduce to the two-party setting (footnote 1).
+
+Claim: boxing N−1 parties into a composite server preserves behaviour.
+The table compares, for N = 3..6 parties, the native N-party rendezvous
+execution with its two-party reduction: final agreement, agreed symbol,
+and rounds to agreement, which must coincide.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.analysis.tables import format_table
+from repro.core.execution import run_execution
+from repro.multiparty.reduction import reduce_to_two_party
+from repro.multiparty.symmetric import (
+    FollowLeaderParty,
+    RendezvousState,
+    RendezvousWorld,
+    run_multiparty,
+)
+
+COLOURS = ["red", "green", "blue", "yellow", "violet", "orange"]
+
+
+def rounds_to_agreement(states, n):
+    for i, state in enumerate(states):
+        if isinstance(state, RendezvousState) and state.agreed(n):
+            return i
+    return None
+
+
+def run_reduction_comparison():
+    rows = []
+    for n in (3, 4, 5, 6):
+        names = [f"p{i}" for i in range(n)]
+        parties = {
+            name: FollowLeaderParty(name, COLOURS[i], names)
+            for i, name in enumerate(names)
+        }
+        native = run_multiparty(
+            parties, RendezvousWorld(names), max_rounds=30, seed=n
+        )
+        user, server, world = reduce_to_two_party(
+            parties, RendezvousWorld(names), names[0]
+        )
+        reduced = run_execution(user, server, world, max_rounds=30, seed=n)
+
+        native_final = native.final_world_state()
+        reduced_final = reduced.final_world_state()
+        rows.append(
+            [
+                n,
+                native_final.agreed(n),
+                reduced_final.agreed(n),
+                dict(native_final.announcements).get(names[1]),
+                dict(reduced_final.announcements).get(names[1]),
+                rounds_to_agreement(native.world_states, n),
+                rounds_to_agreement(reduced.world_states, n),
+            ]
+        )
+    return rows
+
+
+def test_e10_reduction_preserves_behaviour(benchmark):
+    rows = benchmark.pedantic(run_reduction_comparison, rounds=1, iterations=1)
+    emit(
+        format_table(
+            ["N", "native agreed", "reduced agreed", "native symbol",
+             "reduced symbol", "native rounds", "reduced rounds"],
+            rows,
+            title="E10: native N-party rendezvous vs two-party reduction",
+        )
+    )
+    for row in rows:
+        assert row[1] and row[2]
+        assert row[3] == row[4] == "red"  # Lowest-named party's preference.
+        assert row[5] == row[6]

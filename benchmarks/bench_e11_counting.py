@@ -1,0 +1,94 @@
+"""E11 (extension) — #SAT delegation via sumcheck.
+
+The TQBF experiment (E5) with the other classic interactive proof: the
+world asks for the number of satisfying assignments, the prover proves its
+count by sumcheck.  Includes the modular-overflow adversary — a prover
+whose *proof is honest* but whose claimed integer is ``count + p`` — which
+only the verifier's range check stops.
+
+Expected shape: mirror of E5 — universal success over honest encoded
+counters, zero wrong counts against every adversary.
+"""
+
+from __future__ import annotations
+
+import random
+
+from conftest import emit
+
+from repro.analysis.tables import format_table
+from repro.comm.codecs import codec_family
+from repro.core.execution import run_execution
+from repro.mathx.modular import Field
+from repro.qbf.generators import random_cnf
+from repro.servers.counting_provers import (
+    CheatingCountingServer,
+    HonestCountingServer,
+    OverflowCountingServer,
+)
+from repro.servers.wrappers import EncodedServer
+from repro.universal.enumeration import ListEnumeration
+from repro.universal.finite import FiniteUniversalUser
+from repro.universal.schedules import doubling_sweep_trials
+from repro.users.counting_users import counting_user_class
+from repro.worlds.counting import counting_goal, counting_sensing
+
+F = Field()
+CODECS = codec_family(4)
+INSTANCES = [random_cnf(random.Random(s), 5, 7) for s in (0, 4, 9)]
+GOAL = counting_goal(INSTANCES)
+
+
+def universal():
+    return FiniteUniversalUser(
+        ListEnumeration(counting_user_class(CODECS, F), label="counters"),
+        counting_sensing(),
+        schedule_factory=lambda cap: doubling_sweep_trials(
+            None if cap is None else cap - 1
+        ),
+    )
+
+
+def run_counting_matrix():
+    rows = []
+    for codec in CODECS:
+        server = EncodedServer(HonestCountingServer(F), codec)
+        result = run_execution(
+            universal(), server, GOAL.world, max_rounds=6000, seed=1
+        )
+        outcome = GOAL.evaluate(result)
+        rows.append(
+            ["honest", server.name, result.halted, outcome.achieved,
+             result.user_output]
+        )
+    adversaries = [
+        CheatingCountingServer(F, "inflate"),
+        CheatingCountingServer(F, "adaptive"),
+        OverflowCountingServer(F),
+    ]
+    for server in adversaries:
+        result = run_execution(
+            universal(), server, GOAL.world, max_rounds=3000, seed=1
+        )
+        outcome = GOAL.evaluate(result)
+        rows.append(
+            ["adversary", server.name, result.halted, outcome.achieved,
+             result.user_output]
+        )
+    return rows
+
+
+def test_e11_counting_delegation(benchmark):
+    rows = benchmark.pedantic(run_counting_matrix, rounds=1, iterations=1)
+    emit(
+        format_table(
+            ["kind", "server", "halted", "achieved", "output"],
+            rows,
+            title=f"E11: #SAT delegation via sumcheck (n_vars=5)",
+        )
+    )
+    honest = [r for r in rows if r[0] == "honest"]
+    adversarial = [r for r in rows if r[0] == "adversary"]
+    assert all(r[3] for r in honest)
+    # Adversaries may stall the user, but never extract a wrong count.
+    assert all((not r[2]) or r[3] for r in adversarial)

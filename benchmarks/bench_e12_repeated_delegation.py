@@ -1,0 +1,89 @@
+"""E12 (extension) — delegation as a compact goal: answer forever.
+
+Composes the paper's two goal families on one task: an endless stream of
+TQBF sessions, each to be answered within a deadline, with compact
+semantics (mistakes must stop).  A universal user pays the enumeration
+overhead once — mistakes scale with the codec's index — and then verifies
+proofs indefinitely with zero further errors.
+
+Expected shape: achieved for every codec; sessions answered in the
+hundreds; mistakes ≈ 2 × codec index (deadline expiries during discovery),
+flat afterwards; a cheating prover gets *zero* answers accepted ever.
+"""
+
+from __future__ import annotations
+
+import random
+
+from conftest import emit
+
+from repro.analysis.tables import format_table
+from repro.comm.codecs import codec_family
+from repro.core.execution import run_execution
+from repro.mathx.modular import Field
+from repro.qbf.generators import random_qbf
+from repro.servers.provers import CheatingProverServer, HonestProverServer
+from repro.servers.wrappers import EncodedServer
+from repro.universal.compact import CompactUniversalUser
+from repro.universal.enumeration import ListEnumeration
+from repro.users.delegation_users import repeated_delegation_user_class
+from repro.worlds.repeated import (
+    repeated_delegation_goal,
+    repeated_delegation_sensing,
+)
+
+F = Field()
+CODECS = codec_family(4)
+INSTANCES = [random_qbf(random.Random(s), 3) for s in (1, 2, 5, 8)]
+GOAL = repeated_delegation_goal(INSTANCES)
+HORIZON = 5000
+
+
+def universal():
+    return CompactUniversalUser(
+        ListEnumeration(repeated_delegation_user_class(CODECS, F), label="redelegates"),
+        repeated_delegation_sensing(),
+    )
+
+
+def run_streaming_matrix():
+    rows = []
+    for index, codec in enumerate(CODECS):
+        server = EncodedServer(HonestProverServer(F), codec)
+        result = run_execution(
+            universal(), server, GOAL.world, max_rounds=HORIZON, seed=index
+        )
+        outcome = GOAL.evaluate(result)
+        state = result.final_world_state()
+        rows.append(
+            [server.name, outcome.achieved, state.answered, state.mistakes,
+             result.rounds[-1].user_state_after.index]
+        )
+    cheater = CheatingProverServer(F, "constant")
+    result = run_execution(
+        universal(), cheater, GOAL.world, max_rounds=2000, seed=0
+    )
+    state = result.final_world_state()
+    rows.append(
+        [cheater.name, GOAL.evaluate(result).achieved, state.answered,
+         state.mistakes, None]
+    )
+    return rows
+
+
+def test_e12_streaming_delegation(benchmark):
+    rows = benchmark.pedantic(run_streaming_matrix, rounds=1, iterations=1)
+    emit(
+        format_table(
+            ["server", "achieved", "sessions answered", "mistakes", "settled idx"],
+            rows,
+            title=f"E12: streaming (compact) delegation, horizon {HORIZON}",
+        )
+    )
+    honest = rows[:-1]
+    assert all(r[1] for r in honest)
+    assert all(r[2] > 50 for r in honest)
+    # Mistakes track the enumeration position (deadline per evicted codec).
+    assert honest[0][3] <= honest[1][3] <= honest[-1][3]
+    # The cheater: zero sessions ever answered.
+    assert rows[-1][2] == 0 and not rows[-1][1]

@@ -1,0 +1,82 @@
+"""E14 (extension) — navigation: enumeration overhead in physical steps.
+
+The thesis's navigation motif: a guide who knows the maze, a traveller who
+does not know the guide's language.  This goal makes the cost structure of
+Theorem 1 tactile — rounds pay for language discovery, *moves* pay for the
+path — and cleanly separates them: wrong-language candidates stay silent,
+so the executed path remains BFS-optimal while discovery rounds grow with
+the language's enumeration position.
+
+Expected shape: every guide handled; moves == shortest-path length and
+bumps == 0 in every row; rounds grow linearly with codec index and with
+maze size.
+"""
+
+from __future__ import annotations
+
+import random
+
+from conftest import emit
+
+from repro.analysis.tables import format_table
+from repro.comm.codecs import codec_family
+from repro.core.execution import run_execution
+from repro.servers.guides import guide_server_class
+from repro.universal.enumeration import ListEnumeration
+from repro.universal.finite import FiniteUniversalUser
+from repro.universal.schedules import doubling_sweep_trials
+from repro.users.navigation_users import navigator_user_class
+from repro.worlds.navigation import corridor_grid, navigation_goal, navigation_sensing, random_grid
+
+CODECS = codec_family(4)
+
+
+def universal():
+    return FiniteUniversalUser(
+        ListEnumeration(navigator_user_class(CODECS), label="navigators"),
+        navigation_sensing(),
+        schedule_factory=lambda cap: doubling_sweep_trials(
+            None if cap is None else cap - 1
+        ),
+    )
+
+
+def run_navigation_matrix():
+    mazes = [
+        ("random 6x6", random_grid(random.Random(7), 6, 6, 0.2)),
+        ("random 10x10", random_grid(random.Random(9), 10, 10, 0.25)),
+        ("corridor 14", corridor_grid(14)),
+    ]
+    rows = []
+    for label, grid in mazes:
+        goal = navigation_goal(grid)
+        optimal = grid.distance_from_target(grid.start)
+        for index, server in enumerate(guide_server_class(grid, CODECS)):
+            result = run_execution(
+                universal(), server, goal.world, max_rounds=6000, seed=index
+            )
+            outcome = goal.evaluate(result)
+            state = result.final_world_state()
+            rows.append(
+                [label, optimal, server.name.split("@")[1], outcome.achieved,
+                 state.moves, state.bumps, result.rounds_executed]
+            )
+    return rows
+
+
+def test_e14_navigation(benchmark):
+    rows = benchmark.pedantic(run_navigation_matrix, rounds=1, iterations=1)
+    emit(
+        format_table(
+            ["maze", "shortest", "language", "arrived", "moves", "bumps", "rounds"],
+            rows,
+            title="E14: guided navigation — optimal paths, language-priced rounds",
+        )
+    )
+    assert all(row[3] for row in rows)
+    assert all(row[4] == row[1] for row in rows)  # Step-optimal everywhere.
+    assert all(row[5] == 0 for row in rows)       # Never bumps a wall.
+    # Rounds grow with the language's enumeration position within each maze.
+    for maze in {row[0] for row in rows}:
+        series = [row[6] for row in rows if row[0] == maze]
+        assert series == sorted(series)

@@ -1,0 +1,88 @@
+"""E2 — Theorem 1, finite case: Levin-scheduled universal printing.
+
+Paper claim: for finite goals, "strategies are enumerated 'in parallel' as
+in Levin's approach, and sensing is used to decide when to stop."  The
+table reports rounds-to-halt per printer (dialect × codec) for the Levin
+schedule and for the doubling-sweep schedule, plus the trials each spent.
+
+Expected shape: both schedules succeed on every member; Levin's cost grows
+exponentially with the matched candidate's index (its hallmark overhead),
+the sweep schedule's only linearly.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.analysis.tables import format_table
+from repro.comm.codecs import codec_family
+from repro.core.execution import run_execution
+from repro.servers.printer_servers import DIALECTS, printer_server_class
+from repro.universal.enumeration import ListEnumeration
+from repro.universal.finite import FiniteUniversalUser
+from repro.universal.schedules import doubling_sweep_trials
+from repro.users.printer_users import printer_user_class
+from repro.worlds.printer import printing_goal, printing_sensing
+
+CODECS = codec_family(3)
+GOAL = printing_goal(["the quick brown fox"])
+SERVERS = printer_server_class(DIALECTS, CODECS)
+USERS = printer_user_class(DIALECTS, CODECS)
+
+
+def make_user(schedule):
+    if schedule == "levin":
+        return FiniteUniversalUser(
+            ListEnumeration(USERS, label="printers"), printing_sensing()
+        )
+    return FiniteUniversalUser(
+        ListEnumeration(USERS, label="printers"),
+        printing_sensing(),
+        schedule_factory=lambda cap: doubling_sweep_trials(
+            None if cap is None else cap - 1
+        ),
+    )
+
+
+def run_schedule_comparison():
+    rows = []
+    for index, server in enumerate(SERVERS):
+        row = [index, server.name]
+        for schedule in ("levin", "sweep"):
+            result = run_execution(
+                make_user(schedule), server, GOAL.world,
+                max_rounds=60000, seed=index,
+            )
+            achieved = GOAL.evaluate(result).achieved
+            state = result.rounds[-1].user_state_after
+            row.extend([result.rounds_executed if achieved else None,
+                        state.trials_run])
+        rows.append(row)
+    return rows
+
+
+def test_e2_levin_vs_sweep(benchmark):
+    rows = benchmark.pedantic(run_schedule_comparison, rounds=1, iterations=1)
+    emit(
+        format_table(
+            ["idx", "server", "levin rounds", "levin trials",
+             "sweep rounds", "sweep trials"],
+            rows,
+            title="E2: finite universal printing, Levin vs doubling-sweep",
+        )
+    )
+    assert all(row[2] is not None and row[4] is not None for row in rows)
+    # Levin's overhead is exponential in index; the last member costs far
+    # more than the first under Levin, mildly more under the sweep.
+    assert rows[-1][2] > 16 * rows[0][2]
+    assert rows[-1][4] < 16 * max(1, rows[0][4])
+
+
+def test_e2_levin_single_worst_case(benchmark):
+    def run_once():
+        return run_execution(
+            make_user("levin"), SERVERS[-1], GOAL.world, max_rounds=60000, seed=1
+        )
+
+    result = benchmark.pedantic(run_once, rounds=1, iterations=1)
+    assert result.halted

@@ -1,0 +1,99 @@
+"""E3 — the enumeration overhead is necessary: password-locked servers.
+
+Paper claim: "the overhead introduced by the enumeration is essentially
+necessary; there exist natural cases in which any universal strategy must
+incur such an overhead."  Against 2^k password-locked (but otherwise
+helpful) advisors, candidates are indistinguishable until the right
+password is uttered, so information-theoretically *any* universal user
+needs (2^k+1)/2 expected password trials against a uniform member.
+
+The series reports, per password length k: mean and worst switches (i.e.
+passwords tried) and mean settle round, against members sampled uniformly.
+
+Expected shape: both curves double (≈ 2^k) with each extra bit, hugging
+the (2^k−1)/2 mean envelope — exponential, not an artifact of a bad
+algorithm.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+
+from conftest import emit
+
+from repro.analysis.tables import format_table
+from repro.comm.codecs import IdentityCodec
+from repro.core.execution import run_execution
+from repro.servers.password import password_server_class
+from repro.servers.password import all_passwords
+from repro.universal.compact import CompactUniversalUser
+from repro.universal.enumeration import ListEnumeration
+from repro.users.control_users import AdvisorFollowingUser, password_user_class
+from repro.worlds.control import control_goal, control_sensing
+
+LAW = {"red": "blue", "blue": "red"}
+GOAL = control_goal(LAW)
+BITS_RANGE = (2, 3, 4, 5)
+SAMPLES_PER_BITS = 6
+
+
+def universal_for(bits):
+    users = password_user_class(
+        all_passwords(bits), lambda: AdvisorFollowingUser(IdentityCodec())
+    )
+    return CompactUniversalUser(
+        ListEnumeration(users, label=f"pw{bits}"), control_sensing()
+    )
+
+
+def run_password_sweep():
+    rows = []
+    rng = random.Random(0)
+    for bits in BITS_RANGE:
+        servers = password_server_class(bits, LAW)
+        horizon = 1200 * (2 ** bits)
+        switches = []
+        settle_rounds = []
+        for sample in range(SAMPLES_PER_BITS):
+            server = servers[rng.randrange(len(servers))]
+            result = run_execution(
+                universal_for(bits), server, GOAL.world,
+                max_rounds=horizon, seed=sample,
+            )
+            outcome = GOAL.evaluate(result)
+            assert outcome.achieved, (bits, server.name)
+            state = result.rounds[-1].user_state_after
+            switches.append(state.switches)
+            settle_rounds.append(outcome.compact_verdict.last_bad_round or 0)
+        envelope = (2 ** bits - 1) / 2
+        rows.append(
+            [
+                bits,
+                2 ** bits,
+                statistics.mean(switches),
+                max(switches),
+                statistics.mean(settle_rounds),
+                envelope,
+            ]
+        )
+    return rows
+
+
+def test_e3_password_lower_bound(benchmark):
+    rows = benchmark.pedantic(run_password_sweep, rounds=1, iterations=1)
+    emit(
+        format_table(
+            ["k bits", "|class|", "mean trials", "worst trials",
+             "mean settle round", "envelope (2^k-1)/2"],
+            rows,
+            title="E3: rounds-to-success vs password length "
+                  "(uniform member, enumeration user)",
+        )
+    )
+    # Exponential shape: mean trials roughly doubles per bit.
+    means = [row[2] for row in rows]
+    assert means[-1] > 3 * means[0]
+    # Means sit inside a generous band around the information envelope.
+    for row in rows:
+        assert 0.2 * row[5] <= row[2] <= 2.5 * row[5] + 1

@@ -1,0 +1,63 @@
+"""E4 — overhead tracks enumeration position.
+
+Claim: the universal user's cost is governed by the index of the first
+adequate strategy in its enumeration (the constant the follow-up works on
+priors/beliefs attack).  We plant the matching codec at positions 0..N−1 of
+the class and report switches and settle round per position.
+
+Expected shape: switches = position exactly; settle round grows linearly.
+"""
+
+from __future__ import annotations
+
+import random
+
+from conftest import emit
+
+from repro.analysis.tables import format_series
+from repro.comm.codecs import codec_family
+from repro.core.execution import run_execution
+from repro.servers.advisors import advisor_server_class
+from repro.universal.compact import CompactUniversalUser
+from repro.universal.enumeration import ListEnumeration
+from repro.users.control_users import follower_user_class
+from repro.worlds.control import control_goal, control_sensing, random_law
+
+CODECS = codec_family(10)
+LAW = random_law(random.Random(3))
+GOAL = control_goal(LAW)
+SERVERS = advisor_server_class(LAW, CODECS)
+
+
+def run_position_sweep():
+    user_class = follower_user_class(CODECS)
+    points = []
+    for position in range(len(SERVERS)):
+        user = CompactUniversalUser(
+            ListEnumeration(user_class), control_sensing()
+        )
+        result = run_execution(
+            user, SERVERS[position], GOAL.world, max_rounds=4000, seed=position
+        )
+        outcome = GOAL.evaluate(result)
+        assert outcome.achieved, position
+        settle = outcome.compact_verdict.last_bad_round or 0
+        points.append((position, settle))
+    return points
+
+
+def test_e4_overhead_vs_position(benchmark):
+    points = benchmark.pedantic(run_position_sweep, rounds=1, iterations=1)
+    emit(
+        format_series(
+            "E4: settle round vs enumeration position of the adequate codec",
+            points,
+            x_label="position",
+            y_label="settle round",
+        )
+    )
+    settles = [y for _, y in points]
+    # Monotone (weakly) and roughly linear: the last position costs at
+    # least 5x the second one, and each step is bounded.
+    assert all(b >= a for a, b in zip(settles, settles[1:]))
+    assert settles[-1] >= 5 * max(1, settles[1])

@@ -1,0 +1,120 @@
+"""E5 — delegation of PSPACE computation (Juba–Sudan via the TQBF IP).
+
+Claim: a polynomial-time user can delegate TQBF to an untrusted,
+possibly-misunderstood prover; IP soundness makes its sensing safe, so it
+answers correctly with every honest prover under every codec and is never
+fooled by cheaters.
+
+Two tables: (a) universal success vs honest encoded provers with rounds
+and verifier work; (b) the malice matrix — cheating/lazy provers vs
+whether the user ever emitted a wrong answer (must be all-no).
+"""
+
+from __future__ import annotations
+
+import random
+
+from conftest import emit
+
+from repro.analysis.tables import format_table
+from repro.comm.codecs import codec_family
+from repro.core.execution import run_execution
+from repro.mathx.modular import Field
+from repro.qbf.generators import balanced_qbf_batch
+from repro.servers.provers import (
+    CheatingProverServer,
+    HonestProverServer,
+    LazyProverServer,
+)
+from repro.servers.wrappers import EncodedServer
+from repro.universal.enumeration import ListEnumeration
+from repro.universal.finite import FiniteUniversalUser
+from repro.universal.schedules import doubling_sweep_trials
+from repro.users.delegation_users import delegation_user_class
+from repro.worlds.computation import delegation_goal, delegation_sensing
+
+F = Field()
+CODECS = codec_family(4)
+INSTANCES = balanced_qbf_batch(random.Random(7), 4, 4)
+GOAL = delegation_goal(INSTANCES)
+USERS = delegation_user_class(CODECS, F)
+
+
+def universal():
+    return FiniteUniversalUser(
+        ListEnumeration(USERS, label="delegates"),
+        delegation_sensing(),
+        schedule_factory=lambda cap: doubling_sweep_trials(
+            None if cap is None else cap - 1
+        ),
+    )
+
+
+def run_honest_sweep():
+    rows = []
+    for index, codec in enumerate(CODECS):
+        server = EncodedServer(HonestProverServer(F), codec)
+        for seed in range(2):
+            result = run_execution(
+                universal(), server, GOAL.world, max_rounds=8000, seed=seed
+            )
+            outcome = GOAL.evaluate(result)
+            rows.append(
+                [
+                    server.name,
+                    seed,
+                    outcome.achieved,
+                    result.rounds_executed,
+                    result.user_output,
+                ]
+            )
+    return rows
+
+
+def run_malice_matrix():
+    adversaries = [
+        CheatingProverServer(F, "flip"),
+        CheatingProverServer(F, "constant"),
+        CheatingProverServer(F, "random"),
+        LazyProverServer(0),
+        LazyProverServer(1),
+    ]
+    rows = []
+    for server in adversaries:
+        wrong_answers = 0
+        halts = 0
+        for seed in range(3):
+            result = run_execution(
+                universal(), server, GOAL.world, max_rounds=4000, seed=seed
+            )
+            if result.halted:
+                halts += 1
+                if not GOAL.evaluate(result).achieved:
+                    wrong_answers += 1
+        rows.append([server.name, halts, wrong_answers])
+    return rows
+
+
+def test_e5_honest_provers_universal(benchmark):
+    rows = benchmark.pedantic(run_honest_sweep, rounds=1, iterations=1)
+    emit(
+        format_table(
+            ["prover", "seed", "achieved", "rounds", "answer"],
+            rows,
+            title=f"E5a: delegation vs honest encoded provers "
+                  f"(n_vars={INSTANCES[0].n_vars})",
+        )
+    )
+    assert all(row[2] for row in rows)
+
+
+def test_e5_malice_matrix(benchmark):
+    rows = benchmark.pedantic(run_malice_matrix, rounds=1, iterations=1)
+    emit(
+        format_table(
+            ["adversary", "halts", "wrong answers"],
+            rows,
+            title="E5b: safety against dishonest provers (wrong answers must be 0)",
+        )
+    )
+    assert all(row[2] == 0 for row in rows)

@@ -1,0 +1,97 @@
+"""E6 — Theorem 1's hypotheses are necessary: sensing ablations.
+
+Claim: safety and viability are not decorative.  The table runs the same
+universal constructions with (a) proper sensing, (b) unsafe
+(always-positive) sensing, (c) non-viable (always-negative) sensing, and
+reports goal achievement and failure mode.
+
+Expected shape: proper = achieved; unsafe = false success (finite: halts
+wrong / compact: sticks with a failing candidate); non-viable = starvation
+(never halts / cycles forever).
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.analysis.tables import format_table
+from repro.comm.codecs import codec_family
+from repro.core.execution import run_execution
+from repro.core.sensing import ConstantSensing
+from repro.core.strategy import SilentServer
+from repro.online.adapter import threshold_user_class
+from repro.servers.printer_servers import printer_server_class
+from repro.universal.compact import CompactUniversalUser
+from repro.universal.enumeration import ListEnumeration
+from repro.universal.finite import FiniteUniversalUser
+from repro.users.printer_users import printer_user_class
+from repro.worlds.lookup import lookup_goal, lookup_sensing
+from repro.worlds.printer import printing_goal, printing_sensing
+
+CODECS = codec_family(3)
+DIALECTS = ("space", "tagged")
+
+PRINT_GOAL = printing_goal(["memo"])
+PRINT_SERVER = printer_server_class(DIALECTS, CODECS)[-1]
+BLIND_USERS = printer_user_class(DIALECTS, CODECS, blind_halt_after=5)
+CAUTIOUS_USERS = printer_user_class(DIALECTS, CODECS)
+
+LOOKUP_GOAL = lookup_goal(threshold=3, domain=8)
+
+
+def run_ablation_matrix():
+    rows = []
+
+    def finite_case(label, users, sensing):
+        user = FiniteUniversalUser(ListEnumeration(users), sensing)
+        result = run_execution(
+            user, PRINT_SERVER, PRINT_GOAL.world, max_rounds=3000, seed=0
+        )
+        achieved = PRINT_GOAL.evaluate(result).achieved
+        mode = (
+            "ok" if achieved
+            else ("false success" if result.halted else "starvation")
+        )
+        rows.append(["finite/printing", label, achieved, mode])
+
+    finite_case("proper", BLIND_USERS, printing_sensing())
+    finite_case("unsafe (always+)", BLIND_USERS, ConstantSensing(True))
+    finite_case("non-viable (always-)", CAUTIOUS_USERS, ConstantSensing(False))
+
+    def compact_case(label, sensing):
+        user = CompactUniversalUser(
+            ListEnumeration(threshold_user_class(8)), sensing
+        )
+        result = run_execution(
+            user, SilentServer(), LOOKUP_GOAL.world, max_rounds=1500, seed=0
+        )
+        achieved = LOOKUP_GOAL.evaluate(result).achieved
+        state = result.rounds[-1].user_state_after
+        mode = (
+            "ok" if achieved
+            else ("stuck on failer" if state.switches == 0 else "cycling")
+        )
+        rows.append(["compact/lookup", label, achieved, mode])
+
+    compact_case("proper", lookup_sensing())
+    compact_case("unsafe (always+)", ConstantSensing(True))
+    compact_case("non-viable (always-)", ConstantSensing(False))
+    return rows
+
+
+def test_e6_ablation_matrix(benchmark):
+    rows = benchmark.pedantic(run_ablation_matrix, rounds=1, iterations=1)
+    emit(
+        format_table(
+            ["goal", "sensing", "achieved", "failure mode"],
+            rows,
+            title="E6: sensing ablation (proper vs unsafe vs non-viable)",
+        )
+    )
+    by_label = {(r[0], r[1]): (r[2], r[3]) for r in rows}
+    assert by_label[("finite/printing", "proper")][0]
+    assert by_label[("compact/lookup", "proper")][0]
+    assert by_label[("finite/printing", "unsafe (always+)")][1] == "false success"
+    assert by_label[("finite/printing", "non-viable (always-)")][1] == "starvation"
+    assert not by_label[("compact/lookup", "unsafe (always+)")][0]
+    assert not by_label[("compact/lookup", "non-viable (always-)")][0]

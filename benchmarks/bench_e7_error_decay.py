@@ -1,0 +1,80 @@
+"""E7 — compact-goal semantics: the error curve goes flat.
+
+Claim: achieving a compact goal means the number of unacceptable prefixes
+is *finite* — in an execution trace, all mistakes cluster in the learning
+phase and then stop.  The series reports cumulative mistakes at checkpoints
+along one long execution, per server, plus a sparkline of the error
+indicator.
+
+Expected shape: each curve rises during enumeration and is exactly flat
+afterwards; higher codec indices flatten later.
+"""
+
+from __future__ import annotations
+
+import random
+
+from conftest import emit
+
+from repro.analysis.tables import format_sparkline, format_table
+from repro.comm.codecs import codec_family
+from repro.core.execution import run_execution
+from repro.servers.advisors import advisor_server_class
+from repro.universal.compact import CompactUniversalUser
+from repro.universal.enumeration import ListEnumeration
+from repro.users.control_users import follower_user_class
+from repro.worlds.control import ControlState, control_goal, control_sensing, random_law
+
+CODECS = codec_family(6)
+LAW = random_law(random.Random(9))
+GOAL = control_goal(LAW)
+SERVERS = advisor_server_class(LAW, CODECS)
+HORIZON = 2400
+CHECKPOINTS = (300, 600, 1200, 2400)
+
+
+def run_error_curves():
+    curves = []
+    for index in (0, 2, 5):
+        user = CompactUniversalUser(
+            ListEnumeration(follower_user_class(CODECS)), control_sensing()
+        )
+        result = run_execution(
+            user, SERVERS[index], GOAL.world, max_rounds=HORIZON, seed=4
+        )
+        mistakes_at = {}
+        per_round = []
+        last = 0
+        for record, state in zip(result.rounds, result.world_states[1:]):
+            assert isinstance(state, ControlState)
+            per_round.append(state.mistakes - last)
+            last = state.mistakes
+            if record.index + 1 in CHECKPOINTS:
+                mistakes_at[record.index + 1] = state.mistakes
+        final = result.final_world_state()
+        curves.append((index, mistakes_at, final.mistakes, per_round))
+    return curves
+
+
+def test_e7_error_decay(benchmark):
+    curves = benchmark.pedantic(run_error_curves, rounds=1, iterations=1)
+    rows = [
+        [f"codec #{index}"] + [at.get(cp, total) for cp in CHECKPOINTS] + [total]
+        for index, at, total, _ in curves
+    ]
+    emit(
+        format_table(
+            ["server", *(f"@{cp}" for cp in CHECKPOINTS), "total"],
+            rows,
+            title="E7: cumulative mistakes at checkpoints (horizon 2400)",
+        )
+    )
+    for index, _, _, per_round in curves:
+        emit(f"  codec #{index} error pattern: {format_sparkline(per_round)}")
+    for _, at, total, _ in curves:
+        # Flat tail: no mistakes added in the second half.
+        assert at[1200] == at[2400] == total
+    # Later codecs accumulate more mistakes before flattening.
+    totals = [total for _, _, total, _ in curves]
+    assert totals[0] <= totals[1] <= totals[2]
+    assert totals[2] > totals[0]

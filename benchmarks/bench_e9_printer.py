@@ -1,0 +1,85 @@
+"""E9 — the printer goal: side-effect goals and the value of feedback.
+
+Claim: the printing goal — not delegation-shaped in any reasonable sense —
+is handled by the same theory; and in the feedback-free world no safe and
+viable sensing exists, so universality collapses.  The table contrasts the
+feedback world (universal success) with the blind world under a bold
+(blindly-halting) and a cautious user.
+
+Expected shape: feedback rows all achieved; blind+cautious never halts;
+blind+bold halts everywhere but is wrong off the diagonal.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.analysis.tables import format_table
+from repro.comm.codecs import codec_family
+from repro.core.execution import run_execution
+from repro.servers.printer_servers import DIALECTS, printer_server_class
+from repro.universal.enumeration import ListEnumeration
+from repro.universal.finite import FiniteUniversalUser
+from repro.universal.schedules import doubling_sweep_trials
+from repro.users.printer_users import PrinterProtocolUser, printer_user_class
+from repro.worlds.printer import printing_goal, printing_sensing
+
+CODECS = codec_family(3)
+SERVERS = printer_server_class(DIALECTS, CODECS)
+GOAL = printing_goal(["annual report 2011"])
+BLIND_GOAL = printing_goal(["annual report 2011"], feedback=False)
+
+
+def universal():
+    return FiniteUniversalUser(
+        ListEnumeration(printer_user_class(DIALECTS, CODECS)),
+        printing_sensing(),
+        schedule_factory=lambda cap: doubling_sweep_trials(
+            None if cap is None else cap - 1
+        ),
+    )
+
+
+def run_feedback_matrix():
+    rows = []
+    for index, server in enumerate(SERVERS):
+        result = run_execution(
+            universal(), server, GOAL.world, max_rounds=6000, seed=index
+        )
+        rows.append(
+            ["feedback", server.name, result.halted,
+             GOAL.evaluate(result).achieved]
+        )
+    # Blind world, cautious universal: never halts.
+    result = run_execution(
+        universal(), SERVERS[0], BLIND_GOAL.world, max_rounds=4000, seed=0
+    )
+    rows.append(["blind", f"{SERVERS[0].name} (cautious)", result.halted,
+                 BLIND_GOAL.evaluate(result).achieved])
+    # Blind world, bold rigid user: halts everywhere, wrong off-diagonal.
+    bold = PrinterProtocolUser("space", CODECS[0], blind_halt_after=5)
+    for server in (SERVERS[0], SERVERS[-1]):
+        result = run_execution(
+            bold, server, BLIND_GOAL.world, max_rounds=400, seed=0
+        )
+        rows.append(["blind", f"{server.name} (bold)", result.halted,
+                     BLIND_GOAL.evaluate(result).achieved])
+    return rows
+
+
+def test_e9_feedback_vs_blind(benchmark):
+    rows = benchmark.pedantic(run_feedback_matrix, rounds=1, iterations=1)
+    emit(
+        format_table(
+            ["world", "server (user)", "halted", "achieved"],
+            rows,
+            title="E9: printing with and without world feedback",
+        )
+    )
+    feedback_rows = [r for r in rows if r[0] == "feedback"]
+    assert all(r[3] for r in feedback_rows)
+    cautious = [r for r in rows if "cautious" in r[1]][0]
+    assert not cautious[2]  # Never halts without evidence.
+    bold_rows = [r for r in rows if "bold" in r[1]]
+    assert all(r[2] for r in bold_rows)           # Bold always halts...
+    assert any(not r[3] for r in bold_rows)       # ...and is wrong somewhere.

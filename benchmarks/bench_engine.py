@@ -1,0 +1,93 @@
+"""Micro-benchmarks of the execution engine and codec substrate.
+
+Baseline numbers for everything else: raw engine round throughput, the
+cost codec wrapping adds per round, and universal-user overhead per round
+— useful when judging whether an experiment's horizon is engine-bound.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.comm.codecs import ComposedCodec, ReverseCodec, XorMaskCodec, codec_family
+from repro.core.execution import run_execution
+from repro.core.strategy import SilentServer, SilentUser
+from repro.servers.advisors import AdvisorServer, advisor_server_class
+from repro.servers.wrappers import EncodedServer
+from repro.universal.compact import CompactUniversalUser
+from repro.universal.enumeration import ListEnumeration
+from repro.users.control_users import AdvisorFollowingUser, follower_user_class
+from repro.worlds.control import ControlWorld, control_goal, control_sensing
+
+LAW = {"red": "blue", "blue": "green", "green": "red"}
+ROUNDS = 2000
+
+
+def test_engine_raw_rounds(benchmark):
+    """Throughput with trivial strategies: the engine's own overhead."""
+    world = ControlWorld(LAW)
+
+    def run():
+        return run_execution(
+            SilentUser(), SilentServer(), world, max_rounds=ROUNDS, seed=0
+        )
+
+    result = benchmark(run)
+    assert result.rounds_executed == ROUNDS
+
+
+def test_engine_active_pairing(benchmark):
+    """Throughput with a live follower/advisor conversation."""
+    goal = control_goal(LAW)
+    from repro.comm.codecs import IdentityCodec
+
+    def run():
+        return run_execution(
+            AdvisorFollowingUser(IdentityCodec()), AdvisorServer(LAW),
+            goal.world, max_rounds=ROUNDS, seed=0,
+        )
+
+    result = benchmark(run)
+    assert goal.evaluate(result).achieved
+
+
+def test_engine_universal_settled(benchmark):
+    """Per-round overhead of the universal wrapper after settling."""
+    goal = control_goal(LAW)
+    codecs = codec_family(4)
+    user = CompactUniversalUser(
+        ListEnumeration(follower_user_class(codecs)), control_sensing()
+    )
+    server = advisor_server_class(LAW, codecs)[0]
+
+    def run():
+        return run_execution(user, server, goal.world, max_rounds=ROUNDS, seed=0)
+
+    result = benchmark(run)
+    assert goal.evaluate(result).achieved
+
+
+def test_codec_roundtrip_throughput(benchmark):
+    codec = ComposedCodec((ReverseCodec(), XorMaskCodec(mask=0x3C)))
+    message = "ADV:observation=action " * 4
+
+    def run():
+        return codec.decode(codec.encode(message))
+
+    assert benchmark(run) == message
+
+
+def test_encoded_server_wrapping_cost(benchmark):
+    """Marginal cost of the EncodedServer wrapper on a chatty server."""
+    from repro.comm.messages import ServerInbox
+
+    server = EncodedServer(AdvisorServer(LAW), ReverseCodec())
+    rng = random.Random(0)
+    state = server.initial_state(rng)
+    inbox = ServerInbox(from_world="OBS:red")
+
+    def run():
+        return server.step(state, inbox, rng)
+
+    _, out = benchmark(run)
+    assert out.to_user

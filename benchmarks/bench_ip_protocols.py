@@ -1,0 +1,121 @@
+"""Micro-benchmarks of the interactive-proof substrate.
+
+Not tied to a single paper claim; these measure the machinery E5 is built
+on — honest-prover precomputation, per-round message cost, verifier cost,
+and how they scale with instance size — plus a soundness-rate table under a
+deliberately small field, where the ≈ deg/p escape probability is visible.
+"""
+
+from __future__ import annotations
+
+import random
+
+from conftest import emit
+
+from repro.analysis.tables import format_table
+from repro.ip.degree import operator_schedule, soundness_error_bound
+from repro.ip.qbf_protocol import (
+    ConstantCheatingProver,
+    HonestQBFProver,
+    run_qbf_protocol,
+)
+from repro.ip.sumcheck import HonestSumcheckProver, run_sumcheck
+from repro.mathx.modular import Field
+from repro.qbf.generators import random_cnf, random_qbf, variable_names
+
+F = Field()
+
+
+def test_honest_prover_construction_n4(benchmark):
+    qbf = random_qbf(random.Random(1), 4)
+    benchmark(lambda: HonestQBFProver(qbf, F))
+
+
+def test_full_protocol_n4(benchmark):
+    qbf = random_qbf(random.Random(2), 4)
+    prover = HonestQBFProver(qbf, F)
+
+    def run():
+        return run_qbf_protocol(qbf, prover, F, random.Random(3))
+
+    result = benchmark(run)
+    assert result.accepted
+
+
+def test_full_protocol_n6(benchmark):
+    qbf = random_qbf(random.Random(4), 6)
+    prover = HonestQBFProver(qbf, F)
+
+    def run():
+        return run_qbf_protocol(qbf, prover, F, random.Random(5))
+
+    result = benchmark(run)
+    assert result.accepted
+
+
+def test_sumcheck_n6(benchmark):
+    formula = random_cnf(random.Random(6), 6, 8)
+    order = variable_names(6)
+    prover = HonestSumcheckProver(formula, F, order)
+
+    def run():
+        return run_sumcheck(formula, prover, F, order, random.Random(7))
+
+    result = benchmark(run)
+    assert result.accepted
+
+
+def test_protocol_scaling_table(benchmark):
+    def run_scaling():
+        rows = []
+        for n in (2, 3, 4, 5, 6):
+            qbf = random_qbf(random.Random(n), n)
+            prover = HonestQBFProver(qbf, F)
+            result = run_qbf_protocol(qbf, prover, F, random.Random(n + 1))
+            assert result.accepted
+            rows.append(
+                [
+                    n,
+                    len(operator_schedule(qbf)),
+                    result.rounds_run,
+                    f"{soundness_error_bound(qbf, F.p):.1e}",
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run_scaling, rounds=1, iterations=1)
+    emit(
+        format_table(
+            ["n vars", "operators", "rounds", "soundness error bound"],
+            rows,
+            title="IP scaling: TQBF protocol vs instance size (p = 2^31 - 1)",
+        )
+    )
+
+
+def test_soundness_rate_small_field(benchmark):
+    """Empirical cheater acceptance under GF(101) vs the deg/p bound."""
+    small = Field(p=101)
+
+    def measure():
+        qbf = random_qbf(random.Random(11), 2)
+        wrong = 1 - int(qbf.evaluate())
+        trials = 300
+        accepted = sum(
+            run_qbf_protocol(
+                qbf, ConstantCheatingProver(small, wrong), small,
+                random.Random(t),
+            ).accepted
+            for t in range(trials)
+        )
+        return accepted / trials, soundness_error_bound(qbf, small.p)
+
+    rate, bound = benchmark.pedantic(measure, rounds=1, iterations=1)
+    emit(
+        format_table(
+            ["empirical cheater acceptance", "analytic bound"],
+            [[f"{rate:.3f}", f"{bound:.3f}"]],
+            title="IP soundness under GF(101) (acceptance should be ~bound, << 1)",
+        )
+    )
+    assert rate <= bound * 3 + 0.02

@@ -1,0 +1,24 @@
+"""Shared helpers for the benchmark/experiment harness.
+
+Each ``bench_e*.py`` module reproduces one experiment from DESIGN.md's
+index: it *benchmarks* the core computation (so pytest-benchmark reports
+cost) and *prints* the experiment's table or series — the paper being a
+theory paper, these tables are the reproduction targets recorded in
+EXPERIMENTS.md.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+(``-s`` shows the experiment tables; without it they are captured.)
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def emit(text: str) -> None:
+    """Print an experiment table, flushed, with surrounding blank lines."""
+    sys.stdout.write("\n" + text + "\n")
+    sys.stdout.flush()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Delegating PSPACE computation to an untrusted, alien prover.
+
+The Juba–Sudan delegation goal: the world poses a TQBF instance; we (a
+polynomial-time user) must announce its truth value.  We cannot compute it
+— but the server can, and the Shamir/Shen interactive proof lets us *check*
+its answer without trusting it.  Soundness of the proof is exactly the
+*safety* of our sensing: even a cheating prover cannot make "proof
+verified" light up for a wrong claim.
+
+The demo runs three sessions:
+  1. an honest prover speaking a foreign language (codec) — we find the
+     language by enumeration and accept its proof;
+  2. a lying prover — every proof attempt is rejected, we never answer;
+  3. a lazy prover that just asserts a bit — its bare claim goes nowhere.
+
+Run:  python examples/delegation_qbf.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.comm.codecs import codec_family
+from repro.core.execution import run_execution
+from repro.mathx.modular import Field
+from repro.qbf.generators import random_qbf
+from repro.qbf.qbf import QBF
+from repro.servers.provers import (
+    CheatingProverServer,
+    HonestProverServer,
+    LazyProverServer,
+)
+from repro.servers.wrappers import EncodedServer
+from repro.universal.enumeration import ListEnumeration
+from repro.universal.finite import FiniteUniversalUser
+from repro.universal.schedules import doubling_sweep_trials
+from repro.users.delegation_users import delegation_user_class
+from repro.worlds.computation import delegation_goal, delegation_sensing
+
+
+def make_universal(codecs, field):
+    return FiniteUniversalUser(
+        ListEnumeration(delegation_user_class(codecs, field), label="delegates"),
+        delegation_sensing(),
+        schedule_factory=lambda cap: doubling_sweep_trials(
+            None if cap is None else cap - 1
+        ),
+    )
+
+
+def main() -> None:
+    field = Field()
+    codecs = codec_family(4)
+    instance = random_qbf(random.Random(5), 4)
+    goal = delegation_goal([instance])
+    print(f"instance: {instance.serialize()}")
+    print(f"(truth value, which the user never computes: {int(instance.evaluate())})\n")
+
+    # --- session 1: honest but alien prover.
+    server = EncodedServer(HonestProverServer(field), codecs[2])
+    result = run_execution(
+        make_universal(codecs, field), server, goal.world, max_rounds=6000, seed=0
+    )
+    outcome = goal.evaluate(result)
+    print(f"1. honest prover speaking {codecs[2].name!r}:")
+    print(f"   halted={result.halted}  answer={result.user_output}  "
+          f"correct={outcome.achieved}  rounds={result.rounds_executed}\n")
+    assert outcome.achieved
+
+    # --- session 2: a cheating prover (claims the wrong bit, argues hard).
+    cheater = CheatingProverServer(field, "constant")
+    result = run_execution(
+        make_universal(codecs, field), cheater, goal.world, max_rounds=4000, seed=0
+    )
+    print("2. cheating prover (locally-consistent constant cheat):")
+    print(f"   halted={result.halted}  (no halt = no proof survived our checks)\n")
+    assert not result.halted
+
+    # --- session 3: a lazy prover that asserts without proving.
+    lazy = LazyProverServer(claim_bit=1 - int(instance.evaluate()))
+    result = run_execution(
+        make_universal(codecs, field), lazy, goal.world, max_rounds=3000, seed=0
+    )
+    print("3. lazy prover (bare assertion, wrong bit):")
+    print(f"   halted={result.halted}  (a claim without a proof is just noise)")
+    assert not result.halted
+
+    print("\nSafe sensing from IP soundness: we answer iff we can verify —"
+          "\nso we are universal over honest provers and immune to the rest.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""The Juba–Vempala view: universal users *are* online learners.
+
+For simple multi-session goals (here: labelling queries under a hidden
+threshold concept), a user strategy achieving the compact goal is the same
+object as a mistake-bounded online learner.  The demo runs three users on
+identical worlds and prints the mistake scaling:
+
+* the Theorem-1 enumeration user  — mistakes grow with the target's index;
+* the halving learner (as a user) — mistakes ≤ log2 |class|;
+* the belief-weighted user        — interpolates, driven by its prior.
+
+Run:  python examples/online_learning.py
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.tables import format_table
+from repro.core.execution import run_execution
+from repro.core.strategy import SilentServer
+from repro.online.adapter import threshold_user_class
+from repro.online.equivalence import (
+    enumeration_user,
+    halving_user,
+    mistakes_in_world,
+)
+from repro.universal.bayesian import BeliefWeightedUniversalUser
+from repro.worlds.lookup import lookup_goal, lookup_sensing
+
+DOMAIN = 16
+
+
+def belief_mistakes(theta: int, prior_weight: float) -> int:
+    goal = lookup_goal(threshold=theta, domain=DOMAIN)
+    candidates = threshold_user_class(DOMAIN)
+    prior = [1.0] * len(candidates)
+    prior[theta] = prior_weight
+    user = BeliefWeightedUniversalUser(candidates, lookup_sensing(), prior=prior)
+    result = run_execution(user, SilentServer(), goal.world, max_rounds=2500, seed=5)
+    assert goal.evaluate(result).achieved
+    return result.final_world_state().mistakes
+
+
+def main() -> None:
+    print(f"concept class: thresholds over 0..{DOMAIN - 1} "
+          f"(|class| = {DOMAIN + 1}, log2 = {math.log2(DOMAIN + 1):.1f})\n")
+
+    rows = []
+    for theta in (2, 8, 14):
+        enum = mistakes_in_world(
+            enumeration_user(DOMAIN), theta, DOMAIN, horizon=2500, seed=5
+        )
+        halv = mistakes_in_world(
+            halving_user(DOMAIN), theta, DOMAIN, horizon=2500, seed=5
+        )
+        informed = belief_mistakes(theta, prior_weight=40.0)
+        rows.append([theta, enum, halv, informed])
+
+    print(
+        format_table(
+            ["target θ", "enumeration user", "halving user", "informed-prior user"],
+            rows,
+            title="mistakes until the goal settles (same world, same seeds)",
+        )
+    )
+    print("\nEnumeration pays for the target's position; structure (halving)"
+          "\nand good priors (beliefs) pay ~log — the paper's closing point"
+          "\nabout going beyond enumeration, made computable.")
+
+
+if __name__ == "__main__":
+    main()

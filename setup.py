@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+All project metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e . --no-use-pep517`` works in offline environments that lack
+the ``wheel`` package (PEP 660 editable installs require building a wheel).
+"""
+
+from setuptools import setup
+
+setup()

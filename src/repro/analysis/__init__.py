@@ -1,0 +1,32 @@
+"""Measurement and reporting harness for the experiments.
+
+Per-run metrics (:mod:`.metrics`), user × server-class sweeps
+(:mod:`.runner`), the ASCII tables/series the benchmarks print
+(:mod:`.tables`), and the fast one-command reproduction report
+(:mod:`.report`, runnable as ``python -m repro.analysis.report``).
+"""
+
+from repro.analysis.metrics import (
+    RunMetrics,
+    collect_metrics,
+    Summary,
+    success_rate,
+    rounds_summary,
+)
+from repro.analysis.runner import SweepCell, SweepResult, sweep, sweep_goals
+from repro.analysis.tables import format_table, format_series, format_sparkline
+
+__all__ = [
+    "RunMetrics",
+    "collect_metrics",
+    "Summary",
+    "success_rate",
+    "rounds_summary",
+    "SweepCell",
+    "SweepResult",
+    "sweep",
+    "sweep_goals",
+    "format_table",
+    "format_series",
+    "format_sparkline",
+]

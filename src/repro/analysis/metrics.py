@@ -1,0 +1,111 @@
+"""Run metrics: what the experiments measure.
+
+A :class:`RunMetrics` is the per-execution record the benchmarks aggregate;
+:func:`collect_metrics` extracts one from an execution + goal pair, pulling
+universal-user statistics (enumeration index, switch count) out of the
+final user state when present.  :class:`Summary` holds the usual
+order statistics over a batch.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.execution import ExecutionResult
+from repro.core.goals import Goal, GoalOutcome
+from repro.universal.compact import CompactUniversalState
+from repro.universal.finite import FiniteUniversalState
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """One execution's worth of measurements."""
+
+    achieved: bool
+    halted: bool
+    rounds: int
+    switches: Optional[int] = None     # Compact universal: strategy switches.
+    final_index: Optional[int] = None  # Compact universal: settled index.
+    trials: Optional[int] = None       # Finite universal: trials started.
+    bad_prefixes: Optional[int] = None # Compact goals: referee's count.
+    last_bad_round: Optional[int] = None
+    user_output: Optional[str] = None
+
+
+def collect_metrics(execution: ExecutionResult, goal: Goal) -> RunMetrics:
+    """Evaluate the goal and extract universal-user stats if available."""
+    outcome: GoalOutcome = goal.evaluate(execution)
+    switches = final_index = trials = None
+    if execution.rounds:
+        state = execution.rounds[-1].user_state_after
+        if isinstance(state, CompactUniversalState):
+            switches = state.switches
+            final_index = state.index
+        elif isinstance(state, FiniteUniversalState):
+            trials = state.trials_run
+    verdict = outcome.compact_verdict
+    return RunMetrics(
+        achieved=outcome.achieved,
+        halted=outcome.halted,
+        rounds=outcome.rounds,
+        switches=switches,
+        final_index=final_index,
+        trials=trials,
+        bad_prefixes=None if verdict is None else verdict.bad_prefixes,
+        last_bad_round=None if verdict is None else verdict.last_bad_round,
+        user_output=outcome.user_output,
+    )
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Order statistics over a batch of scalar observations."""
+
+    count: int
+    mean: float
+    median: float
+    minimum: float
+    maximum: float
+
+    @staticmethod
+    def of(values: Sequence[float]) -> "Summary":
+        if not values:
+            return Summary(count=0, mean=math.nan, median=math.nan,
+                           minimum=math.nan, maximum=math.nan)
+        ordered = sorted(values)
+        n = len(ordered)
+        if n % 2:
+            median = float(ordered[n // 2])
+        else:
+            median = (ordered[n // 2 - 1] + ordered[n // 2]) / 2.0
+        return Summary(
+            count=n,
+            mean=sum(ordered) / n,
+            median=median,
+            minimum=float(ordered[0]),
+            maximum=float(ordered[-1]),
+        )
+
+    def format(self, precision: int = 1) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.{precision}f} "
+            f"median={self.median:.{precision}f} "
+            f"min={self.minimum:.{precision}f} max={self.maximum:.{precision}f}"
+        )
+
+
+def success_rate(batch: Sequence[RunMetrics]) -> float:
+    """Fraction of achieved runs in a batch (0.0 for an empty batch)."""
+    if not batch:
+        return 0.0
+    return sum(1 for m in batch if m.achieved) / len(batch)
+
+
+def rounds_summary(batch: Sequence[RunMetrics], achieved_only: bool = True) -> Summary:
+    """Summary of rounds-to-completion (by default over successful runs)."""
+    values: List[float] = [
+        float(m.rounds) for m in batch if m.achieved or not achieved_only
+    ]
+    return Summary.of(values)

@@ -1,0 +1,110 @@
+"""Experiment runner: sweep a user over a server class with seeds.
+
+The benchmarks all have the same skeleton — "pair this user with every
+member of this server class, under these seeds, and report per-server
+metrics" — so it lives here once.  The runner is deliberately dumb and
+sequential: executions are cheap, and determinism (fixed seed schedule, no
+shared state across runs) is worth more to a reproduction than parallelism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+from repro.analysis.metrics import RunMetrics, collect_metrics, success_rate
+from repro.core.execution import run_execution
+from repro.core.goals import Goal
+from repro.core.strategy import ServerStrategy, UserStrategy
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """All runs of one (user, server) pairing."""
+
+    user_name: str
+    server_name: str
+    runs: Tuple[RunMetrics, ...]
+
+    @property
+    def success_rate(self) -> float:
+        return success_rate(self.runs)
+
+    @property
+    def all_achieved(self) -> bool:
+        return all(m.achieved for m in self.runs)
+
+    def mean_rounds(self) -> float:
+        achieved = [m.rounds for m in self.runs if m.achieved]
+        if not achieved:
+            return float("nan")
+        return sum(achieved) / len(achieved)
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """A full user × server-class sweep."""
+
+    goal_name: str
+    cells: Tuple[SweepCell, ...]
+
+    @property
+    def universal_success(self) -> bool:
+        """Did the user succeed with *every* server, on *every* seed?
+
+        This is the paper's universality statement, checked literally.
+        """
+        return all(cell.all_achieved for cell in self.cells)
+
+    def failures(self) -> List[SweepCell]:
+        return [cell for cell in self.cells if not cell.all_achieved]
+
+
+def sweep(
+    user: UserStrategy,
+    servers: Sequence[ServerStrategy],
+    goal: Goal,
+    *,
+    seeds: Sequence[int] = (0, 1, 2),
+    max_rounds: int = 2000,
+) -> SweepResult:
+    """Run ``user`` against every server under every seed."""
+    cells: List[SweepCell] = []
+    for server in servers:
+        runs = []
+        for seed in seeds:
+            execution = run_execution(
+                user, server, goal.world, max_rounds=max_rounds, seed=seed
+            )
+            runs.append(collect_metrics(execution, goal))
+        cells.append(
+            SweepCell(user_name=user.name, server_name=server.name, runs=tuple(runs))
+        )
+    return SweepResult(goal_name=goal.name, cells=tuple(cells))
+
+
+def sweep_goals(
+    user_factory: Callable[[], UserStrategy],
+    pairs: Sequence[Tuple[Goal, ServerStrategy]],
+    *,
+    seeds: Sequence[int] = (0, 1),
+    max_rounds: int = 2000,
+) -> List[SweepCell]:
+    """Sweep over (goal, server) pairs — for world-class non-determinism.
+
+    Used when the adversary picks the *world* too (e.g. one control goal
+    per hidden law): each pair gets a fresh user instance from the factory.
+    """
+    cells: List[SweepCell] = []
+    for goal, server in pairs:
+        user = user_factory()
+        runs = []
+        for seed in seeds:
+            execution = run_execution(
+                user, server, goal.world, max_rounds=max_rounds, seed=seed
+            )
+            runs.append(collect_metrics(execution, goal))
+        cells.append(
+            SweepCell(user_name=user.name, server_name=server.name, runs=tuple(runs))
+        )
+    return cells

@@ -1,0 +1,89 @@
+"""ASCII tables and series for benchmark output.
+
+The paper has no tables of its own, so the benchmarks *are* the tables;
+these helpers render them uniformly (aligned columns, explicit headers)
+so EXPERIMENTS.md can quote benchmark output verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple, Union
+
+Cell = Union[str, int, float, bool, None]
+
+
+def _render(cell: Cell) -> str:
+    if cell is None:
+        return "-"
+    if isinstance(cell, bool):
+        return "yes" if cell else "no"
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[Cell]], title: str = ""
+) -> str:
+    """Render an aligned ASCII table.
+
+    >>> print(format_table(["a", "b"], [[1, 2.5], ["x", None]]))
+    a | b
+    --+-----
+    1 | 2.50
+    x | -
+    """
+    rendered: List[List[str]] = [list(headers)]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} != header width {len(headers)}: {row}"
+            )
+        rendered.append([_render(cell) for cell in row])
+    widths = [
+        max(len(r[col]) for r in rendered) for col in range(len(headers))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(f"== {title} ==")
+    header_line = " | ".join(h.ljust(w) for h, w in zip(rendered[0], widths))
+    lines.append(header_line.rstrip())
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rendered[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str, points: Sequence[Tuple[Cell, Cell]], x_label: str = "x", y_label: str = "y"
+) -> str:
+    """Render an (x, y) series — the textual stand-in for a figure."""
+    return format_table([x_label, y_label], points, title=name)
+
+
+def format_sparkline(values: Sequence[float], width: int = 60) -> str:
+    """A unicode sparkline for quick visual trends in benchmark logs.
+
+    Down-samples to ``width`` buckets (max within each bucket) and maps onto
+    eight block heights; returns an empty string for no data.
+    """
+    if not values:
+        return ""
+    blocks = "▁▂▃▄▅▆▇█"
+    if len(values) > width:
+        bucket = len(values) / width
+        sampled = [
+            max(values[int(i * bucket): max(int(i * bucket) + 1, int((i + 1) * bucket))])
+            for i in range(width)
+        ]
+    else:
+        sampled = list(values)
+    low = min(sampled)
+    high = max(sampled)
+    span = high - low
+    if span == 0:
+        return blocks[0] * len(sampled)
+    return "".join(
+        blocks[min(len(blocks) - 1, int((v - low) / span * len(blocks)))]
+        for v in sampled
+    )

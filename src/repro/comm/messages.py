@@ -1,0 +1,128 @@
+"""Message profiles for the three-party synchronous model.
+
+The model of Section 2 of the paper has three entities — *user*, *server*,
+and *world* — connected pairwise by channels.  Each synchronous round, every
+entity receives an *incoming message profile* (one message per counterpart)
+and produces an *outgoing message profile*.
+
+Messages are plain Python strings; the empty string :data:`SILENCE` means
+"no message this round".  Keeping messages as strings (rather than rich
+objects) is deliberate: the whole point of the paper is that the *meaning*
+of the bytes on the channel is not agreed upon in advance, so the substrate
+must not smuggle semantics into the wire format.
+
+Tagged messages
+---------------
+Most concrete protocols in this package use a light ``TAG:payload``
+convention.  :func:`tagged` and :func:`parse_tagged` implement it.  The
+convention is a convenience for *our* strategies; nothing in the engine
+depends on it, and codec-wrapped servers scramble it like any other text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+#: The empty message.  An entity that sends :data:`SILENCE` on a channel is
+#: indistinguishable from one that sends nothing.
+SILENCE: str = ""
+
+
+@dataclass(frozen=True)
+class UserInbox:
+    """Messages the user receives at the start of a round."""
+
+    from_server: str = SILENCE
+    from_world: str = SILENCE
+
+    def is_silent(self) -> bool:
+        """Return True when no counterpart sent anything this round."""
+        return self.from_server == SILENCE and self.from_world == SILENCE
+
+
+@dataclass(frozen=True)
+class UserOutbox:
+    """Messages the user emits at the end of a round.
+
+    ``halt`` and ``output`` implement *finite goals* (Section 3): the user
+    must eventually halt, and the referee is evaluated on the finite history.
+    ``output`` carries the user's final verdict/result; it is recorded by the
+    execution engine and typically consulted by finite referees.
+    """
+
+    to_server: str = SILENCE
+    to_world: str = SILENCE
+    halt: bool = False
+    output: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class ServerInbox:
+    """Messages the server receives at the start of a round."""
+
+    from_user: str = SILENCE
+    from_world: str = SILENCE
+
+    def is_silent(self) -> bool:
+        """Return True when no counterpart sent anything this round."""
+        return self.from_user == SILENCE and self.from_world == SILENCE
+
+
+@dataclass(frozen=True)
+class ServerOutbox:
+    """Messages the server emits at the end of a round."""
+
+    to_user: str = SILENCE
+    to_world: str = SILENCE
+
+
+@dataclass(frozen=True)
+class WorldInbox:
+    """Messages the world receives at the start of a round."""
+
+    from_user: str = SILENCE
+    from_server: str = SILENCE
+
+    def is_silent(self) -> bool:
+        """Return True when no counterpart sent anything this round."""
+        return self.from_user == SILENCE and self.from_server == SILENCE
+
+
+@dataclass(frozen=True)
+class WorldOutbox:
+    """Messages the world emits at the end of a round."""
+
+    to_user: str = SILENCE
+    to_server: str = SILENCE
+
+
+def tagged(tag: str, payload: str = "") -> str:
+    """Build a ``TAG:payload`` message.
+
+    >>> tagged("PRINT", "hello")
+    'PRINT:hello'
+    >>> tagged("ACK")
+    'ACK:'
+    """
+    if ":" in tag:
+        raise ValueError(f"tag must not contain ':': {tag!r}")
+    return f"{tag}:{payload}"
+
+
+def parse_tagged(message: str) -> Optional[Tuple[str, str]]:
+    """Split a ``TAG:payload`` message into ``(tag, payload)``.
+
+    Returns ``None`` when the message does not follow the convention (no
+    colon, or empty message).  Strategies facing untrusted peers should treat
+    ``None`` as "unintelligible" rather than raising.
+
+    >>> parse_tagged("PRINT:hello")
+    ('PRINT', 'hello')
+    >>> parse_tagged("garbage") is None
+    True
+    """
+    if not message or ":" not in message:
+        return None
+    tag, _, payload = message.partition(":")
+    return tag, payload

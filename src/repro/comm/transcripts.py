@@ -1,0 +1,72 @@
+"""Transcript recording for executions.
+
+A :class:`Transcript` is the flat, human-readable log of everything that
+crossed the channels during an execution.  The execution engine produces
+richer :class:`~repro.core.execution.RoundRecord` objects; transcripts are
+the presentation layer used by examples and debugging helpers, and by tests
+that assert on *what was said* rather than on internal states.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.comm.messages import SILENCE
+
+
+@dataclass(frozen=True)
+class TranscriptEntry:
+    """One message on one directed channel during one round."""
+
+    round_index: int
+    sender: str
+    receiver: str
+    message: str
+
+    def format(self) -> str:
+        """Render like ``[ 12] user   -> server : PRINT:hello``."""
+        return (
+            f"[{self.round_index:4d}] {self.sender:<6} -> {self.receiver:<6} : "
+            f"{self.message}"
+        )
+
+
+class Transcript:
+    """An append-only log of channel traffic.
+
+    Silent messages are skipped on append, so the transcript contains only
+    actual communication.
+    """
+
+    def __init__(self) -> None:
+        self._entries: List[TranscriptEntry] = []
+
+    def record(self, round_index: int, sender: str, receiver: str, message: str) -> None:
+        """Append one channel observation (ignored when silent)."""
+        if message == SILENCE:
+            return
+        self._entries.append(TranscriptEntry(round_index, sender, receiver, message))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[TranscriptEntry]:
+        return iter(self._entries)
+
+    def between(self, sender: str, receiver: str) -> List[TranscriptEntry]:
+        """All entries on the directed channel ``sender -> receiver``."""
+        return [e for e in self._entries if e.sender == sender and e.receiver == receiver]
+
+    def messages(self, sender: str, receiver: str) -> List[str]:
+        """Just the message strings on a directed channel, in order."""
+        return [e.message for e in self.between(sender, receiver)]
+
+    def format(self, limit: int = 0) -> str:
+        """Render the transcript; ``limit`` > 0 keeps only the last entries."""
+        entries = self._entries[-limit:] if limit > 0 else self._entries
+        return "\n".join(entry.format() for entry in entries)
+
+    def tail(self, count: int) -> List[TranscriptEntry]:
+        """The last ``count`` entries."""
+        return self._entries[-count:]

@@ -1,0 +1,194 @@
+"""Sensing: the user's feedback about its own progress.
+
+Section 3 of the paper introduces *sensing* — "predicates of the history of
+the portion of the system visible to the user" — as the resource that makes
+universal communication possible.  A :class:`Sensing` object maps a
+:class:`~repro.core.views.UserView` to a Boolean indication; ``True`` is a
+*positive* indication (things look fine), ``False`` a *negative* one (the
+current strategy is failing).
+
+The value of a sensing function is captured by two properties, *safety* and
+*viability*, defined relative to a goal and a server class; the empirical
+checkers for those properties live in :mod:`repro.core.properties`.  This
+module provides the interface plus combinators that concrete goals use to
+assemble their sensing from world feedback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Tuple
+
+from repro.core.views import UserView
+
+
+class Sensing:
+    """A Boolean feedback function over the user's local view."""
+
+    def indicate(self, view: UserView) -> bool:
+        """Return the indication for the given (trial-local) view."""
+        raise NotImplementedError
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+    def negate(self) -> "Sensing":
+        """The pointwise negation (used to build deliberately unsafe sensing)."""
+        return _Negation(self)
+
+    def __repr__(self) -> str:
+        return f"<Sensing {self.name}>"
+
+
+@dataclass(frozen=True)
+class FunctionSensing(Sensing):
+    """Adapts a plain callable into a :class:`Sensing`."""
+
+    fn: Callable[[UserView], bool]
+    label: str = "fn"
+
+    @property
+    def name(self) -> str:
+        return self.label
+
+    def indicate(self, view: UserView) -> bool:
+        return bool(self.fn(view))
+
+
+@dataclass(frozen=True)
+class ConstantSensing(Sensing):
+    """Always returns the same indication.
+
+    ``ConstantSensing(True)`` is the degenerate, maximally *unsafe* sensing
+    (never flags a failing strategy); ``ConstantSensing(False)`` is the
+    maximally *non-viable* one (never endorses a working strategy).  Both
+    appear in the ablation experiment E6.
+    """
+
+    value: bool
+
+    @property
+    def name(self) -> str:
+        return "always-positive" if self.value else "always-negative"
+
+    def indicate(self, view: UserView) -> bool:
+        return self.value
+
+
+@dataclass(frozen=True)
+class _Negation(Sensing):
+    inner: Sensing
+
+    @property
+    def name(self) -> str:
+        return f"not({self.inner.name})"
+
+    def indicate(self, view: UserView) -> bool:
+        return not self.inner.indicate(view)
+
+
+@dataclass(frozen=True)
+class LastWorldMessageSensing(Sensing):
+    """Judges the most recent non-silent message from the world.
+
+    Many goals route ground-truth feedback through the world (the printer
+    reports what it printed; the control world scores the last action).
+    ``default`` is the indication used before any world message arrives —
+    positive by default so a strategy is not condemned before it acted.
+    """
+
+    predicate: Callable[[str], bool]
+    default: bool = True
+    label: str = "last-world-msg"
+
+    @property
+    def name(self) -> str:
+        return self.label
+
+    def indicate(self, view: UserView) -> bool:
+        message = view.last_world_message()
+        if message is None:
+            return self.default
+        return bool(self.predicate(message))
+
+
+@dataclass(frozen=True)
+class GraceSensing(Sensing):
+    """Wraps another sensing with an initial grace period.
+
+    During the first ``grace_rounds`` of a trial the indication is positive
+    regardless of the inner sensing; afterwards the inner verdict applies.
+    Universal users need this when feedback is delayed by the two-round
+    message latency of the synchronous model — without a grace period they
+    would condemn every strategy before its first action could possibly be
+    scored.
+    """
+
+    inner: Sensing
+    grace_rounds: int = 4
+
+    def __post_init__(self) -> None:
+        if self.grace_rounds < 0:
+            raise ValueError(f"grace_rounds must be >= 0: {self.grace_rounds}")
+
+    @property
+    def name(self) -> str:
+        return f"grace({self.grace_rounds},{self.inner.name})"
+
+    def indicate(self, view: UserView) -> bool:
+        if len(view) <= self.grace_rounds:
+            return True
+        return self.inner.indicate(view)
+
+
+@dataclass(frozen=True)
+class AllOfSensing(Sensing):
+    """Positive iff every component is positive."""
+
+    parts: Tuple[Sensing, ...]
+
+    @property
+    def name(self) -> str:
+        return "all(" + ",".join(p.name for p in self.parts) + ")"
+
+    def indicate(self, view: UserView) -> bool:
+        return all(part.indicate(view) for part in self.parts)
+
+
+@dataclass(frozen=True)
+class AnyOfSensing(Sensing):
+    """Positive iff at least one component is positive."""
+
+    parts: Tuple[Sensing, ...]
+
+    @property
+    def name(self) -> str:
+        return "any(" + ",".join(p.name for p in self.parts) + ")"
+
+    def indicate(self, view: UserView) -> bool:
+        return any(part.indicate(view) for part in self.parts)
+
+
+@dataclass(frozen=True)
+class NoRecentProgressSensing(Sensing):
+    """Negative when the world has been silent for too long.
+
+    A weak, generic sensing usable when the world offers no semantic
+    feedback: it only detects *stalls*.  It is safe for goals where any
+    progress is reflected in world chatter, and it is the best one can do in
+    the feedback-free printer variant of experiment E9 — where it is
+    provably not viable, illustrating why Theorem 1's hypotheses matter.
+    """
+
+    stall_rounds: int = 8
+
+    @property
+    def name(self) -> str:
+        return f"no-stall({self.stall_rounds})"
+
+    def indicate(self, view: UserView) -> bool:
+        if len(view) < self.stall_rounds:
+            return True
+        recent = view.tail(self.stall_rounds)
+        return any(r.inbox.from_world or r.inbox.from_server for r in recent)

@@ -1,0 +1,57 @@
+"""Exception hierarchy for the goal-oriented communication library.
+
+Every error raised by this package derives from :class:`ReproError`, so a
+caller can catch the whole family with a single ``except`` clause while the
+engine, protocol, and algebra layers keep distinct, meaningful types.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ProtocolError(ReproError):
+    """A message violated the wire format a strategy expected.
+
+    Strategies that *interact with untrusted peers* (verifiers, universal
+    users) should never raise this during an execution: a malformed message
+    from an adversarial server is an expected event, handled by rejecting.
+    The error is reserved for local misuse of protocol helpers.
+    """
+
+
+class ExecutionError(ReproError):
+    """The synchronous execution engine was driven into an invalid state."""
+
+
+class EnumerationExhaustedError(ReproError):
+    """A finite strategy enumeration ran out of candidates.
+
+    The paper's universal users assume an infinite (or sufficient) class of
+    candidate strategies; with the bounded classes used in experiments this
+    error signals that no candidate in the class works with the given server
+    (i.e., the server is not helpful for the class).
+    """
+
+
+class AlgebraError(ReproError):
+    """Invalid algebraic operation (mixed fields, bad degree, etc.)."""
+
+
+class FormulaError(ReproError):
+    """Malformed Boolean formula or quantified Boolean formula."""
+
+
+class VerificationError(ReproError):
+    """An interactive-proof verifier detected cheating.
+
+    Raised only by the *function-level* protocol drivers where an exception
+    is the natural control flow.  The strategy-level verifier converts this
+    into a rejection message instead of raising.
+    """
+
+
+class CodecError(ReproError):
+    """A codec could not decode a message (non-image input)."""

@@ -1,0 +1,66 @@
+"""Interactive proofs: the TQBF (Shamir/Shen) protocol and sumcheck.
+
+The delegation experiments' trust substrate.  Soundness of these protocols
+is what gives the delegating user *safe sensing* (Section 3 of the paper):
+a positive indication — "the proof verified" — can be trusted even against
+adversarial or misunderstood servers.
+"""
+
+from repro.ip.degree import (
+    QUANT_FORALL,
+    QUANT_EXISTS,
+    LINEARIZE,
+    ScheduledOp,
+    operator_schedule,
+    soundness_error_bound,
+)
+from repro.ip.transcript import ProofRound, ProofTranscript
+from repro.ip.qbf_protocol import (
+    QBFProver,
+    HonestQBFProver,
+    FlipClaimProver,
+    ConstantCheatingProver,
+    RandomCheatingProver,
+    QBFVerifierSession,
+    ProofResult,
+    run_qbf_protocol,
+    apply_operator,
+)
+from repro.ip.sumcheck import (
+    SumcheckProver,
+    HonestSumcheckProver,
+    InflatingSumcheckProver,
+    AdaptiveSumcheckCheater,
+    SumcheckVerifierSession,
+    SumcheckResult,
+    run_sumcheck,
+    count_satisfying_assignments,
+)
+
+__all__ = [
+    "QUANT_FORALL",
+    "QUANT_EXISTS",
+    "LINEARIZE",
+    "ScheduledOp",
+    "operator_schedule",
+    "soundness_error_bound",
+    "ProofRound",
+    "ProofTranscript",
+    "QBFProver",
+    "HonestQBFProver",
+    "FlipClaimProver",
+    "ConstantCheatingProver",
+    "RandomCheatingProver",
+    "QBFVerifierSession",
+    "ProofResult",
+    "run_qbf_protocol",
+    "apply_operator",
+    "SumcheckProver",
+    "HonestSumcheckProver",
+    "InflatingSumcheckProver",
+    "AdaptiveSumcheckCheater",
+    "SumcheckVerifierSession",
+    "SumcheckResult",
+    "run_sumcheck",
+    "count_satisfying_assignments",
+]

@@ -1,0 +1,105 @@
+"""Operator sequence and degree schedule for the TQBF protocol.
+
+The Shamir/Shen interactive proof for TQBF evaluates a quantified Boolean
+formula by applying a sequence of algebraic operators to the arithmetized
+matrix ``A``:
+
+* quantifier operators — ``∀_v f = f|_{v=0} · f|_{v=1}`` and
+  ``∃_v f = f|_{v=0} ⊕̃ f|_{v=1}`` with ``a ⊕̃ b = a+b−ab`` — which
+  eliminate a variable but *double* the degree of every remaining one, and
+* Shen's linearization operators — ``L_v f = (1−v)·f|_{v=0} + v·f|_{v=1}``
+  — which restore variable ``v`` to degree ≤ 1.
+
+Applying, innermost quantifier first, ``Q_{x_k}`` followed by
+``L_{x_1} .. L_{x_{k-1}}`` for k = n..1 yields a constant equal to the QBF's
+truth value (1 or 0).  The interactive protocol walks this sequence in
+*reverse*, one prover message per operator; the verifier must know, for each
+round, an upper bound on the degree of the polynomial the prover is supposed
+to send.  :func:`operator_schedule` computes the full sequence together with
+those bounds by symbolically tracking the per-variable degree vector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import FormulaError
+from repro.qbf.arithmetize import degree_vector
+from repro.qbf.qbf import EXISTS, FORALL, QBF
+
+#: Operator kinds.
+QUANT_FORALL = "forall"
+QUANT_EXISTS = "exists"
+LINEARIZE = "linearize"
+
+
+@dataclass(frozen=True)
+class ScheduledOp:
+    """One operator of the application sequence, with protocol metadata.
+
+    ``degree_bound`` bounds the degree of the prover's message in the round
+    that peels this operator: the degree of ``var`` in the operand
+    polynomial ``F^{(j-1)}``.  ``free_after`` lists the free variables of
+    the *result* ``F^{(j)}`` (what the verifier's random assignment covers
+    when this operator's round begins).
+    """
+
+    kind: str
+    var: str
+    degree_bound: int
+    free_after: Tuple[str, ...]
+
+
+def operator_schedule(qbf: QBF) -> List[ScheduledOp]:
+    """The operator sequence in application order, with degree bounds.
+
+    The protocol processes the *reverse* of this list.  Degrees are tracked
+    exactly as the operators transform them: quantifiers double every other
+    variable's degree, linearization clamps one variable to degree ≤ 1 (or
+    0, if it was already constant in the operand).
+    """
+    if not qbf.prefix:
+        raise FormulaError("operator schedule needs at least one quantifier")
+    names = list(qbf.variable_names)
+    degrees: Dict[str, int] = dict(
+        zip(names, degree_vector(qbf.matrix, names))
+    )
+    schedule: List[ScheduledOp] = []
+    for k in range(len(names), 0, -1):
+        quantifier, var = qbf.prefix[k - 1]
+        kind = QUANT_FORALL if quantifier == FORALL else QUANT_EXISTS
+        bound = degrees.pop(var)
+        remaining = names[: k - 1]
+        degrees = {name: 2 * degrees[name] for name in remaining}
+        schedule.append(
+            ScheduledOp(
+                kind=kind,
+                var=var,
+                degree_bound=bound,
+                free_after=tuple(remaining),
+            )
+        )
+        for name in remaining:
+            schedule.append(
+                ScheduledOp(
+                    kind=LINEARIZE,
+                    var=name,
+                    degree_bound=degrees[name],
+                    free_after=tuple(remaining),
+                )
+            )
+            degrees[name] = min(degrees[name], 1)
+    return schedule
+
+
+def soundness_error_bound(qbf: QBF, field_size: int) -> float:
+    """Upper bound on the cheating prover's success probability.
+
+    Each round, a dishonest prover survives only if the verifier's random
+    challenge hits a root of the difference between the claimed and true
+    polynomials — probability ``degree / p`` — so the total error is at most
+    the sum of the per-round degree bounds over ``p``.
+    """
+    total_degree = sum(op.degree_bound for op in operator_schedule(qbf))
+    return total_degree / field_size

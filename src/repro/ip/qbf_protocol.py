@@ -1,0 +1,398 @@
+"""The Shamir/Shen interactive proof for TQBF, implemented from scratch.
+
+This is the substrate behind the paper's flagship delegation example
+(Juba–Sudan, STOC'08): a polynomial-time *verifier* (the user) is convinced
+of the truth value of a PSPACE-complete statement by an untrusted, powerful
+*prover* (the server).  Completeness makes honest provers *helpful*;
+soundness gives the user **safe sensing** — a wrong claim survives all the
+verifier's checks with probability at most
+:func:`~repro.ip.degree.soundness_error_bound`, so "the proof verified" is a
+trustworthy positive indication no matter how alien or malicious the server.
+
+Protocol outline (operators and degree schedule in :mod:`repro.ip.degree`):
+the prover claims the QBF's value; then, peeling the operator sequence
+outermost-first, it sends in each round the univariate polynomial obtained
+from the current partial application by fixing the verifier's past
+challenges.  The verifier checks degree and local consistency
+
+* ``∀`` rounds:  claim = s(0) · s(1)
+* ``∃`` rounds:  claim = s(0) + s(1) − s(0)·s(1)
+* ``L`` rounds:  claim = (1−r_v)·s(0) + r_v·s(1)
+
+then draws a fresh challenge and continues; after the last round it checks
+the residual claim against a single direct evaluation of the arithmetized
+matrix.
+
+The honest prover precomputes every intermediate polynomial as a
+:class:`~repro.mathx.multivariate.GridPoly`, making each round's message a
+cheap restriction+interpolation instead of an exponential recursion.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import AlgebraError
+from repro.ip.degree import (
+    LINEARIZE,
+    QUANT_EXISTS,
+    QUANT_FORALL,
+    ScheduledOp,
+    operator_schedule,
+)
+from repro.ip.transcript import ProofRound, ProofTranscript
+from repro.mathx.modular import Field
+from repro.mathx.multivariate import GridPoly
+from repro.mathx.polynomials import Poly
+from repro.qbf.arithmetize import arith_eval, base_grid
+from repro.qbf.qbf import QBF
+
+
+def apply_operator(grid: GridPoly, op: ScheduledOp, field: Field) -> GridPoly:
+    """Apply one quantifier/linearization operator to a grid polynomial."""
+    if op.kind == LINEARIZE:
+        return _linearize(grid, op.var)
+    g0 = grid.restrict(op.var, 0)
+    g1 = grid.restrict(op.var, 1)
+    doubled = tuple(2 * d for d in g0.degrees)
+    g0 = g0.regrid(doubled)
+    g1 = g1.regrid(doubled)
+    if op.kind == QUANT_FORALL:
+        return g0.pointwise_product(g1)
+    if op.kind == QUANT_EXISTS:
+        return g0.pointwise_or(g1)
+    raise AlgebraError(f"unknown operator kind: {op.kind}")
+
+
+def _linearize(grid: GridPoly, var: str) -> GridPoly:
+    """Shen's linearization: replace ``var`` by degree ≤ 1.
+
+    ``L_v f = (1−v)·f|0 + v·f|1`` agrees with ``f`` on Boolean points and is
+    linear in ``v``; on the grid this means the new axis has samples {0, 1}
+    carrying the old restrictions.  A variable that was already constant
+    (degree 0) is untouched — linearization is the identity there.
+    """
+    axis = grid.variables.index(var)
+    if grid.degrees[axis] <= 1:
+        return grid
+    g0 = grid.restrict(var, 0)
+    g1 = grid.restrict(var, 1)
+    new_degrees = grid.degrees[:axis] + (1,) + grid.degrees[axis + 1:]
+    values: Dict[Tuple[int, ...], int] = {}
+    for key, val in g0.values.items():
+        values[key[:axis] + (0,) + key[axis:]] = val
+    for key, val in g1.values.items():
+        values[key[:axis] + (1,) + key[axis:]] = val
+    return GridPoly(grid.field, grid.variables, new_degrees, values)
+
+
+class QBFProver:
+    """Interface the verifier-side drivers expect of any prover."""
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+    def claimed_value(self) -> int:
+        """The bit the prover asserts the QBF evaluates to."""
+        raise NotImplementedError
+
+    def round_message(self, round_index: int, challenges: Dict[str, int]) -> Poly:
+        """The polynomial for protocol round ``round_index``.
+
+        ``challenges`` maps each variable to the verifier's most recent
+        challenge for it (what an interactive prover would have accumulated
+        from the conversation).
+        """
+        raise NotImplementedError
+
+
+class HonestQBFProver(QBFProver):
+    """The prover that makes the protocol complete.
+
+    Precomputes the grid form of every partial application ``F^{(j)}``; each
+    round's message is then a restriction of the appropriate grid.  The
+    precomputation is the exponential-in-``n`` part (it embeds the PSPACE
+    evaluation) — exactly the work the user is delegating away.
+    """
+
+    def __init__(self, qbf: QBF, field: Field) -> None:
+        self._qbf = qbf
+        self._field = field
+        self._schedule = operator_schedule(qbf)
+        grids: List[GridPoly] = [base_grid(qbf.matrix, field, qbf.variable_names)]
+        for op in self._schedule:
+            grids.append(apply_operator(grids[-1], op, field))
+        self._grids = grids
+
+    def claimed_value(self) -> int:
+        return self._grids[-1].as_constant()
+
+    def round_message(self, round_index: int, challenges: Dict[str, int]) -> Poly:
+        # Round r peels the operator at application index j = M-1-r (0-based);
+        # the message is F^{(j)} as a univariate in the operator's variable.
+        j = len(self._schedule) - 1 - round_index
+        op = self._schedule[j]
+        operand = self._grids[j]
+        others = {
+            var: challenges[var] for var in operand.variables if var != op.var
+        }
+        return operand.to_univariate(op.var, others)
+
+
+class FlipClaimProver(QBFProver):
+    """Claims the wrong bit but otherwise plays honestly.
+
+    The first consistency check exposes it deterministically: the honest
+    first message satisfies the *true* claim, not the flipped one.  Used to
+    test that the verifier's checks are actually wired to the claim.
+    """
+
+    def __init__(self, qbf: QBF, field: Field) -> None:
+        self._honest = HonestQBFProver(qbf, field)
+
+    def claimed_value(self) -> int:
+        return 1 - self._honest.claimed_value()
+
+    def round_message(self, round_index: int, challenges: Dict[str, int]) -> Poly:
+        return self._honest.round_message(round_index, challenges)
+
+
+class ConstantCheatingProver(QBFProver):
+    """The strongest simple cheater: stays locally consistent all the way.
+
+    Claims a chosen bit and sends the constant polynomial of that bit every
+    round.  Every local check passes (``b·b = b``, ``b+b−b·b = b``,
+    ``(1−r)b + rb = b``), so the lie survives until the verifier's final
+    direct evaluation of the matrix at a random point — which equals the
+    constant ``b`` only with probability ≈ ``deg/p``.  This cheater
+    therefore measures the strength of the *final check* specifically.
+    """
+
+    def __init__(self, field: Field, claim_bit: int) -> None:
+        if claim_bit not in (0, 1):
+            raise AlgebraError(f"claim bit must be 0 or 1: {claim_bit}")
+        self._field = field
+        self._bit = claim_bit
+
+    @property
+    def name(self) -> str:
+        return f"ConstantCheatingProver({self._bit})"
+
+    def claimed_value(self) -> int:
+        return self._bit
+
+    def round_message(self, round_index: int, challenges: Dict[str, int]) -> Poly:
+        return Poly.constant(self._field, self._bit)
+
+
+class RandomCheatingProver(QBFProver):
+    """Claims the wrong bit and sends random degree-legal polynomials.
+
+    Each consistency check then passes only by luck; rejection is expected
+    within the first round or two.  Parameterised by its own RNG so tests
+    can sweep many cheating transcripts cheaply.
+    """
+
+    def __init__(self, qbf: QBF, field: Field, rng: random.Random) -> None:
+        self._schedule = operator_schedule(qbf)
+        self._field = field
+        self._rng = rng
+        self._true_value = HonestQBFProver(qbf, field).claimed_value()
+
+    def claimed_value(self) -> int:
+        return 1 - self._true_value
+
+    def round_message(self, round_index: int, challenges: Dict[str, int]) -> Poly:
+        j = len(self._schedule) - 1 - round_index
+        bound = self._schedule[j].degree_bound
+        coeffs = [self._field.random_element(self._rng) for _ in range(bound + 1)]
+        return Poly.make(self._field, coeffs)
+
+
+class QBFVerifierSession:
+    """The polynomial-time verifier, as an incremental session.
+
+    Drive it with :meth:`begin`, then alternate ``receive_poly`` (returning
+    the next challenge, or ``None`` when the protocol has finished) until
+    :attr:`finished`.  The session never raises on malformed or cheating
+    input — it rejects, because in the goal-oriented setting a lying server
+    is an expected event, not an exception.
+    """
+
+    def __init__(self, qbf: QBF, field: Field, rng: random.Random) -> None:
+        self._qbf = qbf
+        self._field = field
+        self._rng = rng
+        self._reversed = list(reversed(operator_schedule(qbf)))
+        self._round = 0
+        self._claim: Optional[int] = None
+        self._challenges: Dict[str, int] = {}
+        self.transcript: Optional[ProofTranscript] = None
+        self._verdict: Optional[bool] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def finished(self) -> bool:
+        return self._verdict is not None
+
+    @property
+    def accepted(self) -> bool:
+        if self._verdict is None:
+            raise AlgebraError("protocol still running")
+        return self._verdict
+
+    @property
+    def rounds_total(self) -> int:
+        return len(self._reversed)
+
+    @property
+    def rounds_done(self) -> int:
+        return self._round
+
+    def current_op(self) -> ScheduledOp:
+        """The operator the next prover message must address."""
+        return self._reversed[self._round]
+
+    # ------------------------------------------------------------------
+    def begin(self, claimed_value: int) -> None:
+        """Accept the prover's claimed bit and open the session."""
+        if claimed_value not in (0, 1):
+            self.transcript = ProofTranscript(claimed_value=-1)
+            self._finish(False, f"claimed value must be a bit: {claimed_value}")
+            return
+        self._claim = claimed_value
+        self.transcript = ProofTranscript(claimed_value=claimed_value)
+
+    def receive_poly(self, poly: Poly) -> Optional[int]:
+        """Process one prover message; return the challenge or ``None``.
+
+        ``None`` means the session has finished (check :attr:`accepted`);
+        this happens on rejection or after the final round's check.
+        """
+        if self._claim is None:
+            self._finish(False, "protocol not begun")
+            return None
+        if self.finished:
+            return None
+        op = self._reversed[self._round]
+        claim_before = self._claim
+
+        if poly.degree > op.degree_bound:
+            self._record(op, poly, None, claim_before, None)
+            self._finish(
+                False,
+                f"round {self._round}: degree {poly.degree} exceeds bound "
+                f"{op.degree_bound}",
+            )
+            return None
+
+        s0 = poly.evaluate(0)
+        s1 = poly.evaluate(1)
+        if op.kind == QUANT_FORALL:
+            expected = self._field.mul(s0, s1)
+        elif op.kind == QUANT_EXISTS:
+            expected = self._field.bool_or(s0, s1)
+        else:  # LINEARIZE: the variable already has a challenge to recombine.
+            r_v = self._challenges[op.var]
+            expected = self._field.add(
+                self._field.mul(self._field.sub(1, r_v), s0),
+                self._field.mul(r_v, s1),
+            )
+        if expected != self._claim:
+            self._record(op, poly, None, claim_before, None)
+            self._finish(
+                False,
+                f"round {self._round}: {op.kind}({op.var}) consistency check "
+                f"failed",
+            )
+            return None
+
+        challenge = self._field.random_element(self._rng)
+        self._challenges[op.var] = challenge
+        self._claim = poly.evaluate(challenge)
+        self._record(op, poly, challenge, claim_before, self._claim)
+        self._round += 1
+
+        if self._round == len(self._reversed):
+            actual = arith_eval(self._qbf.matrix, self._field, self._challenges)
+            if actual == self._claim:
+                self._finish(True)
+            else:
+                self._finish(False, "final matrix evaluation mismatch")
+            return None
+        return challenge
+
+    def challenges_so_far(self) -> Dict[str, int]:
+        """Copy of the verifier's randomness (what the prover has learnt)."""
+        return dict(self._challenges)
+
+    # ------------------------------------------------------------------
+    def _record(
+        self,
+        op: ScheduledOp,
+        poly: Poly,
+        challenge: Optional[int],
+        claim_before: int,
+        claim_after: Optional[int],
+    ) -> None:
+        assert self.transcript is not None
+        self.transcript.record(
+            ProofRound(
+                index=self._round,
+                op_kind=op.kind,
+                var=op.var,
+                degree_bound=op.degree_bound,
+                poly=poly,
+                challenge=challenge,
+                claim_before=claim_before,
+                claim_after=claim_after,
+            )
+        )
+
+    def _finish(self, accepted: bool, reason: str = "") -> None:
+        self._verdict = accepted
+        if self.transcript is not None:
+            self.transcript.finish(accepted, reason)
+
+
+@dataclass(frozen=True)
+class ProofResult:
+    """Outcome of a complete protocol run."""
+
+    accepted: bool
+    claimed_value: int
+    rounds_run: int
+    transcript: ProofTranscript
+
+
+def run_qbf_protocol(
+    qbf: QBF,
+    prover: QBFProver,
+    field: Field,
+    rng: random.Random,
+) -> ProofResult:
+    """Drive a full prover/verifier interaction (function-level harness).
+
+    The strategy-level wrappers in :mod:`repro.servers.provers` and
+    :mod:`repro.users.delegation_users` run the same protocol over the
+    three-party engine's channels; this direct driver is what the unit and
+    property tests exercise.
+    """
+    session = QBFVerifierSession(qbf, field, rng)
+    claimed = prover.claimed_value()
+    session.begin(claimed)
+    round_index = 0
+    while not session.finished:
+        poly = prover.round_message(round_index, session.challenges_so_far())
+        session.receive_poly(poly)
+        round_index += 1
+    assert session.transcript is not None
+    return ProofResult(
+        accepted=session.accepted,
+        claimed_value=claimed,
+        rounds_run=session.rounds_done,
+        transcript=session.transcript,
+    )

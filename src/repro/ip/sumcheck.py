@@ -1,0 +1,279 @@
+"""The sumcheck protocol, for counting-style delegation.
+
+The classic Lund–Fortnow–Karloff–Nisan protocol: the prover claims the value
+of ``Σ_{x ∈ {0,1}^n} g(x)`` for a low-degree polynomial ``g`` (here: the
+arithmetization of a Boolean formula, so the sum counts satisfying
+assignments) and proves it in ``n`` rounds of univariate messages.  We use
+it as a second, simpler delegation substrate alongside the full TQBF proof:
+the #SAT goal exercises the same safety-via-soundness story with lighter
+machinery, which keeps some integration tests fast.
+
+Round ``i``: the prover sends ``s_i(z) = Σ_{x_{i+1..n}} g(r_1..r_{i-1}, z,
+x_{i+1..n})``; the verifier checks ``s_i(0) + s_i(1)`` against the running
+claim, draws ``r_i``, and continues with claim ``s_i(r_i)``; the final claim
+is checked by one direct evaluation ``g(r_1..r_n)``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import AlgebraError
+from repro.ip.transcript import ProofRound, ProofTranscript
+from repro.mathx.modular import Field
+from repro.mathx.multivariate import GridPoly
+from repro.mathx.polynomials import Poly
+from repro.qbf.arithmetize import arith_eval, base_grid
+from repro.qbf.formulas import Formula, evaluate, variables
+
+
+def count_satisfying_assignments(formula: Formula, order: Sequence[str]) -> int:
+    """Brute-force #SAT over the given variable order (the ground truth)."""
+    order = list(order)
+    missing = variables(formula) - set(order)
+    if missing:
+        raise AlgebraError(f"order misses variables: {sorted(missing)}")
+    count = 0
+    for bits in itertools.product((False, True), repeat=len(order)):
+        if evaluate(formula, dict(zip(order, bits))):
+            count += 1
+    return count
+
+
+class SumcheckProver:
+    """Interface for sumcheck provers."""
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+    def claimed_sum(self) -> int:
+        raise NotImplementedError
+
+    def round_message(self, round_index: int, challenges: Dict[str, int]) -> Poly:
+        raise NotImplementedError
+
+
+class HonestSumcheckProver(SumcheckProver):
+    """Computes partial sums via suffix-summed grid polynomials.
+
+    ``S_i(x_1..x_i) = Σ_{x_{i+1}..x_n ∈ {0,1}} g`` is precomputed for every
+    ``i`` (each is the sum of two restrictions of the next), so each round's
+    message is a restriction of the right ``S_i``.
+    """
+
+    def __init__(self, formula: Formula, field: Field, order: Sequence[str]) -> None:
+        self._field = field
+        self._order = tuple(order)
+        grid = base_grid(formula, field, self._order)
+        suffix_sums: List[GridPoly] = [grid]  # suffix_sums[k] = S_{n-k}
+        for var in reversed(self._order):
+            latest = suffix_sums[-1]
+            summed = latest.restrict(var, 0).combine(
+                latest.restrict(var, 1), field.add
+            )
+            suffix_sums.append(summed)
+        # Reorder so partial_sums[i] = S_i (free vars x_1..x_i).
+        self._partial_sums = list(reversed(suffix_sums))
+
+    def claimed_sum(self) -> int:
+        return self._partial_sums[0].as_constant()
+
+    def round_message(self, round_index: int, challenges: Dict[str, int]) -> Poly:
+        # Message i (0-based) is S_{i+1} as a univariate in x_{i+1}.
+        target = self._partial_sums[round_index + 1]
+        var = self._order[round_index]
+        others = {v: challenges[v] for v in target.variables if v != var}
+        return target.to_univariate(var, others)
+
+
+class InflatingSumcheckProver(SumcheckProver):
+    """Cheats by overstating the sum, then plays honestly.
+
+    The first round check ``s_1(0) + s_1(1) = claim`` fails immediately —
+    the honest analogue of :class:`~repro.ip.qbf_protocol.FlipClaimProver`.
+    """
+
+    def __init__(
+        self, formula: Formula, field: Field, order: Sequence[str], delta: int = 1
+    ) -> None:
+        self._honest = HonestSumcheckProver(formula, field, order)
+        self._field = field
+        self._delta = delta
+
+    def claimed_sum(self) -> int:
+        return self._field.add(self._honest.claimed_sum(), self._delta)
+
+    def round_message(self, round_index: int, challenges: Dict[str, int]) -> Poly:
+        return self._honest.round_message(round_index, challenges)
+
+
+class AdaptiveSumcheckCheater(SumcheckProver):
+    """A cheater that stays locally consistent at every round.
+
+    Claims a wrong sum and, each round, adds half the current discrepancy
+    to the honest polynomial as a constant: the ``s(0)+s(1)`` check then
+    passes exactly, and the discrepancy halves per round (it never reaches
+    zero in a prime field), so the lie survives every intermediate check
+    and is exposed only by the verifier's final direct evaluation.  This
+    cheater demonstrates that the intermediate checks alone are *not* the
+    source of soundness — the final random evaluation is.
+    """
+
+    def __init__(
+        self, formula: Formula, field: Field, order: Sequence[str], delta: int = 1
+    ) -> None:
+        if field.normalize(delta) == 0:
+            raise AlgebraError("a cheater must actually lie: delta != 0")
+        self._honest = HonestSumcheckProver(formula, field, order)
+        self._field = field
+        self._discrepancy = field.normalize(delta)
+        self._next_round = 0
+
+    def claimed_sum(self) -> int:
+        return self._field.add(self._honest.claimed_sum(), self._discrepancy)
+
+    def round_message(self, round_index: int, challenges: Dict[str, int]) -> Poly:
+        if round_index != self._next_round:
+            raise AlgebraError("adaptive cheater must see rounds in order")
+        honest = self._honest.round_message(round_index, challenges)
+        half = self._field.mul(self._discrepancy, self._field.inv(2))
+        self._discrepancy = half
+        self._next_round += 1
+        return honest + Poly.constant(self._field, half)
+
+
+class SumcheckVerifierSession:
+    """Incremental sumcheck verifier (mirrors :class:`QBFVerifierSession`)."""
+
+    def __init__(
+        self,
+        formula: Formula,
+        field: Field,
+        order: Sequence[str],
+        rng: random.Random,
+    ) -> None:
+        self._formula = formula
+        self._field = field
+        self._order = tuple(order)
+        self._rng = rng
+        self._degree_bounds = [
+            max(1, _degree_in(formula, var)) for var in self._order
+        ]
+        self._round = 0
+        self._claim: Optional[int] = None
+        self._challenges: Dict[str, int] = {}
+        self._verdict: Optional[bool] = None
+        self.transcript: Optional[ProofTranscript] = None
+
+    @property
+    def finished(self) -> bool:
+        return self._verdict is not None
+
+    @property
+    def accepted(self) -> bool:
+        if self._verdict is None:
+            raise AlgebraError("protocol still running")
+        return self._verdict
+
+    def begin(self, claimed_sum: int) -> None:
+        self._claim = self._field.normalize(claimed_sum)
+        self.transcript = ProofTranscript(claimed_value=self._claim)
+
+    def receive_poly(self, poly: Poly) -> Optional[int]:
+        if self._claim is None:
+            self._finish(False, "protocol not begun")
+            return None
+        if self.finished:
+            return None
+        var = self._order[self._round]
+        bound = self._degree_bounds[self._round]
+        claim_before = self._claim
+        if poly.degree > bound:
+            self._record(var, bound, poly, None, claim_before, None)
+            self._finish(False, f"round {self._round}: degree exceeds {bound}")
+            return None
+        if self._field.add(poly.evaluate(0), poly.evaluate(1)) != self._claim:
+            self._record(var, bound, poly, None, claim_before, None)
+            self._finish(False, f"round {self._round}: partial-sum check failed")
+            return None
+        challenge = self._field.random_element(self._rng)
+        self._challenges[var] = challenge
+        self._claim = poly.evaluate(challenge)
+        self._record(var, bound, poly, challenge, claim_before, self._claim)
+        self._round += 1
+        if self._round == len(self._order):
+            actual = arith_eval(self._formula, self._field, self._challenges)
+            self._finish(
+                actual == self._claim,
+                "" if actual == self._claim else "final evaluation mismatch",
+            )
+            return None
+        return challenge
+
+    def challenges_so_far(self) -> Dict[str, int]:
+        return dict(self._challenges)
+
+    def _record(self, var, bound, poly, challenge, before, after) -> None:
+        assert self.transcript is not None
+        self.transcript.record(
+            ProofRound(
+                index=self._round,
+                op_kind="sum",
+                var=var,
+                degree_bound=bound,
+                poly=poly,
+                challenge=challenge,
+                claim_before=before,
+                claim_after=after,
+            )
+        )
+
+    def _finish(self, accepted: bool, reason: str = "") -> None:
+        self._verdict = accepted
+        if self.transcript is not None:
+            self.transcript.finish(accepted, reason)
+
+
+def _degree_in(formula: Formula, var: str) -> int:
+    from repro.qbf.formulas import arithmetization_degree
+
+    return arithmetization_degree(formula, var)
+
+
+@dataclass(frozen=True)
+class SumcheckResult:
+    """Outcome of a complete sumcheck run."""
+
+    accepted: bool
+    claimed_sum: int
+    rounds_run: int
+    transcript: ProofTranscript
+
+
+def run_sumcheck(
+    formula: Formula,
+    prover: SumcheckProver,
+    field: Field,
+    order: Sequence[str],
+    rng: random.Random,
+) -> SumcheckResult:
+    """Drive a full sumcheck interaction."""
+    session = SumcheckVerifierSession(formula, field, order, rng)
+    claimed = prover.claimed_sum()
+    session.begin(claimed)
+    round_index = 0
+    while not session.finished:
+        poly = prover.round_message(round_index, session.challenges_so_far())
+        session.receive_poly(poly)
+        round_index += 1
+    assert session.transcript is not None
+    return SumcheckResult(
+        accepted=session.accepted,
+        claimed_sum=claimed,
+        rounds_run=len(session.transcript.rounds),
+        transcript=session.transcript,
+    )

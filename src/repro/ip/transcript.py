@@ -1,0 +1,63 @@
+"""Proof transcripts: the round-by-round record of an interactive proof.
+
+Kept separate from the engine-level :class:`repro.comm.transcripts.Transcript`
+(which logs raw channel traffic): a :class:`ProofTranscript` records the
+*semantic* rounds of a protocol — which operator was processed, what
+polynomial the prover sent, what challenge the verifier drew — and is what
+the soundness tests and the delegation benchmarks inspect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.mathx.polynomials import Poly
+
+
+@dataclass(frozen=True)
+class ProofRound:
+    """One prover message / verifier challenge exchange."""
+
+    index: int
+    op_kind: str
+    var: str
+    degree_bound: int
+    poly: Poly
+    challenge: Optional[int]
+    claim_before: int
+    claim_after: Optional[int]
+
+
+@dataclass
+class ProofTranscript:
+    """The full record of one protocol run."""
+
+    claimed_value: int
+    rounds: List[ProofRound] = field(default_factory=list)
+    accepted: Optional[bool] = None
+    rejection_reason: str = ""
+
+    def record(self, round_: ProofRound) -> None:
+        self.rounds.append(round_)
+
+    @property
+    def rounds_run(self) -> int:
+        return len(self.rounds)
+
+    def finish(self, accepted: bool, reason: str = "") -> None:
+        self.accepted = accepted
+        self.rejection_reason = reason
+
+    def format(self) -> str:
+        """Human-readable rendering for examples and debugging."""
+        lines = [f"claimed value: {self.claimed_value}"]
+        for r in self.rounds:
+            challenge = "-" if r.challenge is None else str(r.challenge)
+            lines.append(
+                f"  [{r.index:3d}] {r.op_kind:<9} {r.var:<4} deg<={r.degree_bound} "
+                f"poly=({r.poly.serialize() or '0'}) challenge={challenge}"
+            )
+        status = {True: "ACCEPTED", False: "REJECTED", None: "UNFINISHED"}[self.accepted]
+        lines.append(f"  => {status} {self.rejection_reason}")
+        return "\n".join(lines)

@@ -1,0 +1,62 @@
+"""Generic, enumerable strategy machines (transducers and the GVM).
+
+These stand in for the paper's "all user strategies": recursively
+enumerable spaces of total machines from which the universal users draw
+candidates (see the substitution table in DESIGN.md).
+"""
+
+from repro.machines.transducer import (
+    Transducer,
+    TransducerUser,
+    enumerate_transducers,
+    enumerate_all_transducers,
+)
+from repro.machines.vm import (
+    Program,
+    Instruction,
+    VMUser,
+    run_program,
+    OPCODES,
+    PUSH,
+    DROP,
+    DUP,
+    SWAP,
+    ADD,
+    SUB,
+    READ,
+    WRITE,
+    JMP,
+    JNZ,
+    HALT,
+)
+from repro.machines.enumerators import (
+    transducer_user_enumeration,
+    vm_user_enumeration,
+    enumerate_programs,
+)
+
+__all__ = [
+    "Transducer",
+    "TransducerUser",
+    "enumerate_transducers",
+    "enumerate_all_transducers",
+    "Program",
+    "Instruction",
+    "VMUser",
+    "run_program",
+    "OPCODES",
+    "PUSH",
+    "DROP",
+    "DUP",
+    "SWAP",
+    "ADD",
+    "SUB",
+    "READ",
+    "WRITE",
+    "JMP",
+    "JNZ",
+    "HALT",
+    "transducer_user_enumeration",
+    "vm_user_enumeration",
+    "enumerate_programs",
+]

@@ -1,0 +1,83 @@
+"""Enumerations of machine-defined user strategies.
+
+Bridges :mod:`repro.machines` to :mod:`repro.universal`: wraps transducer
+tables and GVM programs into :class:`~repro.universal.enumeration.GeneratorEnumeration`
+objects the universal users can consume.  These are the "generic class"
+enumerations — huge, mostly-useless candidate spaces through which the
+enumeration dynamics of Theorem 1 can be observed at full generality.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Iterator, Optional, Sequence, Tuple
+
+from repro.comm.messages import UserInbox, UserOutbox
+from repro.core.strategy import UserStrategy
+from repro.machines.transducer import (
+    Transducer,
+    TransducerUser,
+    enumerate_all_transducers,
+)
+from repro.machines.vm import _ARG_OPS, OPCODES, Program, VMUser
+from repro.universal.enumeration import GeneratorEnumeration
+
+
+def transducer_user_enumeration(
+    input_alphabet: Tuple[str, ...],
+    output_alphabet: Tuple[str, ...],
+    *,
+    max_states: Optional[int] = None,
+    observe: Optional[Callable[[UserInbox], str]] = None,
+    emit: Optional[Callable[[str], UserOutbox]] = None,
+) -> GeneratorEnumeration:
+    """All transducer strategies over the given alphabets, smallest first."""
+
+    def factory() -> Iterator[UserStrategy]:
+        for transducer in enumerate_all_transducers(
+            input_alphabet, output_alphabet, max_states=max_states
+        ):
+            yield TransducerUser(transducer, observe=observe, emit=emit)
+
+    return GeneratorEnumeration(factory, label="transducers")
+
+
+def enumerate_programs(
+    *,
+    max_length: Optional[int] = None,
+    constants: Sequence[int] = (0, 1, 2),
+    opcodes: Sequence[str] = OPCODES,
+) -> Iterator[Program]:
+    """Yield every GVM program, shortest first, lexicographic within length.
+
+    Jump targets and PUSH arguments range over ``constants`` plus the
+    instruction positions of the program (for jumps), approximated here by
+    drawing both from ``constants`` — enumeration completeness over a
+    restricted but expressive program space.
+    """
+    per_slot: list = []
+    for op in opcodes:
+        if op in _ARG_OPS:
+            per_slot.extend((op, c) for c in constants)
+        else:
+            per_slot.append((op, 0))
+    length = 1
+    while max_length is None or length <= max_length:
+        for body in itertools.product(per_slot, repeat=length):
+            yield Program(tuple(body))
+        length += 1
+
+
+def vm_user_enumeration(
+    *,
+    max_length: Optional[int] = None,
+    constants: Sequence[int] = (0, 1, 2),
+    max_steps: int = 256,
+) -> GeneratorEnumeration:
+    """All GVM-program strategies, shortest program first."""
+
+    def factory() -> Iterator[UserStrategy]:
+        for program in enumerate_programs(max_length=max_length, constants=constants):
+            yield VMUser(program, max_steps=max_steps)
+
+    return GeneratorEnumeration(factory, label="gvm-programs")

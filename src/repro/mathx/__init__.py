@@ -1,0 +1,25 @@
+"""Algebra substrate: prime fields, polynomials, grid-sampled multivariates.
+
+Everything the interactive proofs (:mod:`repro.ip`) need, implemented from
+scratch: GF(p) arithmetic (:mod:`.modular`), deterministic primality
+testing (:mod:`.primes`), univariate polynomials with Lagrange
+interpolation (:mod:`.polynomials`), and the grid representation of
+low-degree multivariate polynomials that makes the honest provers fast
+(:mod:`.multivariate`).
+"""
+
+from repro.mathx.modular import Field, DEFAULT_PRIME
+from repro.mathx.primes import is_prime, next_prime
+from repro.mathx.polynomials import Poly, interpolate, evaluations
+from repro.mathx.multivariate import GridPoly
+
+__all__ = [
+    "Field",
+    "DEFAULT_PRIME",
+    "is_prime",
+    "next_prime",
+    "Poly",
+    "interpolate",
+    "evaluations",
+    "GridPoly",
+]

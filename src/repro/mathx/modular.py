@@ -1,0 +1,92 @@
+"""Prime-field arithmetic.
+
+The interactive proofs of :mod:`repro.ip` work over GF(p) for a prime p
+large enough that the soundness error (degree/p per round) is negligible at
+our instance sizes.  :class:`Field` is a tiny value-object wrapper around
+the modulus providing the handful of operations the protocols need; field
+*elements* are plain Python ints in ``[0, p)`` — wrapping every element in
+an object would slow the provers by an order of magnitude for no safety
+gain, since the :class:`~repro.mathx.polynomials.Poly` layer normalises on
+entry.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.errors import AlgebraError
+from repro.mathx.primes import is_prime
+
+#: A comfortable default: the largest prime below 2**31, giving per-round
+#: soundness error < 2**-27 at our degrees while keeping all arithmetic in
+#: machine-word range.
+DEFAULT_PRIME = 2_147_483_647
+
+
+@dataclass(frozen=True)
+class Field:
+    """The prime field GF(p)."""
+
+    p: int = DEFAULT_PRIME
+
+    def __post_init__(self) -> None:
+        if self.p < 2 or not is_prime(self.p):
+            raise AlgebraError(f"field modulus must be prime: {self.p}")
+
+    def normalize(self, value: int) -> int:
+        """Map an integer to its canonical representative in [0, p)."""
+        return value % self.p
+
+    def add(self, a: int, b: int) -> int:
+        return (a + b) % self.p
+
+    def sub(self, a: int, b: int) -> int:
+        return (a - b) % self.p
+
+    def mul(self, a: int, b: int) -> int:
+        return (a * b) % self.p
+
+    def neg(self, a: int) -> int:
+        return (-a) % self.p
+
+    def inv(self, a: int) -> int:
+        """Multiplicative inverse; raises on zero."""
+        a %= self.p
+        if a == 0:
+            raise AlgebraError("zero has no multiplicative inverse")
+        return pow(a, self.p - 2, self.p)
+
+    def div(self, a: int, b: int) -> int:
+        return self.mul(a, self.inv(b))
+
+    def pow(self, a: int, e: int) -> int:
+        return pow(a % self.p, e, self.p)
+
+    def random_element(self, rng: random.Random) -> int:
+        """A uniform field element (the verifier's challenge draw)."""
+        return rng.randrange(self.p)
+
+    def sum(self, values: Iterable[int]) -> int:
+        total = 0
+        for v in values:
+            total += v
+        return total % self.p
+
+    def product(self, values: Iterable[int]) -> int:
+        result = 1
+        for v in values:
+            result = (result * v) % self.p
+        return result
+
+    # The arithmetization of Boolean connectives (Section on delegation):
+    # NOT x ↦ 1-x, AND ↦ x·y, OR ↦ x ⊕̃ y := 1-(1-x)(1-y).
+    def bool_not(self, a: int) -> int:
+        return (1 - a) % self.p
+
+    def bool_and(self, a: int, b: int) -> int:
+        return (a * b) % self.p
+
+    def bool_or(self, a: int, b: int) -> int:
+        return (a + b - a * b) % self.p

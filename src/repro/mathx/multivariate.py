@@ -1,0 +1,271 @@
+"""Grid-sampled multivariate polynomials over a prime field.
+
+The honest provers of :mod:`repro.ip` must manipulate the *partial
+evaluations* of an arithmetized formula under quantifier and linearization
+operators.  Done naively (recursing over all remaining operators for every
+requested point) this is exponential in the number of protocol rounds; the
+classical fix is to exploit that all intermediate objects are polynomials
+of *known, small per-variable degree*, and such a polynomial is completely
+determined by its values on a product grid with ``degree+1`` sample points
+per axis.
+
+:class:`GridPoly` is that representation: a value table over the grid
+``{0, 1, ..., d_i}`` per variable ``i``.  It supports
+
+* exact evaluation anywhere (tensor-product Lagrange, axis by axis),
+* restriction of a variable to a field value (dropping the axis),
+* regridding to larger degree bounds (before a degree-raising product),
+* pointwise products/affine combinations on aligned grids.
+
+With these, each protocol operator costs time polynomial in the grid size
+(at most ``3**n`` entries after linearization), turning the honest prover
+from exponential-per-round into comfortably interactive at the instance
+sizes the experiments use.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Sequence, Tuple
+
+from repro.errors import AlgebraError
+from repro.mathx.modular import Field
+from repro.mathx.polynomials import Poly, interpolate
+
+Assignment = Mapping[str, int]
+GridKey = Tuple[int, ...]
+
+
+def _lagrange_at(field: Field, xs: Sequence[int], ys: Sequence[int], x: int) -> int:
+    """Evaluate the interpolating polynomial through (xs, ys) at ``x``.
+
+    Direct O(d^2) Lagrange; d never exceeds a handful here.  When ``x`` is
+    one of the sample points the sample value is returned exactly.
+    """
+    x = field.normalize(x)
+    for xi, yi in zip(xs, ys):
+        if xi == x:
+            return field.normalize(yi)
+    total = 0
+    for i, (xi, yi) in enumerate(zip(xs, ys)):
+        num = 1
+        den = 1
+        for j, xj in enumerate(xs):
+            if j == i:
+                continue
+            num = field.mul(num, field.sub(x, xj))
+            den = field.mul(den, field.sub(xi, xj))
+        total = field.add(total, field.mul(yi, field.div(num, den)))
+    return total
+
+
+@dataclass(frozen=True)
+class GridPoly:
+    """A multivariate polynomial stored by its values on a product grid.
+
+    ``variables`` fixes the axis order; axis ``i`` carries degree bound
+    ``degrees[i]`` and sample points ``0 .. degrees[i]``.  ``values`` maps
+    each grid key (one sample index per axis — the indices *are* the field
+    sample points) to the polynomial's value there.  Immutable; operations
+    return new instances.
+    """
+
+    field: Field
+    variables: Tuple[str, ...]
+    degrees: Tuple[int, ...]
+    values: Mapping[GridKey, int]
+
+    def __post_init__(self) -> None:
+        if len(self.variables) != len(self.degrees):
+            raise AlgebraError("variables/degrees length mismatch")
+        if len(set(self.variables)) != len(self.variables):
+            raise AlgebraError(f"duplicate variables: {self.variables}")
+        if any(d < 0 for d in self.degrees):
+            raise AlgebraError(f"negative degree bound: {self.degrees}")
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_function(
+        field: Field,
+        variables: Sequence[str],
+        degrees: Sequence[int],
+        fn: Callable[[Dict[str, int]], int],
+    ) -> "GridPoly":
+        """Sample ``fn`` (a polynomial of the given degree bounds) on the grid."""
+        variables = tuple(variables)
+        degrees = tuple(degrees)
+        values: Dict[GridKey, int] = {}
+        axes = [range(d + 1) for d in degrees]
+        for key in itertools.product(*axes):
+            assignment = dict(zip(variables, key))
+            values[key] = field.normalize(fn(assignment))
+        return GridPoly(field, variables, degrees, values)
+
+    @staticmethod
+    def constant(field: Field, value: int) -> "GridPoly":
+        """The 0-variable polynomial with the given value."""
+        return GridPoly(field, (), (), {(): field.normalize(value)})
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def arity(self) -> int:
+        return len(self.variables)
+
+    def grid_size(self) -> int:
+        size = 1
+        for d in self.degrees:
+            size *= d + 1
+        return size
+
+    def as_constant(self) -> int:
+        """The value of a 0-variable polynomial."""
+        if self.variables:
+            raise AlgebraError(f"not a constant: free variables {self.variables}")
+        return self.values[()]
+
+    def _axis(self, var: str) -> int:
+        try:
+            return self.variables.index(var)
+        except ValueError:
+            raise AlgebraError(f"variable {var!r} not free in {self.variables}") from None
+
+    def degree_of(self, var: str) -> int:
+        return self.degrees[self._axis(var)]
+
+    # ------------------------------------------------------------------
+    # Core operations
+    # ------------------------------------------------------------------
+    def restrict(self, var: str, value: int) -> "GridPoly":
+        """Substitute ``var = value``; the axis disappears.
+
+        When ``value`` is one of the axis' sample points this is a cheap
+        slice; otherwise each fiber along the axis is interpolated at
+        ``value``.
+        """
+        axis = self._axis(var)
+        value = self.field.normalize(value)
+        samples = list(range(self.degrees[axis] + 1))
+        new_vars = self.variables[:axis] + self.variables[axis + 1:]
+        new_degs = self.degrees[:axis] + self.degrees[axis + 1:]
+        new_values: Dict[GridKey, int] = {}
+        if value in samples:
+            for key, val in self.values.items():
+                if key[axis] == value:
+                    new_values[key[:axis] + key[axis + 1:]] = val
+        else:
+            fibers: Dict[GridKey, List[int]] = {}
+            for key, val in self.values.items():
+                rest = key[:axis] + key[axis + 1:]
+                fibers.setdefault(rest, [0] * len(samples))[key[axis]] = val
+            for rest, ys in fibers.items():
+                new_values[rest] = _lagrange_at(self.field, samples, ys, value)
+        return GridPoly(self.field, new_vars, new_degs, new_values)
+
+    def evaluate(self, assignment: Assignment) -> int:
+        """Evaluate at a full assignment of the free variables."""
+        current: GridPoly = self
+        for var in self.variables:
+            if var not in assignment:
+                raise AlgebraError(f"assignment missing variable {var!r}")
+            current = current.restrict(var, assignment[var])
+        return current.as_constant()
+
+    def to_univariate(self, var: str, others: Assignment) -> Poly:
+        """The polynomial in ``var`` after fixing every other variable.
+
+        This is exactly the message an honest prover sends in one protocol
+        round.
+        """
+        current: GridPoly = self
+        for other in self.variables:
+            if other == var:
+                continue
+            if other not in others:
+                raise AlgebraError(f"assignment missing variable {other!r}")
+            current = current.restrict(other, others[other])
+        axis_degree = current.degrees[current._axis(var)]
+        samples = list(range(axis_degree + 1))
+        points = [(x, current.values[(x,)]) for x in samples]
+        return interpolate(self.field, points)
+
+    def regrid(self, new_degrees: Sequence[int]) -> "GridPoly":
+        """Resample onto a grid with (weakly) larger degree bounds.
+
+        Needed before pointwise products: the product of two degree-d
+        polynomials has degree 2d, so both factors are first resampled onto
+        the degree-2d grid.  Shrinking a bound is refused — it would
+        silently corrupt the representation unless the true degree is lower,
+        which the caller cannot generally know.
+        """
+        new_degrees = tuple(new_degrees)
+        if len(new_degrees) != len(self.degrees):
+            raise AlgebraError("regrid degree vector has wrong length")
+        for old, new in zip(self.degrees, new_degrees):
+            if new < old:
+                raise AlgebraError(f"regrid cannot shrink degree bound {old} -> {new}")
+        current = self
+        for axis in range(len(new_degrees)):
+            current = current._expand_axis(axis, new_degrees[axis])
+        return current
+
+    def _expand_axis(self, axis: int, new_degree: int) -> "GridPoly":
+        old_degree = self.degrees[axis]
+        if new_degree == old_degree:
+            return self
+        samples = list(range(old_degree + 1))
+        fibers: Dict[GridKey, List[int]] = {}
+        for key, val in self.values.items():
+            rest = key[:axis] + key[axis + 1:]
+            fibers.setdefault(rest, [0] * len(samples))[key[axis]] = val
+        new_values: Dict[GridKey, int] = {}
+        for rest, ys in fibers.items():
+            for x in range(new_degree + 1):
+                value = (
+                    ys[x] if x <= old_degree
+                    else _lagrange_at(self.field, samples, ys, x)
+                )
+                new_values[rest[:axis] + (x,) + rest[axis:]] = value
+        new_degs = self.degrees[:axis] + (new_degree,) + self.degrees[axis + 1:]
+        return GridPoly(self.field, self.variables, new_degs, new_values)
+
+    # ------------------------------------------------------------------
+    # Pointwise combinations (grids must be aligned)
+    # ------------------------------------------------------------------
+    def _check_aligned(self, other: "GridPoly") -> None:
+        if self.field != other.field:
+            raise AlgebraError("mixed fields")
+        if self.variables != other.variables or self.degrees != other.degrees:
+            raise AlgebraError(
+                f"misaligned grids: {self.variables}/{self.degrees} vs "
+                f"{other.variables}/{other.degrees}"
+            )
+
+    def combine(
+        self, other: "GridPoly", op: Callable[[int, int], int]
+    ) -> "GridPoly":
+        """Pointwise binary combination on aligned grids."""
+        self._check_aligned(other)
+        values = {key: self.field.normalize(op(val, other.values[key]))
+                  for key, val in self.values.items()}
+        return GridPoly(self.field, self.variables, self.degrees, values)
+
+    def pointwise_product(self, other: "GridPoly") -> "GridPoly":
+        """Pointwise product — callers must have regridded to 2x degrees."""
+        return self.combine(other, self.field.mul)
+
+    def pointwise_or(self, other: "GridPoly") -> "GridPoly":
+        """Pointwise a + b - a*b (the arithmetized OR)."""
+        return self.combine(other, self.field.bool_or)
+
+    def sum_over_boolean_cube(self) -> int:
+        """Sum of the polynomial over all Boolean assignments (for sumcheck)."""
+        total = 0
+        assignments = itertools.product((0, 1), repeat=self.arity)
+        for bits in assignments:
+            total += self.evaluate(dict(zip(self.variables, bits)))
+        return self.field.normalize(total)

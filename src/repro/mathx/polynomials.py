@@ -1,0 +1,154 @@
+"""Univariate polynomials over a prime field.
+
+The messages of the interactive proofs (:mod:`repro.ip`) are univariate
+polynomials: each round the prover sends the partial evaluation of a
+multivariate claim as a polynomial in the single "active" variable.
+:class:`Poly` provides the arithmetic the protocols need — evaluation,
+ring operations, and Lagrange interpolation (how the honest prover builds
+its message from point evaluations) — plus a compact wire serialisation.
+
+Representation: coefficient tuple, lowest degree first, normalised (no
+trailing zeros; the zero polynomial is the empty tuple).  All coefficients
+are canonical field representatives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.errors import AlgebraError
+from repro.mathx.modular import Field
+
+
+@dataclass(frozen=True)
+class Poly:
+    """A univariate polynomial over ``field``; immutable value object."""
+
+    field: Field
+    coeffs: Tuple[int, ...]
+
+    @staticmethod
+    def make(field: Field, coeffs: Sequence[int]) -> "Poly":
+        """Build a polynomial, normalising coefficients and degree."""
+        normalized = [field.normalize(c) for c in coeffs]
+        while normalized and normalized[-1] == 0:
+            normalized.pop()
+        return Poly(field=field, coeffs=tuple(normalized))
+
+    @staticmethod
+    def zero(field: Field) -> "Poly":
+        return Poly(field=field, coeffs=())
+
+    @staticmethod
+    def constant(field: Field, value: int) -> "Poly":
+        return Poly.make(field, [value])
+
+    @property
+    def degree(self) -> int:
+        """Degree, with the convention that the zero polynomial has degree -1."""
+        return len(self.coeffs) - 1
+
+    def is_zero(self) -> bool:
+        return not self.coeffs
+
+    def evaluate(self, x: int) -> int:
+        """Horner evaluation at a field point."""
+        result = 0
+        for c in reversed(self.coeffs):
+            result = (result * x + c) % self.field.p
+        return result
+
+    def _check_same_field(self, other: "Poly") -> None:
+        if self.field != other.field:
+            raise AlgebraError(
+                f"mixed fields: GF({self.field.p}) vs GF({other.field.p})"
+            )
+
+    def __add__(self, other: "Poly") -> "Poly":
+        self._check_same_field(other)
+        n = max(len(self.coeffs), len(other.coeffs))
+        coeffs = [
+            ((self.coeffs[i] if i < len(self.coeffs) else 0)
+             + (other.coeffs[i] if i < len(other.coeffs) else 0))
+            for i in range(n)
+        ]
+        return Poly.make(self.field, coeffs)
+
+    def __sub__(self, other: "Poly") -> "Poly":
+        self._check_same_field(other)
+        n = max(len(self.coeffs), len(other.coeffs))
+        coeffs = [
+            ((self.coeffs[i] if i < len(self.coeffs) else 0)
+             - (other.coeffs[i] if i < len(other.coeffs) else 0))
+            for i in range(n)
+        ]
+        return Poly.make(self.field, coeffs)
+
+    def __mul__(self, other: "Poly") -> "Poly":
+        self._check_same_field(other)
+        if self.is_zero() or other.is_zero():
+            return Poly.zero(self.field)
+        coeffs = [0] * (len(self.coeffs) + len(other.coeffs) - 1)
+        for i, a in enumerate(self.coeffs):
+            if a == 0:
+                continue
+            for j, b in enumerate(other.coeffs):
+                coeffs[i + j] += a * b
+        return Poly.make(self.field, coeffs)
+
+    def scale(self, factor: int) -> "Poly":
+        """Multiply by a scalar."""
+        return Poly.make(self.field, [c * factor for c in self.coeffs])
+
+    def serialize(self) -> str:
+        """Wire form: comma-separated coefficients, lowest degree first."""
+        return ",".join(str(c) for c in self.coeffs)
+
+    @staticmethod
+    def deserialize(field: Field, text: str) -> "Poly":
+        """Parse :meth:`serialize` output; raises :class:`AlgebraError` on junk."""
+        text = text.strip()
+        if not text:
+            return Poly.zero(field)
+        try:
+            coeffs = [int(part) for part in text.split(",")]
+        except ValueError as exc:
+            raise AlgebraError(f"malformed polynomial wire form: {text!r}") from exc
+        return Poly.make(field, coeffs)
+
+
+def interpolate(field: Field, points: Sequence[Tuple[int, int]]) -> Poly:
+    """Lagrange interpolation through distinct points ``(x, y)``.
+
+    The honest provers evaluate their (low-degree) claims on ``degree+1``
+    grid points and interpolate; with at most a dozen points at our sizes
+    the quadratic Lagrange construction is plenty fast.
+    """
+    if not points:
+        return Poly.zero(field)
+    xs = [field.normalize(x) for x, _ in points]
+    if len(set(xs)) != len(xs):
+        raise AlgebraError(f"interpolation points must have distinct x: {xs}")
+    result = Poly.zero(field)
+    for i, (xi, yi) in enumerate(points):
+        xi = field.normalize(xi)
+        yi = field.normalize(yi)
+        if yi == 0:
+            continue
+        # Basis polynomial L_i(x) = prod_{j != i} (x - xj) / (xi - xj).
+        basis = Poly.constant(field, 1)
+        denom = 1
+        for j, (xj, _) in enumerate(points):
+            if j == i:
+                continue
+            xj = field.normalize(xj)
+            basis = basis * Poly.make(field, [field.neg(xj), 1])
+            denom = field.mul(denom, field.sub(xi, xj))
+        result = result + basis.scale(field.mul(yi, field.inv(denom)))
+    return result
+
+
+def evaluations(poly: Poly, xs: Sequence[int]) -> List[int]:
+    """Evaluate ``poly`` at several points."""
+    return [poly.evaluate(x) for x in xs]

@@ -1,0 +1,60 @@
+"""Symmetric multiparty goals and the reduction to two parties.
+
+The N-party model with a concrete rendezvous goal (:mod:`.symmetric`) and
+the paper's footnote-1 reduction boxing N−1 parties into one composite
+server (:mod:`.reduction`).
+"""
+
+from repro.multiparty.symmetric import (
+    WORLD,
+    MessageProfile,
+    PartyStrategy,
+    PartyWorld,
+    MultipartyResult,
+    run_multiparty,
+    RendezvousState,
+    RendezvousWorld,
+    rendezvous_referee,
+    FollowLeaderParty,
+)
+from repro.multiparty.reduction import (
+    encode_profile,
+    decode_profile,
+    CompositeServer,
+    PartyUser,
+    PartyWorldAdapter,
+    reduce_to_two_party,
+)
+from repro.multiparty.babel import (
+    CodecFollowLeaderParty,
+    community_names,
+    babel_server,
+    babel_user_class,
+    babel_rendezvous_goal,
+    agreement_sensing,
+)
+
+__all__ = [
+    "WORLD",
+    "MessageProfile",
+    "PartyStrategy",
+    "PartyWorld",
+    "MultipartyResult",
+    "run_multiparty",
+    "RendezvousState",
+    "RendezvousWorld",
+    "rendezvous_referee",
+    "FollowLeaderParty",
+    "encode_profile",
+    "decode_profile",
+    "CompositeServer",
+    "PartyUser",
+    "PartyWorldAdapter",
+    "reduce_to_two_party",
+    "CodecFollowLeaderParty",
+    "community_names",
+    "babel_server",
+    "babel_user_class",
+    "babel_rendezvous_goal",
+    "agreement_sensing",
+]

@@ -1,0 +1,149 @@
+"""Universal rendezvous in a Babel of party languages.
+
+Theorem 1 composed with the footnote-1 reduction: a symmetric group whose
+members all speak one *community language* (a codec) must rendezvous with
+a newcomer who does not know which.  Boxing the group as a composite
+server (the reduction) turns "join the group" into a standard two-party
+goal over a server class indexed by codecs — and the compact universal
+user applies verbatim: enumerate candidate languages, switch whenever the
+world reports disagreement.
+
+Pieces:
+
+* :class:`CodecFollowLeaderParty` — the follow-the-leader rendezvous
+  strategy speaking through a codec on its peer channels (world channel is
+  plain: announcements are physical acts).
+* :func:`babel_server` — the composite server of a whole community
+  speaking one codec.
+* :func:`babel_user_class` — newcomer candidates, one per codec guess.
+* :func:`agreement_sensing` — positive iff the world's last broadcast was
+  ``AGREE:1`` (safe: agreement is a world-state fact).
+* :func:`babel_rendezvous_goal` — the compact goal for the reduced system.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+from repro.comm.codecs import Codec
+from repro.core.goals import CompactGoal
+from repro.core.sensing import GraceSensing, LastWorldMessageSensing, Sensing
+from repro.core.strategy import ServerStrategy, UserStrategy
+from repro.errors import CodecError
+from repro.multiparty.reduction import CompositeServer, PartyUser, PartyWorldAdapter
+from repro.multiparty.symmetric import (
+    WORLD,
+    FollowLeaderParty,
+    MessageProfile,
+    PartyStrategy,
+    RendezvousState,
+    RendezvousWorld,
+    rendezvous_referee,
+)
+
+
+class CodecFollowLeaderParty(PartyStrategy):
+    """Follow-the-leader rendezvous, spoken through a codec.
+
+    Peer messages are encoded/decoded with the party's language; messages
+    that do not decode to a ``SYM:`` frame are ignored (a member simply
+    cannot understand a foreigner).  The world channel stays plain —
+    announcing a symbol is an act on the environment, not speech.
+    """
+
+    def __init__(
+        self, own_name: str, preferred: str, peers: Sequence[str], codec: Codec
+    ) -> None:
+        self._own = own_name
+        self._preferred = preferred
+        self._peers = tuple(p for p in peers if p != own_name)
+        self._codec = codec
+
+    @property
+    def name(self) -> str:
+        return f"follow-leader({self._own}@{self._codec.name})"
+
+    def initial_state(self, rng: random.Random) -> str:
+        return self._preferred
+
+    def step(
+        self, state: str, inbox: MessageProfile, rng: random.Random
+    ) -> Tuple[str, MessageProfile]:
+        candidates = {self._own: state}
+        for sender, message in inbox.items():
+            if sender == WORLD:
+                continue
+            try:
+                decoded = self._codec.decode(message)
+            except CodecError:
+                continue
+            if decoded.startswith("SYM:"):
+                candidates[sender] = decoded[len("SYM:"):]
+        leader = min(candidates)
+        symbol = candidates[leader]
+        outbox: MessageProfile = {
+            peer: self._codec.encode(f"SYM:{symbol}") for peer in self._peers
+        }
+        outbox[WORLD] = f"PICK:{symbol}"
+        return symbol, outbox
+
+
+def community_names(size: int) -> List[str]:
+    """Deterministic member names; the newcomer is ``z-newcomer`` (sorts
+    last, so it is never the leader — it must *learn*, not dictate)."""
+    if size < 2:
+        raise ValueError(f"a community needs >= 2 members: {size}")
+    return [f"m{i}" for i in range(size - 1)] + ["z-newcomer"]
+
+
+def babel_server(
+    codec: Codec, names: Sequence[str], symbols: Sequence[str]
+) -> ServerStrategy:
+    """The community (all members but the newcomer) boxed as one server."""
+    members = {
+        name: CodecFollowLeaderParty(name, symbols[i % len(symbols)], names, codec)
+        for i, name in enumerate(n for n in names if n != "z-newcomer")
+    }
+    return CompositeServer(members, "z-newcomer")
+
+
+def babel_user_class(
+    codecs: Sequence[Codec], names: Sequence[str], preferred: str = "white"
+) -> List[UserStrategy]:
+    """Newcomer candidates, one per codec guess, in enumeration order."""
+    return [
+        PartyUser(
+            CodecFollowLeaderParty("z-newcomer", preferred, names, codec),
+            "z-newcomer",
+        )
+        for codec in codecs
+    ]
+
+
+def babel_rendezvous_goal(
+    names: Sequence[str], *, warmup: int = 30, settle_fraction: float = 0.5
+) -> CompactGoal:
+    """The reduced two-party compact goal "the whole group agrees"."""
+    world = PartyWorldAdapter(
+        RendezvousWorld(names, feedback=True), "z-newcomer"
+    )
+    return CompactGoal(
+        name="babel-rendezvous",
+        world=world,
+        referee=rendezvous_referee(len(names), warmup=warmup),
+        forgiving=True,
+        settle_fraction=settle_fraction,
+    )
+
+
+def _agreed(message: str) -> bool:
+    return message == "AGREE:1"
+
+
+def agreement_sensing(grace_rounds: int = 8) -> Sensing:
+    """Positive iff the world last reported group-wide agreement."""
+    return GraceSensing(
+        LastWorldMessageSensing(predicate=_agreed, default=False, label="agree"),
+        grace_rounds=grace_rounds,
+    )

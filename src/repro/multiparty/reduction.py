@@ -1,0 +1,215 @@
+"""Reduction of the symmetric N-party setting to the two-party model.
+
+The paper's footnote 1: the multiparty theory "primarily consists of a
+reduction to the two-party setting".  The reduction is mechanical — pick
+one party as *the user* and bundle the remaining N−1 parties (with their
+mutual channels simulated internally) into a single composite *server*;
+message profiles are multiplexed over the single user↔server channel with
+a framing codec.
+
+Three pieces:
+
+* :func:`encode_profile` / :func:`decode_profile` — the framing.
+* :class:`CompositeServer` — simulates the other parties + their channels.
+* :class:`PartyUser` / :class:`PartyWorldAdapter` — present the chosen
+  party and the N-party world in the two-party interfaces.
+
+The reduction theorem (tested in ``tests/multiparty/``): the reduced
+two-party execution produces the same world-state trajectory as the native
+N-party execution under matched seeds.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Mapping, Tuple
+
+from repro.comm.messages import (
+    ServerInbox,
+    ServerOutbox,
+    UserInbox,
+    UserOutbox,
+    WorldInbox,
+    WorldOutbox,
+)
+from repro.core.strategy import ServerStrategy, UserStrategy, WorldStrategy
+from repro.multiparty.symmetric import WORLD, MessageProfile, PartyStrategy, PartyWorld
+
+#: Framing separators (control characters never used by party payloads).
+_ENTRY_SEP = "\x1f"
+_KV_SEP = "\x1e"
+
+
+def encode_profile(profile: Mapping[str, str]) -> str:
+    """Serialise a message profile onto one channel (sorted, framed)."""
+    return _ENTRY_SEP.join(
+        f"{name}{_KV_SEP}{message}"
+        for name, message in sorted(profile.items())
+        if message
+    )
+
+
+def decode_profile(text: str) -> Dict[str, str]:
+    """Invert :func:`encode_profile`; malformed entries are dropped."""
+    profile: Dict[str, str] = {}
+    if not text:
+        return profile
+    for entry in text.split(_ENTRY_SEP):
+        name, sep, message = entry.partition(_KV_SEP)
+        if sep and name:
+            profile[name] = message
+    return profile
+
+
+class CompositeServer(ServerStrategy):
+    """N−1 parties and their mutual channels, boxed as one server.
+
+    The user channel carries the user's outgoing profile (one frame per
+    round); the world channel likewise carries the bundled world-bound
+    messages of all internal parties, to be unpacked by
+    :class:`PartyWorldAdapter`.
+    """
+
+    def __init__(
+        self, parties: Mapping[str, PartyStrategy], user_name: str
+    ) -> None:
+        if user_name in parties:
+            raise ValueError(f"user {user_name!r} must not be an internal party")
+        self._parties = dict(parties)
+        self._user_name = user_name
+        self._names = sorted(parties)
+
+    @property
+    def name(self) -> str:
+        return f"composite[{','.join(self._names)}]"
+
+    def initial_state(self, rng: random.Random) -> Dict[str, Any]:
+        # One derived RNG per internal party keeps trajectories matched with
+        # the native N-party engine's per-party randomness discipline.
+        state: Dict[str, Any] = {"_rngs": {}}
+        for name in self._names:
+            party_rng = random.Random(rng.getrandbits(64))
+            state["_rngs"][name] = party_rng
+            state[name] = self._parties[name].initial_state(party_rng)
+        state["_in_flight"] = {name: {} for name in self._names}
+        return state
+
+    def step(
+        self, state: Dict[str, Any], inbox: ServerInbox, rng: random.Random
+    ) -> Tuple[Dict[str, Any], ServerOutbox]:
+        from_user = decode_profile(inbox.from_user)
+        from_world = decode_profile(inbox.from_world)
+        in_flight: Dict[str, MessageProfile] = state["_in_flight"]
+
+        to_user: Dict[str, str] = {}
+        to_world: Dict[str, str] = {}
+        next_in_flight: Dict[str, MessageProfile] = {name: {} for name in self._names}
+
+        for name in self._names:
+            party_inbox: MessageProfile = dict(in_flight[name])
+            if name in from_user:
+                party_inbox[self._user_name] = from_user[name]
+            if name in from_world:
+                party_inbox[WORLD] = from_world[name]
+            party_rng = state["_rngs"][name]
+            state[name], outbox = self._parties[name].step(
+                state[name], party_inbox, party_rng
+            )
+            for recipient, message in outbox.items():
+                if not message:
+                    continue
+                if recipient == self._user_name:
+                    to_user[name] = message
+                elif recipient == WORLD:
+                    to_world[name] = message
+                elif recipient in next_in_flight:
+                    next_in_flight[recipient][name] = message
+
+        state["_in_flight"] = next_in_flight
+        return state, ServerOutbox(
+            to_user=encode_profile(to_user), to_world=encode_profile(to_world)
+        )
+
+
+class PartyUser(UserStrategy):
+    """The chosen party, presented as a two-party user strategy."""
+
+    def __init__(self, party: PartyStrategy, own_name: str) -> None:
+        self._party = party
+        self._own = own_name
+
+    @property
+    def name(self) -> str:
+        return f"party-user({self._party.name})"
+
+    def initial_state(self, rng: random.Random) -> Any:
+        return self._party.initial_state(rng)
+
+    def step(
+        self, state: Any, inbox: UserInbox, rng: random.Random
+    ) -> Tuple[Any, UserOutbox]:
+        party_inbox: MessageProfile = decode_profile(inbox.from_server)
+        if inbox.from_world:
+            party_inbox[WORLD] = inbox.from_world
+        state, outbox = self._party.step(state, party_inbox, rng)
+        to_world = outbox.get(WORLD, "")
+        to_peers = {
+            name: message
+            for name, message in outbox.items()
+            if name != WORLD and message
+        }
+        return state, UserOutbox(
+            to_server=encode_profile(to_peers), to_world=to_world
+        )
+
+
+class PartyWorldAdapter(WorldStrategy):
+    """The N-party world, presented in the two-party world interface.
+
+    World states are the inner world's states, so the N-party referees
+    apply unchanged to reduced executions.
+    """
+
+    def __init__(self, world: PartyWorld, user_name: str) -> None:
+        self._world = world
+        self._user = user_name
+
+    @property
+    def name(self) -> str:
+        return f"world-adapter({self._world.name})"
+
+    def initial_state(self, rng: random.Random) -> Any:
+        return self._world.initial_state(rng)
+
+    def step(
+        self, state: Any, inbox: WorldInbox, rng: random.Random
+    ) -> Tuple[Any, WorldOutbox]:
+        world_inbox: MessageProfile = decode_profile(inbox.from_server)
+        if inbox.from_user:
+            world_inbox[self._user] = inbox.from_user
+        state, outbox = self._world.step(state, world_inbox, rng)
+        to_user = outbox.get(self._user, "")
+        to_server = {
+            name: message
+            for name, message in outbox.items()
+            if name != self._user and message
+        }
+        return state, WorldOutbox(
+            to_user=to_user, to_server=encode_profile(to_server)
+        )
+
+
+def reduce_to_two_party(
+    parties: Mapping[str, PartyStrategy],
+    world: PartyWorld,
+    user_name: str,
+) -> Tuple[UserStrategy, ServerStrategy, WorldStrategy]:
+    """Split an N-party system into (user, composite server, adapted world)."""
+    if user_name not in parties:
+        raise ValueError(f"unknown user party: {user_name!r}")
+    others = {name: p for name, p in parties.items() if name != user_name}
+    return (
+        PartyUser(parties[user_name], user_name),
+        CompositeServer(others, user_name),
+        PartyWorldAdapter(world, user_name),
+    )

@@ -1,0 +1,217 @@
+"""Symmetric multiparty goals (the paper's footnote 1).
+
+"The full version briefly considers a symmetric setting with more than two
+parties, but this primarily consists of a reduction to the two-party
+setting."  This module provides the N-party model itself — named parties
+exchanging a full message profile each synchronous round, plus a world —
+and a concrete symmetric goal (rendezvous: all parties must converge on a
+shared symbol announced to the world); :mod:`repro.multiparty.reduction`
+then implements the paper's reduction into the standard two-party engine.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
+
+from repro.core.referees import LastStateCompactReferee
+from repro.errors import ExecutionError
+
+#: An N-party inbox/outbox: sender/recipient name → message.
+MessageProfile = Dict[str, str]
+
+#: The world's reserved name in message profiles.
+WORLD = "world"
+
+
+class PartyStrategy:
+    """A strategy in the symmetric N-party model.
+
+    ``step`` receives the messages addressed to this party (keyed by sender
+    name, world included) and returns messages keyed by recipient name.
+    """
+
+    def initial_state(self, rng: random.Random) -> Any:
+        raise NotImplementedError
+
+    def step(
+        self, state: Any, inbox: MessageProfile, rng: random.Random
+    ) -> Tuple[Any, MessageProfile]:
+        raise NotImplementedError
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+
+class PartyWorld(PartyStrategy):
+    """Base class for N-party worlds (a party with recorded states)."""
+
+
+@dataclass
+class MultipartyResult:
+    """Outcome of an N-party execution."""
+
+    world_states: List[Any] = field(default_factory=list)
+    rounds_executed: int = 0
+
+    def final_world_state(self) -> Any:
+        if not self.world_states:
+            raise ExecutionError("execution recorded no world states")
+        return self.world_states[-1]
+
+
+def run_multiparty(
+    parties: Mapping[str, PartyStrategy],
+    world: PartyWorld,
+    *,
+    max_rounds: int,
+    seed: int = 0,
+) -> MultipartyResult:
+    """Synchronous N-party execution (all parties plus the world step together)."""
+    if WORLD in parties:
+        raise ExecutionError(f"party name {WORLD!r} is reserved")
+    if max_rounds <= 0:
+        raise ExecutionError(f"max_rounds must be positive: {max_rounds}")
+    master = random.Random(seed)
+    names = sorted(parties)
+    rngs = {name: random.Random(master.getrandbits(64)) for name in names}
+    world_rng = random.Random(master.getrandbits(64))
+
+    states = {name: parties[name].initial_state(rngs[name]) for name in names}
+    world_state = world.initial_state(world_rng)
+
+    # in_flight[recipient][sender] = message
+    in_flight: Dict[str, MessageProfile] = {name: {} for name in names + [WORLD]}
+    result = MultipartyResult()
+    result.world_states.append(world_state)
+
+    for _ in range(max_rounds):
+        outboxes: Dict[str, MessageProfile] = {}
+        for name in names:
+            states[name], outboxes[name] = parties[name].step(
+                states[name], dict(in_flight[name]), rngs[name]
+            )
+        world_state, world_out = world.step(
+            world_state, dict(in_flight[WORLD]), world_rng
+        )
+        in_flight = {name: {} for name in names + [WORLD]}
+        for sender, outbox in outboxes.items():
+            for recipient, message in outbox.items():
+                if message and recipient in in_flight:
+                    in_flight[recipient][sender] = message
+        for recipient, message in world_out.items():
+            if message and recipient in in_flight:
+                in_flight[recipient][WORLD] = message
+        result.world_states.append(world_state)
+        result.rounds_executed += 1
+    return result
+
+
+# ----------------------------------------------------------------------
+# A concrete symmetric goal: rendezvous on a shared symbol.
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RendezvousState:
+    """World state: each party's latest announced symbol."""
+
+    announcements: Tuple[Tuple[str, str], ...] = ()
+    round_index: int = 0
+
+    def agreed(self, expected_parties: int) -> bool:
+        symbols = dict(self.announcements)
+        return (
+            len(symbols) == expected_parties
+            and len(set(symbols.values())) == 1
+        )
+
+
+class RendezvousWorld(PartyWorld):
+    """Records ``PICK:<symbol>`` announcements from every party.
+
+    The compact goal: eventually all parties always announce the same
+    symbol.  With ``feedback=False`` the world offers no hints —
+    coordination must happen on the party-to-party channels.  With
+    ``feedback=True`` it broadcasts ``AGREE:1``/``AGREE:0`` each round,
+    which is the sensing source for the *universal* rendezvous parties of
+    :mod:`repro.multiparty.babel` (agreement is a world-state fact, so the
+    sensing is safe by construction).
+    """
+
+    def __init__(self, party_names: Sequence[str], *, feedback: bool = False) -> None:
+        self._names = tuple(sorted(party_names))
+        self._feedback = feedback
+
+    @property
+    def name(self) -> str:
+        suffix = "+fb" if self._feedback else ""
+        return f"rendezvous-world[{len(self._names)}]{suffix}"
+
+    def initial_state(self, rng: random.Random) -> RendezvousState:
+        return RendezvousState()
+
+    def step(
+        self, state: RendezvousState, inbox: MessageProfile, rng: random.Random
+    ) -> Tuple[RendezvousState, MessageProfile]:
+        announcements = dict(state.announcements)
+        for sender, message in inbox.items():
+            if message.startswith("PICK:"):
+                announcements[sender] = message[len("PICK:"):]
+        new_state = RendezvousState(
+            announcements=tuple(sorted(announcements.items())),
+            round_index=state.round_index + 1,
+        )
+        outbox: MessageProfile = {}
+        if self._feedback:
+            agreed = new_state.agreed(len(self._names))
+            outbox = {name: f"AGREE:{1 if agreed else 0}" for name in self._names}
+        return new_state, outbox
+
+
+def rendezvous_referee(n_parties: int, warmup: int = 12) -> LastStateCompactReferee:
+    """Prefix acceptable iff parties agree (after a coordination warmup)."""
+    return LastStateCompactReferee(
+        state_acceptable=lambda s: (
+            not isinstance(s, RendezvousState)
+            or s.round_index <= warmup
+            or s.agreed(n_parties)
+        ),
+        label="rendezvous",
+    )
+
+
+class FollowLeaderParty(PartyStrategy):
+    """Symmetric rendezvous strategy: lowest-named party leads.
+
+    Every party broadcasts its current symbol; each round a party adopts
+    the symbol of the alphabetically smallest sender it heard (itself
+    included) and announces it to the world.  Convergence in two rounds —
+    used as the honest baseline in the reduction tests.
+    """
+
+    def __init__(self, own_name: str, preferred: str, peers: Sequence[str]) -> None:
+        self._own = own_name
+        self._preferred = preferred
+        self._peers = tuple(p for p in peers if p != own_name)
+
+    @property
+    def name(self) -> str:
+        return f"follow-leader({self._own}:{self._preferred})"
+
+    def initial_state(self, rng: random.Random) -> str:
+        return self._preferred
+
+    def step(
+        self, state: str, inbox: MessageProfile, rng: random.Random
+    ) -> Tuple[str, MessageProfile]:
+        candidates = {self._own: state}
+        for sender, message in inbox.items():
+            if message.startswith("SYM:"):
+                candidates[sender] = message[len("SYM:"):]
+        leader = min(candidates)
+        symbol = candidates[leader]
+        outbox: MessageProfile = {peer: f"SYM:{symbol}" for peer in self._peers}
+        outbox[WORLD] = f"PICK:{symbol}"
+        return symbol, outbox

@@ -1,0 +1,49 @@
+"""Online learning and its equivalence with simple-goal communication.
+
+The paper's closing citation [5] (Juba–Vempala): for simple multi-session
+goals, universal users and mistake-bounded online learners are the same
+object.  Pure learners (:mod:`.learners`), the two reduction adapters
+(:mod:`.adapter`), and the measurement harness (:mod:`.equivalence`).
+"""
+
+from repro.online.learners import (
+    Hypothesis,
+    OnlineLearner,
+    HalvingLearner,
+    WeightedMajorityLearner,
+    SingleHypothesisLearner,
+    threshold_class,
+    simulate_mistakes,
+)
+from repro.online.adapter import (
+    LearnerUser,
+    ThresholdUser,
+    threshold_user_class,
+    UserAsLearner,
+)
+from repro.online.equivalence import (
+    enumeration_user,
+    halving_user,
+    weighted_majority_user,
+    mistakes_in_world,
+    mistakes_in_game,
+)
+
+__all__ = [
+    "Hypothesis",
+    "OnlineLearner",
+    "HalvingLearner",
+    "WeightedMajorityLearner",
+    "SingleHypothesisLearner",
+    "threshold_class",
+    "simulate_mistakes",
+    "LearnerUser",
+    "ThresholdUser",
+    "threshold_user_class",
+    "UserAsLearner",
+    "enumeration_user",
+    "halving_user",
+    "weighted_majority_user",
+    "mistakes_in_world",
+    "mistakes_in_game",
+]

@@ -1,0 +1,180 @@
+"""The two directions of the Juba–Vempala equivalence, as adapters.
+
+*Learning → communication*: :class:`LearnerUser` wraps any
+:class:`~repro.online.learners.OnlineLearner` into a user strategy for the
+lookup world.  A learner with mistake bound *M* yields a user whose
+executions contain at most *M* unacceptable prefixes (plus the bounded
+slack of in-flight queries) — i.e., a good user for the compact goal.
+
+*Communication → learning*: :class:`ThresholdUser` is the user-strategy
+form of a single rigid hypothesis; the compact universal user enumerating
+these (:func:`threshold_user_class` + sensing) *is* an online learner whose
+mistakes track the enumeration index.  :class:`UserAsLearner` completes the
+circle mechanically: it runs any lookup-world user strategy inside the pure
+online game, so the same object can be measured in both frameworks.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.comm.messages import UserInbox, UserOutbox, parse_tagged
+from repro.core.strategy import UserStrategy
+from repro.online.learners import OnlineLearner
+from repro.worlds.lookup import EVENT_BAD, EVENT_OK, threshold_label
+
+
+def _parse_lookup_message(message: str) -> Tuple[Optional[int], Optional[Tuple[str, int]]]:
+    """Extract (new query, scored feedback) from a lookup-world message.
+
+    Returns ``(query or None, (event, scored_query) or None)``.
+    """
+    if not message:
+        return None, None
+    query_part, _, fb_part = message.partition(";")
+    parsed_query = parse_tagged(query_part)
+    query: Optional[int] = None
+    if parsed_query is not None and parsed_query[0] == "Q" and parsed_query[1] != "-":
+        try:
+            query = int(parsed_query[1])
+        except ValueError:
+            query = None
+    feedback: Optional[Tuple[str, int]] = None
+    parsed_fb = parse_tagged(fb_part)
+    if parsed_fb is not None and parsed_fb[0] == "FB" and "@" in parsed_fb[1]:
+        event, _, scored_text = parsed_fb[1].partition("@")
+        try:
+            feedback = (event, int(scored_text))
+        except ValueError:
+            feedback = None
+    return query, feedback
+
+
+@dataclass
+class _LearnerUserState:
+    learner: OnlineLearner
+    predictions: Dict[int, bool] = field(default_factory=dict)
+
+
+class LearnerUser(UserStrategy):
+    """Runs an online learner against the lookup world.
+
+    Each new query is answered with the learner's prediction; each
+    attributed feedback (``ok@q`` / ``bad@q``) is converted into the true
+    label and fed to ``learner.update``.  The learner object is built fresh
+    per execution by ``learner_factory`` — strategies must not leak state
+    across executions.
+    """
+
+    def __init__(self, learner_factory, label: str = "learner") -> None:
+        self._factory = learner_factory
+        self._label = label
+
+    @property
+    def name(self) -> str:
+        return f"user({self._label})"
+
+    def initial_state(self, rng: random.Random) -> _LearnerUserState:
+        return _LearnerUserState(learner=self._factory())
+
+    def step(
+        self, state: _LearnerUserState, inbox: UserInbox, rng: random.Random
+    ) -> Tuple[_LearnerUserState, UserOutbox]:
+        query, feedback = _parse_lookup_message(inbox.from_world)
+        if feedback is not None:
+            event, scored_query = feedback
+            prediction = state.predictions.pop(scored_query, None)
+            if prediction is not None and event in (EVENT_OK, EVENT_BAD):
+                truth = prediction if event == EVENT_OK else not prediction
+                state.learner.update(scored_query, truth)
+        if query is None:
+            return state, UserOutbox()
+        # The world re-announces unanswered queries; answer those with the
+        # *original* prediction, not a fresh one — the world scores the first
+        # arriving answer, and truth inference from feedback must match it.
+        if query in state.predictions:
+            prediction = state.predictions[query]
+        else:
+            prediction = state.learner.predict(query)
+            state.predictions[query] = prediction
+        bit = "1" if prediction else "0"
+        return state, UserOutbox(to_world=f"PRED:{query}={bit}")
+
+
+class ThresholdUser(UserStrategy):
+    """Labels every query with one fixed threshold (a rigid candidate)."""
+
+    def __init__(self, threshold: int) -> None:
+        self._threshold = threshold
+
+    @property
+    def name(self) -> str:
+        return f"threshold[{self._threshold}]"
+
+    @property
+    def threshold(self) -> int:
+        return self._threshold
+
+    def initial_state(self, rng: random.Random) -> int:
+        return 0
+
+    def step(
+        self, state: int, inbox: UserInbox, rng: random.Random
+    ) -> Tuple[int, UserOutbox]:
+        query, _feedback = _parse_lookup_message(inbox.from_world)
+        if query is None:
+            return state + 1, UserOutbox()
+        bit = "1" if threshold_label(self._threshold, query) else "0"
+        return state + 1, UserOutbox(to_world=f"PRED:{query}={bit}")
+
+
+def threshold_user_class(domain: int) -> List[ThresholdUser]:
+    """All rigid threshold candidates, θ = 0..domain, in index order."""
+    return [ThresholdUser(theta) for theta in range(domain + 1)]
+
+
+class UserAsLearner(OnlineLearner):
+    """Runs a lookup-world user strategy inside the pure online game.
+
+    The reduction communication → learning: queries are presented as
+    synthetic world messages, the strategy's ``PRED`` replies are read as
+    predictions, and the truth is returned as attributed feedback.  One
+    game step spans the handful of engine rounds the strategy may need
+    before answering (bounded by ``patience``).
+    """
+
+    def __init__(self, user: UserStrategy, *, patience: int = 8, seed: int = 0) -> None:
+        self._user = user
+        self._patience = patience
+        self._rng = random.Random(seed)
+        self._state = user.initial_state(self._rng)
+        self._pending_feedback: Optional[str] = None
+
+    @property
+    def name(self) -> str:
+        return f"learner({self._user.name})"
+
+    def predict(self, query: int) -> bool:
+        feedback = self._pending_feedback or "none"
+        self._pending_feedback = None
+        message = f"Q:{query};FB:{feedback}"
+        for attempt in range(self._patience):
+            inbox = UserInbox(from_world=message if attempt == 0 else f"Q:-;FB:none")
+            self._state, outbox = self._user.step(self._state, inbox, self._rng)
+            parsed = parse_tagged(outbox.to_world)
+            if parsed is not None and parsed[0] == "PRED":
+                _, _, bit = parsed[1].partition("=")
+                if bit in ("0", "1"):
+                    self._last_query = query
+                    self._last_prediction = bit == "1"
+                    return self._last_prediction
+        # A silent strategy defaults to False; the game scores it normally.
+        self._last_query = query
+        self._last_prediction = False
+        return False
+
+    def update(self, query: int, truth: bool) -> None:
+        event = EVENT_OK if truth == self._last_prediction else EVENT_BAD
+        self._pending_feedback = f"{event}@{query}"

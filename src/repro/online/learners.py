@@ -1,0 +1,165 @@
+"""Online mistake-bounded learners (the Juba–Vempala side of the bridge).
+
+Pure online learning, no communication model in sight: a learner predicts a
+Boolean label for each query and is told the truth afterwards.  The classic
+results implemented here:
+
+* :class:`HalvingLearner` — predict the majority of the consistent
+  hypotheses ("version space"); every mistake at least halves the space, so
+  mistakes ≤ log₂ |class|.
+* :class:`WeightedMajorityLearner` — multiplicative weights over the class;
+  mistake bound O(log |class|) with graceful degradation under noise.
+* :class:`SingleHypothesisLearner` — commit to one hypothesis (a rigid
+  candidate, the unit the enumeration-style learner switches between).
+
+The hypothesis class throughout is thresholds over ``{0..domain-1}``
+(matching :mod:`repro.worlds.lookup`); learners are written against the
+generic :class:`Hypothesis` alias so tests can plug other finite classes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+from repro.worlds.lookup import threshold_label
+
+#: A hypothesis is a predicate over integer queries.
+Hypothesis = Callable[[int], bool]
+
+
+def threshold_class(domain: int) -> List[Hypothesis]:
+    """The thresholds ``θ = 0..domain`` as hypotheses (size ``domain+1``)."""
+    if domain < 1:
+        raise ValueError(f"domain must be >= 1: {domain}")
+    return [
+        (lambda x, theta=theta: threshold_label(theta, x))
+        for theta in range(domain + 1)
+    ]
+
+
+class OnlineLearner:
+    """The mistake-bound model's interface.
+
+    ``predict`` must be callable repeatedly (with no state change);
+    ``update`` delivers the true label of a previously queried point.
+    """
+
+    def predict(self, query: int) -> bool:
+        raise NotImplementedError
+
+    def update(self, query: int, truth: bool) -> None:
+        raise NotImplementedError
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+
+class HalvingLearner(OnlineLearner):
+    """Majority vote over the version space; mistakes ≤ log₂ |class|.
+
+    When every hypothesis has been eliminated (possible only if the target
+    is outside the class, e.g. under adversarial feedback), the learner
+    resets to the full class rather than dying — the communication setting
+    needs total strategies.
+    """
+
+    def __init__(self, hypotheses: Sequence[Hypothesis]) -> None:
+        if not hypotheses:
+            raise ValueError("hypothesis class must be non-empty")
+        self._all = list(hypotheses)
+        self._alive = list(hypotheses)
+
+    @property
+    def name(self) -> str:
+        return f"halving[{len(self._all)}]"
+
+    @property
+    def version_space_size(self) -> int:
+        return len(self._alive)
+
+    def predict(self, query: int) -> bool:
+        votes = sum(1 for h in self._alive if h(query))
+        return votes * 2 >= len(self._alive)
+
+    def update(self, query: int, truth: bool) -> None:
+        surviving = [h for h in self._alive if h(query) == truth]
+        self._alive = surviving if surviving else list(self._all)
+
+
+class WeightedMajorityLearner(OnlineLearner):
+    """Littlestone–Warmuth multiplicative weights over the class."""
+
+    def __init__(self, hypotheses: Sequence[Hypothesis], beta: float = 0.5) -> None:
+        if not hypotheses:
+            raise ValueError("hypothesis class must be non-empty")
+        if not 0.0 < beta < 1.0:
+            raise ValueError(f"beta must be in (0, 1): {beta}")
+        self._hypotheses = list(hypotheses)
+        self._weights = [1.0] * len(hypotheses)
+        self._beta = beta
+
+    @property
+    def name(self) -> str:
+        return f"weighted-majority[{len(self._hypotheses)}]"
+
+    def predict(self, query: int) -> bool:
+        positive = sum(
+            w for w, h in zip(self._weights, self._hypotheses) if h(query)
+        )
+        total = sum(self._weights)
+        return positive * 2 >= total
+
+    def update(self, query: int, truth: bool) -> None:
+        self._weights = [
+            w * self._beta if h(query) != truth else w
+            for w, h in zip(self._weights, self._hypotheses)
+        ]
+        # Renormalise occasionally so long adversarial runs cannot underflow.
+        top = max(self._weights)
+        if top < 1e-100:
+            self._weights = [w / top for w in self._weights]
+
+
+class SingleHypothesisLearner(OnlineLearner):
+    """Commits to one hypothesis forever (never updates).
+
+    This is what one *enumeration candidate* looks like as a learner; the
+    compact universal user switching between these is precisely the
+    enumeration-side of the Juba–Vempala equivalence.
+    """
+
+    def __init__(self, hypothesis: Hypothesis, label: str = "fixed") -> None:
+        self._hypothesis = hypothesis
+        self._label = label
+
+    @property
+    def name(self) -> str:
+        return self._label
+
+    def predict(self, query: int) -> bool:
+        return self._hypothesis(query)
+
+    def update(self, query: int, truth: bool) -> None:
+        pass
+
+
+def simulate_mistakes(
+    learner: OnlineLearner,
+    target: Hypothesis,
+    queries: Sequence[int],
+) -> int:
+    """Run the pure online game; return the learner's mistake count.
+
+    The reference dynamics the adapter-based (communication-model) runs are
+    compared against in the equivalence tests: both must produce the same
+    mistakes on the same query sequence.
+    """
+    mistakes = 0
+    for query in queries:
+        prediction = learner.predict(query)
+        truth = target(query)
+        if prediction != truth:
+            mistakes += 1
+        learner.update(query, truth)
+    return mistakes

@@ -1,0 +1,65 @@
+"""Boolean formulas, QBF, arithmetization, and instance generators.
+
+The PSPACE substrate of the delegation goal: formula ASTs with a wire form
+(:mod:`.formulas`), closed QBFs with exponential-time/poly-space evaluation
+(:mod:`.qbf`), the arithmetization used by the interactive proofs
+(:mod:`.arithmetize`), and reproducible instance generators
+(:mod:`.generators`).
+"""
+
+from repro.qbf.formulas import (
+    Var,
+    Const,
+    Not,
+    And,
+    Or,
+    Formula,
+    evaluate,
+    variables,
+    arithmetization_degree,
+    conj,
+    disj,
+    from_cnf,
+    serialize,
+    parse,
+)
+from repro.qbf.qbf import QBF, FORALL, EXISTS, PrefixItem
+from repro.qbf.arithmetize import arith_eval, degree_vector, base_grid
+from repro.qbf.generators import (
+    variable_names,
+    random_cnf,
+    random_formula,
+    random_qbf,
+    balanced_qbf_batch,
+    parity_qbf,
+)
+
+__all__ = [
+    "Var",
+    "Const",
+    "Not",
+    "And",
+    "Or",
+    "Formula",
+    "evaluate",
+    "variables",
+    "arithmetization_degree",
+    "conj",
+    "disj",
+    "from_cnf",
+    "serialize",
+    "parse",
+    "QBF",
+    "FORALL",
+    "EXISTS",
+    "PrefixItem",
+    "arith_eval",
+    "degree_vector",
+    "base_grid",
+    "variable_names",
+    "random_cnf",
+    "random_formula",
+    "random_qbf",
+    "balanced_qbf_batch",
+    "parity_qbf",
+]

@@ -1,0 +1,70 @@
+"""Arithmetization of Boolean formulas over a prime field.
+
+The bridge from logic to algebra that powers the interactive proofs:
+``x ↦ x``, ``¬f ↦ 1−f``, ``f∧g ↦ f·g``, ``f∨g ↦ f+g−f·g``.  On Boolean
+inputs the arithmetization agrees with the formula (property-tested in
+``tests/qbf/``); on general field points it is the unique low-degree
+extension the sumcheck and TQBF protocols manipulate.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence, Tuple
+
+from repro.errors import FormulaError
+from repro.mathx.modular import Field
+from repro.mathx.multivariate import GridPoly
+from repro.qbf.formulas import And, Const, Formula, Not, Or, Var, arithmetization_degree, variables
+
+
+def arith_eval(formula: Formula, field: Field, assignment: Mapping[str, int]) -> int:
+    """Evaluate the arithmetized formula at a field-point assignment."""
+    if isinstance(formula, Var):
+        try:
+            return field.normalize(assignment[formula.name])
+        except KeyError:
+            raise FormulaError(f"assignment missing variable {formula.name!r}") from None
+    if isinstance(formula, Const):
+        return 1 if formula.value else 0
+    if isinstance(formula, Not):
+        return field.bool_not(arith_eval(formula.child, field, assignment))
+    if isinstance(formula, And):
+        return field.bool_and(
+            arith_eval(formula.left, field, assignment),
+            arith_eval(formula.right, field, assignment),
+        )
+    if isinstance(formula, Or):
+        return field.bool_or(
+            arith_eval(formula.left, field, assignment),
+            arith_eval(formula.right, field, assignment),
+        )
+    raise FormulaError(f"not a formula node: {formula!r}")
+
+
+def degree_vector(formula: Formula, variable_order: Sequence[str]) -> Tuple[int, ...]:
+    """Per-variable arithmetization degree bounds, in the given order."""
+    return tuple(arithmetization_degree(formula, var) for var in variable_order)
+
+
+def base_grid(
+    formula: Formula, field: Field, variable_order: Sequence[str]
+) -> GridPoly:
+    """Sample the arithmetized matrix onto its minimal degree grid.
+
+    This is the starting object of both interactive proofs: the prover
+    applies quantifier/linearization operators to it, the verifier uses its
+    direct evaluation (:func:`arith_eval`) only once, in the final check.
+    Variables of the order that do not occur in the formula get degree
+    bound 0 (the polynomial is constant along those axes).
+    """
+    order = tuple(variable_order)
+    missing = variables(formula) - set(order)
+    if missing:
+        raise FormulaError(f"variable order misses formula variables: {sorted(missing)}")
+    degrees = degree_vector(formula, order)
+    return GridPoly.from_function(
+        field,
+        order,
+        degrees,
+        lambda assignment: arith_eval(formula, field, assignment),
+    )

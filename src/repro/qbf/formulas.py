@@ -1,0 +1,211 @@
+"""Boolean formula ASTs.
+
+The delegation experiments pose instances of TQBF — the canonical
+PSPACE-complete problem the Juba–Sudan delegation goal builds on.  This
+module provides the propositional layer: an immutable formula AST with
+Boolean evaluation, a compact wire serialisation (formulas travel inside
+messages between user and prover), per-variable *arithmetization degree*
+(needed by the interactive proof's degree schedule), and CNF construction
+helpers.
+
+Grammar of the wire form (prefix notation, whitespace-free)::
+
+    formula := var | '0' | '1' | '!' formula
+             | '&(' formula ',' formula ')' | '|(' formula ',' formula ')'
+    var     := [a-z][a-z0-9_]*
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Mapping, Sequence, Tuple, Union
+
+from repro.errors import FormulaError
+
+
+@dataclass(frozen=True)
+class Var:
+    """A propositional variable."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name[0].isalpha() or not self.name.islower():
+            raise FormulaError(f"variable names are lowercase identifiers: {self.name!r}")
+
+
+@dataclass(frozen=True)
+class Const:
+    """A Boolean constant."""
+
+    value: bool
+
+
+@dataclass(frozen=True)
+class Not:
+    child: "Formula"
+
+
+@dataclass(frozen=True)
+class And:
+    left: "Formula"
+    right: "Formula"
+
+
+@dataclass(frozen=True)
+class Or:
+    left: "Formula"
+    right: "Formula"
+
+
+Formula = Union[Var, Const, Not, And, Or]
+
+
+def evaluate(formula: Formula, assignment: Mapping[str, bool]) -> bool:
+    """Standard Boolean evaluation; missing variables raise."""
+    if isinstance(formula, Var):
+        try:
+            return bool(assignment[formula.name])
+        except KeyError:
+            raise FormulaError(f"assignment missing variable {formula.name!r}") from None
+    if isinstance(formula, Const):
+        return formula.value
+    if isinstance(formula, Not):
+        return not evaluate(formula.child, assignment)
+    if isinstance(formula, And):
+        return evaluate(formula.left, assignment) and evaluate(formula.right, assignment)
+    if isinstance(formula, Or):
+        return evaluate(formula.left, assignment) or evaluate(formula.right, assignment)
+    raise FormulaError(f"not a formula node: {formula!r}")
+
+
+def variables(formula: Formula) -> FrozenSet[str]:
+    """The set of variable names occurring in the formula."""
+    if isinstance(formula, Var):
+        return frozenset({formula.name})
+    if isinstance(formula, Const):
+        return frozenset()
+    if isinstance(formula, Not):
+        return variables(formula.child)
+    if isinstance(formula, (And, Or)):
+        return variables(formula.left) | variables(formula.right)
+    raise FormulaError(f"not a formula node: {formula!r}")
+
+
+def arithmetization_degree(formula: Formula, var: str) -> int:
+    """Degree of ``var`` in the arithmetized formula.
+
+    Arithmetization maps ``x ↦ x``, ``¬f ↦ 1−f``, ``f∧g ↦ f·g`` and
+    ``f∨g ↦ f+g−fg``; degrees therefore add across ∧ and ∨ and pass through
+    ¬.  The interactive proof's verifier uses these bounds to cap the degree
+    of each prover message.
+    """
+    if isinstance(formula, Var):
+        return 1 if formula.name == var else 0
+    if isinstance(formula, Const):
+        return 0
+    if isinstance(formula, Not):
+        return arithmetization_degree(formula.child, var)
+    if isinstance(formula, (And, Or)):
+        return arithmetization_degree(formula.left, var) + arithmetization_degree(
+            formula.right, var
+        )
+    raise FormulaError(f"not a formula node: {formula!r}")
+
+
+def conj(parts: Sequence[Formula]) -> Formula:
+    """Right-folded conjunction (``Const(True)`` for no parts)."""
+    if not parts:
+        return Const(True)
+    result = parts[-1]
+    for part in reversed(parts[:-1]):
+        result = And(part, result)
+    return result
+
+
+def disj(parts: Sequence[Formula]) -> Formula:
+    """Right-folded disjunction (``Const(False)`` for no parts)."""
+    if not parts:
+        return Const(False)
+    result = parts[-1]
+    for part in reversed(parts[:-1]):
+        result = Or(part, result)
+    return result
+
+
+def from_cnf(clauses: Iterable[Iterable[Tuple[str, bool]]]) -> Formula:
+    """Build a formula from CNF clauses of ``(variable, polarity)`` literals.
+
+    ``(x, True)`` is the positive literal, ``(x, False)`` its negation.
+
+    >>> f = from_cnf([[("x", True), ("y", False)]])
+    >>> evaluate(f, {"x": False, "y": False})
+    True
+    """
+    clause_formulas: List[Formula] = []
+    for clause in clauses:
+        literals: List[Formula] = []
+        for name, polarity in clause:
+            literal: Formula = Var(name)
+            if not polarity:
+                literal = Not(literal)
+            literals.append(literal)
+        clause_formulas.append(disj(literals))
+    return conj(clause_formulas)
+
+
+# ----------------------------------------------------------------------
+# Wire serialisation
+# ----------------------------------------------------------------------
+
+def serialize(formula: Formula) -> str:
+    """Render the formula in the prefix wire form (see module docstring)."""
+    if isinstance(formula, Var):
+        return formula.name
+    if isinstance(formula, Const):
+        return "1" if formula.value else "0"
+    if isinstance(formula, Not):
+        return "!" + serialize(formula.child)
+    if isinstance(formula, And):
+        return f"&({serialize(formula.left)},{serialize(formula.right)})"
+    if isinstance(formula, Or):
+        return f"|({serialize(formula.left)},{serialize(formula.right)})"
+    raise FormulaError(f"not a formula node: {formula!r}")
+
+
+def parse(text: str) -> Formula:
+    """Parse the wire form back into an AST; inverse of :func:`serialize`."""
+    formula, rest = _parse_prefix(text.strip())
+    if rest:
+        raise FormulaError(f"trailing characters after formula: {rest!r}")
+    return formula
+
+
+def _parse_prefix(text: str) -> Tuple[Formula, str]:
+    if not text:
+        raise FormulaError("empty formula text")
+    head = text[0]
+    if head == "!":
+        child, rest = _parse_prefix(text[1:])
+        return Not(child), rest
+    if head in "&|":
+        if len(text) < 2 or text[1] != "(":
+            raise FormulaError(f"expected '(' after {head!r}: {text!r}")
+        left, rest = _parse_prefix(text[2:])
+        if not rest.startswith(","):
+            raise FormulaError(f"expected ',' in {head!r} node: {rest!r}")
+        right, rest = _parse_prefix(rest[1:])
+        if not rest.startswith(")"):
+            raise FormulaError(f"expected ')' in {head!r} node: {rest!r}")
+        node = And(left, right) if head == "&" else Or(left, right)
+        return node, rest[1:]
+    if head == "0":
+        return Const(False), text[1:]
+    if head == "1":
+        return Const(True), text[1:]
+    if head.isalpha() and head.islower():
+        end = 1
+        while end < len(text) and (text[end].isalnum() or text[end] == "_"):
+            end += 1
+        return Var(text[:end]), text[end:]
+    raise FormulaError(f"cannot parse formula at: {text!r}")

@@ -1,0 +1,129 @@
+"""Instance generators for the delegation experiments.
+
+Random and structured QBF/CNF instances at controlled sizes.  Generators
+take explicit ``random.Random`` objects (never the global RNG) so every
+experiment is reproducible from its seed, and they report balanced truth
+values where possible (an all-True instance family would let a trivial
+"always answer 1" prover look helpful).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.qbf.formulas import And, Const, Formula, Not, Or, Var, from_cnf
+from repro.qbf.qbf import EXISTS, FORALL, QBF, PrefixItem
+
+
+def variable_names(n: int) -> List[str]:
+    """Canonical variable names ``x1 .. xn``."""
+    if n < 0:
+        raise ValueError(f"n must be >= 0: {n}")
+    return [f"x{i}" for i in range(1, n + 1)]
+
+
+def random_cnf(
+    rng: random.Random,
+    n_vars: int,
+    n_clauses: int,
+    clause_width: int = 3,
+) -> Formula:
+    """A random CNF formula (variables may repeat across clauses).
+
+    Clause literals are drawn without replacement within a clause, so no
+    clause is trivially true.
+    """
+    if n_vars < 1:
+        raise ValueError(f"n_vars must be >= 1: {n_vars}")
+    names = variable_names(n_vars)
+    width = min(clause_width, n_vars)
+    clauses = []
+    for _ in range(n_clauses):
+        chosen = rng.sample(names, width)
+        clauses.append([(name, rng.random() < 0.5) for name in chosen])
+    return from_cnf(clauses)
+
+
+def random_formula(rng: random.Random, n_vars: int, connectives: int) -> Formula:
+    """A random formula tree with the given number of binary connectives."""
+    names = variable_names(n_vars)
+    pool: List[Formula] = [Var(rng.choice(names)) for _ in range(connectives + 1)]
+    # Randomly negate some leaves.
+    pool = [Not(f) if rng.random() < 0.3 else f for f in pool]
+    while len(pool) > 1:
+        right = pool.pop(rng.randrange(len(pool)))
+        left = pool.pop(rng.randrange(len(pool)))
+        node = And(left, right) if rng.random() < 0.5 else Or(left, right)
+        pool.append(node)
+    return pool[0]
+
+
+def random_qbf(
+    rng: random.Random,
+    n_vars: int,
+    connectives: Optional[int] = None,
+) -> QBF:
+    """A random closed QBF over ``n_vars`` alternating-ish quantifiers."""
+    if n_vars < 1:
+        raise ValueError(f"n_vars must be >= 1: {n_vars}")
+    if connectives is None:
+        connectives = 2 * n_vars
+    names = variable_names(n_vars)
+    prefix: List[PrefixItem] = [
+        (FORALL if rng.random() < 0.5 else EXISTS, name) for name in names
+    ]
+    matrix = random_formula(rng, n_vars, connectives)
+    # Ensure the matrix mentions every bound variable, so the prefix is
+    # never vacuous (vacuous quantifiers make instances degenerate).
+    from repro.qbf.formulas import variables as formula_vars
+
+    missing = [name for name in names if name not in formula_vars(matrix)]
+    for name in missing:
+        matrix = And(matrix, Or(Var(name), Not(Var(name))))
+    return QBF(prefix=tuple(prefix), matrix=matrix)
+
+
+def balanced_qbf_batch(
+    rng: random.Random,
+    n_vars: int,
+    count: int,
+    *,
+    max_attempts: int = 2000,
+) -> List[QBF]:
+    """``count`` random QBFs with truth values as balanced as possible.
+
+    Draws instances until both truth values are represented roughly equally
+    (or attempts run out, in which case whatever was drawn is returned).
+    """
+    want_true = count - count // 2
+    want_false = count // 2
+    out: List[QBF] = []
+    for _ in range(max_attempts):
+        if want_true == 0 and want_false == 0:
+            break
+        instance = random_qbf(rng, n_vars)
+        if instance.evaluate():
+            if want_true > 0:
+                out.append(instance)
+                want_true -= 1
+        elif want_false > 0:
+            out.append(instance)
+            want_false -= 1
+    return out
+
+
+def parity_qbf(n_vars: int, target_parity: bool = True) -> QBF:
+    """A structured family: ∃-prefix, matrix = "parity of all vars is target".
+
+    Parity maximises arithmetization degree per variable count, stressing
+    the degree schedule of the interactive proof.
+    """
+    names = variable_names(n_vars)
+    parity: Formula = Const(not target_parity)
+    for name in names:
+        x: Formula = Var(name)
+        # parity' = parity XOR x, with XOR(a,b) = (a ∧ ¬b) ∨ (¬a ∧ b).
+        parity = Or(And(parity, Not(x)), And(Not(parity), x))
+    prefix = tuple((EXISTS, name) for name in names)
+    return QBF(prefix=prefix, matrix=parity)

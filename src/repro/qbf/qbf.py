@@ -1,0 +1,100 @@
+"""Quantified Boolean formulas and their (PSPACE) evaluation.
+
+A :class:`QBF` is a quantifier prefix over distinct variables plus a
+propositional matrix.  :meth:`QBF.evaluate` decides truth by the textbook
+recursion — exponential time, polynomial space: this *is* the PSPACE oracle
+of the delegation experiments, used only to (a) let honest provers answer
+and (b) let referees check answers on the small instances we pose.  The
+entire point of the delegation goal is that the *user* never calls it.
+
+Wire form: ``PREFIX:MATRIX`` where the prefix is a string of ``A``/``E``
+items with variable names separated by ``.``, e.g. ``Ax1.Ex2:&(x1,x2)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import FormulaError
+from repro.qbf import formulas
+from repro.qbf.formulas import Formula
+
+FORALL = "A"
+EXISTS = "E"
+
+#: One prefix item: (quantifier, variable name).
+PrefixItem = Tuple[str, str]
+
+
+@dataclass(frozen=True)
+class QBF:
+    """A fully quantified Boolean formula.
+
+    Every variable of the matrix must be bound by the prefix (closed QBF),
+    so evaluation yields a truth value with no free assignment.
+    """
+
+    prefix: Tuple[PrefixItem, ...]
+    matrix: Formula
+
+    def __post_init__(self) -> None:
+        names = [name for _, name in self.prefix]
+        if len(set(names)) != len(names):
+            raise FormulaError(f"prefix binds a variable twice: {names}")
+        for quantifier, name in self.prefix:
+            if quantifier not in (FORALL, EXISTS):
+                raise FormulaError(f"unknown quantifier {quantifier!r} on {name!r}")
+        free = formulas.variables(self.matrix) - set(names)
+        if free:
+            raise FormulaError(f"matrix has unbound variables: {sorted(free)}")
+
+    @property
+    def n_vars(self) -> int:
+        return len(self.prefix)
+
+    @property
+    def variable_names(self) -> Tuple[str, ...]:
+        return tuple(name for _, name in self.prefix)
+
+    def evaluate(self) -> bool:
+        """Decide the QBF by recursion over the prefix (exponential time)."""
+        return self._evaluate(0, {})
+
+    def _evaluate(self, depth: int, assignment: Dict[str, bool]) -> bool:
+        if depth == len(self.prefix):
+            return formulas.evaluate(self.matrix, assignment)
+        quantifier, name = self.prefix[depth]
+        results = []
+        for value in (False, True):
+            assignment[name] = value
+            results.append(self._evaluate(depth + 1, assignment))
+            del assignment[name]
+            # Short-circuit: ∀ fails on first False, ∃ succeeds on first True.
+            if quantifier == FORALL and not results[-1]:
+                return False
+            if quantifier == EXISTS and results[-1]:
+                return True
+        return results[0] if len(results) == 1 else (all(results) if quantifier == FORALL else any(results))
+
+    # ------------------------------------------------------------------
+    # Wire serialisation
+    # ------------------------------------------------------------------
+    def serialize(self) -> str:
+        """Render as ``Ax1.Ex2:&(x1,x2)``."""
+        prefix_text = ".".join(f"{q}{name}" for q, name in self.prefix)
+        return f"{prefix_text}:{formulas.serialize(self.matrix)}"
+
+    @staticmethod
+    def deserialize(text: str) -> "QBF":
+        """Parse :meth:`serialize` output; raises :class:`FormulaError` on junk."""
+        if ":" not in text:
+            raise FormulaError(f"QBF wire form needs ':' separator: {text!r}")
+        prefix_text, matrix_text = text.split(":", 1)
+        prefix: List[PrefixItem] = []
+        if prefix_text:
+            for item in prefix_text.split("."):
+                if len(item) < 2 or item[0] not in (FORALL, EXISTS):
+                    raise FormulaError(f"bad prefix item: {item!r}")
+                prefix.append((item[0], item[1:]))
+        return QBF(prefix=tuple(prefix), matrix=formulas.parse(matrix_text))

@@ -1,0 +1,180 @@
+"""Counting (sumcheck) prover servers.
+
+The wire protocol mirrors the TQBF provers' with distinct tags (a server
+speaks one protocol; there is no ambiguity to arbitrate):
+
+* ``COUNT:<formula>``   → ``CLAIMSUM:<n>``   (opens/resets a session)
+* ``SROUND:<i>``        → ``SPOLY:<i>:<coeffs>``
+* ``SROUND:<i>:<r>``    → ``SPOLY:<i>:<coeffs>``   (records challenge ``r``)
+
+Honest and dishonest variants parallel :mod:`repro.servers.provers`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.comm.messages import SILENCE, ServerInbox, ServerOutbox
+from repro.core.strategy import ServerStrategy
+from repro.errors import FormulaError
+from repro.ip.sumcheck import (
+    AdaptiveSumcheckCheater,
+    HonestSumcheckProver,
+    InflatingSumcheckProver,
+    SumcheckProver,
+)
+from repro.mathx.modular import Field
+from repro.qbf import formulas
+from repro.worlds.counting import canonical_order
+
+#: Cheating styles for :class:`CheatingCountingServer`.
+CHEAT_INFLATE = "inflate"
+CHEAT_ADAPTIVE = "adaptive"
+
+
+@dataclass
+class _CountSession:
+    instance: str
+    prover: SumcheckProver
+    order: List[str]
+    challenges: Dict[str, int] = field(default_factory=dict)
+    next_round: int = 0
+
+
+@dataclass
+class _CountState:
+    session: Optional[_CountSession] = None
+
+
+class _BaseCountingServer(ServerStrategy):
+    """Shared parsing/session logic for counting provers."""
+
+    def __init__(self, field_: Field) -> None:
+        self._field = field_
+
+    def _build_prover(self, formula, order) -> SumcheckProver:
+        raise NotImplementedError
+
+    def initial_state(self, rng: random.Random) -> _CountState:
+        return _CountState()
+
+    def step(
+        self, state: _CountState, inbox: ServerInbox, rng: random.Random
+    ) -> Tuple[_CountState, ServerOutbox]:
+        message = inbox.from_user
+        if message == SILENCE:
+            return state, ServerOutbox()
+        if message.startswith("COUNT:"):
+            return state, self._handle_count(state, message[len("COUNT:"):])
+        if message.startswith("SROUND:"):
+            return state, self._handle_round(state, message[len("SROUND:"):])
+        return state, ServerOutbox(to_user="ERR:unknown-request")
+
+    def _handle_count(self, state: _CountState, instance: str) -> ServerOutbox:
+        try:
+            formula = formulas.parse(instance)
+        except FormulaError:
+            return ServerOutbox(to_user="ERR:bad-instance")
+        order = canonical_order(formula)
+        if not order:
+            return ServerOutbox(to_user="ERR:no-variables")
+        prover = self._build_prover(formula, order)
+        state.session = _CountSession(instance=instance, prover=prover, order=order)
+        return ServerOutbox(to_user=f"CLAIMSUM:{prover.claimed_sum()}")
+
+    def _handle_round(self, state: _CountState, payload: str) -> ServerOutbox:
+        session = state.session
+        if session is None:
+            return ServerOutbox(to_user="ERR:no-session")
+        index_text, _, challenge_text = payload.partition(":")
+        try:
+            index = int(index_text)
+        except ValueError:
+            return ServerOutbox(to_user="ERR:bad-round")
+        if index not in (session.next_round, session.next_round - 1):
+            return ServerOutbox(to_user=f"ERR:expected-round-{session.next_round}")
+        if index > 0 and index == session.next_round:
+            try:
+                challenge = int(challenge_text)
+            except ValueError:
+                return ServerOutbox(to_user="ERR:bad-challenge")
+            session.challenges[session.order[index - 1]] = (
+                self._field.normalize(challenge)
+            )
+        if index >= len(session.order):
+            return ServerOutbox(to_user="ERR:proof-over")
+        poly = session.prover.round_message(index, dict(session.challenges))
+        session.next_round = max(session.next_round, index + 1)
+        return ServerOutbox(to_user=f"SPOLY:{index}:{poly.serialize()}")
+
+
+class HonestCountingServer(_BaseCountingServer):
+    """Claims the true count and proves it."""
+
+    @property
+    def name(self) -> str:
+        return "counter-honest"
+
+    def _build_prover(self, formula, order) -> SumcheckProver:
+        return HonestSumcheckProver(formula, self._field, order)
+
+
+class CheatingCountingServer(_BaseCountingServer):
+    """Overstates the count, backed by a chosen cheating strategy.
+
+    The adaptive cheater cannot replay rounds (it tracks a running
+    discrepancy), so unlike the honest server it answers a re-requested
+    round with ``ERR:`` — which is fine: cheaters owe nobody liveness.
+    """
+
+    def __init__(self, field_: Field, style: str = CHEAT_INFLATE, delta: int = 1) -> None:
+        super().__init__(field_)
+        if style not in (CHEAT_INFLATE, CHEAT_ADAPTIVE):
+            raise ValueError(f"unknown cheating style: {style!r}")
+        self._style = style
+        self._delta = delta
+
+    @property
+    def name(self) -> str:
+        return f"counter-cheat-{self._style}"
+
+    def _build_prover(self, formula, order) -> SumcheckProver:
+        if self._style == CHEAT_INFLATE:
+            return InflatingSumcheckProver(formula, self._field, order, self._delta)
+        return AdaptiveSumcheckCheater(formula, self._field, order, self._delta)
+
+    def _handle_round(self, state: _CountState, payload: str) -> ServerOutbox:
+        if self._style == CHEAT_ADAPTIVE and state.session is not None:
+            index_text, _, __ = payload.partition(":")
+            try:
+                if int(index_text) == state.session.next_round - 1:
+                    return ServerOutbox(to_user="ERR:no-replay")
+            except ValueError:
+                pass
+        return super()._handle_round(state, payload)
+
+
+class OverflowCountingServer(_BaseCountingServer):
+    """The modular-arithmetic exploit: claims ``count + p``.
+
+    Its proof is *bit-for-bit honest* — the sumcheck verifies claims modulo
+    p, and ``count + p ≡ count`` — so every algebraic check passes.  Only
+    the verifier's integer range check (``0 ≤ claim ≤ 2^n``) stands between
+    this server and a wrong accepted answer; the test suite keeps it there.
+    """
+
+    @property
+    def name(self) -> str:
+        return "counter-cheat-overflow"
+
+    def _build_prover(self, formula, order) -> SumcheckProver:
+        return HonestSumcheckProver(formula, self._field, order)
+
+    def _handle_count(self, state: _CountState, instance: str) -> ServerOutbox:
+        outbox = super()._handle_count(state, instance)
+        if outbox.to_user.startswith("CLAIMSUM:"):
+            honest = int(outbox.to_user[len("CLAIMSUM:"):])
+            return ServerOutbox(to_user=f"CLAIMSUM:{honest + self._field.p}")
+        return outbox

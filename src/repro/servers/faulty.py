@@ -1,0 +1,123 @@
+"""Faulty server wrappers: noise, drops, and intermittency.
+
+The paper's model is noiseless — incompatibility, not channel error, is its
+subject — but a credible implementation must not fall over when a server is
+flaky.  These wrappers inject controlled faults around any base server so
+the robustness tests can check the two properties that matter:
+
+* *safety is unconditional*: faults may delay success but never produce a
+  false positive indication (the printer feedback and the proof checks are
+  fault-agnostic);
+* *helpfulness degrades gracefully*: a server that is silent a bounded
+  fraction of the time is still helpful for forgiving goals, and the
+  universal users still converge (with proportionally more rounds).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Tuple
+
+from repro.comm.messages import SILENCE, ServerInbox, ServerOutbox
+from repro.core.strategy import ServerStrategy
+
+
+class DroppingServer(ServerStrategy):
+    """Randomly drops the inner server's replies to the user.
+
+    World-bound messages are left intact: the fault is on the conversation,
+    not on the server's physical effect (a printer whose ACKs get lost still
+    prints).
+    """
+
+    def __init__(self, inner: ServerStrategy, drop_probability: float) -> None:
+        if not 0.0 <= drop_probability < 1.0:
+            raise ValueError(f"drop probability must be in [0, 1): {drop_probability}")
+        self._inner = inner
+        self._p = drop_probability
+
+    @property
+    def name(self) -> str:
+        return f"dropping({self._p})({self._inner.name})"
+
+    def initial_state(self, rng: random.Random) -> Any:
+        return self._inner.initial_state(rng)
+
+    def step(
+        self, state: Any, inbox: ServerInbox, rng: random.Random
+    ) -> Tuple[Any, ServerOutbox]:
+        state, outbox = self._inner.step(state, inbox, rng)
+        if outbox.to_user != SILENCE and rng.random() < self._p:
+            outbox = ServerOutbox(to_user=SILENCE, to_world=outbox.to_world)
+        return state, outbox
+
+
+class IntermittentServer(ServerStrategy):
+    """Alternates between live and dead phases of fixed length.
+
+    During a dead phase the inner server is frozen (as if unplugged): it
+    neither hears nor speaks.  Deterministic phases make test assertions
+    about recovery timing exact.
+    """
+
+    def __init__(self, inner: ServerStrategy, on_rounds: int, off_rounds: int) -> None:
+        if on_rounds < 1 or off_rounds < 0:
+            raise ValueError(
+                f"need on_rounds >= 1 and off_rounds >= 0: {on_rounds}, {off_rounds}"
+            )
+        self._inner = inner
+        self._on = on_rounds
+        self._off = off_rounds
+
+    @property
+    def name(self) -> str:
+        return f"intermittent({self._on}/{self._off})({self._inner.name})"
+
+    def initial_state(self, rng: random.Random) -> Tuple[int, Any]:
+        return (0, self._inner.initial_state(rng))
+
+    def step(
+        self, state: Tuple[int, Any], inbox: ServerInbox, rng: random.Random
+    ) -> Tuple[Tuple[int, Any], ServerOutbox]:
+        clock, inner_state = state
+        period = self._on + self._off
+        live = (clock % period) < self._on
+        if not live:
+            return (clock + 1, inner_state), ServerOutbox()
+        inner_state, outbox = self._inner.step(inner_state, inbox, rng)
+        return (clock + 1, inner_state), outbox
+
+
+class GarblingServer(ServerStrategy):
+    """Occasionally corrupts the inner server's replies with noise.
+
+    Unlike :class:`DroppingServer`, the user *receives* something — just
+    not what the server said.  Exercises the strategies' junk tolerance
+    (parsers must reject, verifiers must refuse, nobody may crash).
+    """
+
+    def __init__(
+        self, inner: ServerStrategy, garble_probability: float, noise: str = "%#@!"
+    ) -> None:
+        if not 0.0 <= garble_probability < 1.0:
+            raise ValueError(
+                f"garble probability must be in [0, 1): {garble_probability}"
+            )
+        self._inner = inner
+        self._p = garble_probability
+        self._noise = noise
+
+    @property
+    def name(self) -> str:
+        return f"garbling({self._p})({self._inner.name})"
+
+    def initial_state(self, rng: random.Random) -> Any:
+        return self._inner.initial_state(rng)
+
+    def step(
+        self, state: Any, inbox: ServerInbox, rng: random.Random
+    ) -> Tuple[Any, ServerOutbox]:
+        state, outbox = self._inner.step(state, inbox, rng)
+        if outbox.to_user != SILENCE and rng.random() < self._p:
+            outbox = ServerOutbox(to_user=self._noise, to_world=outbox.to_world)
+        return state, outbox

@@ -1,0 +1,118 @@
+"""Guide servers for the navigation world.
+
+A guide knows the maze and, told the agent's position, advises the next
+step of a shortest path.  Wrapped in codecs these form the navigation
+server class: every member equally knowledgeable, each speaking its own
+language — finding the guide's language is literally finding your way.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+from repro.comm.codecs import Codec
+from repro.comm.messages import ServerInbox, ServerOutbox, parse_tagged
+from repro.core.strategy import ServerStrategy
+from repro.servers.wrappers import EncodedServer
+from repro.worlds.navigation import Grid
+
+
+def _parse_position(message: str):
+    parsed = parse_tagged(message)
+    if parsed is None or parsed[0] != "POS":
+        return None
+    x_text, sep, y_text = parsed[1].partition(",")
+    if not sep:
+        return None
+    try:
+        return int(x_text), int(y_text)
+    except ValueError:
+        return None
+
+
+class GuideServer(ServerStrategy):
+    """Advises the shortest-path direction for each reported position.
+
+    Stateless round to round (the advice depends only on the position), so
+    helpful from any state; silent when the agent has arrived or the
+    position is unintelligible.
+    """
+
+    def __init__(self, grid: Grid) -> None:
+        self._grid = grid
+        # The distance field is position-independent; computing it once
+        # makes each advisory O(degree) instead of O(cells).
+        self._field = grid.distance_field()
+
+    @property
+    def name(self) -> str:
+        return "guide"
+
+    def initial_state(self, rng: random.Random) -> int:
+        return 0
+
+    def step(
+        self, state: int, inbox: ServerInbox, rng: random.Random
+    ) -> Tuple[int, ServerOutbox]:
+        position = _parse_position(inbox.from_world)
+        if position is None:
+            return state + 1, ServerOutbox()
+        here = self._field.get(position)
+        if here is None or here == 0:
+            return state + 1, ServerOutbox()
+        for direction, neighbour in self._grid.neighbours(position):
+            if self._field.get(neighbour) == here - 1:
+                # Advice names the position it applies to: with two rounds
+                # of channel latency, un-attributed advice goes stale while
+                # the agent moves and steers it in circles.
+                x, y = position
+                return state + 1, ServerOutbox(to_user=f"GO:{x},{y}={direction}")
+        return state + 1, ServerOutbox()
+
+
+class MisleadingGuideServer(ServerStrategy):
+    """Advises a direction that does *not* decrease the distance.
+
+    The navigation class's unhelpful member: following it (in any
+    decoding) never reaches the target, so no user strategy succeeds with
+    it — used to check that universality claims quantify over helpful
+    members only.
+    """
+
+    def __init__(self, grid: Grid) -> None:
+        self._grid = grid
+        self._field = grid.distance_field()
+
+    @property
+    def name(self) -> str:
+        return "guide-misleading"
+
+    def initial_state(self, rng: random.Random) -> int:
+        return 0
+
+    def step(
+        self, state: int, inbox: ServerInbox, rng: random.Random
+    ) -> Tuple[int, ServerOutbox]:
+        position = _parse_position(inbox.from_world)
+        if position is None:
+            return state + 1, ServerOutbox()
+        here = self._field.get(position)
+        if here is None or here == 0:
+            return state + 1, ServerOutbox()
+        worst_direction = None
+        worst_distance = -1
+        for direction, neighbour in self._grid.neighbours(position):
+            distance = self._field.get(neighbour)
+            if distance is not None and distance > worst_distance:
+                worst_distance = distance
+                worst_direction = direction
+        if worst_direction is None or worst_distance < here:
+            return state + 1, ServerOutbox()
+        x, y = position
+        return state + 1, ServerOutbox(to_user=f"GO:{x},{y}={worst_direction}")
+
+
+def guide_server_class(grid: Grid, codecs: Sequence[Codec]) -> List[EncodedServer]:
+    """Helpful guides in every language of ``codecs`` (enumeration order)."""
+    return [EncodedServer(GuideServer(grid), codec) for codec in codecs]

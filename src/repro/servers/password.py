@@ -1,0 +1,84 @@
+"""Password-locked servers: the enumeration-overhead lower bound.
+
+The paper: "the overhead introduced by the enumeration is essentially
+necessary; that is, there exist natural cases in which any universal
+strategy must incur such an overhead."  The canonical such case is a class
+of servers each of which is perfectly helpful — *after* the user utters its
+k-bit password.  Every member is helpful (the user strategy that knows the
+password succeeds), but before authenticating, all members are
+indistinguishable and unresponsive; information-theoretically, any user
+universal for the whole class must try ``(2^k + 1) / 2`` passwords in
+expectation against a uniformly chosen member.  Experiment E3 measures the
+resulting exponential rounds-to-success and checks it against this
+envelope.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, List, Mapping, Tuple
+
+from repro.comm.messages import SILENCE, ServerInbox, ServerOutbox
+from repro.core.strategy import ServerStrategy
+from repro.servers.advisors import AdvisorServer
+
+
+def all_passwords(bits: int) -> List[str]:
+    """Every k-bit password, in numeric order ``000.. .. 111..``."""
+    if bits < 1:
+        raise ValueError(f"bits must be >= 1: {bits}")
+    return [format(i, f"0{bits}b") for i in range(2 ** bits)]
+
+
+@dataclass
+class _PasswordState:
+    unlocked: bool
+    inner_state: Any
+
+
+class PasswordServer(ServerStrategy):
+    """Gates an inner server behind an exact ``AUTH:<password>`` message.
+
+    While locked, the inner server is completely frozen — it neither hears
+    the user nor acts on the world — and the lock answers every non-silent
+    user message with the same ``DENIED:`` (leaking nothing about the
+    password).  Unlocking replies ``GRANTED:`` and is permanent for the
+    execution, so the server is helpful from any reachable state.
+    """
+
+    def __init__(self, password: str, inner: ServerStrategy) -> None:
+        if not password:
+            raise ValueError("password must be non-empty")
+        self._password = password
+        self._inner = inner
+
+    @property
+    def name(self) -> str:
+        return f"password[{self._password}]({self._inner.name})"
+
+    def initial_state(self, rng: random.Random) -> _PasswordState:
+        return _PasswordState(unlocked=False, inner_state=self._inner.initial_state(rng))
+
+    def step(
+        self, state: _PasswordState, inbox: ServerInbox, rng: random.Random
+    ) -> Tuple[_PasswordState, ServerOutbox]:
+        if not state.unlocked:
+            if inbox.from_user == f"AUTH:{self._password}":
+                state.unlocked = True
+                return state, ServerOutbox(to_user="GRANTED:")
+            if inbox.from_user != SILENCE:
+                return state, ServerOutbox(to_user="DENIED:")
+            return state, ServerOutbox()
+        state.inner_state, outbox = self._inner.step(state.inner_state, inbox, rng)
+        return state, outbox
+
+
+def password_server_class(
+    bits: int, law: Mapping[str, str]
+) -> List[PasswordServer]:
+    """All ``2**bits`` password-locked advisors (the E3 server class)."""
+    return [
+        PasswordServer(password, AdvisorServer(law))
+        for password in all_passwords(bits)
+    ]

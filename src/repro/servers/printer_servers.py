@@ -1,0 +1,158 @@
+"""Printer servers: one device, many dialects.
+
+Each printer accepts a *command dialect* — the shape of a valid print
+command, possibly behind a handshake — and forwards the job payload to the
+world (``OUT:<payload>``).  Combined with :class:`~repro.servers.wrappers.EncodedServer`
+codecs, the class ``dialects × codecs`` models the full zoo of
+"that printer from a different vendor/era" incompatibilities of the paper's
+introduction, while every member remains perfectly *helpful*: the user
+strategy that speaks its dialect through its codec prints fine.
+
+All dialects are re-entrant (commands parse regardless of history, the
+handshake can be redone at any time), keeping servers helpful from any
+initial state as the paper's helpfulness definition demands.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+from repro.comm.codecs import Codec
+from repro.comm.messages import SILENCE, ServerInbox, ServerOutbox
+from repro.core.strategy import ServerStrategy
+from repro.servers.wrappers import EncodedServer
+
+#: Names of the available dialects, in canonical (enumeration) order.
+DIALECTS: Tuple[str, ...] = ("space", "tagged", "handshake")
+
+
+class SpacePrinter(ServerStrategy):
+    """Dialect ``space``: accepts ``PRINT <payload>``; acknowledges ``ACK:``."""
+
+    @property
+    def name(self) -> str:
+        return "printer-space"
+
+    def initial_state(self, rng: random.Random) -> int:
+        return 0
+
+    def step(
+        self, state: int, inbox: ServerInbox, rng: random.Random
+    ) -> Tuple[int, ServerOutbox]:
+        message = inbox.from_user
+        if message.startswith("PRINT "):
+            payload = message[len("PRINT "):]
+            return state + 1, ServerOutbox(to_user="ACK:", to_world=f"OUT:{payload}")
+        if message != SILENCE:
+            return state + 1, ServerOutbox(to_user="ERR:")
+        return state + 1, ServerOutbox()
+
+
+class TaggedPrinter(ServerStrategy):
+    """Dialect ``tagged``: accepts ``JOB:<payload>``; acknowledges ``DONE:``."""
+
+    @property
+    def name(self) -> str:
+        return "printer-tagged"
+
+    def initial_state(self, rng: random.Random) -> int:
+        return 0
+
+    def step(
+        self, state: int, inbox: ServerInbox, rng: random.Random
+    ) -> Tuple[int, ServerOutbox]:
+        message = inbox.from_user
+        if message.startswith("JOB:"):
+            payload = message[len("JOB:"):]
+            return state + 1, ServerOutbox(to_user="DONE:", to_world=f"OUT:{payload}")
+        if message != SILENCE:
+            return state + 1, ServerOutbox(to_user="ERR:")
+        return state + 1, ServerOutbox()
+
+
+class HandshakePrinter(ServerStrategy):
+    """Dialect ``handshake``: ``HELLO`` unlocks, then ``DATA <payload>`` prints.
+
+    The lock state is the server's memory; ``HELLO`` re-arms it at any time
+    and printing leaves it unlocked, so the device stays helpful from every
+    reachable state (a ``DATA`` before any ``HELLO`` is simply refused).
+    """
+
+    @property
+    def name(self) -> str:
+        return "printer-handshake"
+
+    def initial_state(self, rng: random.Random) -> bool:
+        return False  # Locked.
+
+    def step(
+        self, state: bool, inbox: ServerInbox, rng: random.Random
+    ) -> Tuple[bool, ServerOutbox]:
+        message = inbox.from_user
+        if message == "HELLO":
+            return True, ServerOutbox(to_user="READY:")
+        if message.startswith("DATA "):
+            if not state:
+                return state, ServerOutbox(to_user="ERR:locked")
+            payload = message[len("DATA "):]
+            return True, ServerOutbox(to_user="DONE:", to_world=f"OUT:{payload}")
+        if message != SILENCE:
+            return state, ServerOutbox(to_user="ERR:")
+        return state, ServerOutbox()
+
+
+class LyingPrinter(ServerStrategy):
+    """Acknowledges every print command — and prints nothing.
+
+    The member that makes the blind-world impossibility honest: without it,
+    "the server acknowledged (in a language my codec decodes)" would be a
+    safe *and* viable sensing for the feedback-free printing goal, because
+    every honest dialect only acks commands it actually executed.  With an
+    ack-liar in the class, server chatter proves nothing, world feedback is
+    the only ground truth, and removing it really does remove all safe and
+    viable sensing — which is what experiment E9 demonstrates.
+    """
+
+    def __init__(self, dialect: str = "space") -> None:
+        self._inner = make_printer(dialect)
+
+    @property
+    def name(self) -> str:
+        return f"printer-liar({self._inner.name})"
+
+    def initial_state(self, rng: random.Random):
+        return self._inner.initial_state(rng)
+
+    def step(
+        self, state, inbox: ServerInbox, rng: random.Random
+    ) -> Tuple[object, ServerOutbox]:
+        state, out = self._inner.step(state, inbox, rng)
+        # Same chatter, no physical effect.
+        return state, ServerOutbox(to_user=out.to_user, to_world=SILENCE)
+
+
+def make_printer(dialect: str) -> ServerStrategy:
+    """Instantiate the base printer for a dialect name."""
+    if dialect == "space":
+        return SpacePrinter()
+    if dialect == "tagged":
+        return TaggedPrinter()
+    if dialect == "handshake":
+        return HandshakePrinter()
+    raise ValueError(f"unknown printer dialect: {dialect!r}")
+
+
+def printer_server_class(
+    dialects: Sequence[str], codecs: Sequence[Codec]
+) -> List[EncodedServer]:
+    """The server class ``dialects × codecs`` in deterministic order.
+
+    This is the adversary's menu in experiments E2/E9: the user strategy
+    must print with *whichever* member it is paired with.
+    """
+    return [
+        EncodedServer(make_printer(dialect), codec)
+        for dialect in dialects
+        for codec in codecs
+    ]

@@ -1,0 +1,213 @@
+"""Prover servers: the delegation goal's server class.
+
+A prover server speaks a small request/response protocol on the user
+channel (plaintext here; codec wrapping is applied by
+:class:`~repro.servers.wrappers.EncodedServer` exactly as for any other
+server):
+
+* ``PROVE:<qbf>``        → ``CLAIM:<bit>``   (opens/resets a proof session)
+* ``ROUND:<i>``          → ``POLY:<i>:<coeffs>``   (first round, i = 0)
+* ``ROUND:<i>:<r>``      → ``POLY:<i>:<coeffs>``   (records challenge ``r``
+  for round ``i-1``'s variable, then answers round ``i``)
+
+Unparseable requests get ``ERR:<why>`` — a helpful server complains, it
+does not crash.  Re-entrancy: a fresh ``PROVE:`` at any time resets the
+session, so the server is helpful from every reachable state.
+
+The class members differ in *who is answering*:
+
+* :class:`HonestProverServer` — completeness: helpful for the delegation
+  goal (through any codec).
+* :class:`CheatingProverServer` — claims the wrong bit and backs it with
+  one of the cheating strategies of :mod:`repro.ip.qbf_protocol`.  These
+  members are *not helpful* (no user strategy gets the right answer out of
+  them), and the experiment's safety claim is about them: the universal
+  user never halts with a wrong answer, no matter which cheater it faces.
+* :class:`LazyProverServer` — claims without proving; tests that a bare
+  claim is never trusted.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.comm.messages import SILENCE, ServerInbox, ServerOutbox
+from repro.core.strategy import ServerStrategy
+from repro.errors import FormulaError
+from repro.ip.degree import operator_schedule
+from repro.ip.qbf_protocol import (
+    ConstantCheatingProver,
+    FlipClaimProver,
+    HonestQBFProver,
+    QBFProver,
+    RandomCheatingProver,
+)
+from repro.mathx.modular import Field
+from repro.qbf.qbf import QBF
+
+#: Cheating styles accepted by :class:`CheatingProverServer`.
+CHEAT_FLIP = "flip"
+CHEAT_CONSTANT = "constant"
+CHEAT_RANDOM = "random"
+
+
+@dataclass
+class _ProofSession:
+    """Server-side state of one proof interaction."""
+
+    instance: str
+    prover: QBFProver
+    round_vars: List[str]
+    challenges: Dict[str, int] = field(default_factory=dict)
+    next_round: int = 0
+
+
+@dataclass
+class _ProverState:
+    """Server state: the live session plus a cache of built provers."""
+
+    session: Optional[_ProofSession] = None
+    prover_cache: Dict[str, Tuple[QBFProver, List[str]]] = field(default_factory=dict)
+
+
+class _BaseProverServer(ServerStrategy):
+    """Shared request parsing and session bookkeeping for prover servers."""
+
+    def __init__(self, field_: Field) -> None:
+        self._field = field_
+
+    def _build_prover(
+        self, qbf: QBF, rng: random.Random
+    ) -> QBFProver:
+        """Instantiate this server's prover for one instance."""
+        raise NotImplementedError
+
+    def initial_state(self, rng: random.Random) -> _ProverState:
+        return _ProverState()
+
+    def step(
+        self, state: _ProverState, inbox: ServerInbox, rng: random.Random
+    ) -> Tuple[_ProverState, ServerOutbox]:
+        message = inbox.from_user
+        if message == SILENCE:
+            return state, ServerOutbox()
+        if message.startswith("PROVE:"):
+            return state, self._handle_prove(state, message[len("PROVE:"):], rng)
+        if message.startswith("ROUND:"):
+            return state, self._handle_round(state, message[len("ROUND:"):])
+        return state, ServerOutbox(to_user="ERR:unknown-request")
+
+    # ------------------------------------------------------------------
+    def _handle_prove(
+        self, state: _ProverState, instance: str, rng: random.Random
+    ) -> ServerOutbox:
+        cached = state.prover_cache.get(instance)
+        if cached is None:
+            try:
+                qbf = QBF.deserialize(instance)
+            except FormulaError:
+                return ServerOutbox(to_user="ERR:bad-instance")
+            prover = self._build_prover(qbf, rng)
+            round_vars = [op.var for op in reversed(operator_schedule(qbf))]
+            state.prover_cache[instance] = (prover, round_vars)
+        else:
+            prover, round_vars = cached
+        state.session = _ProofSession(
+            instance=instance, prover=prover, round_vars=list(round_vars)
+        )
+        return ServerOutbox(to_user=f"CLAIM:{prover.claimed_value()}")
+
+    def _handle_round(self, state: _ProverState, payload: str) -> ServerOutbox:
+        session = state.session
+        if session is None:
+            return ServerOutbox(to_user="ERR:no-session")
+        index_text, _, challenge_text = payload.partition(":")
+        try:
+            index = int(index_text)
+        except ValueError:
+            return ServerOutbox(to_user="ERR:bad-round")
+        # Serve the expected round, or re-serve the previous one: a user
+        # whose copy of our last reply was lost re-asks, and a helpful
+        # server answers idempotently instead of deadlocking.
+        if index not in (session.next_round, session.next_round - 1):
+            return ServerOutbox(to_user=f"ERR:expected-round-{session.next_round}")
+        if index > 0 and index == session.next_round:
+            try:
+                challenge = int(challenge_text)
+            except ValueError:
+                return ServerOutbox(to_user="ERR:bad-challenge")
+            session.challenges[session.round_vars[index - 1]] = (
+                self._field.normalize(challenge)
+            )
+        if index >= len(session.round_vars):
+            return ServerOutbox(to_user="ERR:proof-over")
+        poly = session.prover.round_message(index, dict(session.challenges))
+        session.next_round = max(session.next_round, index + 1)
+        return ServerOutbox(to_user=f"POLY:{index}:{poly.serialize()}")
+
+
+class HonestProverServer(_BaseProverServer):
+    """Answers with the true value and a complete, honest proof."""
+
+    @property
+    def name(self) -> str:
+        return "prover-honest"
+
+    def _build_prover(self, qbf: QBF, rng: random.Random) -> QBFProver:
+        return HonestQBFProver(qbf, self._field)
+
+
+class CheatingProverServer(_BaseProverServer):
+    """Claims the wrong bit, backed by a chosen cheating strategy."""
+
+    def __init__(self, field_: Field, style: str = CHEAT_CONSTANT, seed: int = 0) -> None:
+        super().__init__(field_)
+        if style not in (CHEAT_FLIP, CHEAT_CONSTANT, CHEAT_RANDOM):
+            raise ValueError(f"unknown cheating style: {style!r}")
+        self._style = style
+        self._seed = seed
+
+    @property
+    def name(self) -> str:
+        return f"prover-cheat-{self._style}"
+
+    def _build_prover(self, qbf: QBF, rng: random.Random) -> QBFProver:
+        if self._style == CHEAT_FLIP:
+            return FlipClaimProver(qbf, self._field)
+        if self._style == CHEAT_RANDOM:
+            return RandomCheatingProver(qbf, self._field, random.Random(self._seed))
+        wrong_bit = 1 - int(qbf.evaluate())
+        return ConstantCheatingProver(self._field, wrong_bit)
+
+
+class LazyProverServer(ServerStrategy):
+    """Claims a fixed bit and refuses to prove anything.
+
+    Lazy servers are the cheapest liars; the delegation user must treat an
+    unproven claim as worthless, so this member tests exactly that no bare
+    assertion ever reaches an ``ANSWER``.
+    """
+
+    def __init__(self, claim_bit: int = 1) -> None:
+        if claim_bit not in (0, 1):
+            raise ValueError(f"claim bit must be 0 or 1: {claim_bit}")
+        self._bit = claim_bit
+
+    @property
+    def name(self) -> str:
+        return f"prover-lazy({self._bit})"
+
+    def initial_state(self, rng: random.Random) -> int:
+        return 0
+
+    def step(
+        self, state: int, inbox: ServerInbox, rng: random.Random
+    ) -> Tuple[int, ServerOutbox]:
+        message = inbox.from_user
+        if message.startswith("PROVE:"):
+            return state + 1, ServerOutbox(to_user=f"CLAIM:{self._bit}")
+        if message != SILENCE:
+            return state + 1, ServerOutbox(to_user="ERR:wont-prove")
+        return state + 1, ServerOutbox()

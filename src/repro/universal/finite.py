@@ -1,0 +1,202 @@
+"""The finite-goal universal user (Theorem 1, finite case).
+
+"In the finite case, strategies are enumerated 'in parallel' as in Levin's
+approach, and sensing is used to decide when to stop."  The single
+conversation cannot literally run candidates in parallel, so — as in
+Levin's universal search — parallelism becomes a *trial schedule*: candidate
+*i* is retried with geometrically growing budgets (see
+:mod:`repro.universal.schedules`), and the user halts the first time a
+candidate halts while the sensing function endorses its trial view.
+
+This construction leans on the goal being *forgiving* (every finite partial
+history extends to a successful one): abandoned trials may leave arbitrary
+junk in the world's history, and forgivingness is what guarantees the next
+trial can still succeed.  It equally leans on helpful servers being helpful
+*from any initial state* — the paper builds that into the definition of
+helpfulness, and our server classes honour it by being re-entrant (they
+re-parse commands regardless of past traffic).
+
+Safety of sensing makes the *halting* decision sound: the user only ever
+halts on a positive indication, so an unsafe candidate (or a cheating
+server) cannot trick a safely-sensed universal user into halting on an
+unacceptable history.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional, Tuple
+
+from repro.comm.messages import UserInbox, UserOutbox
+from repro.core.sensing import Sensing
+from repro.core.strategy import UserStrategy
+from repro.core.views import UserView, ViewRecord
+from repro.errors import EnumerationExhaustedError
+from repro.universal.enumeration import EnumerationCursor, StrategyEnumeration
+from repro.universal.schedules import Trial, levin_trials
+
+
+@dataclass
+class FiniteUniversalState:
+    """Mutable state of the finite universal user (one per execution)."""
+
+    cursor: EnumerationCursor
+    schedule: Iterator[Trial]
+    current: Optional[Trial] = None
+    inner_state: Any = None
+    inner_started: bool = False
+    trial_view: UserView = field(default_factory=UserView)
+    rounds_used: int = 0
+    trials_run: int = 0
+    total_rounds: int = 0
+    index_cap: Optional[int] = None
+
+
+class FiniteUniversalUser(UserStrategy):
+    """Levin-scheduled universal user for finite goals.
+
+    Parameters
+    ----------
+    enumeration:
+        The candidate class, in enumeration order.
+    sensing:
+        Consulted when a candidate halts; the universal user only forwards
+        the halt (and the candidate's output) on a positive indication.
+    schedule_factory:
+        Builds the trial schedule; defaults to
+        :func:`~repro.universal.schedules.levin_trials` capped at the
+        enumeration's size hint.  Swappable for the ablations in E2.
+    """
+
+    def __init__(
+        self,
+        enumeration: StrategyEnumeration,
+        sensing: Sensing,
+        *,
+        schedule_factory: Optional[Callable[[Optional[int]], Iterator[Trial]]] = None,
+    ) -> None:
+        self._enumeration = enumeration
+        self._sensing = sensing
+        self._schedule_factory = schedule_factory or (
+            lambda cap: levin_trials(max_index=None if cap is None else cap - 1)
+        )
+
+    @property
+    def name(self) -> str:
+        return f"universal-finite({self._enumeration.name},{self._sensing.name})"
+
+    def initial_state(self, rng: random.Random) -> FiniteUniversalState:
+        cursor = EnumerationCursor(self._enumeration)
+        cap = cursor.known_size()
+        return FiniteUniversalState(
+            cursor=cursor,
+            schedule=self._schedule_factory(cap),
+            index_cap=cap,
+        )
+
+    def step(
+        self, state: FiniteUniversalState, inbox: UserInbox, rng: random.Random
+    ) -> Tuple[FiniteUniversalState, UserOutbox]:
+        state.total_rounds += 1
+        inner = self._ensure_trial(state, rng)
+        if inner is None:
+            # Schedule exhausted (only possible with a finite schedule):
+            # nothing left to try, stay silent and never halt — the engine's
+            # horizon will end the run, correctly scored as failure.
+            return state, UserOutbox()
+
+        state_before = state.inner_state
+        state.inner_state, outbox = inner.step(state.inner_state, inbox, rng)
+        state.rounds_used += 1
+        state.trial_view.append(
+            ViewRecord(
+                round_index=state.rounds_used - 1,
+                state_before=state_before,
+                inbox=inbox,
+                outbox=outbox,
+                state_after=state.inner_state,
+            )
+        )
+
+        if outbox.halt:
+            if self._sensing.indicate(state.trial_view):
+                return state, outbox  # Endorsed: halt with the candidate's output.
+            self._abandon(state)
+            outbox = UserOutbox(to_server=outbox.to_server, to_world=outbox.to_world)
+            return state, outbox
+
+        assert state.current is not None
+        if state.rounds_used >= state.current[1]:
+            self._abandon(state)
+        return state, outbox
+
+    #: Bound on consecutive skipped schedule entries per engine round.  A
+    #: schedule that emits only out-of-range candidate indices (possible
+    #: with a user-supplied factory and a smaller-than-expected class)
+    #: would otherwise spin this loop forever inside a single step.
+    _MAX_SKIPS_PER_STEP = 10_000
+
+    def _ensure_trial(
+        self, state: FiniteUniversalState, rng: random.Random
+    ) -> Optional[UserStrategy]:
+        """Return the current trial's strategy, starting a new trial if needed."""
+        skips = 0
+        while True:
+            if skips > self._MAX_SKIPS_PER_STEP:
+                return None  # Degenerate schedule: go quiet, never halt.
+            skips += 1
+            if state.current is not None:
+                inner = self._candidate(state, state.current[0])
+                if inner is None:
+                    self._abandon(state)
+                    continue
+                if not state.inner_started:
+                    state.inner_state = inner.initial_state(rng)
+                    state.inner_started = True
+                    state.trials_run += 1
+                return inner
+            try:
+                trial = next(state.schedule)
+            except StopIteration:
+                return None
+            index = trial[0]
+            if state.index_cap is not None and index >= state.index_cap:
+                continue
+            state.current = trial
+
+    def _candidate(
+        self, state: FiniteUniversalState, index: int
+    ) -> Optional[UserStrategy]:
+        """Fetch candidate ``index``, learning the class size on exhaustion."""
+        try:
+            return state.cursor.get(index)
+        except EnumerationExhaustedError:
+            state.index_cap = state.cursor.known_size()
+            return None
+
+    @staticmethod
+    def _abandon(state: FiniteUniversalState) -> None:
+        state.current = None
+        state.inner_state = None
+        state.inner_started = False
+        state.trial_view = UserView()
+        state.rounds_used = 0
+
+    @staticmethod
+    def stats(state: FiniteUniversalState) -> "FiniteRunStats":
+        """Extract run statistics from a final state (for benchmarks)."""
+        return FiniteRunStats(
+            trials_run=state.trials_run,
+            total_rounds=state.total_rounds,
+            final_index=None if state.current is None else state.current[0],
+        )
+
+
+@dataclass(frozen=True)
+class FiniteRunStats:
+    """Summary of a finite universal user's behaviour over one execution."""
+
+    trials_run: int
+    total_rounds: int
+    final_index: Optional[int]

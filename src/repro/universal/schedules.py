@@ -1,0 +1,87 @@
+"""Trial schedules for the universal users.
+
+The finite-goal universal user enumerates strategies "in parallel, as in
+Levin's approach" [Levin 1973]: rather than truly interleaving (which the
+single-conversation setting forbids), it runs *trials* — candidate index
+plus round budget — in an order that gives strategy *i* a total budget
+doubling with each phase.  Strategy *i* first runs in phase *i+1* with
+budget 1; in phase *t ≥ i+1* it runs with budget ``2**(t-i-1)``.  The
+classic property follows: if strategy *i* succeeds within *b* rounds, the
+universal user succeeds within ``O(2**i · b · log b)`` total rounds — the
+multiplicative overhead depends on the index, not on the horizon.
+
+:func:`sequential_trials` is the naive baseline used in experiment E2's
+comparison: one candidate at a time with a fixed budget (which must be
+guessed in advance — guessing too small breaks completeness, which is the
+point the comparison makes).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+#: A trial: (candidate index, round budget for this attempt).
+Trial = Tuple[int, int]
+
+
+def levin_trials(max_index: Optional[int] = None) -> Iterator[Trial]:
+    """Yield Levin-style trials ``(index, budget)`` forever.
+
+    Phase ``t`` (t = 1, 2, ...) runs candidates ``0 .. t-1`` with budgets
+    ``2**(t-1-i)`` — newly introduced candidates get budget 1, and every
+    existing candidate's budget doubles each phase.  ``max_index`` caps the
+    candidate indices for finite classes (budgets keep doubling, so every
+    candidate still gets unbounded total budget).
+
+    >>> trials = levin_trials()
+    >>> [next(trials) for _ in range(6)]
+    [(0, 1), (0, 2), (1, 1), (0, 4), (1, 2), (2, 1)]
+    """
+    t = 1
+    while True:
+        for i in range(t):
+            if max_index is not None and i > max_index:
+                break
+            yield (i, 2 ** (t - 1 - i))
+        t += 1
+
+
+def sequential_trials(
+    budget: int, max_index: Optional[int] = None, repeat: bool = True
+) -> Iterator[Trial]:
+    """Yield each candidate once (or cyclically) with a fixed budget.
+
+    This is the strawman scheduler: it commits to ``budget`` rounds per
+    candidate.  A candidate needing more rounds than ``budget`` can never
+    succeed, no matter how early it appears — the failure mode experiment
+    E2 demonstrates against the Levin schedule.
+    """
+    if budget <= 0:
+        raise ValueError(f"budget must be positive: {budget}")
+    while True:
+        i = 0
+        while max_index is None or i <= max_index:
+            yield (i, budget)
+            i += 1
+        if not repeat or max_index is None:
+            return
+
+
+def doubling_sweep_trials(max_index: Optional[int] = None) -> Iterator[Trial]:
+    """Sweep all candidates with a budget that doubles per sweep.
+
+    A simpler cousin of the Levin schedule with the same total-budget
+    guarantee but worse constants for late candidates; used in schedule
+    ablations.
+    """
+    budget = 1
+    while True:
+        i = 0
+        while max_index is None or i <= max_index:
+            yield (i, budget)
+            i += 1
+            if max_index is None and i > budget:
+                # For infinite classes, bound each sweep so early candidates
+                # are revisited: sweep k covers candidates 0..2**k.
+                break
+        budget *= 2

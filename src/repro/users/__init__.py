@@ -1,0 +1,57 @@
+"""User strategies: base protocols and candidate classes.
+
+Scripted/composite utilities (:mod:`.scripted`), printer protocols
+(:mod:`.printer_users`), delegation verifiers (:mod:`.delegation_users`)
+and control followers with password authentication (:mod:`.control_users`).
+Composed with the enumerations of :mod:`repro.universal`, these classes
+instantiate the paper's universal users on every experiment.
+"""
+
+from repro.users.scripted import ScriptedUser, BabblingUser, JunkThenUser
+from repro.users.printer_users import PrinterProtocolUser, printer_user_class
+from repro.users.delegation_users import (
+    DelegationUser,
+    DelegationUserState,
+    delegation_user_class,
+    RepeatedDelegationUser,
+    RepeatedDelegationState,
+    repeated_delegation_user_class,
+)
+from repro.users.counting_users import (
+    CountingUser,
+    CountingUserState,
+    counting_user_class,
+)
+from repro.users.navigation_users import (
+    GuidedNavigator,
+    navigator_user_class,
+)
+from repro.users.control_users import (
+    AdvisorFollowingUser,
+    follower_user_class,
+    AuthenticatingUser,
+    password_user_class,
+)
+
+__all__ = [
+    "ScriptedUser",
+    "BabblingUser",
+    "JunkThenUser",
+    "PrinterProtocolUser",
+    "printer_user_class",
+    "DelegationUser",
+    "DelegationUserState",
+    "delegation_user_class",
+    "RepeatedDelegationUser",
+    "RepeatedDelegationState",
+    "repeated_delegation_user_class",
+    "CountingUser",
+    "CountingUserState",
+    "counting_user_class",
+    "GuidedNavigator",
+    "navigator_user_class",
+    "AdvisorFollowingUser",
+    "follower_user_class",
+    "AuthenticatingUser",
+    "password_user_class",
+]

@@ -1,0 +1,293 @@
+"""Delegation users: the polynomial-time verifier as a user strategy.
+
+:class:`DelegationUser` wraps the :class:`~repro.ip.qbf_protocol.QBFVerifierSession`
+into the three-party model: it reads the instance from the world, runs the
+interactive proof with the server *through a codec guess*, and halts with
+``ANSWER:<bit>`` only if the proof verified.  Its state exposes
+``proof_accepted``, which the delegation goal's sensing
+(:class:`repro.worlds.computation.VerifiedProofSensing`) reads — making the
+IP's soundness literally the *safety* of the sensing.
+
+Behaviour under mismatch or malice, by construction:
+
+* wrong codec — the server's replies decode to junk; the user waits, nudges
+  (re-sends its last request after ``resend_every`` rounds) and never
+  halts, so a universal wrapper's trial budget expires and the next
+  candidate runs;
+* cheating prover — some check fails; the user marks the trial failed and
+  goes quiet (same outcome, rejection instead of timeout);
+* lazy prover — a bare ``CLAIM`` never reaches the halt path, because only
+  a finished, *accepted* verifier session can halt the user.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.comm.codecs import Codec
+from repro.comm.messages import SILENCE, UserInbox, UserOutbox, parse_tagged
+from repro.core.strategy import UserStrategy
+from repro.errors import AlgebraError, CodecError, FormulaError
+from repro.ip.qbf_protocol import QBFVerifierSession
+from repro.mathx.modular import Field
+from repro.mathx.polynomials import Poly
+from repro.qbf.qbf import QBF
+
+#: Protocol phases of the delegation user.
+_WAIT_INSTANCE = "wait-instance"
+_WAIT_CLAIM = "wait-claim"
+_WAIT_POLY = "wait-poly"
+_FAILED = "failed"
+
+
+@dataclass
+class DelegationUserState:
+    """State of one delegation attempt; ``proof_accepted`` feeds sensing."""
+
+    phase: str = _WAIT_INSTANCE
+    instance: Optional[str] = None
+    session: Optional[QBFVerifierSession] = None
+    claim: Optional[int] = None
+    expected_round: int = 0
+    last_request: str = SILENCE
+    rounds_waiting: int = 0
+    proof_accepted: bool = False
+
+
+class DelegationUser(UserStrategy):
+    """Verifies a delegated TQBF answer through one codec guess."""
+
+    def __init__(
+        self,
+        codec: Codec,
+        field_: Field,
+        *,
+        resend_every: int = 8,
+        proof_seed: int = 0,
+    ) -> None:
+        if resend_every < 1:
+            raise ValueError(f"resend_every must be >= 1: {resend_every}")
+        self._codec = codec
+        self._field = field_
+        self._resend_every = resend_every
+        self._proof_seed = proof_seed
+
+    @property
+    def name(self) -> str:
+        return f"delegate@{self._codec.name}"
+
+    def initial_state(self, rng: random.Random) -> DelegationUserState:
+        return DelegationUserState()
+
+    # ------------------------------------------------------------------
+    def step(
+        self, state: DelegationUserState, inbox: UserInbox, rng: random.Random
+    ) -> Tuple[DelegationUserState, UserOutbox]:
+        if state.phase == _FAILED:
+            return state, UserOutbox()
+
+        if state.phase == _WAIT_INSTANCE:
+            return state, self._read_instance(state, inbox)
+
+        server_says = self._decode(inbox.from_server)
+
+        if state.phase == _WAIT_CLAIM:
+            outbox = self._read_claim(state, server_says, rng)
+        else:  # _WAIT_POLY
+            outbox = self._read_poly(state, server_says)
+        if outbox is not None:
+            return state, outbox
+
+        # Nothing useful arrived: wait, and nudge the server periodically in
+        # case our request was lost or ignored.
+        state.rounds_waiting += 1
+        if state.rounds_waiting >= self._resend_every and state.last_request:
+            state.rounds_waiting = 0
+            return state, UserOutbox(to_server=self._codec.encode(state.last_request))
+        return state, UserOutbox()
+
+    # ------------------------------------------------------------------
+    def _read_instance(
+        self, state: DelegationUserState, inbox: UserInbox
+    ) -> UserOutbox:
+        parsed = parse_tagged(inbox.from_world)
+        if parsed is None or parsed[0] != "INSTANCE":
+            return UserOutbox()
+        try:
+            QBF.deserialize(parsed[1])
+        except FormulaError:
+            return UserOutbox()
+        state.instance = parsed[1]
+        state.phase = _WAIT_CLAIM
+        return self._request(state, f"PROVE:{state.instance}")
+
+    def _read_claim(
+        self, state: DelegationUserState, server_says: Optional[str], rng: random.Random
+    ) -> Optional[UserOutbox]:
+        parsed = parse_tagged(server_says or "")
+        if parsed is None or parsed[0] != "CLAIM" or parsed[1] not in ("0", "1"):
+            return None
+        assert state.instance is not None
+        qbf = QBF.deserialize(state.instance)
+        # The verifier's challenges must be unpredictable to the prover but
+        # reproducible per execution: derive them from the engine-provided
+        # user RNG (plus a fixed tweak so tests can pin them).
+        session_rng = random.Random(rng.getrandbits(64) ^ self._proof_seed)
+        state.session = QBFVerifierSession(qbf, self._field, session_rng)
+        state.claim = int(parsed[1])
+        state.session.begin(state.claim)
+        state.phase = _WAIT_POLY
+        state.expected_round = 0
+        return self._request(state, "ROUND:0")
+
+    def _read_poly(
+        self, state: DelegationUserState, server_says: Optional[str]
+    ) -> Optional[UserOutbox]:
+        parsed = parse_tagged(server_says or "")
+        if parsed is None or parsed[0] != "POLY":
+            return None
+        index_text, _, coeffs_text = parsed[1].partition(":")
+        try:
+            index = int(index_text)
+        except ValueError:
+            return None
+        if index != state.expected_round:
+            return None
+        assert state.session is not None
+        try:
+            poly = Poly.deserialize(self._field, coeffs_text)
+        except AlgebraError:
+            state.phase = _FAILED
+            return UserOutbox()
+        challenge = state.session.receive_poly(poly)
+        if state.session.finished:
+            if state.session.accepted:
+                state.proof_accepted = True
+                return UserOutbox(halt=True, output=f"ANSWER:{state.claim}")
+            state.phase = _FAILED
+            return UserOutbox()
+        state.expected_round = index + 1
+        return self._request(state, f"ROUND:{index + 1}:{challenge}")
+
+    # ------------------------------------------------------------------
+    def _request(self, state: DelegationUserState, plain: str) -> UserOutbox:
+        state.last_request = plain
+        state.rounds_waiting = 0
+        return UserOutbox(to_server=self._codec.encode(plain))
+
+    def _decode(self, message: str) -> Optional[str]:
+        if message == SILENCE:
+            return None
+        try:
+            return self._codec.decode(message)
+        except CodecError:
+            return None
+
+
+def delegation_user_class(
+    codecs: Sequence[Codec], field_: Field
+) -> List[DelegationUser]:
+    """One delegation user per codec guess, in enumeration order."""
+    return [DelegationUser(codec, field_) for codec in codecs]
+
+
+@dataclass
+class RepeatedDelegationState:
+    """State of the multi-session wrapper: inner verifier + session id.
+
+    ``done_with_session`` guards against the stale-announcement race: after
+    answering session k, the world's k-announcements are still in flight
+    for a round; re-verifying one would pair the *old* instance's CLAIM
+    with the *next* instance and poison that session.
+    """
+
+    inner: DelegationUserState
+    session: Optional[str] = None
+    done_with_session: bool = False
+
+
+class RepeatedDelegationUser(UserStrategy):
+    """Runs one :class:`DelegationUser` per session, forever.
+
+    Adapts the finite delegation protocol to the repeated-computation
+    world (:mod:`repro.worlds.repeated`): it tracks the world's session id,
+    restarts a fresh inner verifier whenever the session changes, strips
+    the session framing off the instance announcement, and converts the
+    inner verifier's halt into a session-tagged ``ANSWER:<k>=<bit>`` to the
+    world.  A failed proof simply idles the session out — the deadline
+    scores it and the next session begins, which is what lets a universal
+    wrapper's sensing evict a wrong codec guess.
+    """
+
+    def __init__(
+        self,
+        codec: Codec,
+        field_: Field,
+        *,
+        resend_every: int = 8,
+        proof_seed: int = 0,
+    ) -> None:
+        self._verifier = DelegationUser(
+            codec, field_, resend_every=resend_every, proof_seed=proof_seed
+        )
+        self._codec = codec
+
+    @property
+    def name(self) -> str:
+        return f"redelegate@{self._codec.name}"
+
+    def initial_state(self, rng: random.Random) -> RepeatedDelegationState:
+        return RepeatedDelegationState(inner=self._verifier.initial_state(rng))
+
+    def step(
+        self, state: RepeatedDelegationState, inbox: UserInbox, rng: random.Random
+    ) -> Tuple[RepeatedDelegationState, UserOutbox]:
+        session, instance = self._parse_world(inbox.from_world)
+        if session is not None and session != state.session:
+            state.session = session
+            state.inner = self._verifier.initial_state(rng)
+            state.done_with_session = False
+
+        announce = instance if not state.done_with_session else None
+        synthetic = UserInbox(
+            from_server=inbox.from_server,
+            from_world=f"INSTANCE:{announce}" if announce else SILENCE,
+        )
+        state.inner, outbox = self._verifier.step(state.inner, synthetic, rng)
+
+        if outbox.halt:
+            parsed = parse_tagged(outbox.output or "")
+            bit = parsed[1] if parsed is not None and parsed[0] == "ANSWER" else ""
+            answer = (
+                f"ANSWER:{state.session}={bit}"
+                if bit in ("0", "1") and state.session is not None
+                else SILENCE
+            )
+            # Idle until the world opens the next session (its id changes).
+            state.inner = self._verifier.initial_state(rng)
+            state.done_with_session = True
+            return state, UserOutbox(to_server=outbox.to_server, to_world=answer)
+        return state, outbox
+
+    @staticmethod
+    def _parse_world(message: str) -> Tuple[Optional[str], Optional[str]]:
+        """Extract (session id, instance wire form) from an announcement."""
+        if not message:
+            return None, None
+        body, _, _fb = message.partition(";FB:")
+        parsed = parse_tagged(body)
+        if parsed is None or parsed[0] != "INSTANCE":
+            return None, None
+        session, sep, instance = parsed[1].partition(":")
+        if not sep or not session or not instance:
+            return None, None
+        return session, instance
+
+
+def repeated_delegation_user_class(
+    codecs: Sequence[Codec], field_: Field
+) -> List[RepeatedDelegationUser]:
+    """One repeated-delegation user per codec guess, in enumeration order."""
+    return [RepeatedDelegationUser(codec, field_) for codec in codecs]

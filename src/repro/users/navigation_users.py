@@ -1,0 +1,94 @@
+"""Navigation users: follow the guide through a codec guess.
+
+:class:`GuidedNavigator` relays decoded ``GO:<direction>`` advice as
+``MOVE:<direction>`` commands and halts the moment the world reports
+arrival.  With a wrong codec guess the advice is noise, the agent stands
+still, and the candidate never halts — burning exactly the trial budget
+the finite universal user allotted it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.comm.codecs import Codec
+from repro.comm.messages import SILENCE, UserInbox, UserOutbox, parse_tagged
+from repro.core.strategy import UserStrategy
+from repro.errors import CodecError
+from repro.worlds.navigation import DIRECTIONS
+
+
+@dataclass
+class _NavigatorState:
+    rounds: int = 0
+    last_moved_from: Optional[str] = None
+
+
+class GuidedNavigator(UserStrategy):
+    """Moves as advised (through one codec); halts on the arrival report.
+
+    Two disciplines keep the two-round channel latency from steering the
+    agent in circles: advice is only followed when it names the *currently
+    reported* position, and at most one move is issued per reported
+    position (the world's report lags the move by two rounds, during which
+    the same advice keeps arriving).
+    """
+
+    def __init__(self, codec: Codec) -> None:
+        self._codec = codec
+
+    @property
+    def name(self) -> str:
+        return f"navigate@{self._codec.name}"
+
+    def initial_state(self, rng: random.Random) -> _NavigatorState:
+        return _NavigatorState()
+
+    def step(
+        self, state: _NavigatorState, inbox: UserInbox, rng: random.Random
+    ) -> Tuple[_NavigatorState, UserOutbox]:
+        state.rounds += 1
+        position, arrived = self._parse_world(inbox.from_world)
+        if arrived:
+            return state, UserOutbox(halt=True, output="ARRIVED")
+        advice = self._decode_advice(inbox.from_server)
+        if advice is None or position is None:
+            return state, UserOutbox()
+        advice_position, direction = advice
+        if advice_position != position or position == state.last_moved_from:
+            return state, UserOutbox()
+        state.last_moved_from = position
+        return state, UserOutbox(to_server=SILENCE, to_world=f"MOVE:{direction}")
+
+    @staticmethod
+    def _parse_world(message: str) -> Tuple[Optional[str], bool]:
+        """Extract (position text, arrived flag) from a world report."""
+        if not message:
+            return None, False
+        body, _, at = message.partition(";AT:")
+        parsed = parse_tagged(body)
+        if parsed is None or parsed[0] != "POS":
+            return None, False
+        return parsed[1], at == "1"
+
+    def _decode_advice(self, message: str) -> Optional[Tuple[str, str]]:
+        if message == SILENCE:
+            return None
+        try:
+            decoded = self._codec.decode(message)
+        except CodecError:
+            return None
+        parsed = parse_tagged(decoded)
+        if parsed is None or parsed[0] != "GO":
+            return None
+        position, sep, direction = parsed[1].partition("=")
+        if not sep or direction not in DIRECTIONS:
+            return None
+        return position, direction
+
+
+def navigator_user_class(codecs: Sequence[Codec]) -> List[GuidedNavigator]:
+    """One navigator per codec guess, in enumeration order."""
+    return [GuidedNavigator(codec) for codec in codecs]

@@ -1,0 +1,145 @@
+"""Printer user protocols: one per (dialect, codec) hypothesis.
+
+:class:`PrinterProtocolUser` is the base protocol that *would* print
+correctly if its dialect/codec guess matches the server; the enumeration of
+all such guesses (:func:`printer_user_class`) is the candidate class fed to
+the finite universal user in experiments E2/E9.
+
+The protocol: read the job from the world, perform the dialect's handshake
+if any, send the print command (re-sending periodically — commands may be
+ignored by a mismatched server, and the world's feedback lags by the
+channel latency), and halt as soon as the world's feedback shows the
+document printed.  With a wrong guess the feedback never shows the
+document, the user never halts, and a universal user's trial budget expires
+— which is exactly how Theorem 1's construction is supposed to spend its
+overhead.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.comm.codecs import Codec
+from repro.comm.messages import UserInbox, UserOutbox, parse_tagged
+from repro.core.strategy import UserStrategy
+from repro.servers.printer_servers import DIALECTS
+
+
+@dataclass
+class _PrinterUserState:
+    document: Optional[str] = None
+    handshake_sent: bool = False
+    rounds_since_send: int = 0
+    rounds_since_first_send: int = 0
+    sent_once: bool = False
+    rounds: int = 0
+
+
+class PrinterProtocolUser(UserStrategy):
+    """Prints via one fixed dialect/codec guess; halts on confirmed success.
+
+    ``blind_halt_after`` supports the feedback-free world of experiment E9:
+    when set, the user halts that many rounds after first sending the
+    command, *without* evidence — the best a blind user can do, and
+    provably not safe.
+    """
+
+    def __init__(
+        self,
+        dialect: str,
+        codec: Codec,
+        *,
+        resend_every: int = 6,
+        blind_halt_after: Optional[int] = None,
+    ) -> None:
+        if dialect not in DIALECTS:
+            raise ValueError(f"unknown dialect: {dialect!r}")
+        if resend_every < 1:
+            raise ValueError(f"resend_every must be >= 1: {resend_every}")
+        self._dialect = dialect
+        self._codec = codec
+        self._resend_every = resend_every
+        self._blind_halt_after = blind_halt_after
+
+    @property
+    def name(self) -> str:
+        return f"print-{self._dialect}@{self._codec.name}"
+
+    def initial_state(self, rng: random.Random) -> _PrinterUserState:
+        return _PrinterUserState()
+
+    def step(
+        self, state: _PrinterUserState, inbox: UserInbox, rng: random.Random
+    ) -> Tuple[_PrinterUserState, UserOutbox]:
+        state.rounds += 1
+        document, tail = self._parse_world(inbox.from_world)
+        if document is not None:
+            state.document = document
+
+        if state.document is None:
+            return state, UserOutbox()  # Waiting for the job announcement.
+
+        if tail is not None and state.document in tail:
+            return state, UserOutbox(halt=True, output="PRINTED")
+        if state.sent_once:
+            state.rounds_since_first_send += 1
+        if (
+            self._blind_halt_after is not None
+            and state.sent_once
+            and state.rounds_since_first_send >= self._blind_halt_after
+        ):
+            return state, UserOutbox(halt=True, output="PRINTED-BLIND")
+
+        if self._dialect == "handshake" and not state.handshake_sent:
+            state.handshake_sent = True
+            return state, UserOutbox(to_server=self._codec.encode("HELLO"))
+
+        state.rounds_since_send += 1
+        if not state.sent_once or state.rounds_since_send >= self._resend_every:
+            state.sent_once = True
+            state.rounds_since_send = 0
+            return state, UserOutbox(to_server=self._command(state.document))
+        return state, UserOutbox()
+
+    def _command(self, document: str) -> str:
+        if self._dialect == "space":
+            plain = f"PRINT {document}"
+        elif self._dialect == "tagged":
+            plain = f"JOB:{document}"
+        else:
+            plain = f"DATA {document}"
+        return self._codec.encode(plain)
+
+    @staticmethod
+    def _parse_world(message: str) -> Tuple[Optional[str], Optional[str]]:
+        """Extract (document, printed tail) from a world announcement."""
+        if not message:
+            return None, None
+        job_part, _, tail_part = message.partition(";")
+        job = parse_tagged(job_part)
+        if job is None or job[0] != "JOB":
+            return None, None
+        tail = parse_tagged(tail_part) if tail_part else None
+        if tail is not None and tail[0] != "TAIL":
+            tail = None
+        return job[1], tail[1] if tail is not None else None
+
+
+def printer_user_class(
+    dialects: Sequence[str],
+    codecs: Sequence[Codec],
+    *,
+    blind_halt_after: Optional[int] = None,
+) -> List[PrinterProtocolUser]:
+    """The candidate class ``dialects × codecs``, in enumeration order.
+
+    The order matches :func:`repro.servers.printer_servers.printer_server_class`
+    so experiments can plant a matching pair at a known index.
+    """
+    return [
+        PrinterProtocolUser(dialect, codec, blind_halt_after=blind_halt_after)
+        for dialect in dialects
+        for codec in codecs
+    ]

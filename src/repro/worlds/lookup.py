@@ -1,0 +1,183 @@
+"""The lookup world — simple multi-session goals and online learning.
+
+The substrate for the Juba–Vempala connection ("Semantic Communication for
+Simple Goals is Equivalent to On-line Learning", cited as the paper's [5]):
+the world repeatedly poses queries from a finite domain; the user must
+predict the label assigned by a hidden concept; feedback reports each
+prediction's correctness.  A *mistake-bounded learner* is then literally a
+good user strategy for this compact goal, and conversely — experiment E8
+measures both directions.
+
+The concept class used throughout is thresholds over ``{0..domain-1}``
+(``label(x) = 1`` iff ``x >= θ``): simple, size ``domain+1``, and with the
+classic gap between enumeration (mistakes ≈ index of θ) and halving
+(mistakes ≤ log₂ |class|) that E8 exhibits.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.comm.messages import WorldInbox, WorldOutbox, parse_tagged
+from repro.core.goals import CompactGoal
+from repro.core.referees import LastStateCompactReferee
+from repro.core.sensing import GraceSensing, LastWorldMessageSensing, Sensing
+from repro.core.strategy import WorldStrategy
+
+EVENT_OK = "ok"
+EVENT_BAD = "bad"
+EVENT_NONE = "none"
+
+
+def threshold_label(threshold: int, x: int) -> bool:
+    """The concept: ``x`` is positive iff it reaches the threshold."""
+    return x >= threshold
+
+
+@dataclass(frozen=True)
+class LookupState:
+    """World state: the in-flight query and the score counters."""
+
+    round_index: int = 0
+    pending: Tuple[Tuple[int, int], ...] = ()  # (query, issue round)
+    scored: int = 0
+    mistakes: int = 0
+    last_event: str = EVENT_NONE
+
+
+class LookupWorld(WorldStrategy):
+    """Poses threshold-labelling queries; scores ``PRED:<bit>`` replies.
+
+    Mechanically a sibling of :class:`repro.worlds.control.ControlWorld`
+    (FIFO scoring, deadline for unanswered queries, per-round feedback) but
+    with no server involvement: the knowledge gap lives entirely between
+    user and world, which is the "simple goal" shape of Juba–Vempala.
+    """
+
+    def __init__(
+        self,
+        threshold: int,
+        domain: int,
+        *,
+        query_period: int = 3,
+        deadline: int = 6,
+    ) -> None:
+        if domain < 2:
+            raise ValueError(f"domain must be >= 2: {domain}")
+        if not 0 <= threshold <= domain:
+            raise ValueError(f"threshold must be in [0, {domain}]: {threshold}")
+        if query_period < 1:
+            raise ValueError(f"query_period must be >= 1: {query_period}")
+        if deadline <= 2:
+            raise ValueError(f"deadline must exceed the channel latency: {deadline}")
+        self._threshold = threshold
+        self._domain = domain
+        self._query_period = query_period
+        self._deadline = deadline
+
+    @property
+    def name(self) -> str:
+        return f"lookup-world[θ={self._threshold},D={self._domain}]"
+
+    def initial_state(self, rng: random.Random) -> LookupState:
+        return LookupState()
+
+    def step(
+        self, state: LookupState, inbox: WorldInbox, rng: random.Random
+    ) -> Tuple[LookupState, WorldOutbox]:
+        pending = list(state.pending)
+        scored = state.scored
+        mistakes = state.mistakes
+        event = EVENT_NONE
+
+        parsed = parse_tagged(inbox.from_user)
+        answered = False
+        scored_query: Optional[int] = None
+        if parsed is not None and parsed[0] == "PRED":
+            # Predictions name the query they answer (``PRED:<x>=<bit>``),
+            # for the same stale-in-flight reason as the control world's
+            # ``ACT:<obs>=<action>`` format.
+            query_text, sep, bit = parsed[1].partition("=")
+            if sep and bit in ("0", "1"):
+                for position, (query, _issued) in enumerate(pending):
+                    if str(query) == query_text:
+                        pending.pop(position)
+                        scored += 1
+                        answered = True
+                        scored_query = query
+                        truth = threshold_label(self._threshold, query)
+                        if bit == ("1" if truth else "0"):
+                            event = EVENT_OK
+                        else:
+                            mistakes += 1
+                            event = EVENT_BAD
+                        break
+        if not answered and pending and state.round_index - pending[0][1] >= self._deadline:
+            scored_query, _ = pending.pop(0)
+            scored += 1
+            mistakes += 1
+            event = EVENT_BAD
+
+        if state.round_index % self._query_period == 0:
+            pending.append((rng.randrange(self._domain), state.round_index))
+
+        new_state = LookupState(
+            round_index=state.round_index + 1,
+            pending=tuple(pending),
+            scored=scored,
+            mistakes=mistakes,
+            last_event=event,
+        )
+        # Re-announce the oldest unanswered query each round (persistent
+        # environment; see the control world for the rationale).
+        query_text = str(pending[0][0]) if pending else "-"
+        # Feedback names the scored query (``ok@3`` / ``bad@3``) so learners
+        # can attribute the verdict without fragile FIFO assumptions.
+        feedback = event if scored_query is None else f"{event}@{scored_query}"
+        return new_state, WorldOutbox(to_user=f"Q:{query_text};FB:{feedback}")
+
+
+def lookup_goal(
+    threshold: int,
+    domain: int,
+    *,
+    query_period: int = 3,
+    deadline: int = 6,
+    settle_fraction: float = 0.4,
+) -> CompactGoal:
+    """The compact goal "eventually always label queries correctly"."""
+    return CompactGoal(
+        name="lookup",
+        world=LookupWorld(
+            threshold, domain, query_period=query_period, deadline=deadline
+        ),
+        referee=LastStateCompactReferee(
+            state_acceptable=lambda s: not (
+                isinstance(s, LookupState) and s.last_event == EVENT_BAD
+            ),
+            label="no-mislabel",
+        ),
+        forgiving=True,
+        settle_fraction=settle_fraction,
+    )
+
+
+def _feedback_not_bad(message: str) -> bool:
+    _, _, fb = message.partition(";FB:")
+    return not fb.startswith(EVENT_BAD)
+
+
+def lookup_sensing(grace_rounds: int = 10) -> Sensing:
+    """Last feedback was not a mislabel, with trial-local grace.
+
+    Grace covers stale in-flight queries from an evicted candidate (period
+    + deadline + latency), mirroring :func:`repro.worlds.control.control_sensing`.
+    """
+    return GraceSensing(
+        LastWorldMessageSensing(
+            predicate=_feedback_not_bad, default=True, label="lookup-fb"
+        ),
+        grace_rounds=grace_rounds,
+    )

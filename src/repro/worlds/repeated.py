@@ -1,0 +1,174 @@
+"""The repeated-computation world: delegation as a *compact* goal.
+
+The paper treats finite and compact goals as the two faces of the theory;
+the delegation examples are naturally finite (answer once, halt).  This
+world composes them: an endless stream of TQBF instances, each to be
+answered within a deadline, scored like the control world (ok / bad /
+none).  The compact referee demands that mistakes (wrong answers *and*
+missed deadlines) eventually stop — so a universal user must find the
+prover's language once and then keep verifying proofs forever.
+
+Attribution discipline: sessions carry ids.  The world announces
+``INSTANCE:<k>:<qbf>;FB:<event>`` and accepts ``ANSWER:<k>=<bit>`` only for
+the current session ``k`` — a stale answer from an evicted candidate can
+never score against a fresh session.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.comm.messages import WorldInbox, WorldOutbox, parse_tagged
+from repro.core.goals import CompactGoal
+from repro.core.referees import LastStateCompactReferee
+from repro.core.sensing import GraceSensing, LastWorldMessageSensing, Sensing
+from repro.core.strategy import WorldStrategy
+from repro.qbf.qbf import QBF
+
+EVENT_OK = "ok"
+EVENT_BAD = "bad"
+EVENT_NONE = "none"
+
+
+@dataclass(frozen=True)
+class RepeatedComputationState:
+    """World state: the live session plus score counters."""
+
+    session: int = 0
+    instance: str = ""
+    truth: bool = False
+    session_start: int = 0
+    round_index: int = 0
+    answered: int = 0
+    mistakes: int = 0
+    last_event: str = EVENT_NONE
+
+
+class RepeatedComputationWorld(WorldStrategy):
+    """Streams instances; scores session-tagged answers against a deadline."""
+
+    def __init__(self, instances: Sequence[QBF], *, deadline: int = 150) -> None:
+        if not instances:
+            raise ValueError("RepeatedComputationWorld needs at least one instance")
+        if deadline < 20:
+            # A proof needs tens of exchanges; tighter deadlines make the
+            # goal unachievable by anyone (and thus vacuous).
+            raise ValueError(f"deadline too tight for any prover: {deadline}")
+        self._instances = [(q.serialize(), q.evaluate()) for q in instances]
+        self._deadline = deadline
+
+    @property
+    def name(self) -> str:
+        return f"repeated-computation[{len(self._instances)}]"
+
+    def _fresh_session(
+        self, session: int, start_round: int, rng: random.Random, state: Optional[RepeatedComputationState]
+    ) -> RepeatedComputationState:
+        instance, truth = self._instances[rng.randrange(len(self._instances))]
+        base = state or RepeatedComputationState()
+        return RepeatedComputationState(
+            session=session,
+            instance=instance,
+            truth=truth,
+            session_start=start_round,
+            round_index=base.round_index,
+            answered=base.answered,
+            mistakes=base.mistakes,
+            last_event=base.last_event,
+        )
+
+    def initial_state(self, rng: random.Random) -> RepeatedComputationState:
+        return self._fresh_session(0, 0, rng, None)
+
+    def step(
+        self, state: RepeatedComputationState, inbox: WorldInbox, rng: random.Random
+    ) -> Tuple[RepeatedComputationState, WorldOutbox]:
+        event = EVENT_NONE
+        answered = state.answered
+        mistakes = state.mistakes
+        advance = False
+
+        parsed = parse_tagged(inbox.from_user)
+        if parsed is not None and parsed[0] == "ANSWER":
+            session_text, sep, bit = parsed[1].partition("=")
+            if sep and session_text == str(state.session) and bit in ("0", "1"):
+                answered += 1
+                if bit == ("1" if state.truth else "0"):
+                    event = EVENT_OK
+                else:
+                    mistakes += 1
+                    event = EVENT_BAD
+                advance = True
+        if not advance and state.round_index - state.session_start >= self._deadline:
+            mistakes += 1
+            event = EVENT_BAD
+            advance = True
+
+        next_round = state.round_index + 1
+        if advance:
+            new_state = self._fresh_session(
+                state.session + 1, next_round, rng,
+                RepeatedComputationState(
+                    round_index=next_round, answered=answered,
+                    mistakes=mistakes, last_event=event,
+                ),
+            )
+        else:
+            new_state = RepeatedComputationState(
+                session=state.session,
+                instance=state.instance,
+                truth=state.truth,
+                session_start=state.session_start,
+                round_index=next_round,
+                answered=answered,
+                mistakes=mistakes,
+                last_event=event,
+            )
+        message = (
+            f"INSTANCE:{new_state.session}:{new_state.instance};FB:{event}"
+        )
+        return new_state, WorldOutbox(to_user=message)
+
+
+def repeated_delegation_goal(
+    instances: Sequence[QBF],
+    *,
+    deadline: int = 150,
+    settle_fraction: float = 0.5,
+) -> CompactGoal:
+    """The compact goal "eventually always answer correctly and on time"."""
+    return CompactGoal(
+        name="repeated-delegation",
+        world=RepeatedComputationWorld(instances, deadline=deadline),
+        referee=LastStateCompactReferee(
+            state_acceptable=lambda s: not (
+                isinstance(s, RepeatedComputationState)
+                and s.last_event == EVENT_BAD
+            ),
+            label="no-wrong-answer",
+        ),
+        forgiving=True,
+        settle_fraction=settle_fraction,
+    )
+
+
+def _feedback_not_bad(message: str) -> bool:
+    _, _, fb = message.partition(";FB:")
+    return fb != EVENT_BAD
+
+
+def repeated_delegation_sensing(grace_rounds: int = 200) -> Sensing:
+    """World feedback with a grace covering one full session deadline.
+
+    The grace must outlive a deadline-expiry caused by the *previous*
+    candidate's unanswered session, or viability breaks the way the
+    control goal's docstring describes.
+    """
+    return GraceSensing(
+        LastWorldMessageSensing(
+            predicate=_feedback_not_bad, default=True, label="repeated-fb"
+        ),
+        grace_rounds=grace_rounds,
+    )

@@ -1,0 +1,36 @@
+"""Tests for the fast reproduction report."""
+
+from __future__ import annotations
+
+from repro.analysis import report
+
+
+class TestChecks:
+    def test_every_check_passes(self):
+        for check in report.ALL_CHECKS:
+            claim, ok, detail = check()
+            assert ok, (claim, detail)
+
+    def test_check_shapes(self):
+        claim, ok, detail = report.check_learning_gap()
+        assert isinstance(claim, str) and claim
+        assert isinstance(ok, bool)
+        assert isinstance(detail, str)
+
+
+class TestMain:
+    def test_main_exit_code_and_output(self, capsys):
+        code = report.main([])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "all claims reproduced" in captured.out
+        assert captured.out.count("[ok ]") == len(report.ALL_CHECKS)
+
+    def test_main_reports_failures(self, monkeypatch, capsys):
+        monkeypatch.setattr(
+            report, "ALL_CHECKS", [lambda: ("doomed claim", False, "by design")]
+        )
+        code = report.main([])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "FAIL" in captured.out

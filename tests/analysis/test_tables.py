@@ -1,0 +1,49 @@
+"""Tests for ASCII table/series rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import format_series, format_sparkline, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_headers(self):
+        text = format_table(["name", "value"], [["a", 1], ["longer", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "-+-" in lines[1]
+        assert lines[2].startswith("a")
+
+    def test_cell_rendering(self):
+        text = format_table(["x"], [[None], [True], [False], [1.234]])
+        assert "-" in text and "yes" in text and "no" in text and "1.23" in text
+
+    def test_title(self):
+        assert format_table(["a"], [], title="T").startswith("== T ==")
+
+    def test_row_width_validated(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+
+class TestFormatSeries:
+    def test_series_is_two_column_table(self):
+        text = format_series("curve", [(1, 2), (3, 4)], x_label="k", y_label="rounds")
+        assert "k" in text and "rounds" in text and "curve" in text
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert format_sparkline([]) == ""
+
+    def test_flat_series(self):
+        assert format_sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_peak_maps_to_top_block(self):
+        line = format_sparkline([0, 10])
+        assert line[-1] == "█"
+
+    def test_downsamples_long_series(self):
+        line = format_sparkline(list(range(1000)), width=50)
+        assert len(line) == 50

@@ -1,0 +1,39 @@
+"""Tests for channel delivery semantics."""
+
+from __future__ import annotations
+
+from repro.comm.channels import ChannelState, Roles
+from repro.comm.messages import ServerOutbox, UserOutbox, WorldOutbox, SILENCE
+
+
+class TestChannelState:
+    def test_starts_silent(self):
+        channels = ChannelState()
+        assert channels.user_inbox().is_silent()
+        assert channels.server_inbox().is_silent()
+        assert channels.world_inbox().is_silent()
+
+    def test_deliver_routes_all_six_channels(self):
+        channels = ChannelState()
+        channels.deliver(
+            UserOutbox(to_server="u2s", to_world="u2w"),
+            ServerOutbox(to_user="s2u", to_world="s2w"),
+            WorldOutbox(to_user="w2u", to_server="w2s"),
+        )
+        assert channels.server_inbox().from_user == "u2s"
+        assert channels.world_inbox().from_user == "u2w"
+        assert channels.user_inbox().from_server == "s2u"
+        assert channels.world_inbox().from_server == "s2w"
+        assert channels.user_inbox().from_world == "w2u"
+        assert channels.server_inbox().from_world == "w2s"
+
+    def test_deliver_overwrites_not_buffers(self):
+        channels = ChannelState()
+        channels.deliver(
+            UserOutbox(to_server="first"), ServerOutbox(), WorldOutbox()
+        )
+        channels.deliver(UserOutbox(), ServerOutbox(), WorldOutbox())
+        assert channels.server_inbox().from_user == SILENCE
+
+    def test_roles_constants(self):
+        assert set(Roles.ALL) == {Roles.USER, Roles.SERVER, Roles.WORLD}

@@ -1,0 +1,161 @@
+"""Tests for the codec substrate — mostly the bijection laws, via hypothesis."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm.codecs import (
+    AlphabetPermutationCodec,
+    CaesarCodec,
+    Codec,
+    ComposedCodec,
+    IdentityCodec,
+    PrefixCodec,
+    ReverseCodec,
+    TokenMapCodec,
+    XorMaskCodec,
+    codec_family,
+)
+from repro.errors import CodecError
+
+# Strings over the printable-ASCII range, the domain all protocols use.
+printable_text = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126), max_size=60
+)
+
+ALL_CODECS = [
+    IdentityCodec(),
+    ReverseCodec(),
+    CaesarCodec(shift=5),
+    CaesarCodec(shift=94),
+    XorMaskCodec(mask=0x2A),
+    AlphabetPermutationCodec(mapping=(("a", "b"), ("b", "c"), ("c", "a"))),
+    TokenMapCodec(mapping=(("north", "sud"), ("sud", "north"))),
+    PrefixCodec(sigil="~~"),
+    ComposedCodec((ReverseCodec(), CaesarCodec(shift=3))),
+]
+
+
+@pytest.mark.parametrize("codec", ALL_CODECS, ids=lambda c: c.name)
+@given(message=printable_text)
+@settings(max_examples=40, deadline=None)
+def test_decode_inverts_encode(codec: Codec, message: str):
+    assert codec.decode(codec.encode(message)) == message
+
+
+@pytest.mark.parametrize("codec", ALL_CODECS, ids=lambda c: c.name)
+@given(a=printable_text, b=printable_text)
+@settings(max_examples=25, deadline=None)
+def test_encode_is_injective(codec: Codec, a: str, b: str):
+    if a != b:
+        assert codec.encode(a) != codec.encode(b)
+
+
+class TestIdentity:
+    def test_identity_is_noop(self):
+        assert IdentityCodec().encode("abc") == "abc"
+
+
+class TestCaesar:
+    def test_known_shift(self):
+        assert CaesarCodec(shift=1).encode("ABC") == "BCD"
+
+    def test_wraps_printable_range(self):
+        # '~' (126) shifted by 1 wraps to ' ' (32).
+        assert CaesarCodec(shift=1).encode("~") == " "
+
+    def test_nonprintable_passes_through(self):
+        assert CaesarCodec(shift=7).encode("\n") == "\n"
+
+
+class TestXorMask:
+    def test_self_inverse(self):
+        codec = XorMaskCodec(mask=0x13)
+        assert codec.encode(codec.encode("hello")) == "hello"
+
+    def test_rejects_out_of_range_mask(self):
+        with pytest.raises(ValueError):
+            XorMaskCodec(mask=256)
+
+    def test_rejects_non_latin1_input(self):
+        with pytest.raises(CodecError):
+            XorMaskCodec(mask=1).encode("☃")  # snowman
+
+
+class TestAlphabetPermutation:
+    def test_rejects_non_permutation(self):
+        with pytest.raises(ValueError):
+            AlphabetPermutationCodec(mapping=(("a", "b"), ("b", "b")))
+
+    def test_rejects_duplicate_sources(self):
+        with pytest.raises(ValueError):
+            AlphabetPermutationCodec(mapping=(("a", "b"), ("a", "c"), ("b", "a"), ("c", "a")))
+
+    def test_characters_outside_alphabet_pass_through(self):
+        codec = AlphabetPermutationCodec(mapping=(("a", "b"), ("b", "a")))
+        assert codec.encode("abz") == "baz"
+
+
+class TestTokenMap:
+    def test_whole_tokens_only(self):
+        codec = TokenMapCodec(mapping=(("north", "sud"), ("sud", "north")))
+        assert codec.encode("go north now") == "go sud now"
+        assert codec.encode("northern") == "northern"
+
+    def test_rejects_non_injective(self):
+        with pytest.raises(ValueError):
+            TokenMapCodec(mapping=(("a", "x"), ("b", "x")))
+
+
+class TestPrefix:
+    def test_decode_rejects_missing_sigil(self):
+        with pytest.raises(CodecError):
+            PrefixCodec(sigil="~").decode("no sigil")
+
+
+class TestComposition:
+    def test_then_builds_composition(self):
+        codec = ReverseCodec().then(CaesarCodec(shift=2))
+        assert codec.decode(codec.encode("xyz")) == "xyz"
+
+    def test_empty_composition_rejected(self):
+        with pytest.raises(ValueError):
+            ComposedCodec(())
+
+    def test_composition_order_matters(self):
+        a = ComposedCodec((ReverseCodec(), PrefixCodec("~")))
+        b = ComposedCodec((PrefixCodec("~"), ReverseCodec()))
+        assert a.encode("ab") == "~ba"
+        assert b.encode("ab") == "ba~"
+
+
+class TestFamily:
+    def test_family_members_distinct_behaviour(self):
+        family = codec_family(16)
+        probe = "The Quick Brown Fox ~ 123!"
+        encodings = [codec.encode(probe) for codec in family]
+        assert len(set(encodings)) == len(family)
+
+    def test_family_starts_with_identity(self):
+        assert isinstance(codec_family(1)[0], IdentityCodec)
+
+    def test_family_deterministic(self):
+        names_a = [c.name for c in codec_family(12)]
+        names_b = [c.name for c in codec_family(12)]
+        assert names_a == names_b
+
+    def test_family_size_validated(self):
+        with pytest.raises(ValueError):
+            codec_family(0)
+
+    @pytest.mark.parametrize("size", [1, 2, 5, 30, 80])
+    def test_family_has_requested_size(self, size: int):
+        assert len(codec_family(size)) == size
+
+    @given(message=printable_text)
+    @settings(max_examples=20, deadline=None)
+    def test_large_family_all_bijective(self, message: str):
+        for codec in codec_family(40):
+            assert codec.decode(codec.encode(message)) == message

@@ -1,0 +1,80 @@
+"""Tests for message profiles and the TAG:payload convention."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.comm.messages import (
+    SILENCE,
+    ServerInbox,
+    UserInbox,
+    UserOutbox,
+    WorldInbox,
+    parse_tagged,
+    tagged,
+)
+
+
+class TestSilence:
+    def test_silence_is_empty_string(self):
+        assert SILENCE == ""
+
+    def test_user_inbox_silent_by_default(self):
+        assert UserInbox().is_silent()
+
+    def test_user_inbox_not_silent_with_server_message(self):
+        assert not UserInbox(from_server="hi").is_silent()
+
+    def test_user_inbox_not_silent_with_world_message(self):
+        assert not UserInbox(from_world="hi").is_silent()
+
+    def test_server_inbox_silent_flags(self):
+        assert ServerInbox().is_silent()
+        assert not ServerInbox(from_user="x").is_silent()
+
+    def test_world_inbox_silent_flags(self):
+        assert WorldInbox().is_silent()
+        assert not WorldInbox(from_server="x").is_silent()
+
+
+class TestUserOutbox:
+    def test_defaults(self):
+        out = UserOutbox()
+        assert out.to_server == SILENCE
+        assert out.to_world == SILENCE
+        assert not out.halt
+        assert out.output is None
+
+    def test_halt_with_output(self):
+        out = UserOutbox(halt=True, output="done")
+        assert out.halt
+        assert out.output == "done"
+
+    def test_outbox_is_immutable(self):
+        out = UserOutbox()
+        with pytest.raises(AttributeError):
+            out.halt = True  # type: ignore[misc]
+
+
+class TestTagged:
+    def test_round_trip(self):
+        assert parse_tagged(tagged("PRINT", "hello")) == ("PRINT", "hello")
+
+    def test_empty_payload(self):
+        assert tagged("ACK") == "ACK:"
+        assert parse_tagged("ACK:") == ("ACK", "")
+
+    def test_payload_may_contain_colons(self):
+        tag, payload = parse_tagged("POLY:0:1,2,3")
+        assert tag == "POLY"
+        assert payload == "0:1,2,3"
+
+    def test_tag_with_colon_rejected(self):
+        with pytest.raises(ValueError):
+            tagged("A:B", "x")
+
+    def test_parse_untagged_returns_none(self):
+        assert parse_tagged("no colon here") is None
+
+    def test_parse_empty_returns_none(self):
+        assert parse_tagged("") is None

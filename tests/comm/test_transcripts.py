@@ -1,0 +1,48 @@
+"""Tests for transcript recording."""
+
+from __future__ import annotations
+
+from repro.comm.transcripts import Transcript, TranscriptEntry
+
+
+class TestTranscript:
+    def test_records_in_order(self):
+        t = Transcript()
+        t.record(0, "user", "server", "hello")
+        t.record(1, "server", "user", "hi")
+        assert [e.message for e in t] == ["hello", "hi"]
+
+    def test_skips_silence(self):
+        t = Transcript()
+        t.record(0, "user", "server", "")
+        assert len(t) == 0
+
+    def test_between_filters_directed_channel(self):
+        t = Transcript()
+        t.record(0, "user", "server", "a")
+        t.record(0, "server", "user", "b")
+        t.record(1, "user", "server", "c")
+        assert t.messages("user", "server") == ["a", "c"]
+        assert t.messages("server", "user") == ["b"]
+
+    def test_format_contains_round_and_parties(self):
+        t = Transcript()
+        t.record(12, "user", "server", "PRINT:x")
+        line = t.format()
+        assert "12" in line and "user" in line and "server" in line and "PRINT:x" in line
+
+    def test_format_limit_keeps_tail(self):
+        t = Transcript()
+        for i in range(10):
+            t.record(i, "user", "server", f"m{i}")
+        assert t.format(limit=2).splitlines()[0].endswith("m8")
+
+    def test_tail(self):
+        t = Transcript()
+        for i in range(5):
+            t.record(i, "user", "server", f"m{i}")
+        assert [e.message for e in t.tail(2)] == ["m3", "m4"]
+
+    def test_entry_format(self):
+        entry = TranscriptEntry(3, "world", "user", "OBS:red")
+        assert "world" in entry.format() and "OBS:red" in entry.format()

@@ -1,0 +1,40 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.comm.codecs import codec_family
+from repro.mathx.modular import Field
+
+
+@pytest.fixture(scope="session")
+def field() -> Field:
+    """The default prime field used by all protocol tests."""
+    return Field()
+
+
+@pytest.fixture(scope="session")
+def small_field() -> Field:
+    """A deliberately small field (soundness-error edge cases)."""
+    return Field(p=101)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A fresh seeded RNG per test."""
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture(scope="session")
+def codecs4():
+    """A small deterministic codec family."""
+    return codec_family(4)
+
+
+@pytest.fixture(scope="session")
+def codecs8():
+    """A medium deterministic codec family."""
+    return codec_family(8)

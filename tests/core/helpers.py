@@ -1,0 +1,72 @@
+"""Tiny strategies shared by the core tests."""
+
+from __future__ import annotations
+
+import random
+from typing import Tuple
+
+from repro.comm.messages import (
+    ServerInbox,
+    ServerOutbox,
+    UserInbox,
+    UserOutbox,
+    WorldInbox,
+    WorldOutbox,
+)
+from repro.core.strategy import ServerStrategy, UserStrategy, WorldStrategy
+
+
+class EchoServer(ServerStrategy):
+    """Repeats the user's last message back."""
+
+    def initial_state(self, rng: random.Random) -> int:
+        return 0
+
+    def step(
+        self, state: int, inbox: ServerInbox, rng: random.Random
+    ) -> Tuple[int, ServerOutbox]:
+        return state + 1, ServerOutbox(to_user=inbox.from_user)
+
+
+class CountingWorld(WorldStrategy):
+    """State = number of ``INC`` messages received from the user."""
+
+    def initial_state(self, rng: random.Random) -> int:
+        return 0
+
+    def step(
+        self, state: int, inbox: WorldInbox, rng: random.Random
+    ) -> Tuple[int, WorldOutbox]:
+        if inbox.from_user == "INC":
+            state += 1
+        return state, WorldOutbox(to_user=f"COUNT:{state}")
+
+
+class IncrementingUser(UserStrategy):
+    """Sends ``INC`` to the world every round; halts after ``limit`` rounds."""
+
+    def __init__(self, limit: int = 0) -> None:
+        self._limit = limit
+
+    def initial_state(self, rng: random.Random) -> int:
+        return 0
+
+    def step(
+        self, state: int, inbox: UserInbox, rng: random.Random
+    ) -> Tuple[int, UserOutbox]:
+        state += 1
+        if self._limit and state > self._limit:
+            return state, UserOutbox(halt=True, output=f"sent:{self._limit}")
+        return state, UserOutbox(to_world="INC")
+
+
+class RandomCoinUser(UserStrategy):
+    """Sends a random bit each round (tests RNG isolation)."""
+
+    def initial_state(self, rng: random.Random) -> int:
+        return 0
+
+    def step(
+        self, state: int, inbox: UserInbox, rng: random.Random
+    ) -> Tuple[int, UserOutbox]:
+        return state + 1, UserOutbox(to_server=str(rng.getrandbits(1)))

@@ -1,0 +1,106 @@
+"""Property-based tests of the execution engine (hypothesis-driven).
+
+Invariants that must hold for *arbitrary* strategies, not just the shipped
+ones: determinism under seeds, structural consistency of the recorded
+artifacts, and the correspondence between rounds, views and transcripts.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm.messages import UserOutbox
+from repro.core.execution import run_execution
+from repro.core.strategy import SilentServer
+from repro.users.scripted import BabblingUser, ScriptedUser
+
+from tests.core.helpers import CountingWorld, EchoServer
+
+# Arbitrary short scripts of printable messages.
+message = st.text(
+    alphabet=st.characters(min_codepoint=33, max_codepoint=126), max_size=12
+)
+scripts = st.lists(
+    st.tuples(message, message, st.booleans()), min_size=0, max_size=8
+)
+
+
+def build_user(script):
+    outboxes = [
+        UserOutbox(to_server=s, to_world=w, halt=h, output="done" if h else None)
+        for s, w, h in script
+    ]
+    return ScriptedUser(outboxes)
+
+
+class TestStructuralInvariants:
+    @given(script=scripts, seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_artifact_lengths_agree(self, script, seed):
+        result = run_execution(
+            build_user(script), EchoServer(), CountingWorld(),
+            max_rounds=12, seed=seed, record_transcript=True,
+        )
+        assert len(result.world_states) == result.rounds_executed + 1
+        assert len(result.user_view) == result.rounds_executed
+        assert [r.index for r in result.rounds] == list(range(result.rounds_executed))
+
+    @given(script=scripts, seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_halt_iff_script_halts_within_horizon(self, script, seed):
+        result = run_execution(
+            build_user(script), EchoServer(), CountingWorld(),
+            max_rounds=12, seed=seed,
+        )
+        halts_at = next(
+            (i for i, (_, __, h) in enumerate(script) if h), None
+        )
+        if halts_at is not None and halts_at < 12:
+            assert result.halted
+            assert result.rounds_executed == halts_at + 1
+        else:
+            assert not result.halted
+            assert result.rounds_executed == 12
+
+    @given(script=scripts)
+    @settings(max_examples=30, deadline=None)
+    def test_view_outboxes_match_script(self, script):
+        result = run_execution(
+            build_user(script), SilentServer(), CountingWorld(),
+            max_rounds=len(script) + 3, seed=0,
+        )
+        for record, (to_server, to_world, halt) in zip(result.user_view, script):
+            assert record.outbox.to_server == to_server
+            assert record.outbox.to_world == to_world
+            if halt:
+                break
+
+    @given(script=scripts, seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_echo_round_trip_invariant(self, script, seed):
+        """Whatever the user says to the server comes back two rounds later."""
+        result = run_execution(
+            build_user(script), EchoServer(), CountingWorld(),
+            max_rounds=len(script) + 4, seed=seed,
+        )
+        records = list(result.user_view)
+        for i in range(len(records) - 2):
+            assert records[i + 2].inbox.from_server == records[i].outbox.to_server
+
+
+class TestDeterminismProperties:
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_randomized_user_reproducible(self, seed):
+        def run():
+            return run_execution(
+                BabblingUser(), EchoServer(), CountingWorld(),
+                max_rounds=10, seed=seed,
+            )
+
+        a, b = run(), run()
+        assert [r.outbox for r in a.user_view] == [r.outbox for r in b.user_view]
+        assert a.world_states == b.world_states

@@ -1,0 +1,51 @@
+"""Tests for the helpfulness definition, on the printer goal."""
+
+from __future__ import annotations
+
+from repro.comm.codecs import codec_family
+from repro.core.helpfulness import helpful_subclass, is_helpful
+from repro.core.strategy import SilentServer
+from repro.servers.printer_servers import printer_server_class
+from repro.users.printer_users import printer_user_class
+from repro.worlds.printer import printing_goal
+
+CODECS = codec_family(2)
+DIALECTS = ("space", "tagged")
+GOAL = printing_goal(["hello world"])
+SERVERS = printer_server_class(DIALECTS, CODECS)
+USERS = printer_user_class(DIALECTS, CODECS)
+
+
+class TestIsHelpful:
+    def test_every_printer_is_helpful_for_the_class(self):
+        for server in SERVERS:
+            report = is_helpful(server, GOAL, USERS, max_rounds=64)
+            assert report.helpful, server.name
+
+    def test_witness_matches_server_language(self):
+        server = SERVERS[0]  # space dialect, identity codec.
+        report = is_helpful(server, GOAL, USERS, max_rounds=64)
+        assert report.witness is not None
+        assert report.witness.name == "print-space@id"
+
+    def test_silent_server_is_unhelpful(self):
+        report = is_helpful(SilentServer(), GOAL, USERS, max_rounds=64)
+        assert not report.helpful
+        assert report.witness is None
+        assert not bool(report)
+
+    def test_per_user_diagnostics_populated_on_failure(self):
+        report = is_helpful(SilentServer(), GOAL, USERS, max_rounds=64)
+        assert len(report.per_user) == len(USERS)
+
+    def test_report_is_truthy_when_helpful(self):
+        report = is_helpful(SERVERS[0], GOAL, USERS, max_rounds=64)
+        assert bool(report)
+
+
+class TestHelpfulSubclass:
+    def test_filters_unhelpful_members(self):
+        mixed = list(SERVERS) + [SilentServer()]
+        helpful = helpful_subclass(mixed, GOAL, USERS, max_rounds=64)
+        assert len(helpful) == len(SERVERS)
+        assert all(report.helpful for _, report in helpful)

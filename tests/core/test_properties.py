@@ -1,0 +1,133 @@
+"""Tests for the safety/viability/forgivingness property checkers.
+
+These tests double as the paper's definitional sanity checks: the shipped
+sensing functions must pass their properties on the shipped goals, and
+deliberately broken sensing must fail them.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.comm.codecs import codec_family
+from repro.core.properties import (
+    check_compact_safety,
+    check_compact_viability,
+    check_finite_safety,
+    check_finite_viability,
+    check_forgiving,
+)
+from repro.core.sensing import ConstantSensing
+from repro.servers.advisors import advisor_server_class
+from repro.servers.printer_servers import printer_server_class
+from repro.users.control_users import follower_user_class
+from repro.users.printer_users import printer_user_class
+from repro.users.scripted import BabblingUser
+from repro.worlds.control import control_goal, control_sensing, random_law
+from repro.worlds.printer import printing_goal, printing_sensing
+
+CODECS = codec_family(2)
+DIALECTS = ("space", "tagged")
+
+PRINT_GOAL = printing_goal(["hello"])
+PRINT_SERVERS = printer_server_class(DIALECTS, CODECS)
+PRINT_USERS = printer_user_class(DIALECTS, CODECS)
+
+LAW = random_law(random.Random(3))
+CONTROL_GOAL = control_goal(LAW)
+CONTROL_SERVERS = advisor_server_class(LAW, CODECS)
+CONTROL_USERS = follower_user_class(CODECS)
+
+
+class TestFiniteSafety:
+    def test_printing_sensing_is_safe(self):
+        report = check_finite_safety(
+            PRINT_GOAL, printing_sensing(), PRINT_USERS, PRINT_SERVERS,
+            max_rounds=64,
+        )
+        assert report.holds, report.violations
+
+    def test_always_positive_sensing_is_unsafe(self):
+        # With blind-halting users, always-positive sensing endorses wrong halts.
+        blind_users = printer_user_class(
+            DIALECTS, CODECS, blind_halt_after=4
+        )
+        report = check_finite_safety(
+            PRINT_GOAL, ConstantSensing(True), blind_users, PRINT_SERVERS,
+            max_rounds=64,
+        )
+        assert not report.holds
+        assert report.violations
+
+
+class TestFiniteViability:
+    def test_printing_sensing_is_viable(self):
+        report = check_finite_viability(
+            PRINT_GOAL, printing_sensing(), PRINT_USERS, PRINT_SERVERS,
+            max_rounds=64,
+        )
+        assert report.holds, report.violations
+
+    def test_always_negative_sensing_is_not_viable(self):
+        report = check_finite_viability(
+            PRINT_GOAL, ConstantSensing(False), PRINT_USERS, PRINT_SERVERS,
+            max_rounds=64,
+        )
+        assert not report.holds
+
+
+class TestCompactSafety:
+    def test_control_sensing_is_safe(self):
+        report = check_compact_safety(
+            CONTROL_GOAL, control_sensing(), CONTROL_USERS, CONTROL_SERVERS,
+            horizon=200,
+        )
+        assert report.holds, report.violations
+
+    def test_always_positive_sensing_is_unsafe(self):
+        report = check_compact_safety(
+            CONTROL_GOAL, ConstantSensing(True), CONTROL_USERS, CONTROL_SERVERS,
+            horizon=200,
+        )
+        # Mismatched followers keep failing while sensing endorses them.
+        assert not report.holds
+
+
+class TestCompactViability:
+    def test_control_sensing_is_viable(self):
+        report = check_compact_viability(
+            CONTROL_GOAL, control_sensing(), CONTROL_USERS, CONTROL_SERVERS,
+            horizon=200,
+        )
+        assert report.holds, report.violations
+
+    def test_always_negative_sensing_is_not_viable(self):
+        report = check_compact_viability(
+            CONTROL_GOAL, ConstantSensing(False), CONTROL_USERS, CONTROL_SERVERS,
+            horizon=200,
+        )
+        assert not report.holds
+
+
+class TestForgiving:
+    def test_printing_goal_recoverable_after_junk(self):
+        report = check_forgiving(
+            PRINT_GOAL,
+            rescuer=PRINT_USERS[0],
+            junk_users=[BabblingUser()],
+            server=PRINT_SERVERS[0],
+            junk_rounds=(0, 5, 15),
+            max_rounds=128,
+        )
+        assert report.holds, report.violations
+
+    def test_control_goal_recoverable_after_junk(self):
+        report = check_forgiving(
+            CONTROL_GOAL,
+            rescuer=CONTROL_USERS[0],
+            junk_users=[BabblingUser()],
+            server=CONTROL_SERVERS[0],
+            junk_rounds=(0, 10),
+            max_rounds=400,
+        )
+        assert report.holds, report.violations

@@ -1,0 +1,73 @@
+"""Tests for finite and compact referees."""
+
+from __future__ import annotations
+
+from repro.core.execution import ExecutionResult
+from repro.core.referees import (
+    CompactVerdict,
+    FunctionCompactReferee,
+    FunctionFiniteReferee,
+    LastStateCompactReferee,
+)
+
+
+def execution_with_states(states, halted=True, output=None):
+    result = ExecutionResult(halted=halted, user_output=output)
+    result.world_states = list(states)
+    return result
+
+
+class TestFiniteReferee:
+    def test_accepts_via_predicate(self):
+        referee = FunctionFiniteReferee(lambda e: e.final_world_state() == 3)
+        assert referee.accepts(execution_with_states([1, 2, 3]))
+        assert not referee.accepts(execution_with_states([1, 2]))
+
+    def test_never_accepts_unhalted(self):
+        referee = FunctionFiniteReferee(lambda e: True)
+        assert not referee.accepts(execution_with_states([1], halted=False))
+
+
+class TestCompactVerdict:
+    def test_counts_bad_prefixes(self):
+        referee = FunctionCompactReferee(lambda states: states[-1] >= 0)
+        verdict = referee.judge(execution_with_states([-1, -2, 3, 4]))
+        assert verdict.bad_prefixes == 2
+        assert verdict.last_bad_round == 2
+        assert verdict.total_prefixes == 4
+
+    def test_all_good(self):
+        referee = FunctionCompactReferee(lambda states: True)
+        verdict = referee.judge(execution_with_states([0, 1]))
+        assert verdict.bad_prefixes == 0
+        assert verdict.last_bad_round is None
+
+    def test_settled_since(self):
+        verdict = CompactVerdict(bad_prefixes=2, last_bad_round=5, flags=(True,) * 10)
+        assert verdict.settled_since(5)
+        assert verdict.settled_since(7)
+        assert not verdict.settled_since(4)
+
+    def test_settled_since_with_no_bad(self):
+        verdict = CompactVerdict(bad_prefixes=0, last_bad_round=None, flags=())
+        assert verdict.settled_since(0)
+
+    def test_prefix_semantics_sees_growing_histories(self):
+        seen = []
+        referee = FunctionCompactReferee(lambda states: bool(seen.append(len(states))) or True)
+        referee.judge(execution_with_states([0, 1, 2]))
+        assert seen == [1, 2, 3]
+
+
+class TestLastStateReferee:
+    def test_only_inspects_last_state(self):
+        referee = LastStateCompactReferee(state_acceptable=lambda s: s % 2 == 0)
+        verdict = referee.judge(execution_with_states([0, 1, 2, 3]))
+        assert verdict.flags == (True, False, True, False)
+        assert verdict.bad_prefixes == 2
+
+    def test_linear_judge_matches_generic_judge(self):
+        local = LastStateCompactReferee(state_acceptable=lambda s: s != 2)
+        generic = FunctionCompactReferee(lambda states: states[-1] != 2)
+        execution = execution_with_states([0, 2, 1, 2, 5])
+        assert local.judge(execution) == generic.judge(execution)

@@ -1,0 +1,60 @@
+"""Tests for strategy base classes."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.comm.messages import UserInbox, UserOutbox
+from repro.core.strategy import SilentServer, SilentUser, StatelessUser, Strategy
+
+
+class TestBaseStrategy:
+    def test_abstract_methods_raise(self):
+        s = Strategy()
+        with pytest.raises(NotImplementedError):
+            s.initial_state(random.Random(0))
+        with pytest.raises(NotImplementedError):
+            s.step(None, None, random.Random(0))
+
+    def test_default_name_is_class_name(self):
+        assert SilentUser().name == "SilentUser"
+
+    def test_repr_contains_name(self):
+        assert "SilentServer" in repr(SilentServer())
+
+
+class TestStatelessUser:
+    def test_react_receives_round_counter(self):
+        seen = []
+
+        class Probe(StatelessUser):
+            def react(self, round_index, inbox, rng):
+                seen.append(round_index)
+                return UserOutbox()
+
+        probe = Probe()
+        rng = random.Random(0)
+        state = probe.initial_state(rng)
+        for _ in range(3):
+            state, _ = probe.step(state, UserInbox(), rng)
+        assert seen == [0, 1, 2]
+
+
+class TestSilentStrategies:
+    def test_silent_user_says_nothing_and_never_halts(self):
+        user = SilentUser()
+        rng = random.Random(0)
+        state = user.initial_state(rng)
+        state, out = user.step(state, UserInbox(from_server="provoke"), rng)
+        assert out.to_server == "" and out.to_world == "" and not out.halt
+
+    def test_silent_server_says_nothing(self):
+        from repro.comm.messages import ServerInbox
+
+        server = SilentServer()
+        rng = random.Random(0)
+        state = server.initial_state(rng)
+        _, out = server.step(state, ServerInbox(from_user="provoke"), rng)
+        assert out.to_user == "" and out.to_world == ""

@@ -1,0 +1,59 @@
+"""Tests for the user's local view."""
+
+from __future__ import annotations
+
+from repro.comm.messages import UserInbox, UserOutbox
+from repro.core.views import UserView, ViewRecord
+
+
+def record(i, from_server="", from_world="", to_server="", to_world=""):
+    return ViewRecord(
+        round_index=i,
+        state_before=i,
+        inbox=UserInbox(from_server=from_server, from_world=from_world),
+        outbox=UserOutbox(to_server=to_server, to_world=to_world),
+        state_after=i + 1,
+    )
+
+
+class TestUserView:
+    def test_append_and_iterate(self):
+        view = UserView()
+        view.append(record(0))
+        view.append(record(1))
+        assert len(view) == 2
+        assert [r.round_index for r in view] == [0, 1]
+
+    def test_last(self):
+        view = UserView()
+        assert view.last() is None
+        view.append(record(0))
+        assert view.last().round_index == 0
+
+    def test_message_extractors_skip_silence(self):
+        view = UserView(
+            [
+                record(0, from_server="s0", to_world="w0"),
+                record(1),
+                record(2, from_world="in2", to_server="out2"),
+            ]
+        )
+        assert view.messages_from_server() == ["s0"]
+        assert view.messages_from_world() == ["in2"]
+        assert view.messages_to_server() == ["out2"]
+        assert view.messages_to_world() == ["w0"]
+
+    def test_tail(self):
+        view = UserView([record(i) for i in range(5)])
+        tail = view.tail(2)
+        assert [r.round_index for r in tail] == [3, 4]
+
+    def test_indexing(self):
+        view = UserView([record(0), record(1)])
+        assert view[1].round_index == 1
+
+    def test_records_tuple_is_snapshot(self):
+        view = UserView([record(0)])
+        snapshot = view.records
+        view.append(record(1))
+        assert len(snapshot) == 1

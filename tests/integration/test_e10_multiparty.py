@@ -1,0 +1,60 @@
+"""Integration: the multiparty reduction (experiment E10, footnote 1).
+
+Claim: the symmetric N-party setting reduces to the two-party one — the
+reduced system reproduces the native trajectory, and the compact rendezvous
+goal is achieved through the reduction.
+"""
+
+from __future__ import annotations
+
+from repro.core.execution import run_execution
+from repro.core.goals import CompactGoal
+from repro.multiparty.reduction import reduce_to_two_party
+from repro.multiparty.symmetric import (
+    FollowLeaderParty,
+    RendezvousWorld,
+    rendezvous_referee,
+    run_multiparty,
+)
+
+NAMES = ["p1", "p2", "p3", "p4"]
+PREFS = ["red", "green", "blue", "yellow"]
+
+
+def parties():
+    return {
+        name: FollowLeaderParty(name, pref, NAMES)
+        for name, pref in zip(NAMES, PREFS)
+    }
+
+
+class TestE10:
+    def test_native_four_party_rendezvous(self):
+        result = run_multiparty(
+            parties(), RendezvousWorld(NAMES), max_rounds=25, seed=0
+        )
+        assert result.final_world_state().agreed(4)
+
+    def test_reduced_rendezvous_achieves_compact_goal(self):
+        user, server, world = reduce_to_two_party(
+            parties(), RendezvousWorld(NAMES), "p2"
+        )
+        goal = CompactGoal(
+            name="rendezvous",
+            world=world,
+            referee=rendezvous_referee(4),
+            settle_fraction=0.5,
+        )
+        result = run_execution(user, server, world, max_rounds=60, seed=0)
+        assert goal.evaluate(result).achieved
+
+    def test_reduction_preserves_trajectory_for_every_pivot(self):
+        native = run_multiparty(
+            parties(), RendezvousWorld(NAMES), max_rounds=20, seed=5
+        )
+        for pivot in NAMES:
+            user, server, world = reduce_to_two_party(
+                parties(), RendezvousWorld(NAMES), pivot
+            )
+            reduced = run_execution(user, server, world, max_rounds=20, seed=5)
+            assert reduced.world_states[-1] == native.world_states[-1], pivot

@@ -1,0 +1,69 @@
+"""Integration: Theorem 1, compact case (experiment E1, scaled down).
+
+Claim: with safe+viable sensing, the enumerate-and-switch universal user
+achieves the compact control goal with *every* helpful server in the class,
+and with none of the unhelpful ones is it fooled into settling.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis.runner import sweep
+from repro.comm.codecs import codec_family
+from repro.core.execution import run_execution
+from repro.core.helpfulness import is_helpful
+from repro.servers.advisors import MisleadingAdvisorServer, advisor_server_class
+from repro.universal.compact import CompactUniversalUser
+from repro.universal.enumeration import ListEnumeration
+from repro.users.control_users import follower_user_class
+from repro.worlds.control import control_goal, control_sensing, random_law
+
+CODECS = codec_family(6)
+LAW = random_law(random.Random(11))
+GOAL = control_goal(LAW)
+SERVERS = advisor_server_class(LAW, CODECS)
+USERS = follower_user_class(CODECS)
+
+
+def universal():
+    return CompactUniversalUser(ListEnumeration(USERS), control_sensing())
+
+
+class TestE1:
+    def test_every_class_member_is_helpful(self):
+        for server in SERVERS:
+            assert is_helpful(server, GOAL, USERS, seeds=(0,), max_rounds=400)
+
+    def test_universal_succeeds_with_every_helpful_server(self):
+        result = sweep(universal(), SERVERS, GOAL, seeds=(0, 1), max_rounds=2000)
+        assert result.universal_success, [c.server_name for c in result.failures()]
+
+    def test_settles_on_matching_codec_index(self):
+        for index, server in enumerate(SERVERS):
+            result = run_execution(
+                universal(), server, GOAL.world, max_rounds=2000, seed=3
+            )
+            state = result.rounds[-1].user_state_after
+            assert state.index == index, server.name
+
+    def test_unhelpful_server_does_not_fool_the_user(self):
+        misleading = MisleadingAdvisorServer(LAW)
+        result = run_execution(
+            universal(), misleading, GOAL.world, max_rounds=1500, seed=0
+        )
+        assert not GOAL.evaluate(result).achieved
+
+    def test_world_nondeterminism_any_law(self):
+        """Theorem quantifies over the world class too: try several laws."""
+        for seed in range(3):
+            law = random_law(random.Random(seed))
+            goal = control_goal(law)
+            servers = advisor_server_class(law, CODECS[:3])
+            user = CompactUniversalUser(
+                ListEnumeration(follower_user_class(CODECS[:3])), control_sensing()
+            )
+            result = sweep(user, servers, goal, seeds=(0,), max_rounds=1500)
+            assert result.universal_success

@@ -1,0 +1,104 @@
+"""Integration: Theorem 1, finite case (experiment E2, scaled down).
+
+Claim: the Levin-scheduled universal user prints with every member of the
+dialect × codec printer class; the naive fixed-budget scheduler breaks when
+its guess is too small, and the Levin schedule's overhead grows with the
+adequate candidate's index.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.runner import sweep
+from repro.comm.codecs import codec_family
+from repro.core.execution import run_execution
+from repro.servers.printer_servers import DIALECTS, printer_server_class
+from repro.universal.enumeration import ListEnumeration
+from repro.universal.finite import FiniteUniversalUser
+from repro.universal.schedules import doubling_sweep_trials, sequential_trials
+from repro.users.printer_users import printer_user_class
+from repro.worlds.printer import printing_goal, printing_sensing
+
+CODECS = codec_family(3)
+GOAL = printing_goal(["a short memo"])
+SERVERS = printer_server_class(DIALECTS, CODECS)
+USERS = printer_user_class(DIALECTS, CODECS)
+
+
+def levin_user():
+    return FiniteUniversalUser(ListEnumeration(USERS), printing_sensing())
+
+
+def sweep_user():
+    return FiniteUniversalUser(
+        ListEnumeration(USERS),
+        printing_sensing(),
+        schedule_factory=lambda cap: doubling_sweep_trials(
+            None if cap is None else cap - 1
+        ),
+    )
+
+
+class TestE2:
+    def test_levin_universal_prints_with_every_server(self):
+        result = sweep(levin_user(), SERVERS, GOAL, seeds=(0,), max_rounds=40000)
+        assert result.universal_success, [c.server_name for c in result.failures()]
+
+    def test_doubling_sweep_also_universal_and_cheaper(self):
+        levin = sweep(levin_user(), SERVERS, GOAL, seeds=(0,), max_rounds=40000)
+        sweeping = sweep(sweep_user(), SERVERS, GOAL, seeds=(0,), max_rounds=4000)
+        assert sweeping.universal_success
+        worst_levin = max(c.mean_rounds() for c in levin.cells)
+        worst_sweep = max(c.mean_rounds() for c in sweeping.cells)
+        assert worst_sweep < worst_levin
+
+    def test_single_pass_fixed_budget_scheduler_fails(self):
+        """Committing to one small budget per candidate (no growth, no
+        retries) breaks completeness — no candidate can even see feedback
+        within one round, so the rigid scheduler never halts.  This is the
+        failure Levin's growing budgets exist to avoid."""
+        rigid = FiniteUniversalUser(
+            ListEnumeration(USERS),
+            printing_sensing(),
+            schedule_factory=lambda cap: sequential_trials(
+                1, max_index=None if cap is None else cap - 1, repeat=False
+            ),
+        )
+        result = sweep(rigid, SERVERS, GOAL, seeds=(0,), max_rounds=3000)
+        # (Not *every* pairing fails: a candidate running after the matched
+        # one can still halt on the world's printed-tail evidence.  But the
+        # last server's match has nobody after it, so universality breaks.)
+        assert not result.universal_success
+        assert result.failures()
+
+    def test_small_cyclic_budgets_survive_thanks_to_forgiveness(self):
+        """Conversely, even budget-2 trials succeed *when repeated*: the
+        goal is forgiving and printer state persists across trials, so an
+        abandoned trial's handshake still counts.  This documents why the
+        lower bound needs password-style servers (E3), not mere protocol
+        depth."""
+        cyclic = FiniteUniversalUser(
+            ListEnumeration(USERS),
+            printing_sensing(),
+            schedule_factory=lambda cap: sequential_trials(
+                2, max_index=None if cap is None else cap - 1
+            ),
+        )
+        result = sweep(cyclic, SERVERS, GOAL, seeds=(0,), max_rounds=3000)
+        assert result.universal_success
+
+    def test_levin_cost_grows_with_candidate_index(self):
+        first = run_execution(
+            levin_user(), SERVERS[0], GOAL.world, max_rounds=40000, seed=1
+        )
+        last = run_execution(
+            levin_user(), SERVERS[-1], GOAL.world, max_rounds=40000, seed=1
+        )
+        assert first.halted and last.halted
+        assert last.rounds_executed > 4 * first.rounds_executed
+
+    def test_output_is_the_adequate_candidates_output(self):
+        result = run_execution(
+            levin_user(), SERVERS[4], GOAL.world, max_rounds=40000, seed=0
+        )
+        assert result.halted
+        assert result.user_output == "PRINTED"

@@ -1,0 +1,89 @@
+"""Integration: the enumeration overhead is necessary (experiment E3).
+
+Claim: against the class of 2^k password-locked servers, *any* universal
+user must try passwords essentially exhaustively — rounds-to-success grows
+exponentially in k and respects the information-theoretic envelope of
+(2^k + 1)/2 expected password trials against a uniform member.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+
+from repro.comm.codecs import IdentityCodec
+from repro.core.execution import run_execution
+from repro.servers.password import all_passwords, password_server_class
+from repro.universal.compact import CompactUniversalUser
+from repro.universal.enumeration import ListEnumeration
+from repro.users.control_users import AdvisorFollowingUser, password_user_class
+from repro.worlds.control import control_goal, control_sensing
+
+LAW = {"red": "blue", "blue": "red"}
+GOAL = control_goal(LAW)
+
+
+def universal_for_bits(bits):
+    users = password_user_class(
+        all_passwords(bits), lambda: AdvisorFollowingUser(IdentityCodec())
+    )
+    # Passwords are indistinguishable until unlocked: grace must outlive the
+    # sensing's deadline-induced mistakes so eviction is driven by feedback.
+    return CompactUniversalUser(
+        ListEnumeration(users, label=f"pw{bits}"), control_sensing()
+    )
+
+
+def settle_index(bits, password_index, seed=0, horizon=6000):
+    servers = password_server_class(bits, LAW)
+    result = run_execution(
+        universal_for_bits(bits), servers[password_index], GOAL.world,
+        max_rounds=horizon, seed=seed,
+    )
+    state = result.rounds[-1].user_state_after
+    return GOAL.evaluate(result), state
+
+
+class TestE3:
+    def test_universal_unlocks_every_member_k2(self):
+        servers = password_server_class(2, LAW)
+        for index in range(len(servers)):
+            outcome, state = settle_index(2, index)
+            assert outcome.achieved, index
+            assert state.index == index  # Settles exactly on the password.
+
+    def test_trials_equal_password_position(self):
+        """The user burns exactly `position` failed candidates first."""
+        _, state = settle_index(3, 5, horizon=9000)
+        assert state.switches == 5
+
+    def test_rounds_grow_exponentially_in_bits(self):
+        def worst_rounds(bits, horizon):
+            servers = password_server_class(bits, LAW)
+            last = servers[-1]  # Worst case: password enumerated last.
+            result = run_execution(
+                universal_for_bits(bits), last, GOAL.world,
+                max_rounds=horizon, seed=1,
+            )
+            verdict = GOAL.referee.judge(result)
+            assert GOAL.evaluate(result).achieved
+            return verdict.last_bad_round or 0
+
+        settle2 = worst_rounds(2, 4000)
+        settle4 = worst_rounds(4, 16000)
+        assert settle4 > 2.5 * settle2  # 4x the candidates, ~4x the work.
+
+    def test_expected_trials_match_uniform_envelope(self):
+        """Average switches over random members ≈ (2^k - 1) / 2."""
+        bits = 3
+        servers = password_server_class(bits, LAW)
+        rng = random.Random(0)
+        switches = []
+        for _ in range(8):
+            index = rng.randrange(len(servers))
+            outcome, state = settle_index(bits, index, seed=rng.randrange(100), horizon=9000)
+            assert outcome.achieved
+            switches.append(state.switches)
+        mean = statistics.mean(switches)
+        envelope = (2**bits - 1) / 2
+        assert 0.3 * envelope <= mean <= 1.7 * envelope

@@ -1,0 +1,65 @@
+"""Integration: overhead tracks enumeration position (experiment E4).
+
+Claim: the compact universal user's switches equal the adequate candidate's
+index, and its settling time grows monotonically (≈ linearly) with it —
+which is why enumeration order / priors (E8b) matter.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.comm.codecs import codec_family
+from repro.core.execution import run_execution
+from repro.servers.advisors import advisor_server_class
+from repro.universal.compact import CompactUniversalUser
+from repro.universal.enumeration import ListEnumeration
+from repro.users.control_users import follower_user_class
+from repro.worlds.control import control_goal, control_sensing, random_law
+
+CODECS = codec_family(6)
+LAW = random_law(random.Random(8))
+GOAL = control_goal(LAW)
+SERVERS = advisor_server_class(LAW, CODECS)
+
+
+def universal():
+    return CompactUniversalUser(
+        ListEnumeration(follower_user_class(CODECS)), control_sensing()
+    )
+
+
+def settle_stats(server_index, seed=0):
+    result = run_execution(
+        universal(), SERVERS[server_index], GOAL.world, max_rounds=3000, seed=seed
+    )
+    assert GOAL.evaluate(result).achieved
+    state = result.rounds[-1].user_state_after
+    verdict = GOAL.referee.judge(result)
+    return state.switches, (verdict.last_bad_round or 0)
+
+
+class TestE4:
+    def test_switches_equal_target_index(self):
+        for index in range(len(SERVERS)):
+            switches, _ = settle_stats(index)
+            assert switches == index
+
+    def test_settling_time_monotone_in_index(self):
+        times = [settle_stats(i)[1] for i in (0, 2, 5)]
+        assert times[0] <= times[1] <= times[2]
+        assert times[2] > times[0]
+
+    def test_reordering_the_enumeration_moves_the_cost(self):
+        """The same server is cheap or dear depending only on class order."""
+        reordered = list(follower_user_class(CODECS))
+        reordered.reverse()
+        user = CompactUniversalUser(
+            ListEnumeration(reordered), control_sensing()
+        )
+        result = run_execution(
+            user, SERVERS[-1], GOAL.world, max_rounds=3000, seed=0
+        )
+        assert GOAL.evaluate(result).achieved
+        state = result.rounds[-1].user_state_after
+        assert state.switches == 0  # Last codec is now first in the class.

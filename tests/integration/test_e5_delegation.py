@@ -1,0 +1,89 @@
+"""Integration: the delegation goal end-to-end (experiment E5, scaled down).
+
+Claim (Juba–Sudan via our TQBF IP): a universal delegating user
+  (a) answers correctly with every honest prover under every codec, and
+  (b) is never talked into a wrong answer by cheating or lazy provers,
+      because IP soundness makes its sensing safe.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis.runner import sweep
+from repro.comm.codecs import codec_family
+from repro.core.execution import run_execution
+from repro.core.helpfulness import is_helpful
+from repro.mathx.modular import Field
+from repro.qbf.generators import balanced_qbf_batch
+from repro.servers.provers import (
+    CheatingProverServer,
+    HonestProverServer,
+    LazyProverServer,
+)
+from repro.servers.wrappers import EncodedServer
+from repro.universal.enumeration import ListEnumeration
+from repro.universal.finite import FiniteUniversalUser
+from repro.universal.schedules import doubling_sweep_trials
+from repro.users.delegation_users import delegation_user_class
+from repro.worlds.computation import delegation_goal, delegation_sensing
+
+F = Field()
+CODECS = codec_family(4)
+INSTANCES = balanced_qbf_batch(random.Random(2), 3, 4)
+GOAL = delegation_goal(INSTANCES)
+USERS = delegation_user_class(CODECS, F)
+HONEST_SERVERS = [EncodedServer(HonestProverServer(F), c) for c in CODECS]
+DISHONEST_SERVERS = [
+    CheatingProverServer(F, style) for style in ("flip", "constant", "random")
+] + [LazyProverServer(0), LazyProverServer(1)]
+
+
+def universal():
+    return FiniteUniversalUser(
+        ListEnumeration(USERS, label="delegates"),
+        delegation_sensing(),
+        schedule_factory=lambda cap: doubling_sweep_trials(
+            None if cap is None else cap - 1
+        ),
+    )
+
+
+class TestE5:
+    def test_honest_encoded_provers_are_helpful(self):
+        for server in HONEST_SERVERS:
+            assert is_helpful(server, GOAL, USERS, seeds=(0,), max_rounds=400), (
+                server.name
+            )
+
+    def test_universal_answers_correctly_with_every_honest_prover(self):
+        result = sweep(universal(), HONEST_SERVERS, GOAL, seeds=(0, 1), max_rounds=6000)
+        assert result.universal_success, [c.server_name for c in result.failures()]
+
+    @pytest.mark.parametrize("server", DISHONEST_SERVERS, ids=lambda s: s.name)
+    def test_never_answers_wrong_against_dishonest_provers(self, server):
+        for seed in range(2):
+            result = run_execution(
+                universal(), server, GOAL.world, max_rounds=3000, seed=seed
+            )
+            if result.halted:
+                # Halting is only allowed when the answer is actually right.
+                assert GOAL.evaluate(result).achieved
+
+    def test_dishonest_provers_are_not_helpful(self):
+        for server in DISHONEST_SERVERS:
+            assert not is_helpful(
+                server, GOAL, USERS, seeds=(0,), max_rounds=400
+            ), server.name
+
+    def test_answer_matches_instance_truth(self):
+        from repro.qbf.qbf import QBF
+
+        result = run_execution(
+            universal(), HONEST_SERVERS[1], GOAL.world, max_rounds=6000, seed=5
+        )
+        assert result.halted
+        instance = QBF.deserialize(result.final_world_state().instance)
+        assert result.user_output == f"ANSWER:{int(instance.evaluate())}"

@@ -1,0 +1,115 @@
+"""Integration: Theorem 1's hypotheses are necessary (experiment E6).
+
+Claim: drop *safety* and the universal user can be led into false success;
+drop *viability* and it never settles/halts even with a helpful server.
+Each ablation breaks exactly the guarantee its property protects.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.comm.codecs import codec_family
+from repro.core.execution import run_execution
+from repro.core.sensing import ConstantSensing
+from repro.servers.advisors import advisor_server_class
+from repro.servers.printer_servers import printer_server_class
+from repro.universal.compact import CompactUniversalUser
+from repro.universal.enumeration import ListEnumeration
+from repro.universal.finite import FiniteUniversalUser
+from repro.users.control_users import follower_user_class
+from repro.users.printer_users import printer_user_class
+from repro.worlds.control import control_goal, control_sensing, random_law
+from repro.worlds.printer import printing_goal, printing_sensing
+
+CODECS = codec_family(3)
+DIALECTS = ("space", "tagged")
+
+PRINT_GOAL = printing_goal(["memo"])
+PRINT_SERVERS = printer_server_class(DIALECTS, CODECS)
+PRINT_USERS = printer_user_class(DIALECTS, CODECS)
+BLIND_PRINT_USERS = printer_user_class(DIALECTS, CODECS, blind_halt_after=5)
+
+LAW = random_law(random.Random(4))
+CONTROL_GOAL = control_goal(LAW)
+CONTROL_SERVERS = advisor_server_class(LAW, CODECS)
+CONTROL_USERS = follower_user_class(CODECS)
+
+
+class TestFiniteAblation:
+    def test_unsafe_sensing_admits_false_halt(self):
+        """Always-positive sensing endorses a blind candidate's wrong halt."""
+        user = FiniteUniversalUser(
+            ListEnumeration(BLIND_PRINT_USERS), ConstantSensing(True)
+        )
+        # Pair with a server the *first* (blind) candidate mismatches.
+        mismatched = PRINT_SERVERS[-1]
+        result = run_execution(
+            user, mismatched, PRINT_GOAL.world, max_rounds=400, seed=0
+        )
+        assert result.halted
+        assert not PRINT_GOAL.evaluate(result).achieved
+
+    def test_safe_sensing_blocks_the_same_trap(self):
+        user = FiniteUniversalUser(
+            ListEnumeration(BLIND_PRINT_USERS), printing_sensing()
+        )
+        mismatched = PRINT_SERVERS[-1]
+        result = run_execution(
+            user, mismatched, PRINT_GOAL.world, max_rounds=3000, seed=0
+        )
+        # Blind halts get vetoed until the actually-matching candidate runs;
+        # whenever the user halts, it halts right.
+        if result.halted:
+            assert PRINT_GOAL.evaluate(result).achieved
+
+    def test_nonviable_sensing_never_halts(self):
+        user = FiniteUniversalUser(
+            ListEnumeration(PRINT_USERS), ConstantSensing(False)
+        )
+        result = run_execution(
+            user, PRINT_SERVERS[0], PRINT_GOAL.world, max_rounds=2000, seed=0
+        )
+        assert not result.halted
+
+
+class TestCompactAblation:
+    def test_unsafe_sensing_sticks_with_failing_strategy(self):
+        user = CompactUniversalUser(
+            ListEnumeration(CONTROL_USERS), ConstantSensing(True)
+        )
+        mismatched = CONTROL_SERVERS[-1]  # First candidate can't decode it.
+        result = run_execution(
+            user, mismatched, CONTROL_GOAL.world, max_rounds=1200, seed=0
+        )
+        state = result.rounds[-1].user_state_after
+        assert state.index == 0 and state.switches == 0
+        assert not CONTROL_GOAL.evaluate(result).achieved
+
+    def test_nonviable_sensing_cycles_forever(self):
+        """On a goal whose candidates always act (rigid threshold users),
+        perpetual eviction means perpetually rotating — mostly wrong —
+        answers: the adequate candidate is never allowed to stay."""
+        from repro.core.strategy import SilentServer
+        from repro.online.adapter import threshold_user_class
+        from repro.worlds.lookup import lookup_goal
+
+        goal = lookup_goal(threshold=3, domain=8)
+        user = CompactUniversalUser(
+            ListEnumeration(threshold_user_class(8)), ConstantSensing(False)
+        )
+        result = run_execution(
+            user, SilentServer(), goal.world, max_rounds=1200, seed=0
+        )
+        state = result.rounds[-1].user_state_after
+        assert state.wraps > 10  # Even the adequate candidate gets evicted.
+        assert not goal.evaluate(result).achieved
+
+    def test_proper_sensing_restores_the_guarantee(self):
+        user = CompactUniversalUser(
+            ListEnumeration(CONTROL_USERS), control_sensing()
+        )
+        result = run_execution(
+            user, CONTROL_SERVERS[-1], CONTROL_GOAL.world, max_rounds=1200, seed=0
+        )
+        assert CONTROL_GOAL.evaluate(result).achieved

@@ -1,0 +1,77 @@
+"""Integration: beyond enumeration — the online-learning view (experiment E8).
+
+Claim (Juba–Vempala, the paper's closing direction): on simple multi-session
+goals, structure-aware users beat the generic enumeration overhead —
+logarithmic vs. linear mistakes in the class size — and the belief-weighted
+user (Juba–Sudan ICS'11) interpolates when its prior is informative.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.execution import run_execution
+from repro.core.strategy import SilentServer
+from repro.online.adapter import threshold_user_class
+from repro.online.equivalence import (
+    enumeration_user,
+    halving_user,
+    mistakes_in_world,
+    weighted_majority_user,
+)
+from repro.universal.bayesian import BeliefWeightedUniversalUser
+from repro.worlds.lookup import lookup_goal, lookup_sensing
+
+DOMAIN = 16
+
+
+class TestE8:
+    def test_both_users_achieve_the_goal(self):
+        goal = lookup_goal(threshold=10, domain=DOMAIN)
+        for user in (enumeration_user(DOMAIN), halving_user(DOMAIN)):
+            result = run_execution(
+                user, SilentServer(), goal.world, max_rounds=3000, seed=0
+            )
+            assert goal.evaluate(result).achieved, user.name
+
+    def test_halving_logarithmic_vs_enumeration_linear(self):
+        log_bound = math.log2(DOMAIN + 2) + 2
+        for theta in (4, 10, 15):
+            enum = mistakes_in_world(
+                enumeration_user(DOMAIN), theta, DOMAIN, horizon=3000, seed=1
+            )
+            halv = mistakes_in_world(
+                halving_user(DOMAIN), theta, DOMAIN, horizon=3000, seed=1
+            )
+            assert halv <= log_bound
+            if theta >= 10:
+                assert enum > halv  # The crossover the claim predicts.
+
+    def test_enumeration_mistakes_track_index(self):
+        low = mistakes_in_world(enumeration_user(DOMAIN), 2, DOMAIN, horizon=3000, seed=2)
+        high = mistakes_in_world(enumeration_user(DOMAIN), 14, DOMAIN, horizon=3000, seed=2)
+        assert high >= low + 4
+
+    def test_weighted_majority_comparable_to_halving(self):
+        wm = mistakes_in_world(
+            weighted_majority_user(DOMAIN), 12, DOMAIN, horizon=3000, seed=3
+        )
+        assert wm <= 2.41 * math.log2(DOMAIN + 2) + 3
+
+    def test_informed_prior_beats_uniform_enumeration(self):
+        goal = lookup_goal(threshold=13, domain=DOMAIN)
+        candidates = threshold_user_class(DOMAIN)
+        prior = [1.0] * len(candidates)
+        prior[13] = 50.0  # Mostly-correct beliefs about the server/world.
+        informed = BeliefWeightedUniversalUser(
+            candidates, lookup_sensing(), prior=prior
+        )
+        result = run_execution(
+            informed, SilentServer(), goal.world, max_rounds=1500, seed=4
+        )
+        assert goal.evaluate(result).achieved
+        informed_mistakes = result.final_world_state().mistakes
+        uniform_mistakes = mistakes_in_world(
+            enumeration_user(DOMAIN), 13, DOMAIN, horizon=3000, seed=4
+        )
+        assert informed_mistakes < uniform_mistakes

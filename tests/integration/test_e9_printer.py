@@ -1,0 +1,138 @@
+"""Integration: the printer goal, including the blind variant (experiment E9).
+
+Claim: the printing goal — achieved purely through side-effects on the
+world — is covered by the theory exactly like delegation; and removing the
+world's feedback removes safe+viable sensing, at which point no universal
+behaviour is possible (blind halting is unsafe, cautious waiting never
+halts).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.runner import sweep
+from repro.comm.codecs import codec_family
+from repro.core.execution import run_execution
+from repro.servers.printer_servers import DIALECTS, printer_server_class
+from repro.universal.enumeration import ListEnumeration
+from repro.universal.finite import FiniteUniversalUser
+from repro.universal.schedules import doubling_sweep_trials
+from repro.users.printer_users import printer_user_class
+from repro.worlds.printer import printing_goal, printing_sensing
+
+CODECS = codec_family(4)
+GOAL = printing_goal(["quarterly report"])
+BLIND_GOAL = printing_goal(["quarterly report"], feedback=False)
+SERVERS = printer_server_class(DIALECTS, CODECS)
+
+
+def universal(users):
+    return FiniteUniversalUser(
+        ListEnumeration(users),
+        printing_sensing(),
+        schedule_factory=lambda cap: doubling_sweep_trials(
+            None if cap is None else cap - 1
+        ),
+    )
+
+
+class TestE9:
+    def test_with_feedback_universal_printing_works(self):
+        users = printer_user_class(DIALECTS, CODECS)
+        result = sweep(universal(users), SERVERS, GOAL, seeds=(0,), max_rounds=6000)
+        assert result.universal_success, [c.server_name for c in result.failures()]
+
+    def test_blind_world_cautious_user_never_halts(self):
+        users = printer_user_class(DIALECTS, CODECS)
+        result = run_execution(
+            universal(users), SERVERS[0], BLIND_GOAL.world, max_rounds=4000, seed=0
+        )
+        assert not result.halted  # No evidence ever arrives; sensing vetoes.
+
+    def test_blind_world_bold_user_is_wrong_somewhere(self):
+        """Blind halting succeeds on matched pairs but fails universality."""
+        bold_users = printer_user_class(DIALECTS, CODECS, blind_halt_after=5)
+        failures = 0
+        for seed, server in enumerate(SERVERS):
+            user = bold_users[0]  # A rigid blind user, not even enumerating.
+            result = run_execution(
+                user, server, BLIND_GOAL.world, max_rounds=400, seed=seed
+            )
+            if result.halted and not BLIND_GOAL.evaluate(result).achieved:
+                failures += 1
+        assert failures > 0
+
+    def test_goal_is_about_world_state_not_knowledge(self):
+        """The referee consults only the paper's world states."""
+        users = printer_user_class(DIALECTS, CODECS)
+        result = run_execution(
+            universal(users), SERVERS[3], GOAL.world, max_rounds=6000, seed=1
+        )
+        assert result.halted
+        state = result.final_world_state()
+        assert state.document in state.printed
+
+
+class TestAckLiar:
+    """Why server chatter cannot substitute for world feedback (the honest
+    version of the blind-world impossibility)."""
+
+    def test_liar_acks_like_an_honest_printer(self):
+        import random
+
+        from repro.comm.messages import ServerInbox
+        from repro.servers.printer_servers import LyingPrinter, SpacePrinter
+
+        rng = random.Random(0)
+        liar, honest = LyingPrinter("space"), SpacePrinter()
+        liar_state, honest_state = liar.initial_state(rng), honest.initial_state(rng)
+        inbox = ServerInbox(from_user="PRINT memo")
+        _, liar_out = liar.step(liar_state, inbox, rng)
+        _, honest_out = honest.step(honest_state, inbox, rng)
+        assert liar_out.to_user == honest_out.to_user  # Indistinguishable chatter...
+        assert liar_out.to_world == "" and honest_out.to_world == "OUT:memo"
+
+    def test_ack_based_sensing_is_unsafe_against_the_liar(self):
+        """A user that halts on the server's acknowledgement is fooled."""
+        from repro.comm.codecs import IdentityCodec
+        from repro.servers.printer_servers import LyingPrinter
+        from repro.users.printer_users import PrinterProtocolUser
+
+        bold = PrinterProtocolUser("space", IdentityCodec(), blind_halt_after=5)
+        result = run_execution(
+            bold, LyingPrinter("space"), BLIND_GOAL.world, max_rounds=200, seed=0
+        )
+        assert result.halted
+        assert not BLIND_GOAL.evaluate(result).achieved
+
+    def test_world_feedback_defeats_the_liar(self):
+        """With feedback restored, the universal user is not fooled: the
+        liar simply never produces the evidence, so the user never halts
+        (the liar is unhelpful, and safety holds)."""
+        users = printer_user_class(DIALECTS, CODECS)
+        from repro.servers.printer_servers import LyingPrinter
+
+        result = run_execution(
+            universal(users), LyingPrinter("space"), GOAL.world,
+            max_rounds=3000, seed=0,
+        )
+        assert not result.halted
+        assert not GOAL.evaluate(result).achieved
+
+
+class TestWorldNondeterminism:
+    """Footnote 2: the world's non-deterministic draw (which document) is
+    quantified over too — the universal printer must handle every draw."""
+
+    def test_universal_prints_any_document_the_world_picks(self):
+        documents = ["alpha report", "beta memo", "gamma invoice"]
+        goal = printing_goal(documents)
+        users = printer_user_class(DIALECTS, CODECS)
+        seen = set()
+        for seed in range(8):
+            result = run_execution(
+                universal(users), SERVERS[5], goal.world,
+                max_rounds=6000, seed=seed,
+            )
+            assert goal.evaluate(result).achieved, seed
+            seen.add(result.final_world_state().document)
+        assert len(seen) >= 2  # Multiple draws actually exercised.

@@ -1,0 +1,80 @@
+"""Integration: one universal user over a *union* of strategy families.
+
+The paper's construction never needs the candidate class to be
+homogeneous: any enumeration works.  Here a single compact universal user
+enumerates codec-followers *and* password-authenticating followers, and
+must serve a server class mixing plain encoded advisors with
+password-locked ones — the kind of heterogeneous "broad class" the paper's
+closing remarks are about.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.comm.codecs import IdentityCodec, codec_family
+from repro.core.execution import run_execution
+from repro.servers.advisors import AdvisorServer, advisor_server_class
+from repro.servers.password import PasswordServer, all_passwords
+from repro.universal.compact import CompactUniversalUser
+from repro.universal.enumeration import ListEnumeration
+from repro.users.control_users import (
+    AdvisorFollowingUser,
+    follower_user_class,
+    password_user_class,
+)
+from repro.worlds.control import control_goal, control_sensing, random_law
+
+CODECS = codec_family(3)
+LAW = random_law(random.Random(23))
+GOAL = control_goal(LAW)
+
+# The heterogeneous candidate class: interpreters first, then door-knockers.
+USER_CLASS = follower_user_class(CODECS) + password_user_class(
+    all_passwords(2), lambda: AdvisorFollowingUser(IdentityCodec())
+)
+
+# The heterogeneous server class: encoded advisors and locked advisors.
+SERVER_CLASS = advisor_server_class(LAW, CODECS) + [
+    PasswordServer(pw, AdvisorServer(LAW)) for pw in all_passwords(2)
+]
+
+
+def universal():
+    return CompactUniversalUser(
+        ListEnumeration(USER_CLASS, label="mixed"), control_sensing()
+    )
+
+
+class TestMixedClass:
+    @pytest.mark.parametrize(
+        "index", range(len(SERVER_CLASS)), ids=[s.name for s in SERVER_CLASS]
+    )
+    def test_universal_serves_the_whole_union(self, index):
+        server = SERVER_CLASS[index]
+        result = run_execution(
+            universal(), server, GOAL.world, max_rounds=4000, seed=index
+        )
+        assert GOAL.evaluate(result).achieved
+        state = result.rounds[-1].user_state_after
+        # The class was built in matching order: member i needs candidate i.
+        assert state.index == index
+
+    def test_candidate_families_are_not_interchangeable(self):
+        """A follower cannot unlock; a door-knocker with the wrong password
+        cannot follow a locked advisor — the union is genuinely needed."""
+        locked = SERVER_CLASS[len(CODECS)]  # PasswordServer("00", ...).
+        follower_only = AdvisorFollowingUser(IdentityCodec())
+        result = run_execution(
+            follower_only, locked, GOAL.world, max_rounds=800, seed=0
+        )
+        assert not GOAL.evaluate(result).achieved
+
+        plain = SERVER_CLASS[0]  # advisor@id — no lock to open.
+        knocker = USER_CLASS[len(CODECS) + 1]  # auth[01]+follow@id.
+        result = run_execution(knocker, plain, GOAL.world, max_rounds=800, seed=0)
+        # The knocker still works on plain advisors (AUTH is ignored noise),
+        # which is exactly why unions enumerate cleanly.
+        assert GOAL.evaluate(result).achieved

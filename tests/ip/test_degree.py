@@ -1,0 +1,94 @@
+"""Tests for the operator sequence and degree schedule."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import FormulaError
+from repro.ip.degree import (
+    LINEARIZE,
+    QUANT_EXISTS,
+    QUANT_FORALL,
+    operator_schedule,
+    soundness_error_bound,
+)
+from repro.qbf.formulas import And, Or, Var
+from repro.qbf.generators import random_qbf
+from repro.qbf.qbf import EXISTS, FORALL, QBF
+
+
+def simple_qbf(n=3):
+    return random_qbf(random.Random(0), n)
+
+
+class TestScheduleShape:
+    def test_length_is_n_plus_triangle(self):
+        # n quantifier ops + sum_{k=1}^{n-1} k linearization ops.
+        for n in (1, 2, 3, 4):
+            q = random_qbf(random.Random(n), n)
+            expected = n + n * (n - 1) // 2
+            assert len(operator_schedule(q)) == expected
+
+    def test_application_order_innermost_quantifier_first(self):
+        q = QBF(((FORALL, "x1"), (EXISTS, "x2")), And(Var("x1"), Var("x2")))
+        kinds = [(op.kind, op.var) for op in operator_schedule(q)]
+        assert kinds == [
+            (QUANT_EXISTS, "x2"),
+            (LINEARIZE, "x1"),
+            (QUANT_FORALL, "x1"),
+        ]
+
+    def test_empty_prefix_rejected(self):
+        from repro.qbf.formulas import Const
+
+        with pytest.raises(FormulaError):
+            operator_schedule(QBF((), Const(True)))
+
+
+class TestDegreeBounds:
+    def test_innermost_quantifier_sees_base_degree(self):
+        # deg_x2(x1 ∧ (x2 ∨ x2)) = 2.
+        matrix = And(Var("x1"), Or(Var("x2"), Var("x2")))
+        q = QBF(((FORALL, "x1"), (EXISTS, "x2")), matrix)
+        ops = operator_schedule(q)
+        assert ops[0].kind == QUANT_EXISTS and ops[0].degree_bound == 2
+
+    def test_linearization_sees_doubled_degree(self):
+        matrix = And(Var("x1"), Or(Var("x2"), Var("x2")))
+        q = QBF(((FORALL, "x1"), (EXISTS, "x2")), matrix)
+        ops = operator_schedule(q)
+        # After ∃x2, x1's degree doubles: 1 -> 2.
+        assert ops[1].kind == LINEARIZE and ops[1].var == "x1"
+        assert ops[1].degree_bound == 2
+
+    def test_outer_quantifier_sees_linearized_degree(self):
+        matrix = And(Var("x1"), Or(Var("x2"), Var("x2")))
+        q = QBF(((FORALL, "x1"), (EXISTS, "x2")), matrix)
+        ops = operator_schedule(q)
+        assert ops[2].kind == QUANT_FORALL and ops[2].degree_bound == 1
+
+    def test_unused_variable_keeps_degree_zero(self):
+        q = QBF(((FORALL, "x1"), (EXISTS, "x2")), Var("x2"))
+        ops = operator_schedule(q)
+        forall_op = [op for op in ops if op.kind == QUANT_FORALL][0]
+        assert forall_op.degree_bound == 0
+
+    def test_free_after_lists_remaining_variables(self):
+        q = simple_qbf(3)
+        ops = operator_schedule(q)
+        names = list(q.variable_names)
+        assert ops[0].free_after == tuple(names[:2])
+        assert ops[-1].free_after == ()
+
+
+class TestSoundnessBound:
+    def test_bound_positive_and_small(self):
+        q = simple_qbf(3)
+        bound = soundness_error_bound(q, 2**31 - 1)
+        assert 0 < bound < 1e-6
+
+    def test_bound_scales_inversely_with_field(self):
+        q = simple_qbf(3)
+        assert soundness_error_bound(q, 101) > soundness_error_bound(q, 10007)

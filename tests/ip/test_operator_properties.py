@@ -1,0 +1,116 @@
+"""Property-based tests for the protocol's algebraic operators.
+
+The TQBF protocol is only sound if the operator algebra is exactly right;
+these tests pin the semantic identities the proofs of Section 3 lean on,
+over randomly generated formulas.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ip.degree import LINEARIZE, operator_schedule
+from repro.ip.qbf_protocol import apply_operator
+from repro.mathx.modular import Field
+from repro.qbf.arithmetize import base_grid
+from repro.qbf.generators import random_qbf
+from repro.qbf.qbf import EXISTS, FORALL, QBF
+
+F = Field()
+
+seeds = st.integers(min_value=0, max_value=500)
+sizes = st.integers(min_value=2, max_value=4)
+
+
+def boolean_points(variables):
+    return (
+        dict(zip(variables, bits))
+        for bits in itertools.product((0, 1), repeat=len(variables))
+    )
+
+
+@given(seed=seeds, n=sizes)
+@settings(max_examples=20, deadline=None)
+def test_quantifier_ops_compute_quantified_truth(seed, n):
+    """Applying Q_{x_n} to the matrix grid agrees with Boolean quantification."""
+    qbf = random_qbf(random.Random(seed), n)
+    grid = base_grid(qbf.matrix, F, qbf.variable_names)
+    op = operator_schedule(qbf)[0]  # Innermost quantifier.
+    applied = apply_operator(grid, op, F)
+    inner_q, inner_var = qbf.prefix[-1]
+    for point in boolean_points(applied.variables):
+        v0 = grid.evaluate({**point, inner_var: 0})
+        v1 = grid.evaluate({**point, inner_var: 1})
+        expected = F.mul(v0, v1) if inner_q == FORALL else F.bool_or(v0, v1)
+        assert applied.evaluate(point) == expected
+
+
+@given(seed=seeds, n=sizes)
+@settings(max_examples=20, deadline=None)
+def test_linearization_preserves_boolean_points_along_the_chain(seed, n):
+    """Every L op in the schedule agrees with its operand on {0,1}^k."""
+    qbf = random_qbf(random.Random(seed), n)
+    grid = base_grid(qbf.matrix, F, qbf.variable_names)
+    for op in operator_schedule(qbf):
+        applied = apply_operator(grid, op, F)
+        if op.kind == LINEARIZE:
+            for point in boolean_points(grid.variables):
+                assert applied.evaluate(point) == grid.evaluate(point)
+        grid = applied
+
+
+@given(seed=seeds, n=sizes)
+@settings(max_examples=20, deadline=None)
+def test_linearization_result_is_multilinear_in_its_variable(seed, n):
+    """After L_v, the polynomial is degree <= 1 in v: f(r) is the line
+    through f(0), f(1) for random r."""
+    qbf = random_qbf(random.Random(seed), n)
+    grid = base_grid(qbf.matrix, F, qbf.variable_names)
+    schedule = operator_schedule(qbf)
+    rng = random.Random(seed + 1)
+    for op in schedule:
+        applied = apply_operator(grid, op, F)
+        if op.kind == LINEARIZE:
+            others = {
+                v: rng.randrange(F.p) for v in applied.variables if v != op.var
+            }
+            r = rng.randrange(F.p)
+            f0 = applied.evaluate({**others, op.var: 0})
+            f1 = applied.evaluate({**others, op.var: 1})
+            fr = applied.evaluate({**others, op.var: r})
+            line = F.add(F.mul(F.sub(1, r), f0), F.mul(r, f1))
+            assert fr == line
+        grid = applied
+
+
+@given(seed=seeds, n=sizes)
+@settings(max_examples=15, deadline=None)
+def test_degree_schedule_bounds_are_tight_enough(seed, n):
+    """The honest prover's message degrees never exceed the verifier's
+    bounds at any protocol round (with random challenge prefixes)."""
+    from repro.ip.qbf_protocol import HonestQBFProver
+
+    qbf = random_qbf(random.Random(seed), n)
+    prover = HonestQBFProver(qbf, F)
+    schedule = list(reversed(operator_schedule(qbf)))
+    rng = random.Random(seed + 2)
+    challenges = {}
+    for round_index, op in enumerate(schedule):
+        poly = prover.round_message(round_index, dict(challenges))
+        assert poly.degree <= op.degree_bound, (round_index, op)
+        challenges[op.var] = rng.randrange(F.p)
+
+
+@given(seed=seeds)
+@settings(max_examples=15, deadline=None)
+def test_full_chain_constant_equals_qbf_truth(seed):
+    qbf = random_qbf(random.Random(seed), 3)
+    grid = base_grid(qbf.matrix, F, qbf.variable_names)
+    for op in operator_schedule(qbf):
+        grid = apply_operator(grid, op, F)
+    assert grid.arity == 0
+    assert grid.as_constant() == int(qbf.evaluate())

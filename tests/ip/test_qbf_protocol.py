@@ -1,0 +1,167 @@
+"""Completeness and soundness tests for the TQBF interactive proof."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ip.degree import operator_schedule
+from repro.ip.qbf_protocol import (
+    ConstantCheatingProver,
+    FlipClaimProver,
+    HonestQBFProver,
+    QBFVerifierSession,
+    RandomCheatingProver,
+    apply_operator,
+    run_qbf_protocol,
+)
+from repro.mathx.modular import Field
+from repro.mathx.polynomials import Poly
+from repro.qbf.arithmetize import base_grid
+from repro.qbf.generators import parity_qbf, random_qbf
+from repro.qbf.qbf import QBF
+
+F = Field()
+
+
+class TestOperatorApplication:
+    def test_full_application_yields_truth_value(self):
+        for seed in range(8):
+            q = random_qbf(random.Random(seed), 3)
+            grid = base_grid(q.matrix, F, q.variable_names)
+            for op in operator_schedule(q):
+                grid = apply_operator(grid, op, F)
+            assert grid.as_constant() == int(q.evaluate())
+
+    def test_linearization_preserves_boolean_points(self):
+        import itertools
+
+        q = random_qbf(random.Random(11), 3)
+        grid = base_grid(q.matrix, F, q.variable_names)
+        ops = operator_schedule(q)
+        lin = [op for op in ops if op.kind == "linearize"][0]
+        linearized = apply_operator(grid, lin, F)
+        for bits in itertools.product((0, 1), repeat=3):
+            env = dict(zip(q.variable_names, bits))
+            assert linearized.evaluate(env) == grid.evaluate(env)
+
+
+class TestCompleteness:
+    @given(seed=st.integers(min_value=0, max_value=400),
+           n=st.integers(min_value=1, max_value=4))
+    @settings(max_examples=25, deadline=None)
+    def test_honest_prover_always_accepted(self, seed, n):
+        q = random_qbf(random.Random(seed), n)
+        prover = HonestQBFProver(q, F)
+        assert prover.claimed_value() == int(q.evaluate())
+        result = run_qbf_protocol(q, prover, F, random.Random(seed + 1))
+        assert result.accepted
+
+    def test_parity_stress(self):
+        q = parity_qbf(4)
+        result = run_qbf_protocol(q, HonestQBFProver(q, F), F, random.Random(9))
+        assert result.accepted
+
+    def test_round_count_matches_schedule(self):
+        q = random_qbf(random.Random(2), 3)
+        result = run_qbf_protocol(q, HonestQBFProver(q, F), F, random.Random(0))
+        assert result.rounds_run == len(operator_schedule(q))
+
+
+class TestSoundness:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_flip_claim_rejected_deterministically(self, seed):
+        q = random_qbf(random.Random(seed + 50), 3)
+        result = run_qbf_protocol(q, FlipClaimProver(q, F), F, random.Random(seed))
+        assert not result.accepted
+        # Caught by the very first consistency check.
+        assert result.rounds_run <= 1
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_constant_cheater_rejected(self, seed):
+        q = random_qbf(random.Random(seed + 100), 3)
+        wrong = 1 - int(q.evaluate())
+        result = run_qbf_protocol(
+            q, ConstantCheatingProver(F, wrong), F, random.Random(seed)
+        )
+        assert not result.accepted
+
+    def test_constant_cheater_survives_until_final_check(self):
+        q = random_qbf(random.Random(4), 3)
+        wrong = 1 - int(q.evaluate())
+        result = run_qbf_protocol(
+            q, ConstantCheatingProver(F, wrong), F, random.Random(0)
+        )
+        # Locally consistent every round; only the final evaluation kills it.
+        assert result.rounds_run == len(operator_schedule(q))
+        assert result.transcript.rejection_reason == "final matrix evaluation mismatch"
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_cheater_rejected(self, seed):
+        q = random_qbf(random.Random(seed + 200), 3)
+        prover = RandomCheatingProver(q, F, random.Random(seed))
+        result = run_qbf_protocol(q, prover, F, random.Random(seed))
+        assert not result.accepted
+
+    def test_soundness_error_rate_under_small_field(self):
+        """Statistically: cheater acceptance rate stays near deg/p, not 1."""
+        small = Field(p=101)
+        q = random_qbf(random.Random(7), 2)
+        wrong = 1 - int(q.evaluate())
+        accepted = sum(
+            run_qbf_protocol(
+                q, ConstantCheatingProver(small, wrong), small, random.Random(trial)
+            ).accepted
+            for trial in range(200)
+        )
+        # Bound is sum(degrees)/101; generous envelope to keep the test stable.
+        assert accepted / 200 < 0.25
+
+
+class TestVerifierSession:
+    def test_rejects_non_bit_claim(self):
+        q = random_qbf(random.Random(1), 2)
+        session = QBFVerifierSession(q, F, random.Random(0))
+        session.begin(7)
+        assert session.finished and not session.accepted
+
+    def test_rejects_overdegree_polynomial(self):
+        q = random_qbf(random.Random(1), 2)
+        session = QBFVerifierSession(q, F, random.Random(0))
+        session.begin(int(q.evaluate()))
+        too_big = Poly.make(F, [1] * (session.current_op().degree_bound + 2))
+        session.receive_poly(too_big)
+        assert session.finished and not session.accepted
+        assert "degree" in session.transcript.rejection_reason
+
+    def test_receive_before_begin_rejects(self):
+        q = random_qbf(random.Random(1), 2)
+        session = QBFVerifierSession(q, F, random.Random(0))
+        session.receive_poly(Poly.constant(F, 1))
+        assert session.finished and not session.accepted
+
+    def test_accepted_raises_while_running(self):
+        from repro.errors import AlgebraError
+
+        q = random_qbf(random.Random(1), 2)
+        session = QBFVerifierSession(q, F, random.Random(0))
+        session.begin(1)
+        with pytest.raises(AlgebraError):
+            _ = session.accepted
+
+    def test_transcript_records_every_round(self):
+        q = random_qbf(random.Random(3), 3)
+        result = run_qbf_protocol(q, HonestQBFProver(q, F), F, random.Random(1))
+        assert len(result.transcript.rounds) == result.rounds_run
+        assert result.transcript.accepted is True
+
+    def test_protocol_deterministic_under_seed(self):
+        q = random_qbf(random.Random(3), 3)
+        r1 = run_qbf_protocol(q, HonestQBFProver(q, F), F, random.Random(42))
+        r2 = run_qbf_protocol(q, HonestQBFProver(q, F), F, random.Random(42))
+        challenges1 = [r.challenge for r in r1.transcript.rounds]
+        challenges2 = [r.challenge for r in r2.transcript.rounds]
+        assert challenges1 == challenges2

@@ -1,0 +1,115 @@
+"""Completeness and soundness tests for the sumcheck protocol."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AlgebraError
+from repro.ip.sumcheck import (
+    AdaptiveSumcheckCheater,
+    HonestSumcheckProver,
+    InflatingSumcheckProver,
+    SumcheckVerifierSession,
+    count_satisfying_assignments,
+    run_sumcheck,
+)
+from repro.mathx.modular import Field
+from repro.qbf.generators import random_cnf, variable_names
+
+F = Field()
+
+
+def instance(seed, n=3, clauses=4):
+    return random_cnf(random.Random(seed), n, clauses), variable_names(n)
+
+
+class TestCountSat:
+    def test_known_count(self):
+        from repro.qbf.formulas import Var, Or, Not
+
+        f = Or(Var("x"), Not(Var("y")))
+        assert count_satisfying_assignments(f, ["x", "y"]) == 3
+
+    def test_order_must_cover(self):
+        from repro.qbf.formulas import Var
+
+        with pytest.raises(AlgebraError):
+            count_satisfying_assignments(Var("x"), [])
+
+
+class TestCompleteness:
+    @given(seed=st.integers(min_value=0, max_value=300))
+    @settings(max_examples=20, deadline=None)
+    def test_honest_prover_accepted_with_true_count(self, seed):
+        formula, order = instance(seed)
+        prover = HonestSumcheckProver(formula, F, order)
+        assert prover.claimed_sum() == count_satisfying_assignments(formula, order)
+        result = run_sumcheck(formula, prover, F, order, random.Random(seed + 1))
+        assert result.accepted
+
+    def test_rounds_equal_variable_count(self):
+        formula, order = instance(5, n=4, clauses=5)
+        result = run_sumcheck(
+            formula, HonestSumcheckProver(formula, F, order), F, order,
+            random.Random(0),
+        )
+        assert result.rounds_run == 4
+
+
+class TestSoundness:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_inflating_prover_rejected_at_round_one(self, seed):
+        formula, order = instance(seed + 10)
+        result = run_sumcheck(
+            formula, InflatingSumcheckProver(formula, F, order), F, order,
+            random.Random(seed),
+        )
+        assert not result.accepted
+        assert result.rounds_run <= 1
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_adaptive_cheater_rejected_at_final_check(self, seed):
+        formula, order = instance(seed + 20)
+        result = run_sumcheck(
+            formula, AdaptiveSumcheckCheater(formula, F, order), F, order,
+            random.Random(seed),
+        )
+        assert not result.accepted
+        # Locally consistent through all rounds; the final evaluation catches it.
+        assert result.rounds_run == len(order)
+        assert result.transcript.rejection_reason == "final evaluation mismatch"
+
+    def test_cheater_must_actually_lie(self):
+        formula, order = instance(1)
+        with pytest.raises(AlgebraError):
+            AdaptiveSumcheckCheater(formula, F, order, delta=0)
+
+    def test_adaptive_cheater_requires_round_order(self):
+        formula, order = instance(2)
+        cheater = AdaptiveSumcheckCheater(formula, F, order)
+        with pytest.raises(AlgebraError):
+            cheater.round_message(1, {})
+
+
+class TestVerifierSession:
+    def test_overdegree_rejected(self):
+        from repro.mathx.polynomials import Poly
+
+        formula, order = instance(3)
+        session = SumcheckVerifierSession(formula, F, order, random.Random(0))
+        session.begin(count_satisfying_assignments(formula, order))
+        huge = Poly.make(F, [1] * 10)
+        session.receive_poly(huge)
+        assert session.finished and not session.accepted
+
+    def test_receive_before_begin_rejects(self):
+        from repro.mathx.polynomials import Poly
+
+        formula, order = instance(4)
+        session = SumcheckVerifierSession(formula, F, order, random.Random(0))
+        session.receive_poly(Poly.constant(F, 0))
+        assert session.finished and not session.accepted

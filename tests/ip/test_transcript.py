@@ -1,0 +1,54 @@
+"""Tests for proof transcripts."""
+
+from __future__ import annotations
+
+from repro.ip.transcript import ProofRound, ProofTranscript
+from repro.mathx.modular import Field
+from repro.mathx.polynomials import Poly
+
+F = Field()
+
+
+def make_round(index=0, challenge=7):
+    return ProofRound(
+        index=index,
+        op_kind="forall",
+        var="x1",
+        degree_bound=2,
+        poly=Poly.make(F, [1, 2]),
+        challenge=challenge,
+        claim_before=1,
+        claim_after=15,
+    )
+
+
+class TestProofTranscript:
+    def test_records_rounds(self):
+        t = ProofTranscript(claimed_value=1)
+        t.record(make_round(0))
+        t.record(make_round(1))
+        assert t.rounds_run == 2
+
+    def test_finish_sets_verdict(self):
+        t = ProofTranscript(claimed_value=1)
+        t.finish(False, "why not")
+        assert t.accepted is False
+        assert t.rejection_reason == "why not"
+
+    def test_format_mentions_everything(self):
+        t = ProofTranscript(claimed_value=1)
+        t.record(make_round())
+        t.finish(True)
+        text = t.format()
+        assert "claimed value: 1" in text
+        assert "forall" in text and "x1" in text
+        assert "ACCEPTED" in text
+
+    def test_format_unfinished(self):
+        t = ProofTranscript(claimed_value=0)
+        assert "UNFINISHED" in t.format()
+
+    def test_format_handles_no_challenge(self):
+        t = ProofTranscript(claimed_value=1)
+        t.record(make_round(challenge=None))
+        assert "challenge=-" in t.format()

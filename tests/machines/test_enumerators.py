@@ -1,0 +1,62 @@
+"""Tests for machine-based strategy enumerations."""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.machines.enumerators import (
+    enumerate_programs,
+    transducer_user_enumeration,
+    vm_user_enumeration,
+)
+from repro.machines.transducer import TransducerUser
+from repro.machines.vm import VMUser
+from repro.universal.enumeration import EnumerationCursor
+
+
+def take(iterable, n):
+    return list(itertools.islice(iterable, n))
+
+
+class TestProgramEnumeration:
+    def test_shortest_first(self):
+        programs = take(enumerate_programs(constants=(0,)), 50)
+        lengths = [len(p) for p in programs]
+        assert lengths == sorted(lengths)
+
+    def test_all_distinct(self):
+        programs = take(enumerate_programs(constants=(0, 1)), 200)
+        assert len(set(programs)) == len(programs)
+
+    def test_max_length_caps(self):
+        programs = list(enumerate_programs(max_length=1, constants=(0,)))
+        assert all(len(p) == 1 for p in programs)
+        # 8 argless + 3 arg-taking * 1 constant = 11 single-instruction programs.
+        assert len(programs) == 11
+
+    def test_deterministic(self):
+        a = take(enumerate_programs(constants=(0, 1)), 30)
+        b = take(enumerate_programs(constants=(0, 1)), 30)
+        assert a == b
+
+
+class TestStrategyEnumerations:
+    def test_vm_enumeration_yields_vm_users(self):
+        cursor = EnumerationCursor(vm_user_enumeration(max_length=1))
+        assert isinstance(cursor.get(0), VMUser)
+        assert isinstance(cursor.get(10), VMUser)
+
+    def test_transducer_enumeration_yields_users(self):
+        enum = transducer_user_enumeration(("a",), ("x", "y"), max_states=1)
+        cursor = EnumerationCursor(enum)
+        assert isinstance(cursor.get(0), TransducerUser)
+
+    def test_transducer_enumeration_size(self):
+        enum = transducer_user_enumeration(("a",), ("x", "y"), max_states=1)
+        assert len(list(enum)) == 2  # (1 state * 2 outputs)^(1 cell).
+
+    def test_enumerations_restart_identically(self):
+        enum = vm_user_enumeration(max_length=1)
+        first = [u.name for u in take(enum, 5)]
+        second = [u.name for u in take(enum, 5)]
+        assert first == second

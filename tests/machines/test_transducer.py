@@ -1,0 +1,115 @@
+"""Tests for transducer strategies and their enumeration."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.comm.messages import UserInbox
+from repro.machines.transducer import (
+    Transducer,
+    TransducerUser,
+    enumerate_all_transducers,
+    enumerate_transducers,
+)
+
+
+def parrot():
+    """One-state transducer echoing its input symbol."""
+    return Transducer(
+        input_alphabet=("a", "b"),
+        output_alphabet=("a", "b"),
+        transitions=((0, 0),),
+        outputs=((0, 1),),
+    )
+
+
+class TestTransducer:
+    def test_step_echo(self):
+        t = parrot()
+        assert t.step(0, "a") == (0, "a")
+        assert t.step(0, "b") == (0, "b")
+
+    def test_foreign_symbol_reads_as_index_zero(self):
+        t = parrot()
+        assert t.step(0, "zzz") == t.step(0, "a")
+
+    def test_two_state_flip_flop(self):
+        t = Transducer(
+            input_alphabet=("tick",),
+            output_alphabet=("on", "off"),
+            transitions=((1,), (0,)),
+            outputs=((0,), (1,)),
+        )
+        state, out1 = t.step(0, "tick")
+        state, out2 = t.step(state, "tick")
+        assert (out1, out2) == ("on", "off")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(transitions=(), outputs=()),                     # No states.
+            dict(transitions=((0,),), outputs=((0, 0),)),          # Width mismatch.
+            dict(transitions=((5,),), outputs=((0,),)),            # Bad target.
+            dict(transitions=((0,),), outputs=((7,),)),            # Bad output.
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            Transducer(
+                input_alphabet=("a",), output_alphabet=("x",), **kwargs
+            )
+
+
+class TestEnumeration:
+    def test_count_for_one_state(self):
+        # (n_states * |out|)^(n_states * |in|) = (1*2)^(1*2) = 4.
+        machines = list(enumerate_transducers(1, ("a", "b"), ("x", "y")))
+        assert len(machines) == 4
+
+    def test_count_for_two_states(self):
+        # (2*1)^(2*1) = 4.
+        machines = list(enumerate_transducers(2, ("a",), ("x",)))
+        assert len(machines) == 4
+
+    def test_all_distinct(self):
+        machines = list(enumerate_transducers(1, ("a", "b"), ("x", "y")))
+        assert len(set(machines)) == len(machines)
+
+    def test_deterministic_order(self):
+        a = list(enumerate_transducers(1, ("a",), ("x", "y")))
+        b = list(enumerate_transducers(1, ("a",), ("x", "y")))
+        assert a == b
+
+    def test_dovetailed_sizes_ascend(self):
+        gen = enumerate_all_transducers(("a",), ("x",), max_states=2)
+        sizes = [t.n_states for t in gen]
+        assert sizes == sorted(sizes)
+        assert set(sizes) == {1, 2}
+
+    def test_zero_states_rejected(self):
+        with pytest.raises(ValueError):
+            list(enumerate_transducers(0, ("a",), ("x",)))
+
+
+class TestTransducerUser:
+    def test_default_adapters_route_server_channel(self):
+        user = TransducerUser(parrot())
+        rng = random.Random(0)
+        state = user.initial_state(rng)
+        state, out = user.step(state, UserInbox(from_server="b"), rng)
+        assert out.to_server == "b"
+
+    def test_custom_adapters(self):
+        user = TransducerUser(
+            parrot(),
+            observe=lambda inbox: inbox.from_world,
+            emit=lambda s: __import__(
+                "repro.comm.messages", fromlist=["UserOutbox"]
+            ).UserOutbox(to_world=s),
+        )
+        rng = random.Random(0)
+        state, out = user.step(user.initial_state(rng), UserInbox(from_world="a"), rng)
+        assert out.to_world == "a"

@@ -1,0 +1,111 @@
+"""Tests for the GVM bounded-step stack machine."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.comm.messages import UserInbox
+from repro.machines.vm import (
+    ADD,
+    DROP,
+    DUP,
+    HALT,
+    JMP,
+    JNZ,
+    PUSH,
+    READ,
+    SUB,
+    SWAP,
+    WRITE,
+    Program,
+    VMUser,
+    run_program,
+)
+
+
+def prog(*instructions):
+    return Program(tuple(instructions))
+
+
+class TestBasics:
+    def test_push_write(self):
+        assert run_program(prog((PUSH, 65), (WRITE, 0)), "") == "A"
+
+    def test_read_echo_loop(self):
+        # while (c = read()) != -1: write(c) — realised with DUP/JNZ.
+        echo = prog(
+            (READ, 0),        # 0: push char or -1
+            (DUP, 0),         # 1
+            (PUSH, 1), (ADD, 0),  # 2,3: top = c+1 (0 iff c == -1)
+            (JNZ, 6),         # 4: continue if not end
+            (HALT, 0),        # 5
+            (WRITE, 0),       # 6: write c
+            (JMP, 0),         # 7
+        )
+        assert run_program(echo, "hello") == "hello"
+
+    def test_arithmetic(self):
+        assert run_program(
+            prog((PUSH, 70), (PUSH, 5), (SUB, 0), (WRITE, 0)), ""
+        ) == "A"
+
+    def test_swap_and_drop(self):
+        out = run_program(
+            prog((PUSH, 65), (PUSH, 66), (SWAP, 0), (DROP, 0), (WRITE, 0)), ""
+        )
+        assert out == "B"
+
+
+class TestTotality:
+    def test_stack_underflow_reads_zero(self):
+        # ADD on empty stack: 0 + 0 = 0, WRITE 0 emits NUL.
+        assert run_program(prog((ADD, 0), (WRITE, 0)), "") == "\x00"
+
+    def test_infinite_loop_cut_by_step_budget(self):
+        looper = prog((JMP, 0))
+        assert run_program(looper, "", max_steps=100) == ""
+
+    def test_out_of_range_write_value_skipped(self):
+        assert run_program(prog((PUSH, -5), (WRITE, 0)), "") == ""
+
+    def test_jump_out_of_range_halts(self):
+        assert run_program(prog((PUSH, 65), (JMP, 99), (WRITE, 0)), "") == ""
+
+    def test_read_past_end_pushes_minus_one(self):
+        # -1 then +1 = 0 -> NUL written; proves READ returned -1.
+        p = prog((READ, 0), (PUSH, 1), (ADD, 0), (WRITE, 0))
+        assert run_program(p, "") == "\x00"
+
+    def test_max_steps_validated(self):
+        with pytest.raises(ValueError):
+            run_program(prog((HALT, 0)), "", max_steps=0)
+
+    def test_unknown_opcode_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            Program((("NOPE", 0),))
+
+
+class TestFormat:
+    def test_format_shows_args_only_where_meaningful(self):
+        p = prog((PUSH, 3), (ADD, 0), (JMP, 1))
+        assert p.format() == "PUSH 3; ADD; JMP 1"
+
+    def test_len(self):
+        assert len(prog((HALT, 0))) == 1
+
+
+class TestVMUser:
+    def test_maps_server_message_through_program(self):
+        shift_up = prog(
+            (READ, 0), (DUP, 0), (PUSH, 1), (ADD, 0), (JNZ, 6), (HALT, 0),
+            (PUSH, 1), (ADD, 0), (WRITE, 0), (JMP, 0),
+        )
+        user = VMUser(shift_up)
+        rng = random.Random(0)
+        state, out = user.step(user.initial_state(rng), UserInbox(from_server="abc"), rng)
+        assert out.to_server == "bcd"
+
+    def test_name_contains_program(self):
+        assert "PUSH 1" in VMUser(prog((PUSH, 1))).name

@@ -1,0 +1,101 @@
+"""Tests for prime-field arithmetic, including the field axioms."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AlgebraError
+from repro.mathx.modular import DEFAULT_PRIME, Field
+
+F = Field()
+elements = st.integers(min_value=0, max_value=F.p - 1)
+
+
+class TestConstruction:
+    def test_default_prime_is_mersenne_31(self):
+        assert DEFAULT_PRIME == 2**31 - 1
+
+    def test_rejects_composite_modulus(self):
+        with pytest.raises(AlgebraError):
+            Field(p=100)
+
+    def test_rejects_tiny_modulus(self):
+        with pytest.raises(AlgebraError):
+            Field(p=1)
+
+    def test_small_prime_accepted(self):
+        assert Field(p=7).p == 7
+
+
+class TestAxioms:
+    @given(a=elements, b=elements, c=elements)
+    @settings(max_examples=50, deadline=None)
+    def test_add_associative_commutative(self, a, b, c):
+        assert F.add(F.add(a, b), c) == F.add(a, F.add(b, c))
+        assert F.add(a, b) == F.add(b, a)
+
+    @given(a=elements, b=elements, c=elements)
+    @settings(max_examples=50, deadline=None)
+    def test_mul_distributes_over_add(self, a, b, c):
+        assert F.mul(a, F.add(b, c)) == F.add(F.mul(a, b), F.mul(a, c))
+
+    @given(a=elements)
+    @settings(max_examples=50, deadline=None)
+    def test_additive_inverse(self, a):
+        assert F.add(a, F.neg(a)) == 0
+
+    @given(a=elements.filter(lambda x: x != 0))
+    @settings(max_examples=50, deadline=None)
+    def test_multiplicative_inverse(self, a):
+        assert F.mul(a, F.inv(a)) == 1
+
+    @given(a=elements, b=elements)
+    @settings(max_examples=50, deadline=None)
+    def test_sub_is_add_neg(self, a, b):
+        assert F.sub(a, b) == F.add(a, F.neg(b))
+
+    def test_zero_has_no_inverse(self):
+        with pytest.raises(AlgebraError):
+            F.inv(0)
+
+
+class TestOperations:
+    def test_normalize_handles_negatives(self):
+        assert F.normalize(-1) == F.p - 1
+
+    def test_pow_matches_builtin(self):
+        assert F.pow(3, 20) == pow(3, 20, F.p)
+
+    def test_div_round_trips(self):
+        assert F.mul(F.div(10, 7), 7) == 10
+
+    def test_sum_and_product(self):
+        assert F.sum([F.p - 1, 1]) == 0
+        assert F.product([2, 3, 4]) == 24
+
+    def test_random_element_in_range(self):
+        rng = random.Random(1)
+        for _ in range(100):
+            assert 0 <= F.random_element(rng) < F.p
+
+
+class TestBooleanArithmetization:
+    @pytest.mark.parametrize("a", [0, 1])
+    @pytest.mark.parametrize("b", [0, 1])
+    def test_matches_boolean_semantics_on_bits(self, a, b):
+        assert F.bool_and(a, b) == int(bool(a) and bool(b))
+        assert F.bool_or(a, b) == int(bool(a) or bool(b))
+
+    @pytest.mark.parametrize("a", [0, 1])
+    def test_not_on_bits(self, a):
+        assert F.bool_not(a) == 1 - a
+
+    @given(a=elements, b=elements)
+    @settings(max_examples=30, deadline=None)
+    def test_de_morgan_holds_as_polynomial_identity(self, a, b):
+        # 1 - (a ⊕̃ b) == (1-a)(1-b) for all field points, not just bits.
+        assert F.bool_not(F.bool_or(a, b)) == F.bool_and(F.bool_not(a), F.bool_not(b))

@@ -1,0 +1,152 @@
+"""Tests for grid-sampled multivariate polynomials."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AlgebraError
+from repro.mathx.modular import Field
+from repro.mathx.multivariate import GridPoly, _lagrange_at
+
+F = Field()
+
+
+def quadratic_in_x_linear_in_y(a):
+    """f(x, y) = 3x²y + 2x + y + 5 — degree (2, 1)."""
+    x, y = a["x"], a["y"]
+    return (3 * x * x * y + 2 * x + y + 5) % F.p
+
+
+@pytest.fixture
+def grid():
+    return GridPoly.from_function(F, ("x", "y"), (2, 1), quadratic_in_x_linear_in_y)
+
+
+class TestConstruction:
+    def test_grid_size(self, grid):
+        assert grid.grid_size() == 6  # 3 x-samples * 2 y-samples.
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(AlgebraError):
+            GridPoly(F, ("x",), (1, 2), {})
+
+    def test_rejects_duplicate_variables(self):
+        with pytest.raises(AlgebraError):
+            GridPoly(F, ("x", "x"), (1, 1), {})
+
+    def test_constant(self):
+        c = GridPoly.constant(F, 42)
+        assert c.as_constant() == 42
+        assert c.arity == 0
+
+    def test_as_constant_rejects_nonconstant(self, grid):
+        with pytest.raises(AlgebraError):
+            grid.as_constant()
+
+
+class TestEvaluation:
+    @given(
+        x=st.integers(min_value=0, max_value=F.p - 1),
+        y=st.integers(min_value=0, max_value=F.p - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_evaluate_matches_function_everywhere(self, x, y):
+        grid = GridPoly.from_function(F, ("x", "y"), (2, 1), quadratic_in_x_linear_in_y)
+        assert grid.evaluate({"x": x, "y": y}) == quadratic_in_x_linear_in_y(
+            {"x": x, "y": y}
+        )
+
+    def test_missing_variable_rejected(self, grid):
+        with pytest.raises(AlgebraError):
+            grid.evaluate({"x": 1})
+
+
+class TestRestrict:
+    def test_restrict_at_sample_point(self, grid):
+        restricted = grid.restrict("x", 1)
+        assert restricted.variables == ("y",)
+        assert restricted.evaluate({"y": 9}) == quadratic_in_x_linear_in_y(
+            {"x": 1, "y": 9}
+        )
+
+    def test_restrict_at_non_sample_point(self, grid):
+        restricted = grid.restrict("x", 12345)
+        assert restricted.evaluate({"y": 7}) == quadratic_in_x_linear_in_y(
+            {"x": 12345, "y": 7}
+        )
+
+    def test_restrict_unknown_variable(self, grid):
+        with pytest.raises(AlgebraError):
+            grid.restrict("z", 0)
+
+
+class TestUnivariate:
+    def test_to_univariate_matches_function(self, grid):
+        p = grid.to_univariate("x", {"y": 4})
+        for x in (0, 5, 100):
+            assert p.evaluate(x) == quadratic_in_x_linear_in_y({"x": x, "y": 4})
+        assert p.degree <= 2
+
+    def test_missing_other_variable_rejected(self, grid):
+        with pytest.raises(AlgebraError):
+            grid.to_univariate("x", {})
+
+
+class TestRegrid:
+    def test_regrid_preserves_values(self, grid):
+        bigger = grid.regrid((4, 3))
+        for x in (0, 3, 77):
+            for y in (0, 2, 19):
+                assert bigger.evaluate({"x": x, "y": y}) == grid.evaluate(
+                    {"x": x, "y": y}
+                )
+
+    def test_regrid_shrink_rejected(self, grid):
+        with pytest.raises(AlgebraError):
+            grid.regrid((1, 1))
+
+    def test_regrid_wrong_length_rejected(self, grid):
+        with pytest.raises(AlgebraError):
+            grid.regrid((4,))
+
+
+class TestCombine:
+    def test_pointwise_product_after_regrid(self, grid):
+        doubled = tuple(2 * d for d in grid.degrees)
+        a = grid.regrid(doubled)
+        product = a.pointwise_product(a)
+        assert product.evaluate({"x": 3, "y": 2}) == F.mul(
+            grid.evaluate({"x": 3, "y": 2}), grid.evaluate({"x": 3, "y": 2})
+        )
+
+    def test_misaligned_grids_rejected(self, grid):
+        other = grid.regrid((3, 1))
+        with pytest.raises(AlgebraError):
+            grid.pointwise_product(other)
+
+    def test_pointwise_or_is_arithmetized_or(self, grid):
+        doubled = tuple(2 * d for d in grid.degrees)
+        a = grid.regrid(doubled)
+        combined = a.pointwise_or(a)
+        v = grid.evaluate({"x": 1, "y": 1})
+        assert combined.evaluate({"x": 1, "y": 1}) == F.bool_or(v, v)
+
+
+class TestBooleanSum:
+    def test_sum_over_boolean_cube(self):
+        grid = GridPoly.from_function(
+            F, ("a", "b"), (1, 1), lambda v: v["a"] * v["b"]
+        )
+        assert grid.sum_over_boolean_cube() == 1  # Only (1,1) contributes.
+
+
+class TestLagrangeHelper:
+    @given(x=st.integers(min_value=0, max_value=F.p - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_lagrange_matches_polynomial(self, x):
+        # f(t) = 2t^2 + 3 sampled at 0,1,2.
+        xs = [0, 1, 2]
+        ys = [(2 * t * t + 3) % F.p for t in xs]
+        assert _lagrange_at(F, xs, ys, x) == (2 * x * x + 3) % F.p

@@ -1,0 +1,118 @@
+"""Tests for univariate polynomials over GF(p)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AlgebraError
+from repro.mathx.modular import Field
+from repro.mathx.polynomials import Poly, evaluations, interpolate
+
+F = Field()
+coeff_lists = st.lists(
+    st.integers(min_value=0, max_value=F.p - 1), min_size=0, max_size=6
+)
+points = st.integers(min_value=0, max_value=F.p - 1)
+
+
+def poly(coeffs):
+    return Poly.make(F, coeffs)
+
+
+class TestConstruction:
+    def test_trailing_zeros_stripped(self):
+        assert poly([1, 2, 0, 0]).coeffs == (1, 2)
+
+    def test_zero_polynomial(self):
+        assert Poly.zero(F).degree == -1
+        assert poly([0, 0]).is_zero()
+
+    def test_coefficients_normalized(self):
+        assert poly([-1]).coeffs == (F.p - 1,)
+
+    def test_constant(self):
+        assert Poly.constant(F, 5).evaluate(12345) == 5
+
+
+class TestRingLaws:
+    @given(a=coeff_lists, b=coeff_lists, x=points)
+    @settings(max_examples=50, deadline=None)
+    def test_add_evaluates_pointwise(self, a, b, x):
+        assert (poly(a) + poly(b)).evaluate(x) == F.add(
+            poly(a).evaluate(x), poly(b).evaluate(x)
+        )
+
+    @given(a=coeff_lists, b=coeff_lists, x=points)
+    @settings(max_examples=50, deadline=None)
+    def test_mul_evaluates_pointwise(self, a, b, x):
+        assert (poly(a) * poly(b)).evaluate(x) == F.mul(
+            poly(a).evaluate(x), poly(b).evaluate(x)
+        )
+
+    @given(a=coeff_lists, b=coeff_lists)
+    @settings(max_examples=50, deadline=None)
+    def test_sub_inverts_add(self, a, b):
+        assert (poly(a) + poly(b)) - poly(b) == poly(a)
+
+    @given(a=coeff_lists, k=points, x=points)
+    @settings(max_examples=30, deadline=None)
+    def test_scale(self, a, k, x):
+        assert poly(a).scale(k).evaluate(x) == F.mul(k, poly(a).evaluate(x))
+
+    def test_mul_degrees_add(self):
+        p = poly([1, 1]) * poly([2, 0, 3])
+        assert p.degree == 3
+
+    def test_mixed_fields_rejected(self):
+        other = Poly.make(Field(p=101), [1])
+        with pytest.raises(AlgebraError):
+            poly([1]) + other
+
+
+class TestEvaluation:
+    def test_horner_known_values(self):
+        p = poly([3, 2, 1])  # 3 + 2x + x^2
+        assert p.evaluate(0) == 3
+        assert p.evaluate(1) == 6
+        assert p.evaluate(2) == 11
+
+    def test_evaluations_helper(self):
+        assert evaluations(poly([0, 1]), [5, 6]) == [5, 6]
+
+
+class TestInterpolation:
+    @given(coeffs=coeff_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_interpolation_round_trips(self, coeffs):
+        p = poly(coeffs)
+        pts = [(x, p.evaluate(x)) for x in range(max(1, p.degree + 1))]
+        assert interpolate(F, pts) == p
+
+    def test_duplicate_x_rejected(self):
+        with pytest.raises(AlgebraError):
+            interpolate(F, [(1, 2), (1, 3)])
+
+    def test_empty_gives_zero(self):
+        assert interpolate(F, []).is_zero()
+
+    def test_degree_bounded_by_point_count(self):
+        pts = [(0, 7), (1, 7), (2, 7), (3, 7)]
+        p = interpolate(F, pts)
+        assert p == Poly.constant(F, 7)
+
+
+class TestSerialization:
+    @given(coeffs=coeff_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_round_trip(self, coeffs):
+        p = poly(coeffs)
+        assert Poly.deserialize(F, p.serialize()) == p
+
+    def test_empty_text_is_zero(self):
+        assert Poly.deserialize(F, "").is_zero()
+
+    def test_garbage_rejected(self):
+        with pytest.raises(AlgebraError):
+            Poly.deserialize(F, "1,banana,3")

@@ -1,0 +1,65 @@
+"""Tests for the Miller–Rabin primality test and prime search."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mathx.primes import is_prime, next_prime
+
+SMALL_PRIMES = {2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47}
+
+
+class TestIsPrime:
+    @pytest.mark.parametrize("n", sorted(SMALL_PRIMES))
+    def test_small_primes(self, n):
+        assert is_prime(n)
+
+    @pytest.mark.parametrize("n", [-7, 0, 1, 4, 9, 15, 21, 25, 49, 1001])
+    def test_small_composites_and_degenerates(self, n):
+        assert not is_prime(n)
+
+    def test_exhaustive_below_1000(self):
+        def slow(n):
+            if n < 2:
+                return False
+            return all(n % d for d in range(2, int(n**0.5) + 1))
+
+        for n in range(1000):
+            assert is_prime(n) == slow(n), n
+
+    @pytest.mark.parametrize(
+        "n", [2_147_483_647, 2**61 - 1, 1_000_000_007, 999_999_937]
+    )
+    def test_known_large_primes(self, n):
+        assert is_prime(n)
+
+    @pytest.mark.parametrize("n", [2**31 - 2, 2**61 - 3, 1_000_000_008])
+    def test_known_large_composites(self, n):
+        assert not is_prime(n)
+
+    def test_carmichael_numbers_rejected(self):
+        # Fermat pseudoprimes that fool a^n-1 tests; Miller-Rabin must not be fooled.
+        for carmichael in (561, 1105, 1729, 2465, 2821, 6601, 8911, 41041):
+            assert not is_prime(carmichael)
+
+    def test_strong_pseudoprime_to_base_2(self):
+        assert not is_prime(2047)  # 23 * 89, strong pseudoprime base 2.
+
+
+class TestNextPrime:
+    @given(n=st.integers(min_value=-5, max_value=10**6))
+    @settings(max_examples=60, deadline=None)
+    def test_result_is_prime_and_geq(self, n):
+        p = next_prime(n)
+        assert is_prime(p)
+        assert p >= n
+
+    def test_fixed_points(self):
+        assert next_prime(7) == 7
+        assert next_prime(8) == 11
+
+    def test_below_two(self):
+        assert next_prime(-100) == 2
+        assert next_prime(2) == 2

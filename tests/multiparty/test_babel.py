@@ -1,0 +1,95 @@
+"""Tests for universal rendezvous across community languages."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.comm.codecs import IdentityCodec, ReverseCodec, codec_family
+from repro.core.execution import run_execution
+from repro.multiparty.babel import (
+    CodecFollowLeaderParty,
+    agreement_sensing,
+    babel_rendezvous_goal,
+    babel_server,
+    babel_user_class,
+    community_names,
+)
+from repro.universal.compact import CompactUniversalUser
+from repro.universal.enumeration import ListEnumeration
+
+CODECS = codec_family(4)
+NAMES = community_names(4)
+SYMBOLS = ["red", "green", "blue"]
+GOAL = babel_rendezvous_goal(NAMES)
+
+
+class TestCommunityNames:
+    def test_newcomer_sorts_last(self):
+        names = community_names(5)
+        assert sorted(names)[-1] == "z-newcomer"
+
+    def test_size_validated(self):
+        with pytest.raises(ValueError):
+            community_names(1)
+
+
+class TestCodecParty:
+    def test_encodes_peer_messages(self):
+        import random
+
+        party = CodecFollowLeaderParty("m0", "red", ["m0", "m1"], ReverseCodec())
+        state = party.initial_state(random.Random(0))
+        _, outbox = party.step(state, {}, random.Random(0))
+        assert ReverseCodec().decode(outbox["m1"]) == "SYM:red"
+        assert outbox["world"] == "PICK:red"  # World channel stays plain.
+
+    def test_ignores_foreign_speech(self):
+        import random
+
+        party = CodecFollowLeaderParty("m1", "red", ["m0", "m1"], IdentityCodec())
+        state = party.initial_state(random.Random(0))
+        # m0 leads but speaks reversed; m1 cannot understand and keeps red.
+        inbox = {"m0": ReverseCodec().encode("SYM:blue")}
+        new_state, outbox = party.step(state, inbox, random.Random(0))
+        assert new_state == "red"
+
+
+class TestBabelRendezvous:
+    def test_matched_newcomer_joins(self):
+        users = babel_user_class(CODECS, NAMES)
+        server = babel_server(CODECS[1], NAMES, SYMBOLS)
+        result = run_execution(users[1], server, GOAL.world, max_rounds=200, seed=0)
+        assert GOAL.evaluate(result).achieved
+        final = result.final_world_state()
+        # Agreement lands on the community leader's symbol, not the newcomer's.
+        assert dict(final.announcements)["z-newcomer"] == SYMBOLS[0]
+
+    def test_mismatched_newcomer_blocks_agreement(self):
+        users = babel_user_class(CODECS, NAMES)
+        server = babel_server(CODECS[1], NAMES, SYMBOLS)
+        result = run_execution(users[0], server, GOAL.world, max_rounds=200, seed=0)
+        assert not GOAL.evaluate(result).achieved
+
+    def test_universal_newcomer_joins_any_community(self):
+        for index, codec in enumerate(CODECS):
+            server = babel_server(codec, NAMES, SYMBOLS)
+            universal = CompactUniversalUser(
+                ListEnumeration(babel_user_class(CODECS, NAMES)),
+                agreement_sensing(),
+            )
+            result = run_execution(
+                universal, server, GOAL.world, max_rounds=1500, seed=index
+            )
+            assert GOAL.evaluate(result).achieved, codec.name
+            state = result.rounds[-1].user_state_after
+            assert state.index == index  # Learned the community's language.
+
+    def test_larger_community(self):
+        names = community_names(6)
+        goal = babel_rendezvous_goal(names)
+        server = babel_server(CODECS[2], names, SYMBOLS)
+        universal = CompactUniversalUser(
+            ListEnumeration(babel_user_class(CODECS, names)), agreement_sensing()
+        )
+        result = run_execution(universal, server, goal.world, max_rounds=1500, seed=3)
+        assert goal.evaluate(result).achieved

@@ -1,0 +1,95 @@
+"""Tests for the N-party → two-party reduction (the paper's footnote 1)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.execution import run_execution
+from repro.multiparty.reduction import (
+    CompositeServer,
+    decode_profile,
+    encode_profile,
+    reduce_to_two_party,
+)
+from repro.multiparty.symmetric import (
+    FollowLeaderParty,
+    RendezvousWorld,
+    run_multiparty,
+)
+
+NAMES = ["alice", "bob", "carol"]
+PREFS = ["red", "green", "blue"]
+
+
+def parties():
+    return {
+        name: FollowLeaderParty(name, pref, NAMES)
+        for name, pref in zip(NAMES, PREFS)
+    }
+
+
+class TestProfileFraming:
+    @given(
+        profile=st.dictionaries(
+            st.text(
+                alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+                min_size=1,
+                max_size=8,
+            ),
+            st.text(
+                alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+                min_size=1,
+                max_size=20,
+            ),
+            max_size=5,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_round_trip(self, profile):
+        assert decode_profile(encode_profile(profile)) == profile
+
+    def test_empty_profile(self):
+        assert encode_profile({}) == ""
+        assert decode_profile("") == {}
+
+    def test_silent_entries_skipped(self):
+        assert encode_profile({"a": "", "b": "x"}) == encode_profile({"b": "x"})
+
+    def test_malformed_entries_dropped(self):
+        assert decode_profile("no-separator-here") == {}
+
+
+class TestReduction:
+    def test_user_must_be_a_party(self):
+        with pytest.raises(ValueError):
+            reduce_to_two_party(parties(), RendezvousWorld(NAMES), "mallory")
+
+    def test_composite_excludes_user(self):
+        with pytest.raises(ValueError):
+            CompositeServer(parties(), "alice")
+
+    @pytest.mark.parametrize("user_name", NAMES)
+    def test_reduced_execution_reaches_agreement(self, user_name):
+        user, server, world = reduce_to_two_party(
+            parties(), RendezvousWorld(NAMES), user_name
+        )
+        result = run_execution(user, server, world, max_rounds=20, seed=0)
+        final = result.final_world_state()
+        assert final.agreed(3)
+        assert set(dict(final.announcements).values()) == {"red"}
+
+    def test_reduced_matches_native_trajectory(self):
+        """The reduction theorem, checked on world-state trajectories."""
+        native = run_multiparty(
+            parties(), RendezvousWorld(NAMES), max_rounds=15, seed=7
+        )
+        user, server, world = reduce_to_two_party(
+            parties(), RendezvousWorld(NAMES), "alice"
+        )
+        reduced = run_execution(user, server, world, max_rounds=15, seed=7)
+        # Rendezvous is deterministic, so the trajectories must agree exactly
+        # once both systems have delivered the first messages.
+        assert native.world_states[-1] == reduced.world_states[-1]
+        assert native.world_states[3:] == reduced.world_states[3:]

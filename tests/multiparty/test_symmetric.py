@@ -1,0 +1,122 @@
+"""Tests for the N-party model and the rendezvous goal."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.multiparty.symmetric import (
+    FollowLeaderParty,
+    RendezvousState,
+    RendezvousWorld,
+    rendezvous_referee,
+    run_multiparty,
+)
+
+NAMES = ["alice", "bob", "carol"]
+PREFS = ["red", "green", "blue"]
+
+
+def follow_leader_parties():
+    return {
+        name: FollowLeaderParty(name, pref, NAMES)
+        for name, pref in zip(NAMES, PREFS)
+    }
+
+
+class TestRunMultiparty:
+    def test_reserved_world_name_rejected(self):
+        parties = follow_leader_parties()
+        parties["world"] = parties.pop("carol")
+        with pytest.raises(ExecutionError):
+            run_multiparty(parties, RendezvousWorld(NAMES), max_rounds=5)
+
+    def test_max_rounds_validated(self):
+        with pytest.raises(ExecutionError):
+            run_multiparty(
+                follow_leader_parties(), RendezvousWorld(NAMES), max_rounds=0
+            )
+
+    def test_records_world_states(self):
+        result = run_multiparty(
+            follow_leader_parties(), RendezvousWorld(NAMES), max_rounds=10, seed=0
+        )
+        assert len(result.world_states) == 11
+        assert result.rounds_executed == 10
+
+    def test_deterministic_under_seed(self):
+        a = run_multiparty(
+            follow_leader_parties(), RendezvousWorld(NAMES), max_rounds=10, seed=3
+        )
+        b = run_multiparty(
+            follow_leader_parties(), RendezvousWorld(NAMES), max_rounds=10, seed=3
+        )
+        assert a.world_states == b.world_states
+
+
+class TestRendezvous:
+    def test_follow_leader_converges_to_leader_preference(self):
+        result = run_multiparty(
+            follow_leader_parties(), RendezvousWorld(NAMES), max_rounds=10, seed=0
+        )
+        final = result.final_world_state()
+        assert final.agreed(3)
+        # "alice" is the alphabetically smallest party: her colour wins.
+        assert dict(final.announcements)["bob"] == "red"
+
+    def test_agreed_requires_all_parties(self):
+        state = RendezvousState(announcements=(("alice", "red"),))
+        assert not state.agreed(3)
+
+    def test_agreed_requires_unanimity(self):
+        state = RendezvousState(
+            announcements=(("alice", "red"), ("bob", "blue"), ("carol", "red"))
+        )
+        assert not state.agreed(3)
+
+    def test_referee_tolerates_warmup(self):
+        referee = rendezvous_referee(3, warmup=12)
+        result = run_multiparty(
+            follow_leader_parties(), RendezvousWorld(NAMES), max_rounds=40, seed=0
+        )
+
+        class _Wrapper:
+            world_states = result.world_states
+
+        verdict = referee.judge(_Wrapper())
+        assert verdict.last_bad_round is None or verdict.last_bad_round <= 13
+
+
+class TestFeedbackWorld:
+    def test_broadcasts_agreement_bit(self):
+        import random
+
+        world = RendezvousWorld(NAMES, feedback=True)
+        rng = random.Random(0)
+        state = world.initial_state(rng)
+        state, out = world.step(
+            state,
+            {"alice": "PICK:red", "bob": "PICK:red", "carol": "PICK:red"},
+            rng,
+        )
+        assert out == {name: "AGREE:1" for name in NAMES}
+
+    def test_disagreement_broadcasts_zero(self):
+        import random
+
+        world = RendezvousWorld(NAMES, feedback=True)
+        rng = random.Random(0)
+        state = world.initial_state(rng)
+        state, out = world.step(
+            state, {"alice": "PICK:red", "bob": "PICK:blue"}, rng
+        )
+        assert set(out.values()) == {"AGREE:0"}
+
+    def test_no_feedback_by_default(self):
+        import random
+
+        world = RendezvousWorld(NAMES)
+        rng = random.Random(0)
+        state = world.initial_state(rng)
+        _, out = world.step(state, {"alice": "PICK:red"}, rng)
+        assert out == {}

@@ -1,0 +1,105 @@
+"""Tests for the learning ↔ communication adapters."""
+
+from __future__ import annotations
+
+import random
+
+from repro.comm.messages import UserInbox
+from repro.core.execution import run_execution
+from repro.core.strategy import SilentServer
+from repro.online.adapter import (
+    LearnerUser,
+    ThresholdUser,
+    UserAsLearner,
+    threshold_user_class,
+)
+from repro.online.learners import (
+    HalvingLearner,
+    SingleHypothesisLearner,
+    simulate_mistakes,
+    threshold_class,
+)
+from repro.worlds.lookup import lookup_goal, threshold_label
+
+
+class TestLearnerUser:
+    def test_achieves_lookup_goal(self):
+        goal = lookup_goal(threshold=5, domain=16)
+        user = LearnerUser(lambda: HalvingLearner(threshold_class(16)))
+        result = run_execution(user, SilentServer(), goal.world, max_rounds=700, seed=1)
+        assert goal.evaluate(result).achieved
+
+    def test_mistakes_bounded_by_halving(self):
+        import math
+
+        goal = lookup_goal(threshold=11, domain=16)
+        user = LearnerUser(lambda: HalvingLearner(threshold_class(16)))
+        result = run_execution(user, SilentServer(), goal.world, max_rounds=700, seed=2)
+        assert result.final_world_state().mistakes <= math.log2(17) + 1
+
+    def test_fresh_learner_per_execution(self):
+        built = []
+
+        def factory():
+            built.append(1)
+            return HalvingLearner(threshold_class(4))
+
+        goal = lookup_goal(threshold=1, domain=4)
+        user = LearnerUser(factory)
+        run_execution(user, SilentServer(), goal.world, max_rounds=20, seed=0)
+        run_execution(user, SilentServer(), goal.world, max_rounds=20, seed=1)
+        assert len(built) == 2
+
+    def test_answers_every_query(self):
+        goal = lookup_goal(threshold=3, domain=8, query_period=3)
+        user = LearnerUser(lambda: HalvingLearner(threshold_class(8)))
+        result = run_execution(user, SilentServer(), goal.world, max_rounds=120, seed=3)
+        state = result.final_world_state()
+        assert state.scored >= 30  # ~40 queries issued, latency leaves a few pending.
+
+
+class TestThresholdUser:
+    def test_predicts_fixed_threshold(self):
+        user = ThresholdUser(4)
+        rng = random.Random(0)
+        state = user.initial_state(rng)
+        _, out = user.step(state, UserInbox(from_world="Q:7;FB:none"), rng)
+        assert out.to_world == "PRED:7=1"
+        _, out = user.step(state, UserInbox(from_world="Q:2;FB:none"), rng)
+        assert out.to_world == "PRED:2=0"
+
+    def test_silent_between_queries(self):
+        user = ThresholdUser(4)
+        rng = random.Random(0)
+        state = user.initial_state(rng)
+        _, out = user.step(state, UserInbox(from_world="Q:-;FB:ok@3"), rng)
+        assert out.to_world == ""
+
+    def test_class_order(self):
+        users = threshold_user_class(5)
+        assert [u.threshold for u in users] == list(range(6))
+
+
+class TestUserAsLearner:
+    def test_threshold_user_behaves_as_its_hypothesis(self):
+        learner = UserAsLearner(ThresholdUser(5))
+        rng = random.Random(0)
+        qs = [rng.randrange(12) for _ in range(60)]
+        mistakes = simulate_mistakes(
+            learner, lambda x: threshold_label(5, x), qs
+        )
+        assert mistakes == 0
+
+    def test_mismatched_user_makes_mistakes(self):
+        learner = UserAsLearner(ThresholdUser(0))
+        qs = [1, 2, 3, 4, 5]
+        mistakes = simulate_mistakes(
+            learner, lambda x: threshold_label(6, x), qs
+        )
+        assert mistakes == 5
+
+    def test_silent_strategy_defaults_to_false(self):
+        from repro.core.strategy import SilentUser
+
+        learner = UserAsLearner(SilentUser(), patience=3)
+        assert learner.predict(5) is False

@@ -1,0 +1,66 @@
+"""Tests for the equivalence measurement harness (the E8 claim, scaled down)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.online.equivalence import (
+    enumeration_user,
+    halving_user,
+    mistakes_in_game,
+    mistakes_in_world,
+    weighted_majority_user,
+)
+from repro.online.learners import HalvingLearner, threshold_class
+
+
+class TestEnumerationUser:
+    def test_achieves_goal(self):
+        from repro.core.execution import run_execution
+        from repro.core.strategy import SilentServer
+        from repro.worlds.lookup import lookup_goal
+
+        goal = lookup_goal(threshold=4, domain=8)
+        result = run_execution(
+            enumeration_user(8), SilentServer(), goal.world, max_rounds=1500, seed=0
+        )
+        assert goal.evaluate(result).achieved
+
+    def test_mistakes_grow_with_target_index(self):
+        low = mistakes_in_world(enumeration_user(16), 1, 16, horizon=2500, seed=1)
+        high = mistakes_in_world(enumeration_user(16), 15, 16, horizon=2500, seed=1)
+        assert high > low
+
+
+class TestHalvingUser:
+    @pytest.mark.parametrize("theta", [0, 7, 15])
+    def test_mistakes_logarithmic(self, theta):
+        mistakes = mistakes_in_world(halving_user(16), theta, 16, horizon=2000, seed=1)
+        assert mistakes <= math.log2(17) + 2
+
+    def test_beats_enumeration_on_late_targets(self):
+        domain, theta = 16, 14
+        enum = mistakes_in_world(
+            enumeration_user(domain), theta, domain, horizon=2500, seed=2
+        )
+        halv = mistakes_in_world(
+            halving_user(domain), theta, domain, horizon=2500, seed=2
+        )
+        assert halv < enum
+
+
+class TestWeightedMajorityUser:
+    def test_few_mistakes(self):
+        mistakes = mistakes_in_world(
+            weighted_majority_user(16), 9, 16, horizon=2000, seed=3
+        )
+        assert mistakes <= 2.41 * math.log2(17) + 3
+
+
+class TestGameHarness:
+    def test_pure_game_matches_bound(self):
+        learner = HalvingLearner(threshold_class(32))
+        mistakes = mistakes_in_game(learner, 20, 32, n_queries=400, seed=4)
+        assert mistakes <= math.log2(33) + 1

@@ -1,0 +1,118 @@
+"""Tests for the pure online learners and their mistake bounds."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.online.learners import (
+    HalvingLearner,
+    SingleHypothesisLearner,
+    WeightedMajorityLearner,
+    simulate_mistakes,
+    threshold_class,
+)
+from repro.worlds.lookup import threshold_label
+
+
+def queries(seed, domain, count=300):
+    rng = random.Random(seed)
+    return [rng.randrange(domain) for _ in range(count)]
+
+
+class TestThresholdClass:
+    def test_size(self):
+        assert len(threshold_class(10)) == 11
+
+    def test_hypotheses_are_distinct(self):
+        hyps = threshold_class(5)
+        signatures = [tuple(h(x) for x in range(5)) for h in hyps]
+        assert len(set(signatures)) == len(hyps)
+
+    def test_domain_validated(self):
+        with pytest.raises(ValueError):
+            threshold_class(0)
+
+
+class TestHalving:
+    @given(theta=st.integers(min_value=0, max_value=32),
+           seed=st.integers(min_value=0, max_value=100))
+    @settings(max_examples=30, deadline=None)
+    def test_mistake_bound_log_class_size(self, theta, seed):
+        domain = 32
+        learner = HalvingLearner(threshold_class(domain))
+        mistakes = simulate_mistakes(
+            learner, lambda x: threshold_label(theta, x), queries(seed, domain)
+        )
+        assert mistakes <= math.log2(domain + 1) + 1
+
+    def test_version_space_shrinks_on_mistakes(self):
+        learner = HalvingLearner(threshold_class(16))
+        before = learner.version_space_size
+        # Feed a surprising truth for a mid-domain query.
+        prediction = learner.predict(8)
+        learner.update(8, not prediction)
+        assert learner.version_space_size < before
+
+    def test_resets_when_emptied(self):
+        learner = HalvingLearner(threshold_class(4))
+        # Adversarial truths: contradictory labels for the same query.
+        learner.update(2, True)
+        learner.update(2, False)
+        assert learner.version_space_size >= 1
+
+    def test_empty_class_rejected(self):
+        with pytest.raises(ValueError):
+            HalvingLearner([])
+
+
+class TestWeightedMajority:
+    @given(theta=st.integers(min_value=0, max_value=16),
+           seed=st.integers(min_value=0, max_value=50))
+    @settings(max_examples=20, deadline=None)
+    def test_few_mistakes_on_realizable_data(self, theta, seed):
+        domain = 16
+        learner = WeightedMajorityLearner(threshold_class(domain))
+        mistakes = simulate_mistakes(
+            learner, lambda x: threshold_label(theta, x), queries(seed, domain)
+        )
+        # Classic bound: 2.41 (M* + lg |C|) with M* = 0 here; generous slack.
+        assert mistakes <= 2.41 * math.log2(domain + 1) + 2
+
+    def test_beta_validated(self):
+        with pytest.raises(ValueError):
+            WeightedMajorityLearner(threshold_class(4), beta=1.0)
+
+    def test_weights_survive_long_adversarial_runs(self):
+        learner = WeightedMajorityLearner(threshold_class(4), beta=0.5)
+        for i in range(2000):
+            learner.update(i % 4, bool(i % 2))
+        # No underflow crash, and prediction still well-defined.
+        assert learner.predict(2) in (True, False)
+
+
+class TestSingleHypothesis:
+    def test_never_updates(self):
+        learner = SingleHypothesisLearner(lambda x: x >= 3)
+        learner.update(0, True)
+        assert learner.predict(2) is False
+        assert learner.predict(3) is True
+
+    def test_mistakes_proportional_to_disagreement(self):
+        target = lambda x: x >= 0  # Everything positive.
+        learner = SingleHypothesisLearner(lambda x: False)
+        qs = queries(1, 8, count=100)
+        assert simulate_mistakes(learner, target, qs) == 100
+
+
+class TestSimulate:
+    def test_zero_mistakes_for_true_hypothesis(self):
+        learner = SingleHypothesisLearner(lambda x: threshold_label(5, x))
+        mistakes = simulate_mistakes(
+            learner, lambda x: threshold_label(5, x), queries(2, 10)
+        )
+        assert mistakes == 0

@@ -1,0 +1,63 @@
+"""Tests for arithmetization: agreement with Boolean semantics and degrees."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FormulaError
+from repro.mathx.modular import Field
+from repro.qbf.arithmetize import arith_eval, base_grid, degree_vector
+from repro.qbf.formulas import And, Not, Or, Var, evaluate, variables
+from repro.qbf.generators import random_formula, variable_names
+
+F = Field()
+
+
+class TestBooleanAgreement:
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=50, deadline=None)
+    def test_agrees_on_all_boolean_points(self, seed):
+        f = random_formula(random.Random(seed), 3, 5)
+        names = sorted(variables(f))
+        for bits in itertools.product((0, 1), repeat=len(names)):
+            env_bool = dict(zip(names, (bool(b) for b in bits)))
+            env_field = dict(zip(names, bits))
+            assert arith_eval(f, F, env_field) == int(evaluate(f, env_bool))
+
+    def test_missing_variable_raises(self):
+        with pytest.raises(FormulaError):
+            arith_eval(Var("x"), F, {})
+
+
+class TestDegreeVector:
+    def test_matches_per_variable_degree(self):
+        f = And(Var("x"), Or(Var("x"), Not(Var("y"))))
+        assert degree_vector(f, ["x", "y"]) == (2, 1)
+
+    def test_absent_variable_degree_zero(self):
+        assert degree_vector(Var("x"), ["x", "z"]) == (1, 0)
+
+
+class TestBaseGrid:
+    @given(seed=st.integers(min_value=0, max_value=300))
+    @settings(max_examples=25, deadline=None)
+    def test_grid_agrees_with_direct_evaluation(self, seed):
+        rng = random.Random(seed)
+        f = random_formula(rng, 3, 4)
+        names = variable_names(3)
+        grid = base_grid(f, F, names)
+        point = {name: rng.randrange(F.p) for name in names}
+        assert grid.evaluate(point) == arith_eval(f, F, point)
+
+    def test_order_must_cover_formula(self):
+        with pytest.raises(FormulaError):
+            base_grid(Var("x1"), F, ["x2"])
+
+    def test_unused_variables_get_degree_zero(self):
+        grid = base_grid(Var("x1"), F, ["x1", "x2"])
+        assert grid.degrees == (1, 0)

@@ -1,0 +1,125 @@
+"""Tests for Boolean formula ASTs, evaluation, degrees, and the wire form."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FormulaError
+from repro.qbf.formulas import (
+    And,
+    Const,
+    Not,
+    Or,
+    Var,
+    arithmetization_degree,
+    conj,
+    disj,
+    evaluate,
+    from_cnf,
+    parse,
+    serialize,
+    variables,
+)
+from repro.qbf.generators import random_formula
+
+
+@st.composite
+def formulas(draw, max_connectives=6, n_vars=3):
+    seed = draw(st.integers(min_value=0, max_value=10**6))
+    connectives = draw(st.integers(min_value=0, max_value=max_connectives))
+    return random_formula(random.Random(seed), n_vars, connectives)
+
+
+class TestEvaluate:
+    def test_var_lookup(self):
+        assert evaluate(Var("x"), {"x": True})
+        assert not evaluate(Var("x"), {"x": False})
+
+    def test_missing_variable_raises(self):
+        with pytest.raises(FormulaError):
+            evaluate(Var("x"), {})
+
+    def test_connectives(self):
+        x, y = Var("x"), Var("y")
+        env = {"x": True, "y": False}
+        assert not evaluate(And(x, y), env)
+        assert evaluate(Or(x, y), env)
+        assert not evaluate(Not(x), env)
+        assert evaluate(Const(True), {})
+
+    @given(f=formulas())
+    @settings(max_examples=30, deadline=None)
+    def test_double_negation(self, f):
+        env = {name: True for name in variables(f)}
+        assert evaluate(Not(Not(f)), env) == evaluate(f, env)
+
+
+class TestVariables:
+    def test_collects_all(self):
+        f = And(Var("a"), Or(Not(Var("b")), Var("a")))
+        assert variables(f) == {"a", "b"}
+
+    def test_const_has_none(self):
+        assert variables(Const(True)) == frozenset()
+
+
+class TestVarValidation:
+    @pytest.mark.parametrize("bad", ["", "X", "1x", "x Y"])
+    def test_bad_names_rejected(self, bad):
+        with pytest.raises(FormulaError):
+            Var(bad)
+
+    @pytest.mark.parametrize("good", ["x", "x1", "foo_bar2"])
+    def test_good_names_accepted(self, good):
+        assert Var(good).name == good
+
+
+class TestDegree:
+    def test_var_degree(self):
+        assert arithmetization_degree(Var("x"), "x") == 1
+        assert arithmetization_degree(Var("x"), "y") == 0
+
+    def test_degrees_add_across_connectives(self):
+        f = And(Var("x"), Or(Var("x"), Var("y")))
+        assert arithmetization_degree(f, "x") == 2
+        assert arithmetization_degree(f, "y") == 1
+
+    def test_not_preserves_degree(self):
+        assert arithmetization_degree(Not(And(Var("x"), Var("x"))), "x") == 2
+
+
+class TestBuilders:
+    def test_conj_empty_is_true(self):
+        assert evaluate(conj([]), {})
+
+    def test_disj_empty_is_false(self):
+        assert not evaluate(disj([]), {})
+
+    def test_cnf_semantics(self):
+        f = from_cnf([[("x", True), ("y", False)], [("y", True)]])
+        assert evaluate(f, {"x": True, "y": True})
+        assert not evaluate(f, {"x": False, "y": False})  # Second clause fails.
+        assert not evaluate(f, {"x": False, "y": True})   # First clause fails.
+
+
+class TestWireForm:
+    @given(f=formulas())
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip(self, f):
+        assert parse(serialize(f)) == f
+
+    def test_known_rendering(self):
+        f = And(Or(Var("x1"), Not(Var("x2"))), Const(True))
+        assert serialize(f) == "&(|(x1,!x2),1)"
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "&(x", "&(x,y", "|x,y)", "!(", "X", "&(x,y)z", "2"],
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(FormulaError):
+            parse(bad)

@@ -1,0 +1,98 @@
+"""Tests for the instance generators."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.qbf.formulas import variables
+from repro.qbf.generators import (
+    balanced_qbf_batch,
+    parity_qbf,
+    random_cnf,
+    random_formula,
+    random_qbf,
+    variable_names,
+)
+
+
+class TestVariableNames:
+    def test_canonical_names(self):
+        assert variable_names(3) == ["x1", "x2", "x3"]
+
+    def test_zero(self):
+        assert variable_names(0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            variable_names(-1)
+
+
+class TestRandomCnf:
+    def test_deterministic_under_seed(self):
+        a = random_cnf(random.Random(7), 4, 6)
+        b = random_cnf(random.Random(7), 4, 6)
+        assert a == b
+
+    def test_uses_only_declared_variables(self):
+        f = random_cnf(random.Random(1), 3, 10)
+        assert variables(f) <= {"x1", "x2", "x3"}
+
+    def test_clause_width_capped_by_vars(self):
+        # Must not crash when width > n_vars.
+        random_cnf(random.Random(2), 2, 4, clause_width=5)
+
+    def test_rejects_zero_vars(self):
+        with pytest.raises(ValueError):
+            random_cnf(random.Random(0), 0, 1)
+
+
+class TestRandomQbf:
+    def test_closed(self):
+        q = random_qbf(random.Random(3), 4)
+        assert set(q.variable_names) >= variables(q.matrix)
+
+    def test_every_variable_bound_and_used(self):
+        # The generator pads the matrix so the prefix is never vacuous.
+        for seed in range(10):
+            q = random_qbf(random.Random(seed), 4)
+            assert variables(q.matrix) == set(q.variable_names)
+
+    def test_deterministic_under_seed(self):
+        assert random_qbf(random.Random(5), 3) == random_qbf(random.Random(5), 3)
+
+    def test_rejects_zero_vars(self):
+        with pytest.raises(ValueError):
+            random_qbf(random.Random(0), 0)
+
+
+class TestBalancedBatch:
+    def test_balances_truth_values(self):
+        batch = balanced_qbf_batch(random.Random(0), 3, 6)
+        truths = [q.evaluate() for q in batch]
+        assert len(batch) == 6
+        assert truths.count(True) == 3
+        assert truths.count(False) == 3
+
+
+class TestParity:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    def test_parity_matrix_semantics(self, n):
+        from repro.qbf.formulas import evaluate
+
+        q = parity_qbf(n, target_parity=True)
+        env = {f"x{i}": False for i in range(1, n + 1)}
+        env["x1"] = True  # Parity 1.
+        assert evaluate(q.matrix, env)
+        env["x1"] = False  # Parity 0.
+        assert not evaluate(q.matrix, env)
+
+    def test_degree_grows_with_n(self):
+        from repro.qbf.formulas import arithmetization_degree
+
+        q3 = parity_qbf(3)
+        q5 = parity_qbf(5)
+        assert arithmetization_degree(q5.matrix, "x1") > arithmetization_degree(
+            q3.matrix, "x1"
+        )

@@ -1,0 +1,101 @@
+"""Tests for quantified Boolean formulas."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FormulaError
+from repro.qbf.formulas import And, Not, Or, Var, evaluate
+from repro.qbf.generators import random_qbf, variable_names
+from repro.qbf.qbf import EXISTS, FORALL, QBF
+
+
+def brute_force(qbf: QBF) -> bool:
+    """Reference QBF evaluation via explicit game-tree recursion."""
+
+    def rec(depth, env):
+        if depth == len(qbf.prefix):
+            return evaluate(qbf.matrix, env)
+        quantifier, name = qbf.prefix[depth]
+        values = [rec(depth + 1, {**env, name: v}) for v in (False, True)]
+        return all(values) if quantifier == FORALL else any(values)
+
+    return rec(0, {})
+
+
+class TestValidation:
+    def test_duplicate_binding_rejected(self):
+        with pytest.raises(FormulaError):
+            QBF(((FORALL, "x"), (EXISTS, "x")), Var("x"))
+
+    def test_unbound_variable_rejected(self):
+        with pytest.raises(FormulaError):
+            QBF(((FORALL, "x"),), And(Var("x"), Var("y")))
+
+    def test_unknown_quantifier_rejected(self):
+        with pytest.raises(FormulaError):
+            QBF((("Q", "x"),), Var("x"))
+
+
+class TestEvaluate:
+    def test_forall_tautology(self):
+        q = QBF(((FORALL, "x"),), Or(Var("x"), Not(Var("x"))))
+        assert q.evaluate()
+
+    def test_forall_contingent_is_false(self):
+        q = QBF(((FORALL, "x"),), Var("x"))
+        assert not q.evaluate()
+
+    def test_exists_satisfiable(self):
+        q = QBF(((EXISTS, "x"),), Var("x"))
+        assert q.evaluate()
+
+    def test_alternation(self):
+        # ∀x ∃y (x ≠ y) is true over booleans.
+        neq = Or(And(Var("x"), Not(Var("y"))), And(Not(Var("x")), Var("y")))
+        q = QBF(((FORALL, "x"), (EXISTS, "y")), neq)
+        assert q.evaluate()
+        # ∃y ∀x (x ≠ y) is false.
+        q2 = QBF(((EXISTS, "y"), (FORALL, "x")), neq)
+        assert not q2.evaluate()
+
+    @given(seed=st.integers(min_value=0, max_value=500), n=st.integers(min_value=1, max_value=4))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_brute_force(self, seed, n):
+        q = random_qbf(random.Random(seed), n)
+        assert q.evaluate() == brute_force(q)
+
+
+class TestWireForm:
+    @given(seed=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=30, deadline=None)
+    def test_round_trip(self, seed):
+        q = random_qbf(random.Random(seed), 3)
+        assert QBF.deserialize(q.serialize()) == q
+
+    def test_known_rendering(self):
+        q = QBF(((FORALL, "x1"), (EXISTS, "x2")), And(Var("x1"), Var("x2")))
+        assert q.serialize() == "Ax1.Ex2:&(x1,x2)"
+
+    @pytest.mark.parametrize("bad", ["", "no separator", "Zx1:x1", "A:x1"])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(FormulaError):
+            QBF.deserialize(bad)
+
+    def test_empty_prefix_round_trips_for_closed_matrix(self):
+        from repro.qbf.formulas import Const
+
+        q = QBF((), Const(True))
+        assert QBF.deserialize(q.serialize()) == q
+
+
+class TestProperties:
+    def test_variable_names_in_prefix_order(self):
+        q = QBF(((EXISTS, "b"), (FORALL, "a")), And(Var("a"), Var("b")))
+        assert q.variable_names == ("b", "a")
+        assert q.n_vars == 2

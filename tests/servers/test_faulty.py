@@ -1,0 +1,85 @@
+"""Tests for fault-injection wrappers."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.comm.messages import ServerInbox
+from repro.servers.faulty import DroppingServer, GarblingServer, IntermittentServer
+from repro.servers.printer_servers import SpacePrinter
+
+
+def drive(server, messages, seed=0):
+    rng = random.Random(seed)
+    state = server.initial_state(rng)
+    outs = []
+    for message in messages:
+        state, out = server.step(state, ServerInbox(from_user=message), rng)
+        outs.append(out)
+    return outs
+
+
+class TestDroppingServer:
+    def test_drops_roughly_at_rate(self):
+        server = DroppingServer(SpacePrinter(), drop_probability=0.5)
+        outs = drive(server, ["PRINT x"] * 400)
+        acks = sum(1 for o in outs if o.to_user)
+        assert 120 < acks < 280  # ~200 expected.
+
+    def test_world_channel_never_dropped(self):
+        server = DroppingServer(SpacePrinter(), drop_probability=0.9)
+        outs = drive(server, ["PRINT x"] * 50)
+        assert all(o.to_world == "OUT:x" for o in outs)
+
+    def test_zero_probability_is_transparent(self):
+        server = DroppingServer(SpacePrinter(), drop_probability=0.0)
+        outs = drive(server, ["PRINT x"] * 10)
+        assert all(o.to_user == "ACK:" for o in outs)
+
+    def test_probability_validated(self):
+        with pytest.raises(ValueError):
+            DroppingServer(SpacePrinter(), drop_probability=1.0)
+
+
+class TestIntermittentServer:
+    def test_dead_phase_is_silent(self):
+        server = IntermittentServer(SpacePrinter(), on_rounds=2, off_rounds=2)
+        outs = drive(server, ["PRINT x"] * 8)
+        pattern = [bool(o.to_world) for o in outs]
+        assert pattern == [True, True, False, False, True, True, False, False]
+
+    def test_inner_state_preserved_across_dead_phase(self):
+        from repro.servers.printer_servers import HandshakePrinter
+
+        server = IntermittentServer(HandshakePrinter(), on_rounds=2, off_rounds=1)
+        outs = drive(server, ["HELLO", "DATA x", "DATA y", "DATA z"])
+        # Round 0: HELLO unlocks; round 1: prints; round 2: dead; round 3:
+        # still unlocked from round 0.
+        assert outs[1].to_world == "OUT:x"
+        assert outs[2].to_world == ""
+        assert outs[3].to_world == "OUT:z"
+
+    def test_parameters_validated(self):
+        with pytest.raises(ValueError):
+            IntermittentServer(SpacePrinter(), on_rounds=0, off_rounds=1)
+
+
+class TestGarblingServer:
+    def test_garbles_at_rate_but_never_silences(self):
+        server = GarblingServer(SpacePrinter(), garble_probability=0.5, noise="###")
+        outs = drive(server, ["PRINT x"] * 400)
+        garbled = sum(1 for o in outs if o.to_user == "###")
+        clean = sum(1 for o in outs if o.to_user == "ACK:")
+        assert garbled + clean == 400
+        assert 120 < garbled < 280
+
+    def test_world_channel_untouched(self):
+        server = GarblingServer(SpacePrinter(), garble_probability=0.9)
+        outs = drive(server, ["PRINT x"] * 50)
+        assert all(o.to_world == "OUT:x" for o in outs)
+
+    def test_probability_validated(self):
+        with pytest.raises(ValueError):
+            GarblingServer(SpacePrinter(), garble_probability=-0.1)

@@ -1,0 +1,91 @@
+"""Tests for the maze guide servers."""
+
+from __future__ import annotations
+
+import random
+
+from repro.comm.messages import ServerInbox
+from repro.servers.guides import GuideServer, MisleadingGuideServer, guide_server_class
+from repro.comm.codecs import codec_family
+from repro.worlds.navigation import Grid, corridor_grid
+
+
+def open_grid():
+    return Grid(4, 4, frozenset(), (0, 0), (3, 3))
+
+
+def advise(server, from_world, seed=0):
+    rng = random.Random(seed)
+    state = server.initial_state(rng)
+    _, out = server.step(state, ServerInbox(from_world=from_world), rng)
+    return out.to_user
+
+
+class TestGuideServer:
+    def test_advice_names_position_and_decreases_distance(self):
+        grid = corridor_grid(6)
+        guide = GuideServer(grid)
+        advice = advise(guide, "POS:0,0")
+        assert advice.startswith("GO:0,0=")
+        direction = advice.partition("=")[2]
+        field = grid.distance_field()
+        assert field[grid.step_from((0, 0), direction)] == field[(0, 0)] - 1
+
+    def test_silent_at_target(self):
+        grid = open_grid()
+        assert advise(GuideServer(grid), "POS:3,3") == ""
+
+    def test_silent_on_garbage(self):
+        guide = GuideServer(open_grid())
+        for bad in ("", "POS:", "POS:x,y", "POS:1", "WEATHER:sunny", "POS:99,99"):
+            assert advise(guide, bad) == "", bad
+
+    def test_silent_on_wall_position(self):
+        grid = corridor_grid(6)
+        wall = next(iter(grid.walls))
+        assert advise(GuideServer(grid), f"POS:{wall[0]},{wall[1]}") == ""
+
+    def test_deterministic(self):
+        grid = open_grid()
+        assert advise(GuideServer(grid), "POS:1,1") == advise(
+            GuideServer(grid), "POS:1,1", seed=99
+        )
+
+
+class TestMisleadingGuide:
+    def test_advice_never_decreases_distance(self):
+        grid = open_grid()
+        guide = MisleadingGuideServer(grid)
+        field = grid.distance_field()
+        advised = 0
+        for cell in field:
+            if cell == grid.target:
+                continue
+            advice = advise(guide, f"POS:{cell[0]},{cell[1]}")
+            if not advice:
+                # At distance-maximal cells every neighbour is closer; the
+                # misleader goes silent rather than help.
+                assert all(
+                    field[n] < field[cell] for _, n in grid.neighbours(cell)
+                )
+                continue
+            advised += 1
+            direction = advice.partition("=")[2]
+            assert field[grid.step_from(cell, direction)] >= field[cell]
+        assert advised > 5  # It does mislead almost everywhere.
+
+    def test_silent_at_target(self):
+        assert advise(MisleadingGuideServer(open_grid()), "POS:3,3") == ""
+
+
+class TestClassBuilder:
+    def test_one_guide_per_codec(self):
+        codecs = codec_family(3)
+        servers = guide_server_class(open_grid(), codecs)
+        assert [s.codec.name for s in servers] == [c.name for c in codecs]
+
+    def test_members_speak_their_codec(self):
+        codecs = codec_family(3)
+        for server, codec in zip(guide_server_class(open_grid(), codecs), codecs):
+            wire = advise(server, "POS:0,0")
+            assert codec.decode(wire).startswith("GO:0,0=")

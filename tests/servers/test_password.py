@@ -1,0 +1,87 @@
+"""Tests for password-locked servers."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.comm.messages import ServerInbox
+from repro.servers.advisors import AdvisorServer
+from repro.servers.password import PasswordServer, all_passwords, password_server_class
+
+LAW = {"red": "blue", "blue": "red"}
+
+
+def drive(server, messages, seed=0, from_world=""):
+    rng = random.Random(seed)
+    state = server.initial_state(rng)
+    replies = []
+    for message in messages:
+        state, out = server.step(
+            state, ServerInbox(from_user=message, from_world=from_world), rng
+        )
+        replies.append(out.to_user)
+    return replies
+
+
+class TestAllPasswords:
+    def test_count_and_order(self):
+        pws = all_passwords(3)
+        assert len(pws) == 8
+        assert pws[0] == "000" and pws[-1] == "111"
+
+    def test_bits_validated(self):
+        with pytest.raises(ValueError):
+            all_passwords(0)
+
+
+class TestPasswordServer:
+    def test_correct_password_grants(self):
+        server = PasswordServer("101", AdvisorServer(LAW))
+        assert drive(server, ["AUTH:101"]) == ["GRANTED:"]
+
+    def test_wrong_password_denied_uniformly(self):
+        server = PasswordServer("101", AdvisorServer(LAW))
+        replies = drive(server, ["AUTH:100", "AUTH:111", "whatever"])
+        assert replies == ["DENIED:", "DENIED:", "DENIED:"]
+
+    def test_inner_frozen_while_locked(self):
+        server = PasswordServer("101", AdvisorServer(LAW))
+        # World announces an observation, but the locked advisor must not advise.
+        replies = drive(server, [""], from_world="OBS:red")
+        assert replies == [""]
+
+    def test_inner_active_after_unlock(self):
+        server = PasswordServer("101", AdvisorServer(LAW))
+        rng = random.Random(0)
+        state = server.initial_state(rng)
+        state, _ = server.step(state, ServerInbox(from_user="AUTH:101"), rng)
+        _, out = server.step(
+            state, ServerInbox(from_world="OBS:red"), rng
+        )
+        assert out.to_user == "ADV:red=blue"
+
+    def test_unlock_is_permanent(self):
+        server = PasswordServer("101", AdvisorServer(LAW))
+        rng = random.Random(0)
+        state = server.initial_state(rng)
+        state, _ = server.step(state, ServerInbox(from_user="AUTH:101"), rng)
+        state, _ = server.step(state, ServerInbox(from_user="junk"), rng)
+        _, out = server.step(state, ServerInbox(from_world="OBS:blue"), rng)
+        assert out.to_user == "ADV:blue=red"
+
+    def test_empty_password_rejected(self):
+        with pytest.raises(ValueError):
+            PasswordServer("", AdvisorServer(LAW))
+
+
+class TestPasswordClass:
+    def test_class_size(self):
+        servers = password_server_class(3, LAW)
+        assert len(servers) == 8
+
+    def test_each_member_has_distinct_password(self):
+        servers = password_server_class(2, LAW)
+        names = {s.name for s in servers}
+        assert len(names) == 4

@@ -1,0 +1,91 @@
+"""Tests for the printer dialects."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.comm.codecs import codec_family
+from repro.comm.messages import ServerInbox
+from repro.servers.printer_servers import (
+    DIALECTS,
+    HandshakePrinter,
+    SpacePrinter,
+    TaggedPrinter,
+    make_printer,
+    printer_server_class,
+)
+
+
+def drive(server, messages, seed=0):
+    """Feed messages; return the list of (to_user, to_world) pairs."""
+    rng = random.Random(seed)
+    state = server.initial_state(rng)
+    outputs = []
+    for message in messages:
+        state, out = server.step(state, ServerInbox(from_user=message), rng)
+        outputs.append((out.to_user, out.to_world))
+    return outputs
+
+
+class TestSpacePrinter:
+    def test_prints_on_command(self):
+        [(ack, out)] = drive(SpacePrinter(), ["PRINT hello"])
+        assert ack == "ACK:" and out == "OUT:hello"
+
+    def test_rejects_other_messages(self):
+        [(ack, out)] = drive(SpacePrinter(), ["JOB:hello"])
+        assert ack == "ERR:" and out == ""
+
+    def test_silent_on_silence(self):
+        [(ack, out)] = drive(SpacePrinter(), [""])
+        assert ack == "" and out == ""
+
+
+class TestTaggedPrinter:
+    def test_prints_on_command(self):
+        [(ack, out)] = drive(TaggedPrinter(), ["JOB:hello"])
+        assert ack == "DONE:" and out == "OUT:hello"
+
+    def test_rejects_space_dialect(self):
+        [(ack, out)] = drive(TaggedPrinter(), ["PRINT hello"])
+        assert ack == "ERR:" and out == ""
+
+
+class TestHandshakePrinter:
+    def test_data_before_hello_refused(self):
+        [(ack, out)] = drive(HandshakePrinter(), ["DATA hello"])
+        assert ack == "ERR:locked" and out == ""
+
+    def test_hello_then_data_prints(self):
+        outputs = drive(HandshakePrinter(), ["HELLO", "DATA hello"])
+        assert outputs[0][0] == "READY:"
+        assert outputs[1] == ("DONE:", "OUT:hello")
+
+    def test_stays_unlocked_between_jobs(self):
+        outputs = drive(
+            HandshakePrinter(), ["HELLO", "DATA a", "DATA b"]
+        )
+        assert outputs[2] == ("DONE:", "OUT:b")
+
+    def test_hello_is_idempotent(self):
+        outputs = drive(HandshakePrinter(), ["HELLO", "HELLO", "DATA x"])
+        assert outputs[2][1] == "OUT:x"
+
+
+class TestFactory:
+    @pytest.mark.parametrize("dialect", DIALECTS)
+    def test_known_dialects(self, dialect):
+        assert make_printer(dialect).name == f"printer-{dialect}"
+
+    def test_unknown_dialect_rejected(self):
+        with pytest.raises(ValueError):
+            make_printer("laser")
+
+    def test_class_is_cross_product_in_order(self):
+        codecs = codec_family(3)
+        servers = printer_server_class(("space", "tagged"), codecs)
+        assert len(servers) == 6
+        assert servers[0].name == "printer-space@id"
+        assert servers[4].name == "printer-tagged@reverse"

@@ -1,0 +1,111 @@
+"""Tests for the prover servers' wire protocol."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.comm.messages import ServerInbox
+from repro.ip.degree import operator_schedule
+from repro.mathx.modular import Field
+from repro.mathx.polynomials import Poly
+from repro.qbf.generators import random_qbf
+from repro.servers.provers import (
+    CheatingProverServer,
+    HonestProverServer,
+    LazyProverServer,
+)
+
+F = Field()
+QBF_INSTANCE = random_qbf(random.Random(3), 2)
+WIRE = QBF_INSTANCE.serialize()
+
+
+def drive(server, messages, seed=0):
+    rng = random.Random(seed)
+    state = server.initial_state(rng)
+    replies = []
+    for message in messages:
+        state, out = server.step(state, ServerInbox(from_user=message), rng)
+        replies.append(out.to_user)
+    return replies
+
+
+class TestHonestProverServer:
+    def test_claims_truth(self):
+        [claim] = drive(HonestProverServer(F), [f"PROVE:{WIRE}"])
+        assert claim == f"CLAIM:{int(QBF_INSTANCE.evaluate())}"
+
+    def test_serves_rounds_in_order(self):
+        replies = drive(
+            HonestProverServer(F), [f"PROVE:{WIRE}", "ROUND:0"]
+        )
+        assert replies[1].startswith("POLY:0:")
+        poly = Poly.deserialize(F, replies[1].split(":", 2)[2])
+        schedule = list(reversed(operator_schedule(QBF_INSTANCE)))
+        assert poly.degree <= schedule[0].degree_bound
+
+    def test_out_of_order_round_rejected(self):
+        replies = drive(HonestProverServer(F), [f"PROVE:{WIRE}", "ROUND:5:1"])
+        assert replies[1].startswith("ERR:expected-round")
+
+    def test_reserves_previous_round_idempotently(self):
+        replies = drive(
+            HonestProverServer(F), [f"PROVE:{WIRE}", "ROUND:0", "ROUND:0"]
+        )
+        assert replies[1] == replies[2]
+
+    def test_round_without_session_rejected(self):
+        [reply] = drive(HonestProverServer(F), ["ROUND:0"])
+        assert reply == "ERR:no-session"
+
+    def test_bad_instance_rejected(self):
+        [reply] = drive(HonestProverServer(F), ["PROVE:garbage"])
+        assert reply == "ERR:bad-instance"
+
+    def test_bad_round_payloads_rejected(self):
+        replies = drive(
+            HonestProverServer(F),
+            [f"PROVE:{WIRE}", "ROUND:zero", "ROUND:0", "ROUND:1:notanumber"],
+        )
+        assert replies[1] == "ERR:bad-round"
+        assert replies[3] == "ERR:bad-challenge"
+
+    def test_unknown_request_rejected(self):
+        [reply] = drive(HonestProverServer(F), ["HELLO?"])
+        assert reply == "ERR:unknown-request"
+
+    def test_silence_ignored(self):
+        [reply] = drive(HonestProverServer(F), [""])
+        assert reply == ""
+
+    def test_new_prove_resets_session(self):
+        replies = drive(
+            HonestProverServer(F),
+            [f"PROVE:{WIRE}", "ROUND:0", f"PROVE:{WIRE}", "ROUND:0"],
+        )
+        assert replies[3].startswith("POLY:0:")
+
+
+class TestCheatingProverServer:
+    @pytest.mark.parametrize("style", ["flip", "constant", "random"])
+    def test_claims_wrong_value(self, style):
+        server = CheatingProverServer(F, style)
+        [claim] = drive(server, [f"PROVE:{WIRE}"])
+        assert claim == f"CLAIM:{1 - int(QBF_INSTANCE.evaluate())}"
+
+    def test_unknown_style_rejected(self):
+        with pytest.raises(ValueError):
+            CheatingProverServer(F, "sneaky")
+
+
+class TestLazyProverServer:
+    def test_claims_but_never_proves(self):
+        replies = drive(LazyProverServer(1), [f"PROVE:{WIRE}", "ROUND:0"])
+        assert replies[0] == "CLAIM:1"
+        assert replies[1] == "ERR:wont-prove"
+
+    def test_bit_validated(self):
+        with pytest.raises(ValueError):
+            LazyProverServer(2)

@@ -1,0 +1,96 @@
+"""Tests for codec wrapping and resettable servers."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.comm.codecs import CaesarCodec, PrefixCodec, ReverseCodec
+from repro.comm.messages import ServerInbox, ServerOutbox
+from repro.core.strategy import ServerStrategy
+from repro.servers.printer_servers import SpacePrinter
+from repro.servers.wrappers import EncodedServer, ResettableServer
+
+
+class TestEncodedServer:
+    def test_decodes_user_messages(self):
+        server = EncodedServer(SpacePrinter(), ReverseCodec())
+        rng = random.Random(0)
+        state = server.initial_state(rng)
+        wire = ReverseCodec().encode("PRINT doc")
+        _, out = server.step(state, ServerInbox(from_user=wire), rng)
+        assert out.to_world == "OUT:doc"
+
+    def test_encodes_replies_to_user(self):
+        server = EncodedServer(SpacePrinter(), CaesarCodec(shift=1))
+        rng = random.Random(0)
+        state = server.initial_state(rng)
+        wire = CaesarCodec(shift=1).encode("PRINT doc")
+        _, out = server.step(state, ServerInbox(from_user=wire), rng)
+        assert CaesarCodec(shift=1).decode(out.to_user) == "ACK:"
+
+    def test_world_channel_not_encoded(self):
+        """The server's physical effect must not be scrambled."""
+        server = EncodedServer(SpacePrinter(), ReverseCodec())
+        rng = random.Random(0)
+        state = server.initial_state(rng)
+        wire = ReverseCodec().encode("PRINT doc")
+        _, out = server.step(state, ServerInbox(from_user=wire), rng)
+        assert out.to_world == "OUT:doc"  # Plaintext, not reversed.
+
+    def test_undecodable_message_treated_as_silence(self):
+        server = EncodedServer(SpacePrinter(), PrefixCodec(sigil="~"))
+        rng = random.Random(0)
+        state = server.initial_state(rng)
+        _, out = server.step(state, ServerInbox(from_user="no sigil"), rng)
+        assert out.to_user == "" and out.to_world == ""
+
+    def test_silence_passes_through(self):
+        server = EncodedServer(SpacePrinter(), ReverseCodec())
+        rng = random.Random(0)
+        state = server.initial_state(rng)
+        _, out = server.step(state, ServerInbox(), rng)
+        assert out.to_user == ""
+
+    def test_name_combines_inner_and_codec(self):
+        server = EncodedServer(SpacePrinter(), ReverseCodec())
+        assert "printer-space" in server.name and "reverse" in server.name
+
+
+class _SessionServer(ServerStrategy):
+    """Counts messages since construction; replies with the count."""
+
+    def initial_state(self, rng):
+        return 0
+
+    def step(self, state, inbox, rng):
+        if inbox.from_user:
+            state += 1
+            return state, ServerOutbox(to_user=str(state))
+        return state, ServerOutbox()
+
+
+class TestResettableServer:
+    def test_resets_after_idle_period(self):
+        server = ResettableServer(_SessionServer(), idle_reset=3)
+        rng = random.Random(0)
+        state = server.initial_state(rng)
+        state, out = server.step(state, ServerInbox(from_user="x"), rng)
+        assert out.to_user == "1"
+        for _ in range(3):  # Idle long enough to trigger the reset.
+            state, _ = server.step(state, ServerInbox(), rng)
+        state, out = server.step(state, ServerInbox(from_user="x"), rng)
+        assert out.to_user == "1"  # Fresh session.
+
+    def test_no_reset_while_active(self):
+        server = ResettableServer(_SessionServer(), idle_reset=3)
+        rng = random.Random(0)
+        state = server.initial_state(rng)
+        for expected in ("1", "2", "3", "4", "5"):
+            state, out = server.step(state, ServerInbox(from_user="x"), rng)
+            assert out.to_user == expected
+
+    def test_idle_reset_validated(self):
+        with pytest.raises(ValueError):
+            ResettableServer(_SessionServer(), idle_reset=0)

@@ -1,0 +1,123 @@
+"""Tests for the compact-goal universal user (Theorem 1, compact case)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.execution import run_execution
+from repro.core.sensing import ConstantSensing
+from repro.errors import EnumerationExhaustedError
+from repro.universal.compact import CompactUniversalUser
+from repro.universal.enumeration import ListEnumeration
+
+from tests.universal.helpers import (
+    KeywordServer,
+    KeywordUser,
+    NullWorld,
+    keyword_sensing,
+)
+
+WORDS = ["alpha", "beta", "gamma", "delta", "epsilon"]
+
+
+def candidate_class():
+    return ListEnumeration([KeywordUser(w) for w in WORDS], label="words")
+
+
+def run_universal(target_word, max_rounds=200, **kwargs):
+    user = CompactUniversalUser(candidate_class(), keyword_sensing(), **kwargs)
+    result = run_execution(
+        user, KeywordServer(target_word), NullWorld(), max_rounds=max_rounds, seed=0
+    )
+    return result, result.rounds[-1].user_state_after
+
+
+class TestConvergence:
+    @pytest.mark.parametrize("index,word", list(enumerate(WORDS)))
+    def test_settles_on_correct_index(self, index, word):
+        _, state = run_universal(word)
+        assert state.index == index
+
+    def test_switch_count_equals_index(self, ):
+        """Candidates are visited strictly in enumeration order."""
+        _, state = run_universal(WORDS[3])
+        assert state.switches == 3
+        assert state.wraps == 0
+
+    def test_stays_settled_forever(self):
+        result, state = run_universal(WORDS[1], max_rounds=500)
+        assert state.index == 1
+        # After settling, the correct keyword is sent every round.
+        sent = [r.outbox.to_server for r in result.user_view][-100:]
+        assert all(m == WORDS[1] for m in sent)
+
+
+class TestSwitchingDiscipline:
+    def test_never_switches_on_positive_indication(self):
+        """With always-positive sensing the first candidate is never evicted."""
+        user = CompactUniversalUser(candidate_class(), ConstantSensing(True))
+        result = run_execution(
+            user, KeywordServer(WORDS[4]), NullWorld(), max_rounds=100, seed=0
+        )
+        state = result.rounds[-1].user_state_after
+        assert state.index == 0 and state.switches == 0
+
+    def test_always_negative_sensing_cycles_forever(self):
+        user = CompactUniversalUser(candidate_class(), ConstantSensing(False))
+        result = run_execution(
+            user, KeywordServer(WORDS[0]), NullWorld(), max_rounds=100, seed=0
+        )
+        state = result.rounds[-1].user_state_after
+        assert state.switches == 100  # One eviction per round.
+        assert state.wraps > 0
+
+    def test_min_trial_rounds_floors_trial_length(self):
+        user = CompactUniversalUser(
+            candidate_class(), ConstantSensing(False), min_trial_rounds=10
+        )
+        result = run_execution(
+            user, KeywordServer(WORDS[0]), NullWorld(), max_rounds=100, seed=0
+        )
+        state = result.rounds[-1].user_state_after
+        assert state.switches == 10
+
+    def test_wrap_around_disabled_raises(self):
+        user = CompactUniversalUser(
+            candidate_class(), ConstantSensing(False), wrap_around=False
+        )
+        with pytest.raises(EnumerationExhaustedError):
+            run_execution(
+                user, KeywordServer(WORDS[0]), NullWorld(), max_rounds=100, seed=0
+            )
+
+
+class TestHaltSuppression:
+    def test_halt_under_negative_indication_is_stripped(self):
+        """An evicted candidate cannot end the (infinite) execution."""
+        from tests.universal.helpers import EagerHaltUser
+
+        enum = ListEnumeration([EagerHaltUser(), KeywordUser(WORDS[0])])
+        user = CompactUniversalUser(enum, ConstantSensing(False))
+        result = run_execution(
+            user, KeywordServer(WORDS[0]), NullWorld(), max_rounds=50, seed=0
+        )
+        assert not result.halted
+
+
+class TestValidationAndStats:
+    def test_negative_min_trial_rounds_rejected(self):
+        with pytest.raises(ValueError):
+            CompactUniversalUser(
+                candidate_class(), ConstantSensing(True), min_trial_rounds=-1
+            )
+
+    def test_stats_extraction(self):
+        _, state = run_universal(WORDS[2])
+        stats = CompactUniversalUser.stats(state)
+        assert stats.final_index == 2
+        assert stats.switches == 2
+        assert stats.total_rounds > 0
+
+    def test_name_mentions_enumeration_and_sensing(self):
+        user = CompactUniversalUser(candidate_class(), keyword_sensing())
+        assert "words" in user.name

@@ -1,0 +1,86 @@
+"""Tests for strategy enumerations and cursors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.strategy import SilentUser
+from repro.errors import EnumerationExhaustedError
+from repro.universal.enumeration import (
+    EnumerationCursor,
+    GeneratorEnumeration,
+    ListEnumeration,
+    materialize,
+)
+
+
+def users(n):
+    return [SilentUser() for _ in range(n)]
+
+
+class TestListEnumeration:
+    def test_preserves_order(self):
+        items = users(3)
+        enum = ListEnumeration(items)
+        assert list(enum) == items
+
+    def test_size_hint(self):
+        assert ListEnumeration(users(4)).size_hint() == 4
+        assert len(ListEnumeration(users(4))) == 4
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ListEnumeration([])
+
+    def test_name_includes_size(self):
+        assert "[3]" in ListEnumeration(users(3), label="x").name
+
+
+class TestGeneratorEnumeration:
+    def test_lazy_and_repeatable(self):
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return iter(users(2))
+
+        enum = GeneratorEnumeration(factory)
+        assert len(list(enum)) == 2
+        assert len(list(enum)) == 2
+        assert len(calls) == 2  # Fresh iterator per pass.
+
+    def test_size_hint_defaults_to_none(self):
+        assert GeneratorEnumeration(lambda: iter(users(1))).size_hint() is None
+
+
+class TestCursor:
+    def test_random_access_materializes_prefix(self):
+        items = users(5)
+        cursor = EnumerationCursor(ListEnumeration(items))
+        assert cursor.get(3) is items[3]
+        assert cursor.materialized == 4
+        assert cursor.get(0) is items[0]  # Cached, no re-iteration.
+
+    def test_exhaustion_raises(self):
+        cursor = EnumerationCursor(ListEnumeration(users(2)))
+        with pytest.raises(EnumerationExhaustedError):
+            cursor.get(2)
+
+    def test_known_size_after_exhaustion(self):
+        cursor = EnumerationCursor(GeneratorEnumeration(lambda: iter(users(3))))
+        assert cursor.known_size() is None
+        with pytest.raises(EnumerationExhaustedError):
+            cursor.get(10)
+        assert cursor.known_size() == 3
+
+    def test_negative_index_rejected(self):
+        cursor = EnumerationCursor(ListEnumeration(users(1)))
+        with pytest.raises(IndexError):
+            cursor.get(-1)
+
+    def test_materialize_returns_fresh_cursor(self):
+        enum = ListEnumeration(users(2))
+        a = materialize(enum)
+        b = materialize(enum)
+        a.get(1)
+        assert b.materialized == 0

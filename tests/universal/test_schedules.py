@@ -1,0 +1,117 @@
+"""Tests for the trial schedules, especially Levin's budget guarantees."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.universal.schedules import (
+    doubling_sweep_trials,
+    levin_trials,
+    sequential_trials,
+)
+
+
+def take(iterator, n):
+    return list(itertools.islice(iterator, n))
+
+
+class TestLevin:
+    def test_canonical_prefix(self):
+        assert take(levin_trials(), 6) == [
+            (0, 1), (0, 2), (1, 1), (0, 4), (1, 2), (2, 1),
+        ]
+
+    def test_budget_doubles_per_phase_per_candidate(self):
+        trials = take(levin_trials(), 100)
+        budgets_for_2 = [b for i, b in trials if i == 2]
+        assert budgets_for_2[:4] == [1, 2, 4, 8]
+
+    def test_total_budget_up_to_phase_t(self):
+        """Candidate i's cumulative budget through phase t is 2^(t-i) - 1."""
+        trials = []
+        gen = levin_trials()
+        # Phases 1..8 contain 1+2+...+8 = 36 trials.
+        trials = take(gen, 36)
+        cumulative_0 = sum(b for i, b in trials if i == 0)
+        assert cumulative_0 == 2**8 - 1
+
+    def test_max_index_caps_candidates(self):
+        trials = take(levin_trials(max_index=1), 20)
+        assert all(i <= 1 for i, _ in trials)
+        # Budgets keep growing for the capped candidates.
+        assert max(b for i, b in trials if i == 0) >= 16
+
+    def test_infinite(self):
+        gen = levin_trials()
+        assert len(take(gen, 1000)) == 1000
+
+
+class TestSequential:
+    def test_fixed_budget_single_pass(self):
+        trials = take(sequential_trials(5, max_index=2, repeat=False), 10)
+        assert trials == [(0, 5), (1, 5), (2, 5)]
+
+    def test_cyclic_repeat(self):
+        trials = take(sequential_trials(3, max_index=1, repeat=True), 6)
+        assert trials == [(0, 3), (1, 3)] * 3
+
+    def test_budget_validated(self):
+        with pytest.raises(ValueError):
+            next(sequential_trials(0))
+
+
+class TestDoublingSweep:
+    def test_budget_doubles_per_sweep(self):
+        trials = take(doubling_sweep_trials(max_index=2), 9)
+        assert trials == [
+            (0, 1), (1, 1), (2, 1),
+            (0, 2), (1, 2), (2, 2),
+            (0, 4), (1, 4), (2, 4),
+        ]
+
+    def test_every_candidate_gets_unbounded_budget(self):
+        trials = take(doubling_sweep_trials(max_index=3), 100)
+        budgets_for_3 = [b for i, b in trials if i == 3]
+        assert max(budgets_for_3) >= 2**10
+
+    def test_infinite_class_sweeps_grow(self):
+        trials = take(doubling_sweep_trials(max_index=None), 50)
+        max_index_seen = max(i for i, _ in trials)
+        assert max_index_seen >= 4  # Coverage widens over sweeps.
+
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+
+class TestLevinProperties:
+    @given(
+        index=st.integers(min_value=0, max_value=6),
+        phases=st.integers(min_value=1, max_value=12),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_cumulative_budget_formula(self, index, phases):
+        """Candidate i's total budget through phase t is 2^(t-i) - 1 for
+        t > i (and 0 before its first phase)."""
+        trials = []
+        gen = levin_trials()
+        for t in range(1, phases + 1):
+            for _ in range(t):
+                trials.append(next(gen))
+        total = sum(b for i, b in trials if i == index)
+        expected = (2 ** (phases - index) - 1) if phases > index else 0
+        assert total == expected
+
+    @given(index=st.integers(min_value=0, max_value=20))
+    @settings(max_examples=20, deadline=None)
+    def test_first_appearance_phase(self, index):
+        """Candidate i first appears in phase i+1, with budget 1."""
+        gen = levin_trials()
+        seen = []
+        for t in range(1, index + 2):
+            for _ in range(t):
+                seen.append(next(gen))
+        firsts = [trial for trial in seen if trial[0] == index]
+        assert firsts == [(index, 1)]

@@ -1,0 +1,89 @@
+"""Unit tests for the guided navigator's latency discipline."""
+
+from __future__ import annotations
+
+import random
+
+from repro.comm.codecs import IdentityCodec, ReverseCodec
+from repro.comm.messages import UserInbox
+from repro.users.navigation_users import GuidedNavigator, navigator_user_class
+
+
+def step(user, state, from_world="", from_server="", seed=0):
+    return user.step(
+        state, UserInbox(from_world=from_world, from_server=from_server),
+        random.Random(seed),
+    )
+
+
+class TestGuidedNavigator:
+    def test_moves_on_matching_advice(self):
+        user = GuidedNavigator(IdentityCodec())
+        state = user.initial_state(random.Random(0))
+        state, out = step(
+            user, state, from_world="POS:1,1;AT:0", from_server="GO:1,1=east"
+        )
+        assert out.to_world == "MOVE:east"
+
+    def test_ignores_stale_advice_for_other_position(self):
+        user = GuidedNavigator(IdentityCodec())
+        state = user.initial_state(random.Random(0))
+        state, out = step(
+            user, state, from_world="POS:2,1;AT:0", from_server="GO:1,1=east"
+        )
+        assert out.to_world == ""
+
+    def test_one_move_per_observed_position(self):
+        """The world's report lags a move by two rounds; repeated advice for
+        the same still-reported position must not trigger repeat moves."""
+        user = GuidedNavigator(IdentityCodec())
+        state = user.initial_state(random.Random(0))
+        state, first = step(
+            user, state, from_world="POS:1,1;AT:0", from_server="GO:1,1=east"
+        )
+        state, second = step(
+            user, state, from_world="POS:1,1;AT:0", from_server="GO:1,1=east"
+        )
+        assert first.to_world == "MOVE:east"
+        assert second.to_world == ""
+
+    def test_moves_again_after_position_update(self):
+        user = GuidedNavigator(IdentityCodec())
+        state = user.initial_state(random.Random(0))
+        state, _ = step(
+            user, state, from_world="POS:1,1;AT:0", from_server="GO:1,1=east"
+        )
+        state, out = step(
+            user, state, from_world="POS:2,1;AT:0", from_server="GO:2,1=east"
+        )
+        assert out.to_world == "MOVE:east"
+
+    def test_halts_on_arrival(self):
+        user = GuidedNavigator(IdentityCodec())
+        state = user.initial_state(random.Random(0))
+        _, out = step(user, state, from_world="POS:3,3;AT:1")
+        assert out.halt and out.output == "ARRIVED"
+
+    def test_ignores_malformed_advice(self):
+        user = GuidedNavigator(IdentityCodec())
+        state = user.initial_state(random.Random(0))
+        for bad in ("GO:1,1=up", "GO:east", "STOP:1,1=east", "garbage"):
+            state, out = step(
+                user, state, from_world="POS:1,1;AT:0", from_server=bad
+            )
+            assert out.to_world == "", bad
+
+    def test_wrong_codec_silences_advice(self):
+        user = GuidedNavigator(ReverseCodec())
+        state = user.initial_state(random.Random(0))
+        _, out = step(
+            user, state, from_world="POS:1,1;AT:0", from_server="GO:1,1=east"
+        )
+        assert out.to_world == ""
+
+    def test_class_builder_order(self):
+        from repro.comm.codecs import codec_family
+
+        codecs = codec_family(3)
+        users = navigator_user_class(codecs)
+        assert [u.name for u in users] == [f"navigate@{c.name}" for c in codecs]

@@ -1,0 +1,98 @@
+"""Tests for the printer protocol users."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.comm.codecs import IdentityCodec, ReverseCodec, codec_family
+from repro.core.execution import run_execution
+from repro.servers.printer_servers import DIALECTS, make_printer, printer_server_class
+from repro.servers.wrappers import EncodedServer
+from repro.users.printer_users import PrinterProtocolUser, printer_user_class
+from repro.worlds.printer import printing_goal
+
+GOAL = printing_goal(["the document"])
+
+
+def run_pair(user, server, max_rounds=64, seed=0):
+    result = run_execution(user, server, GOAL.world, max_rounds=max_rounds, seed=seed)
+    return GOAL.evaluate(result), result
+
+
+class TestMatchedPairs:
+    @pytest.mark.parametrize("dialect", DIALECTS)
+    def test_each_dialect_prints_with_identity(self, dialect):
+        user = PrinterProtocolUser(dialect, IdentityCodec())
+        outcome, _ = run_pair(user, make_printer(dialect))
+        assert outcome.achieved
+
+    @pytest.mark.parametrize("dialect", DIALECTS)
+    def test_each_dialect_prints_through_codec(self, dialect):
+        user = PrinterProtocolUser(dialect, ReverseCodec())
+        server = EncodedServer(make_printer(dialect), ReverseCodec())
+        outcome, _ = run_pair(user, server)
+        assert outcome.achieved
+
+
+class TestMismatchedPairs:
+    def test_wrong_dialect_never_halts(self):
+        user = PrinterProtocolUser("space", IdentityCodec())
+        outcome, result = run_pair(user, make_printer("tagged"))
+        assert not result.halted
+        assert not outcome.achieved
+
+    def test_wrong_codec_never_halts(self):
+        user = PrinterProtocolUser("space", ReverseCodec())
+        outcome, result = run_pair(user, make_printer("space"))
+        assert not result.halted
+
+    def test_resends_command_periodically(self):
+        user = PrinterProtocolUser("space", IdentityCodec(), resend_every=4)
+        _, result = run_pair(user, make_printer("tagged"), max_rounds=20)
+        commands = [r.outbox.to_server for r in result.user_view if r.outbox.to_server]
+        assert len(commands) >= 3  # Initial send plus periodic retries.
+
+
+class TestBlindHalting:
+    def test_blind_user_halts_without_evidence(self):
+        blind_goal = printing_goal(["the document"], feedback=False)
+        user = PrinterProtocolUser(
+            "space", IdentityCodec(), blind_halt_after=6
+        )
+        result = run_execution(
+            user, make_printer("space"), blind_goal.world, max_rounds=64, seed=0
+        )
+        assert result.halted
+        assert result.user_output == "PRINTED-BLIND"
+        assert blind_goal.evaluate(result).achieved  # Got lucky: matched pair.
+
+    def test_blind_halt_can_be_wrong(self):
+        blind_goal = printing_goal(["the document"], feedback=False)
+        user = PrinterProtocolUser("space", IdentityCodec(), blind_halt_after=6)
+        result = run_execution(
+            user, make_printer("tagged"), blind_goal.world, max_rounds=64, seed=0
+        )
+        assert result.halted  # Halted claiming success...
+        assert not blind_goal.evaluate(result).achieved  # ...wrongly.
+
+
+class TestValidation:
+    def test_unknown_dialect_rejected(self):
+        with pytest.raises(ValueError):
+            PrinterProtocolUser("laser", IdentityCodec())
+
+    def test_resend_period_validated(self):
+        with pytest.raises(ValueError):
+            PrinterProtocolUser("space", IdentityCodec(), resend_every=0)
+
+
+class TestUserClass:
+    def test_order_matches_server_class(self):
+        codecs = codec_family(3)
+        users = printer_user_class(DIALECTS, codecs)
+        servers = printer_server_class(DIALECTS, codecs)
+        assert len(users) == len(servers) == 9
+        # The i-th user prints with the i-th server (matched language).
+        for user, server in zip(users, servers):
+            outcome, _ = run_pair(user, server)
+            assert outcome.achieved, (user.name, server.name)

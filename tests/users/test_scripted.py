@@ -1,0 +1,76 @@
+"""Tests for scripted and composite user strategies."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.comm.messages import UserInbox, UserOutbox
+from repro.users.scripted import BabblingUser, JunkThenUser, ScriptedUser
+
+
+def drive(user, rounds, seed=0):
+    rng = random.Random(seed)
+    state = user.initial_state(rng)
+    outs = []
+    for _ in range(rounds):
+        state, out = user.step(state, UserInbox(), rng)
+        outs.append(out)
+    return outs
+
+
+class TestScriptedUser:
+    def test_plays_script_then_silence(self):
+        user = ScriptedUser([UserOutbox(to_server="a"), UserOutbox(to_server="b")])
+        outs = drive(user, 4)
+        assert [o.to_server for o in outs] == ["a", "b", "", ""]
+        assert not any(o.halt for o in outs)
+
+    def test_halt_after_script(self):
+        user = ScriptedUser([UserOutbox(to_server="a")], halt_after="fin")
+        outs = drive(user, 3)
+        assert outs[1].halt and outs[1].output == "fin"
+        assert not outs[2].halt  # Engine would have stopped; strategy is total anyway.
+
+
+class TestBabblingUser:
+    def test_babbles_on_both_channels(self):
+        outs = drive(BabblingUser(message_length=5), 3)
+        assert all(len(o.to_server) == 5 and len(o.to_world) == 5 for o in outs)
+
+    def test_deterministic_under_seed(self):
+        a = [o.to_server for o in drive(BabblingUser(), 5, seed=1)]
+        b = [o.to_server for o in drive(BabblingUser(), 5, seed=1)]
+        assert a == b
+
+    def test_length_validated(self):
+        with pytest.raises(ValueError):
+            BabblingUser(message_length=0)
+
+
+class TestJunkThenUser:
+    def test_switches_after_junk_rounds(self):
+        junk = ScriptedUser([UserOutbox(to_server="junk")] * 10)
+        real = ScriptedUser([UserOutbox(to_server="real")])
+        user = JunkThenUser(junk=junk, then=real, junk_rounds=2)
+        outs = drive(user, 4)
+        assert [o.to_server for o in outs] == ["junk", "junk", "real", ""]
+
+    def test_zero_junk_rounds_is_transparent(self):
+        real = ScriptedUser([UserOutbox(to_server="real")])
+        user = JunkThenUser(junk=BabblingUser(), then=real, junk_rounds=0)
+        outs = drive(user, 1)
+        assert outs[0].to_server == "real"
+
+    def test_junk_phase_halt_suppressed(self):
+        eager = ScriptedUser([], halt_after="bail")
+        real = ScriptedUser([UserOutbox(to_server="real")])
+        user = JunkThenUser(junk=eager, then=real, junk_rounds=2)
+        outs = drive(user, 3)
+        assert not outs[0].halt and not outs[1].halt
+        assert outs[2].to_server == "real"
+
+    def test_negative_junk_rounds_rejected(self):
+        with pytest.raises(ValueError):
+            JunkThenUser(junk=BabblingUser(), then=BabblingUser(), junk_rounds=-1)

@@ -1,0 +1,98 @@
+"""Tests for the computation (delegation) world."""
+
+from __future__ import annotations
+
+import random
+
+from repro.comm.messages import UserInbox, UserOutbox, WorldInbox
+from repro.core.execution import run_execution
+from repro.core.strategy import SilentServer
+from repro.core.views import UserView, ViewRecord
+from repro.qbf.generators import random_qbf
+from repro.users.scripted import ScriptedUser
+from repro.worlds.computation import (
+    ComputationWorld,
+    VerifiedProofSensing,
+    delegation_goal,
+)
+
+
+def instances(n=2, count=3):
+    return [random_qbf(random.Random(s), n) for s in range(count)]
+
+
+class TestComputationWorld:
+    def test_announces_instance_every_round(self):
+        world = ComputationWorld(instances())
+        rng = random.Random(0)
+        state = world.initial_state(rng)
+        for _ in range(3):
+            state, out = world.step(state, WorldInbox(), rng)
+            assert out.to_user.startswith("INSTANCE:")
+
+    def test_instance_fixed_for_execution(self):
+        world = ComputationWorld(instances())
+        rng = random.Random(0)
+        state = world.initial_state(rng)
+        first = world.step(state, WorldInbox(), rng)[1].to_user
+        second = world.step(state, WorldInbox(), rng)[1].to_user
+        assert first == second
+
+
+class TestCorrectAnswerReferee:
+    def _run_with_answer(self, answer):
+        batch = instances(count=1)
+        goal = delegation_goal(batch)
+        truth = batch[0].evaluate()
+        output = answer if answer is not None else f"ANSWER:{int(truth)}"
+        user = ScriptedUser([], halt_after=output)
+        result = run_execution(user, SilentServer(), goal.world, max_rounds=10, seed=0)
+        return goal.evaluate(result), truth
+
+    def test_accepts_correct_answer(self):
+        outcome, _ = self._run_with_answer(None)
+        assert outcome.achieved
+
+    def test_rejects_wrong_answer(self):
+        batch = instances(count=1)
+        goal = delegation_goal(batch)
+        wrong = 1 - int(batch[0].evaluate())
+        user = ScriptedUser([], halt_after=f"ANSWER:{wrong}")
+        result = run_execution(user, SilentServer(), goal.world, max_rounds=10, seed=0)
+        assert not goal.evaluate(result).achieved
+
+    def test_rejects_malformed_answers(self):
+        for bad in ("", "ANSWER:", "ANSWER:2", "GUESS:1", "1"):
+            outcome, _ = self._run_with_answer(bad)
+            assert not outcome.achieved, bad
+
+
+class TestVerifiedProofSensing:
+    class _StateWithFlag:
+        def __init__(self, accepted):
+            self.proof_accepted = accepted
+
+    def _view(self, flag_values):
+        view = UserView()
+        for i, flag in enumerate(flag_values):
+            view.append(
+                ViewRecord(
+                    i, None, UserInbox(), UserOutbox(),
+                    self._StateWithFlag(flag),
+                )
+            )
+        return view
+
+    def test_positive_only_after_acceptance(self):
+        sensing = VerifiedProofSensing()
+        assert not sensing.indicate(self._view([False, False]))
+        assert sensing.indicate(self._view([False, True]))
+
+    def test_negative_on_empty_view(self):
+        assert not VerifiedProofSensing().indicate(UserView())
+
+    def test_negative_on_states_without_flag(self):
+        view = UserView(
+            [ViewRecord(0, 0, UserInbox(), UserOutbox(), 42)]
+        )
+        assert not VerifiedProofSensing().indicate(view)

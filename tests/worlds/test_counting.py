@@ -1,0 +1,105 @@
+"""Tests for the counting (#SAT delegation) world and its users/provers."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.comm.codecs import IdentityCodec, ReverseCodec, codec_family
+from repro.core.execution import run_execution
+from repro.core.strategy import SilentServer
+from repro.ip.sumcheck import count_satisfying_assignments
+from repro.mathx.modular import Field
+from repro.qbf.generators import random_cnf
+from repro.servers.counting_provers import (
+    CheatingCountingServer,
+    HonestCountingServer,
+    OverflowCountingServer,
+)
+from repro.servers.wrappers import EncodedServer
+from repro.users.counting_users import CountingUser, counting_user_class
+from repro.users.scripted import ScriptedUser
+from repro.worlds.counting import canonical_order, counting_goal
+
+F = Field()
+INSTANCES = [random_cnf(random.Random(s), 4, 5) for s in (0, 3)]
+GOAL = counting_goal(INSTANCES)
+
+
+def run_pair(user, server, max_rounds=400, seed=0):
+    result = run_execution(user, server, GOAL.world, max_rounds=max_rounds, seed=seed)
+    return GOAL.evaluate(result), result
+
+
+class TestReferee:
+    def test_accepts_true_count(self):
+        # Determine the drawn instance's count via a probe run.
+        _, probe = run_pair(ScriptedUser([], halt_after="COUNT:0"), SilentServer())
+        from repro.qbf import formulas
+
+        instance = formulas.parse(probe.final_world_state().instance)
+        truth = count_satisfying_assignments(instance, canonical_order(instance))
+        user = ScriptedUser([], halt_after=f"COUNT:{truth}")
+        outcome, _ = run_pair(user, SilentServer())
+        assert outcome.achieved
+
+    def test_rejects_wrong_count(self):
+        user = ScriptedUser([], halt_after="COUNT:9999")
+        outcome, _ = run_pair(user, SilentServer())
+        assert not outcome.achieved
+
+    @pytest.mark.parametrize("bad", ["", "COUNT:", "COUNT:x", "ANSWER:3"])
+    def test_rejects_malformed(self, bad):
+        user = ScriptedUser([], halt_after=bad)
+        outcome, _ = run_pair(user, SilentServer())
+        assert not outcome.achieved
+
+
+class TestHonestInteraction:
+    def test_matched_codec_counts_correctly(self):
+        outcome, result = run_pair(
+            CountingUser(IdentityCodec(), F), HonestCountingServer(F)
+        )
+        assert outcome.achieved
+        assert result.user_output.startswith("COUNT:")
+
+    def test_through_codec(self):
+        server = EncodedServer(HonestCountingServer(F), ReverseCodec())
+        outcome, _ = run_pair(CountingUser(ReverseCodec(), F), server)
+        assert outcome.achieved
+
+    def test_wrong_codec_never_halts(self):
+        outcome, result = run_pair(
+            CountingUser(ReverseCodec(), F), HonestCountingServer(F)
+        )
+        assert not result.halted
+
+
+class TestMaliceResistance:
+    @pytest.mark.parametrize("style", ["inflate", "adaptive"])
+    def test_cheating_counters_rejected(self, style):
+        outcome, result = run_pair(
+            CountingUser(IdentityCodec(), F), CheatingCountingServer(F, style)
+        )
+        assert not result.halted
+
+    def test_overflow_claim_blocked_by_range_check(self):
+        """count + p is field-equal to the truth — the integer range check
+        is the only defence, and it must hold."""
+        outcome, result = run_pair(
+            CountingUser(IdentityCodec(), F), OverflowCountingServer(F)
+        )
+        assert not result.halted
+        assert not result.rounds[-1].user_state_after.proof_accepted
+
+    def test_unknown_style_rejected(self):
+        with pytest.raises(ValueError):
+            CheatingCountingServer(F, "overcount")
+
+
+class TestClassBuilder:
+    def test_order_and_names(self):
+        codecs = codec_family(3)
+        users = counting_user_class(codecs, F)
+        assert [u.name for u in users] == [f"count@{c.name}" for c in codecs]

@@ -1,0 +1,119 @@
+"""Tests for the lookup world."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.comm.messages import WorldInbox
+from repro.core.execution import run_execution
+from repro.core.strategy import SilentServer
+from repro.online.adapter import ThresholdUser
+from repro.worlds.lookup import (
+    LookupState,
+    LookupWorld,
+    lookup_goal,
+    threshold_label,
+)
+
+
+def step_world(world, state, from_user="", seed=0):
+    return world.step(state, WorldInbox(from_user=from_user), random.Random(seed))
+
+
+class TestThresholdLabel:
+    def test_semantics(self):
+        assert threshold_label(3, 3)
+        assert threshold_label(3, 7)
+        assert not threshold_label(3, 2)
+
+    def test_extremes(self):
+        assert threshold_label(0, 0)       # θ=0 labels everything positive.
+        assert not threshold_label(5, 4)
+
+
+class TestScoring:
+    def test_correct_prediction_scores_ok(self):
+        world = LookupWorld(threshold=3, domain=8, query_period=100, deadline=50)
+        state = LookupState(round_index=1, pending=((5, 0),))
+        state, out = step_world(world, state, from_user="PRED:5=1")
+        assert state.last_event == "ok"
+        assert ";FB:ok@5" in out.to_user
+
+    def test_wrong_prediction_scores_bad(self):
+        world = LookupWorld(threshold=3, domain=8, query_period=100, deadline=50)
+        state = LookupState(round_index=1, pending=((5, 0),))
+        state, out = step_world(world, state, from_user="PRED:5=0")
+        assert state.last_event == "bad"
+        assert state.mistakes == 1
+        assert ";FB:bad@5" in out.to_user
+
+    def test_prediction_for_unknown_query_ignored(self):
+        world = LookupWorld(threshold=3, domain=8, query_period=100, deadline=50)
+        state = LookupState(round_index=1, pending=((5, 0),))
+        state, _ = step_world(world, state, from_user="PRED:4=1")
+        assert state.last_event == "none"
+
+    def test_malformed_bit_ignored(self):
+        world = LookupWorld(threshold=3, domain=8, query_period=100, deadline=50)
+        state = LookupState(round_index=1, pending=((5, 0),))
+        state, _ = step_world(world, state, from_user="PRED:5=2")
+        assert state.last_event == "none"
+
+    def test_overdue_query_scores_bad_with_attribution(self):
+        world = LookupWorld(threshold=3, domain=8, query_period=100, deadline=4)
+        state = LookupState(round_index=5, pending=((6, 0),))
+        state, out = step_world(world, state)
+        assert state.mistakes == 1
+        assert ";FB:bad@6" in out.to_user
+
+    def test_queries_issued_on_period(self):
+        world = LookupWorld(threshold=3, domain=8, query_period=2, deadline=50)
+        state = LookupState(round_index=0)
+        state, out = step_world(world, state)
+        first = state.pending[0][0]
+        assert out.to_user.startswith(f"Q:{first}")
+        # Off-period rounds re-announce the pending query.
+        state, out = step_world(world, state)
+        assert out.to_user.startswith(f"Q:{first}")
+
+    def test_no_pending_announces_dash(self):
+        world = LookupWorld(threshold=3, domain=8, query_period=2, deadline=50)
+        state = LookupState(round_index=1)
+        _, out = step_world(world, state)
+        assert out.to_user.startswith("Q:-")
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(threshold=0, domain=1),
+            dict(threshold=9, domain=8),
+            dict(threshold=-1, domain=8),
+            dict(threshold=3, domain=8, query_period=0),
+            dict(threshold=3, domain=8, deadline=2),
+        ],
+    )
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            LookupWorld(**kwargs)
+
+
+class TestGoal:
+    def test_true_threshold_user_achieves(self):
+        goal = lookup_goal(threshold=3, domain=8)
+        result = run_execution(
+            ThresholdUser(3), SilentServer(), goal.world, max_rounds=300, seed=2
+        )
+        assert goal.evaluate(result).achieved
+        assert result.final_world_state().mistakes == 0
+
+    def test_wrong_threshold_user_fails(self):
+        goal = lookup_goal(threshold=3, domain=8)
+        result = run_execution(
+            ThresholdUser(7), SilentServer(), goal.world, max_rounds=300, seed=2
+        )
+        assert not goal.evaluate(result).achieved
+        assert result.final_world_state().mistakes > 0

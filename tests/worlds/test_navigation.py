@@ -1,0 +1,184 @@
+"""Tests for the navigation world, grid substrate, guides and navigators."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm.codecs import IdentityCodec, ReverseCodec, codec_family
+from repro.comm.messages import ServerInbox, WorldInbox
+from repro.core.execution import run_execution
+from repro.core.helpfulness import is_helpful
+from repro.core.strategy import SilentServer, SilentUser
+from repro.servers.guides import GuideServer, MisleadingGuideServer, guide_server_class
+from repro.universal.enumeration import ListEnumeration
+from repro.universal.finite import FiniteUniversalUser
+from repro.universal.schedules import doubling_sweep_trials
+from repro.users.navigation_users import GuidedNavigator, navigator_user_class
+from repro.worlds.navigation import (
+    Grid,
+    NavigationState,
+    corridor_grid,
+    navigation_goal,
+    navigation_sensing,
+    random_grid,
+)
+
+
+def open_grid(width=4, height=4):
+    return Grid(width, height, frozenset(), (0, 0), (width - 1, height - 1))
+
+
+class TestGrid:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Grid(1, 5, frozenset(), (0, 0), (0, 4))        # Too narrow.
+        with pytest.raises(ValueError):
+            Grid(4, 4, frozenset(), (9, 9), (0, 0))        # Start OOB.
+        with pytest.raises(ValueError):
+            Grid(4, 4, frozenset({(0, 0)}), (0, 0), (3, 3))  # Start walled.
+        with pytest.raises(ValueError):
+            # Full wall row disconnects start from target.
+            Grid(4, 4, frozenset((x, 2) for x in range(4)), (0, 0), (3, 3))
+
+    def test_distance_field_open_grid(self):
+        grid = open_grid()
+        field = grid.distance_field()
+        assert field[(3, 3)] == 0
+        assert field[(0, 0)] == 6  # Manhattan distance on an open grid.
+
+    def test_shortest_step_decreases_distance(self):
+        grid = corridor_grid(8)
+        position = grid.start
+        field = grid.distance_field()
+        for _ in range(field[grid.start]):
+            direction = grid.shortest_step(position)
+            new_position = grid.step_from(position, direction)
+            assert field[new_position] == field[position] - 1
+            position = new_position
+        assert position == grid.target
+
+    def test_shortest_step_at_target_is_none(self):
+        assert open_grid().shortest_step((3, 3)) is None
+
+    def test_step_from_bump_stays(self):
+        grid = open_grid()
+        assert grid.step_from((0, 0), "north") == (0, 0)  # Edge bump.
+        assert grid.step_from((0, 0), "nonsense") == (0, 0)
+
+    @given(seed=st.integers(min_value=0, max_value=200))
+    @settings(max_examples=20, deadline=None)
+    def test_random_grids_always_connected(self, seed):
+        grid = random_grid(random.Random(seed), 7, 7, 0.3)
+        assert grid.distance_from_target(grid.start) is not None
+
+    def test_corridor_length(self):
+        grid = corridor_grid(10)
+        # Down one side, across the bottom, up: (len-1) + 2 + ... exact:
+        assert grid.distance_from_target(grid.start) == 11
+
+
+class TestNavigationWorld:
+    def test_reports_position_and_arrival(self):
+        goal = navigation_goal(open_grid())
+        rng = random.Random(0)
+        state = goal.world.initial_state(rng)
+        state, out = goal.world.step(state, WorldInbox(), rng)
+        assert out.to_user == "POS:0,0;AT:0"
+        assert out.to_server == "POS:0,0"
+
+    def test_executes_moves_and_counts_bumps(self):
+        world = navigation_goal(open_grid()).world
+        rng = random.Random(0)
+        state = world.initial_state(rng)
+        state, _ = world.step(state, WorldInbox(from_user="MOVE:east"), rng)
+        assert state.position == (1, 0) and state.bumps == 0
+        state, _ = world.step(state, WorldInbox(from_user="MOVE:north"), rng)
+        assert state.position == (1, 0) and state.bumps == 1
+
+    def test_referee_requires_target_and_halt(self):
+        goal = navigation_goal(open_grid())
+        result = run_execution(
+            SilentUser(), SilentServer(), goal.world, max_rounds=10, seed=0
+        )
+        assert not goal.evaluate(result).achieved
+
+
+class TestGuidedNavigation:
+    CODECS = codec_family(3)
+
+    def test_matched_pair_is_step_optimal(self):
+        grid = random_grid(random.Random(5), 8, 8, 0.25)
+        goal = navigation_goal(grid)
+        result = run_execution(
+            GuidedNavigator(ReverseCodec()),
+            guide_server_class(grid, self.CODECS)[1],
+            goal.world, max_rounds=300, seed=0,
+        )
+        state = result.final_world_state()
+        assert goal.evaluate(result).achieved
+        assert state.moves == grid.distance_from_target(grid.start)
+        assert state.bumps == 0
+
+    def test_wrong_codec_never_moves(self):
+        grid = open_grid()
+        goal = navigation_goal(grid)
+        result = run_execution(
+            GuidedNavigator(ReverseCodec()), GuideServer(grid), goal.world,
+            max_rounds=100, seed=0,
+        )
+        assert result.final_world_state().moves == 0
+        assert not result.halted
+
+    def test_universal_navigator(self):
+        grid = random_grid(random.Random(7), 6, 6, 0.2)
+        goal = navigation_goal(grid)
+        user = FiniteUniversalUser(
+            ListEnumeration(navigator_user_class(self.CODECS)),
+            navigation_sensing(),
+            schedule_factory=lambda cap: doubling_sweep_trials(
+                None if cap is None else cap - 1
+            ),
+        )
+        for index, server in enumerate(guide_server_class(grid, self.CODECS)):
+            result = run_execution(user, server, goal.world, max_rounds=3000, seed=index)
+            assert goal.evaluate(result).achieved, server.name
+            # Wrong candidates are silent, so the path stays optimal.
+            assert result.final_world_state().moves == grid.distance_from_target(
+                grid.start
+            )
+
+    def test_every_guide_is_helpful(self):
+        grid = open_grid(5, 5)
+        goal = navigation_goal(grid)
+        users = navigator_user_class(self.CODECS)
+        for server in guide_server_class(grid, self.CODECS):
+            assert is_helpful(server, goal, users, seeds=(0,), max_rounds=200)
+
+    def test_misleading_guide_is_unhelpful(self):
+        grid = open_grid(5, 5)
+        goal = navigation_goal(grid)
+        users = navigator_user_class(self.CODECS)
+        assert not is_helpful(
+            MisleadingGuideServer(grid), goal, users, seeds=(0,), max_rounds=300
+        )
+
+    def test_forgiving_after_junk_moves(self):
+        """Wandering off first does not block success (forgiving goal)."""
+        from repro.core.properties import check_forgiving
+        from repro.users.scripted import BabblingUser
+
+        grid = open_grid(5, 5)
+        goal = navigation_goal(grid)
+        report = check_forgiving(
+            goal,
+            rescuer=GuidedNavigator(IdentityCodec()),
+            junk_users=[BabblingUser()],
+            server=GuideServer(grid),
+            junk_rounds=(0, 8),
+            max_rounds=300,
+        )
+        assert report.holds, report.violations

@@ -1,0 +1,144 @@
+"""Tests for the printer world and its goal/sensing."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.comm.messages import UserInbox, UserOutbox, WorldInbox
+from repro.core.execution import run_execution
+from repro.core.strategy import SilentServer, SilentUser
+from repro.core.views import UserView, ViewRecord
+from repro.servers.printer_servers import SpacePrinter
+from repro.users.scripted import ScriptedUser
+from repro.worlds.printer import (
+    PrintedTailSensing,
+    PrinterState,
+    PrinterWorld,
+    printing_goal,
+    printing_sensing,
+)
+
+
+class TestPrinterWorld:
+    def test_announces_job_every_round(self):
+        world = PrinterWorld(["doc"])
+        rng = random.Random(0)
+        state = world.initial_state(rng)
+        for _ in range(3):
+            state, out = world.step(state, WorldInbox(), rng)
+            assert out.to_user.startswith("JOB:doc")
+
+    def test_accumulates_server_output(self):
+        world = PrinterWorld(["doc"])
+        rng = random.Random(0)
+        state = world.initial_state(rng)
+        state, _ = world.step(state, WorldInbox(from_server="OUT:ab"), rng)
+        state, _ = world.step(state, WorldInbox(from_server="OUT:cd"), rng)
+        assert state.printed == "abcd"
+
+    def test_ignores_garbage_from_server(self):
+        world = PrinterWorld(["doc"])
+        rng = random.Random(0)
+        state = world.initial_state(rng)
+        state, _ = world.step(state, WorldInbox(from_server="%%garbage%%"), rng)
+        assert state.printed == ""
+
+    def test_feedback_reports_tail(self):
+        world = PrinterWorld(["doc"], tail_length=4)
+        rng = random.Random(0)
+        state = PrinterState(document="doc", printed="abcdefgh")
+        _, out = world.step(state, WorldInbox(), rng)
+        assert ";TAIL:efgh" in out.to_user
+
+    def test_blind_variant_reports_no_tail(self):
+        world = PrinterWorld(["doc"], feedback=False)
+        rng = random.Random(0)
+        state = world.initial_state(rng)
+        _, out = world.step(state, WorldInbox(), rng)
+        assert "TAIL" not in out.to_user
+
+    def test_document_drawn_from_list(self):
+        world = PrinterWorld(["a-doc", "b-doc"])
+        docs = {world.initial_state(random.Random(s)).document for s in range(20)}
+        assert docs == {"a-doc", "b-doc"}
+
+    def test_documents_with_separators_rejected(self):
+        with pytest.raises(ValueError):
+            PrinterWorld(["bad;doc"])
+        with pytest.raises(ValueError):
+            PrinterWorld(["bad:doc"])
+        with pytest.raises(ValueError):
+            PrinterWorld([])
+
+    def test_printed_stream_bounded(self):
+        world = PrinterWorld(["doc"])
+        rng = random.Random(0)
+        state = PrinterState(document="doc", printed="x" * 65536)
+        state, _ = world.step(state, WorldInbox(from_server="OUT:yy"), rng)
+        assert len(state.printed) == 65536
+        assert state.printed.endswith("yy")
+
+
+class TestPrintedReferee:
+    def test_substring_semantics(self):
+        goal = printing_goal(["doc"])
+        # Two silent rounds let the command reach the printer and the output
+        # reach the paper (one-round channel latency each) before halting.
+        user = ScriptedUser(
+            [UserOutbox(to_server="PRINT junkdocjunk"), UserOutbox(), UserOutbox()],
+            halt_after="done",
+        )
+        result = run_execution(
+            user, SpacePrinter(), goal.world, max_rounds=20, seed=0
+        )
+        # Note: world picks "doc"; printed contains it as substring.
+        assert goal.evaluate(result).achieved
+
+    def test_rejects_wrong_output(self):
+        goal = printing_goal(["doc"])
+        user = ScriptedUser([UserOutbox(to_server="PRINT other")], halt_after="done")
+        result = run_execution(
+            user, SpacePrinter(), goal.world, max_rounds=20, seed=0
+        )
+        assert not goal.evaluate(result).achieved
+
+    def test_rejects_non_halting_run(self):
+        goal = printing_goal(["doc"])
+        result = run_execution(
+            SilentUser(), SpacePrinter(), goal.world, max_rounds=10, seed=0
+        )
+        assert not goal.evaluate(result).achieved
+
+
+class TestPrintedTailSensing:
+    def _view(self, messages):
+        view = UserView()
+        for i, m in enumerate(messages):
+            view.append(
+                ViewRecord(i, i, UserInbox(from_world=m), UserOutbox(), i + 1)
+            )
+        return view
+
+    def test_positive_when_document_in_tail(self):
+        sensing = printing_sensing()
+        assert sensing.indicate(self._view(["JOB:doc;TAIL:xxdocxx"]))
+
+    def test_negative_when_not_printed(self):
+        sensing = printing_sensing()
+        assert not sensing.indicate(self._view(["JOB:doc;TAIL:garbage"]))
+
+    def test_negative_without_any_feedback(self):
+        sensing = PrintedTailSensing()
+        assert not sensing.indicate(self._view([]))
+
+    def test_negative_in_blind_world(self):
+        # No TAIL section -> no evidence -> negative (safe default).
+        sensing = PrintedTailSensing()
+        assert not sensing.indicate(self._view(["JOB:doc"]))
+
+    def test_uses_latest_announcement(self):
+        sensing = printing_sensing()
+        view = self._view(["JOB:doc;TAIL:doc", "JOB:doc;TAIL:"])
+        assert not sensing.indicate(view)

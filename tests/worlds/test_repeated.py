@@ -1,0 +1,147 @@
+"""Tests for the repeated-computation world (compact delegation)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.comm.codecs import IdentityCodec, ReverseCodec, codec_family
+from repro.core.execution import run_execution
+from repro.core.strategy import SilentServer, SilentUser
+from repro.mathx.modular import Field
+from repro.qbf.generators import random_qbf
+from repro.servers.provers import CheatingProverServer, HonestProverServer
+from repro.servers.wrappers import EncodedServer
+from repro.universal.compact import CompactUniversalUser
+from repro.universal.enumeration import ListEnumeration
+from repro.users.delegation_users import (
+    RepeatedDelegationUser,
+    repeated_delegation_user_class,
+)
+from repro.worlds.repeated import (
+    RepeatedComputationWorld,
+    repeated_delegation_goal,
+    repeated_delegation_sensing,
+)
+
+F = Field()
+INSTANCES = [random_qbf(random.Random(s), 3) for s in (1, 2, 5)]
+GOAL = repeated_delegation_goal(INSTANCES)
+
+
+class TestWorldMechanics:
+    def test_announces_session_and_instance(self):
+        from repro.comm.messages import WorldInbox
+
+        world = RepeatedComputationWorld(INSTANCES)
+        rng = random.Random(0)
+        state = world.initial_state(rng)
+        state, out = world.step(state, WorldInbox(), rng)
+        assert out.to_user.startswith("INSTANCE:0:")
+        assert ";FB:" in out.to_user
+
+    def test_correct_answer_scores_and_advances(self):
+        from repro.comm.messages import WorldInbox
+
+        world = RepeatedComputationWorld(INSTANCES)
+        rng = random.Random(0)
+        state = world.initial_state(rng)
+        bit = "1" if state.truth else "0"
+        state, out = world.step(
+            state, WorldInbox(from_user=f"ANSWER:0={bit}"), rng
+        )
+        assert state.session == 1
+        assert state.answered == 1 and state.mistakes == 0
+        assert ";FB:ok" in out.to_user
+
+    def test_wrong_answer_scores_mistake(self):
+        from repro.comm.messages import WorldInbox
+
+        world = RepeatedComputationWorld(INSTANCES)
+        rng = random.Random(0)
+        state = world.initial_state(rng)
+        wrong = "0" if state.truth else "1"
+        state, out = world.step(
+            state, WorldInbox(from_user=f"ANSWER:0={wrong}"), rng
+        )
+        assert state.mistakes == 1
+        assert ";FB:bad" in out.to_user
+
+    def test_stale_session_answer_ignored(self):
+        from repro.comm.messages import WorldInbox
+
+        world = RepeatedComputationWorld(INSTANCES)
+        rng = random.Random(0)
+        state = world.initial_state(rng)
+        state, _ = world.step(state, WorldInbox(from_user="ANSWER:7=1"), rng)
+        assert state.answered == 0 and state.session == 0
+
+    def test_deadline_scores_mistake_and_advances(self):
+        from repro.comm.messages import WorldInbox
+
+        world = RepeatedComputationWorld(INSTANCES, deadline=20)
+        rng = random.Random(0)
+        state = world.initial_state(rng)
+        for _ in range(25):
+            state, _ = world.step(state, WorldInbox(), rng)
+        assert state.mistakes >= 1
+        assert state.session >= 1
+
+    def test_tight_deadline_rejected(self):
+        with pytest.raises(ValueError):
+            RepeatedComputationWorld(INSTANCES, deadline=10)
+
+
+class TestRepeatedDelegation:
+    def test_matched_user_answers_forever_without_mistakes(self):
+        user = RepeatedDelegationUser(IdentityCodec(), F)
+        server = HonestProverServer(F)
+        result = run_execution(user, server, GOAL.world, max_rounds=2000, seed=0)
+        state = result.final_world_state()
+        assert GOAL.evaluate(result).achieved
+        assert state.answered > 50
+        assert state.mistakes == 0
+
+    def test_wrong_codec_only_accrues_deadline_mistakes(self):
+        user = RepeatedDelegationUser(ReverseCodec(), F)
+        result = run_execution(
+            user, HonestProverServer(F), GOAL.world, max_rounds=1000, seed=0
+        )
+        state = result.final_world_state()
+        assert state.answered == 0
+        assert state.mistakes > 0  # All deadline expiries, never wrong answers.
+
+    def test_universal_over_codecs(self):
+        codecs = codec_family(3)
+        universal = CompactUniversalUser(
+            ListEnumeration(repeated_delegation_user_class(codecs, F)),
+            repeated_delegation_sensing(),
+        )
+        for index, codec in enumerate(codecs):
+            server = EncodedServer(HonestProverServer(F), codec)
+            result = run_execution(
+                universal, server, GOAL.world, max_rounds=4000, seed=index
+            )
+            assert GOAL.evaluate(result).achieved, codec.name
+            assert result.rounds[-1].user_state_after.index == index
+
+    def test_cheating_prover_never_gets_an_answer_accepted(self):
+        codecs = codec_family(3)
+        universal = CompactUniversalUser(
+            ListEnumeration(repeated_delegation_user_class(codecs, F)),
+            repeated_delegation_sensing(),
+        )
+        result = run_execution(
+            universal, CheatingProverServer(F, "constant"), GOAL.world,
+            max_rounds=2000, seed=0,
+        )
+        state = result.final_world_state()
+        assert state.answered == 0
+        assert not GOAL.evaluate(result).achieved
+
+    def test_silent_pairing_fails(self):
+        result = run_execution(
+            SilentUser(), SilentServer(), GOAL.world, max_rounds=1000, seed=0
+        )
+        assert not GOAL.evaluate(result).achieved
