@@ -84,3 +84,32 @@ def test_e1_single_settled_execution_cost(benchmark):
 
     result = benchmark(run_once)
     assert GOAL.evaluate(result).achieved
+
+
+def test_e1_jsonl_trace_replays_switch_count(tmp_path):
+    """A JSONL trace replays to the switch count RunMetrics reports.
+
+    Acceptance check for the tracing layer: write the full event stream of
+    one E1 execution to disk, parse it back, and confirm the replayed
+    :class:`StrategySwitch` events agree with both the live counters and
+    the post-hoc metrics — the trace is a faithful account of the run.
+    """
+    from repro.analysis.metrics import collect_metrics
+    from repro.obs import JsonlSink, StrategySwitch, Tracer, read_jsonl
+
+    path = tmp_path / "e1_trace.jsonl"
+    tracer = Tracer(sink=JsonlSink(path))
+    user = universal()
+    user.tracer = tracer
+    result = run_execution(
+        user, SERVERS[-1], GOAL.world, max_rounds=HORIZON, seed=0, tracer=tracer
+    )
+    tracer.close()
+
+    metrics = collect_metrics(result, GOAL)
+    replayed = read_jsonl(path)
+    switch_events = [e for e in replayed if isinstance(e, StrategySwitch)]
+    assert metrics.switches == len(SERVERS) - 1
+    assert len(switch_events) == metrics.switches
+    assert tracer.counters.get("switches") == metrics.switches
+    assert tracer.counters.get("rounds") == result.rounds_executed

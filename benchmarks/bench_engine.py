@@ -1,17 +1,21 @@
 """Micro-benchmarks of the execution engine and codec substrate.
 
 Baseline numbers for everything else: raw engine round throughput, the
-cost codec wrapping adds per round, and universal-user overhead per round
-— useful when judging whether an experiment's horizon is engine-bound.
+cost codec wrapping adds per round, universal-user overhead per round,
+and the tracing layer's overhead in its three modes (off / no-op / live)
+— useful when judging whether an experiment's horizon is engine-bound and
+whether leaving telemetry on for a sweep is affordable.
 """
 
 from __future__ import annotations
 
 import random
+import time
 
 from repro.comm.codecs import ComposedCodec, ReverseCodec, XorMaskCodec, codec_family
 from repro.core.execution import run_execution
 from repro.core.strategy import SilentServer, SilentUser
+from repro.obs import MemorySink, NoopTracer, Tracer
 from repro.servers.advisors import AdvisorServer, advisor_server_class
 from repro.servers.wrappers import EncodedServer
 from repro.universal.compact import CompactUniversalUser
@@ -65,6 +69,62 @@ def test_engine_universal_settled(benchmark):
 
     result = benchmark(run)
     assert goal.evaluate(result).achieved
+
+
+def _active_run(tracer):
+    """One live follower/advisor execution under the given tracer mode."""
+    goal = control_goal(LAW)
+    from repro.comm.codecs import IdentityCodec
+
+    result = run_execution(
+        AdvisorFollowingUser(IdentityCodec()), AdvisorServer(LAW),
+        goal.world, max_rounds=ROUNDS, seed=0, tracer=tracer,
+    )
+    assert goal.evaluate(result).achieved
+    return result
+
+
+def test_tracing_off_baseline(benchmark):
+    """``tracer=None``: the default path every experiment runs on."""
+    benchmark(lambda: _active_run(None))
+
+
+def test_tracing_noop_overhead(benchmark):
+    """``NoopTracer``: must cost one hoisted branch, nothing more."""
+    tracer = NoopTracer()
+    benchmark(lambda: _active_run(tracer))
+
+
+def test_tracing_live_memory_sink(benchmark):
+    """Full tracing into a bounded ring buffer: the worst-case mode."""
+
+    def run():
+        tracer = Tracer(sink=MemorySink(capacity=4 * ROUNDS))
+        return _active_run(tracer)
+
+    benchmark(run)
+
+
+def test_tracing_noop_within_five_percent():
+    """Acceptance gate: NoopTracer ≤ 5% over tracer=None.
+
+    Measured directly (not via the benchmark fixture) so the assertion
+    also runs in plain test mode.  Compares best-of-N over interleaved
+    repeats — the minimum is the standard noise-robust estimator for "how
+    fast can this go", which is the quantity the 5% bound is about.
+    """
+    _active_run(None)  # Warm caches before timing.
+    noop = NoopTracer()
+    off_times, noop_times = [], []
+    for _ in range(9):
+        start = time.perf_counter()
+        _active_run(None)
+        off_times.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        _active_run(noop)
+        noop_times.append(time.perf_counter() - start)
+    off, on = min(off_times), min(noop_times)
+    assert on <= off * 1.05, f"noop tracer overhead {on / off - 1:.1%} > 5%"
 
 
 def test_codec_roundtrip_throughput(benchmark):

@@ -23,6 +23,7 @@ import random
 from repro.analysis.tables import format_table
 from repro.comm.codecs import codec_family
 from repro.core.execution import run_execution
+from repro.obs import MemorySink, StrategySwitch, Tracer
 from repro.servers.advisors import advisor_server_class
 from repro.universal.compact import CompactUniversalUser
 from repro.universal.enumeration import ListEnumeration
@@ -77,6 +78,21 @@ def main() -> None:
     assert state.index == adversary_pick, "settled on exactly the right language"
     print("\nThe user found the server's language without any prior agreement —"
           "\nTheorem 1's promise, live.")
+
+    # --- bonus: the same run, traced.  A tracer captures the enumerate-
+    #     sense-switch dynamic as typed events (docs/OBSERVABILITY.md).
+    tracer = Tracer(sink=MemorySink())
+    traced_user = CompactUniversalUser(
+        ListEnumeration(candidates, label="interpreters"), control_sensing(),
+        tracer=tracer,
+    )
+    run_execution(traced_user, server, goal.world, max_rounds=2500, seed=0,
+                  tracer=tracer)
+    print("\nswitch timeline (from the trace):")
+    for switch in tracer.sink.of_kind(StrategySwitch):
+        print(f"  round {switch.round_index:4d}: interpreter "
+              f"#{switch.from_index} -> #{switch.to_index}")
+    print(f"counters: {tracer.counters.snapshot()}")
 
 
 if __name__ == "__main__":

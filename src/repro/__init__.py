@@ -24,6 +24,8 @@ Package map (see DESIGN.md for the full inventory):
   and candidate user protocols;
 - :mod:`repro.online` — the Juba–Vempala learning equivalence;
 - :mod:`repro.multiparty` — the N-party setting and its reduction;
+- :mod:`repro.obs` — structured tracing/metrics for all of the above
+  (typed events, counters, timers, deterministic JSONL sinks);
 - :mod:`repro.analysis` — experiment sweeps, metrics, tables.
 
 Quickstart::

@@ -13,8 +13,19 @@ from repro.analysis.metrics import (
     success_rate,
     rounds_summary,
 )
-from repro.analysis.runner import SweepCell, SweepResult, sweep, sweep_goals
-from repro.analysis.tables import format_table, format_series, format_sparkline
+from repro.analysis.runner import (
+    CellTelemetry,
+    SweepCell,
+    SweepResult,
+    sweep,
+    sweep_goals,
+)
+from repro.analysis.tables import (
+    format_table,
+    format_series,
+    format_sparkline,
+    format_telemetry,
+)
 
 __all__ = [
     "RunMetrics",
@@ -22,6 +33,7 @@ __all__ = [
     "Summary",
     "success_rate",
     "rounds_summary",
+    "CellTelemetry",
     "SweepCell",
     "SweepResult",
     "sweep",
@@ -29,4 +41,5 @@ __all__ = [
     "format_table",
     "format_series",
     "format_sparkline",
+    "format_telemetry",
 ]

@@ -5,6 +5,20 @@ A :class:`RunMetrics` is the per-execution record the benchmarks aggregate;
 universal-user statistics (enumeration index, switch count) out of the
 final user state when present.  :class:`Summary` holds the usual
 order statistics over a batch.
+
+Empty-batch contract
+--------------------
+The two aggregators are deliberately asymmetric on empty input:
+
+* :func:`success_rate` returns **0.0** — it answers "what fraction of runs
+  succeeded?", and claiming any success for zero runs would let an empty
+  sweep pass a universality check vacuously;
+* :meth:`Summary.of` returns ``count=0`` with **NaN** statistics — the
+  mean/median/min/max of nothing is undefined, and NaN (unlike a sentinel
+  like 0) poisons any arithmetic that forgets to check ``count`` first.
+
+Both are exercised in ``tests/analysis/test_metrics.py``; check ``count``
+(or the batch's truthiness) before consuming ``Summary`` statistics.
 """
 
 from __future__ import annotations
@@ -69,8 +83,18 @@ class Summary:
     minimum: float
     maximum: float
 
+    @property
+    def is_empty(self) -> bool:
+        """True when no observations were summarised (statistics are NaN)."""
+        return self.count == 0
+
     @staticmethod
     def of(values: Sequence[float]) -> "Summary":
+        """Summarise ``values``; an empty batch yields ``count=0`` and NaNs.
+
+        See the module docstring for why this differs from
+        :func:`success_rate`'s empty-batch 0.0.
+        """
         if not values:
             return Summary(count=0, mean=math.nan, median=math.nan,
                            minimum=math.nan, maximum=math.nan)
@@ -97,7 +121,12 @@ class Summary:
 
 
 def success_rate(batch: Sequence[RunMetrics]) -> float:
-    """Fraction of achieved runs in a batch (0.0 for an empty batch)."""
+    """Fraction of achieved runs in a batch.
+
+    An empty batch reads **0.0**, not NaN: a sweep with no runs has
+    demonstrated no success, and universality claims must not pass
+    vacuously (module docstring has the full contract).
+    """
     if not batch:
         return 0.0
     return sum(1 for m in batch if m.achieved) / len(batch)

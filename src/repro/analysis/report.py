@@ -8,6 +8,11 @@ module trades their coverage for speed and zero pytest dependency.
 
 Each check returns ``(claim, ok, detail)``; the process exits non-zero if
 any check fails, so the report doubles as a smoke gate for packaging.
+
+The report ends with a telemetry section — the E1 sweep re-run with
+``telemetry=True`` — showing the per-cell counters (rounds, messages,
+bytes, sensing verdicts, switches) that :mod:`repro.obs` collects; see
+``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
@@ -194,6 +199,38 @@ def check_multiparty() -> Check:
     )
 
 
+def telemetry_section() -> str:
+    """The E1 sweep's per-cell counters, rendered as a table.
+
+    Universal-user rows carry sensing/switch/trial counts because
+    ``sweep(telemetry=True)`` threads one tracer through both the engine
+    and the user; a plain user would show engine counters only.
+    """
+    from repro.analysis.tables import format_telemetry
+    from repro.servers.advisors import advisor_server_class
+    from repro.universal.compact import CompactUniversalUser
+    from repro.universal.enumeration import ListEnumeration
+    from repro.users.control_users import follower_user_class
+    from repro.worlds.control import control_goal, control_sensing, random_law
+
+    codecs = codec_family(4)
+    law = random_law(random.Random(1))
+    goal = control_goal(law)
+    user = CompactUniversalUser(
+        ListEnumeration(follower_user_class(codecs)), control_sensing()
+    )
+    result = sweep(
+        user, advisor_server_class(law, codecs), goal,
+        seeds=(0,), max_rounds=1500, telemetry=True,
+    )
+    entries = [
+        (cell.server_name, cell.telemetry.as_dict()) for cell in result.cells
+    ]
+    return format_telemetry(
+        entries, title=f"telemetry: E1 sweep ({result.goal_name})"
+    )
+
+
 ALL_CHECKS: List[Callable[[], Check]] = [
     check_compact_universal,
     check_finite_universal,
@@ -215,6 +252,8 @@ def main(argv: List[str] = ()) -> int:
         print(f"  [{mark}] {claim}  ({detail})")
         if not ok:
             failures += 1
+    print()
+    print(telemetry_section())
     print()
     print("all claims reproduced" if failures == 0 else f"{failures} claim(s) FAILED")
     return 1 if failures else 0

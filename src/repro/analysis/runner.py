@@ -5,17 +5,53 @@ member of this server class, under these seeds, and report per-server
 metrics" — so it lives here once.  The runner is deliberately dumb and
 sequential: executions are cheap, and determinism (fixed seed schedule, no
 shared state across runs) is worth more to a reproduction than parallelism.
+
+With ``telemetry=True`` the runner attaches one counters-only
+:class:`~repro.obs.Tracer` per cell (shared across that cell's seeds) and
+snapshots the totals into :attr:`SweepCell.telemetry` — rounds, messages,
+bytes, and, for universal users, sensing/switch/trial counts.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.metrics import RunMetrics, collect_metrics, success_rate
 from repro.core.execution import run_execution
 from repro.core.goals import Goal
 from repro.core.strategy import ServerStrategy, UserStrategy
+from repro.obs.tracer import Tracer
+
+
+@dataclass(frozen=True)
+class CellTelemetry:
+    """Counter totals for one sweep cell, aggregated over its seeds.
+
+    ``counters`` preserves the tracer's creation order as an immutable
+    tuple of ``(name, value)`` pairs; :meth:`as_dict` re-inflates it.
+    User-level counters (``switches``, ``sensing_negative``, …) appear
+    only when the swept user exposes a ``tracer`` attribute (the
+    universal users do).
+    """
+
+    counters: Tuple[Tuple[str, int], ...]
+
+    @staticmethod
+    def from_tracer(tracer: Tracer) -> "CellTelemetry":
+        return CellTelemetry(
+            counters=tuple(
+                (name, value)
+                for name, value in tracer.counters.snapshot().items()
+                if isinstance(value, int)
+            )
+        )
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.counters)
+
+    def get(self, name: str, default: int = 0) -> int:
+        return self.as_dict().get(name, default)
 
 
 @dataclass(frozen=True)
@@ -25,6 +61,7 @@ class SweepCell:
     user_name: str
     server_name: str
     runs: Tuple[RunMetrics, ...]
+    telemetry: Optional[CellTelemetry] = None
 
     @property
     def success_rate(self) -> float:
@@ -60,6 +97,41 @@ class SweepResult:
         return [cell for cell in self.cells if not cell.all_achieved]
 
 
+def _run_cell(
+    user: UserStrategy,
+    server: ServerStrategy,
+    goal: Goal,
+    seeds: Sequence[int],
+    max_rounds: int,
+    telemetry: bool,
+) -> SweepCell:
+    """One (user, server) cell: all seeds, optional shared-tracer telemetry."""
+    tracer = Tracer() if telemetry else None
+    # Universal users expose a public, reassignable ``tracer`` attribute;
+    # borrow it for the cell so user-level events land in the same counters.
+    user_traced = telemetry and hasattr(user, "tracer")
+    saved = user.tracer if user_traced else None
+    if user_traced:
+        user.tracer = tracer
+    try:
+        runs = []
+        for seed in seeds:
+            execution = run_execution(
+                user, server, goal.world,
+                max_rounds=max_rounds, seed=seed, tracer=tracer,
+            )
+            runs.append(collect_metrics(execution, goal))
+    finally:
+        if user_traced:
+            user.tracer = saved
+    return SweepCell(
+        user_name=user.name,
+        server_name=server.name,
+        runs=tuple(runs),
+        telemetry=CellTelemetry.from_tracer(tracer) if telemetry else None,
+    )
+
+
 def sweep(
     user: UserStrategy,
     servers: Sequence[ServerStrategy],
@@ -67,19 +139,16 @@ def sweep(
     *,
     seeds: Sequence[int] = (0, 1, 2),
     max_rounds: int = 2000,
+    telemetry: bool = False,
 ) -> SweepResult:
-    """Run ``user`` against every server under every seed."""
+    """Run ``user`` against every server under every seed.
+
+    ``telemetry=True`` additionally aggregates per-cell counters (see
+    :class:`CellTelemetry`); it does not change any run's outcome.
+    """
     cells: List[SweepCell] = []
     for server in servers:
-        runs = []
-        for seed in seeds:
-            execution = run_execution(
-                user, server, goal.world, max_rounds=max_rounds, seed=seed
-            )
-            runs.append(collect_metrics(execution, goal))
-        cells.append(
-            SweepCell(user_name=user.name, server_name=server.name, runs=tuple(runs))
-        )
+        cells.append(_run_cell(user, server, goal, seeds, max_rounds, telemetry))
     return SweepResult(goal_name=goal.name, cells=tuple(cells))
 
 
@@ -89,6 +158,7 @@ def sweep_goals(
     *,
     seeds: Sequence[int] = (0, 1),
     max_rounds: int = 2000,
+    telemetry: bool = False,
 ) -> List[SweepCell]:
     """Sweep over (goal, server) pairs — for world-class non-determinism.
 
@@ -98,13 +168,5 @@ def sweep_goals(
     cells: List[SweepCell] = []
     for goal, server in pairs:
         user = user_factory()
-        runs = []
-        for seed in seeds:
-            execution = run_execution(
-                user, server, goal.world, max_rounds=max_rounds, seed=seed
-            )
-            runs.append(collect_metrics(execution, goal))
-        cells.append(
-            SweepCell(user_name=user.name, server_name=server.name, runs=tuple(runs))
-        )
+        cells.append(_run_cell(user, server, goal, seeds, max_rounds, telemetry))
     return cells

@@ -7,7 +7,7 @@ so EXPERIMENTS.md can quote benchmark output verbatim.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Tuple, Union
+from typing import Iterable, List, Mapping, Sequence, Tuple, Union
 
 Cell = Union[str, int, float, bool, None]
 
@@ -52,6 +52,35 @@ def format_table(
     for row in rendered[1:]:
         lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
     return "\n".join(lines)
+
+
+def format_telemetry(
+    entries: Sequence[Tuple[str, Mapping[str, Cell]]], title: str = "telemetry"
+) -> str:
+    """Render labelled counter snapshots as one aligned table.
+
+    ``entries`` is a sequence of ``(label, counters)`` pairs — e.g. one per
+    sweep cell.  Columns are the union of counter names in first-seen
+    order, so cells missing a counter (a non-universal user has no
+    ``switches``) render as ``-`` rather than breaking alignment.
+
+    >>> print(format_telemetry([("a", {"rounds": 3}), ("b", {"rounds": 5, "switches": 1})]))
+    == telemetry ==
+    cell | rounds | switches
+    -----+--------+---------
+    a    | 3      | -
+    b    | 5      | 1
+    """
+    columns: List[str] = []
+    for _, counters in entries:
+        for name in counters:
+            if name not in columns:
+                columns.append(name)
+    rows: List[List[Cell]] = [
+        [label] + [counters.get(name) for name in columns]
+        for label, counters in entries
+    ]
+    return format_table(["cell"] + columns, rows, title=title)
 
 
 def format_series(

@@ -14,6 +14,11 @@ flat transcript of channel traffic.
 Reproducibility: the engine derives an independent PRNG per party from the
 master seed, so a strategy that consumes more randomness does not perturb
 the other parties' random streams.
+
+Observability: pass ``tracer=`` (see :mod:`repro.obs`) to stream typed
+round/message events.  Tracing is read-only — it never touches the RNGs or
+channel state — so a traced run is bitwise-identical to an untraced one,
+and the off path (``tracer=None`` or a disabled tracer) allocates nothing.
 """
 
 from __future__ import annotations
@@ -28,6 +33,8 @@ from repro.core.strategy import ServerStrategy, UserStrategy, WorldStrategy
 from repro.core.views import UserView, ViewRecord
 from repro.comm.transcripts import Transcript
 from repro.errors import ExecutionError
+from repro.obs.events import ExecutionFinished, ExecutionStarted, MessageSent, RoundExecuted
+from repro.obs.tracer import TracerLike, is_tracing
 
 
 @dataclass(frozen=True)
@@ -83,11 +90,17 @@ def run_execution(
     max_rounds: int,
     seed: int = 0,
     record_transcript: bool = False,
+    tracer: TracerLike = None,
 ) -> ExecutionResult:
     """Run the three-party system for up to ``max_rounds`` rounds.
 
     The execution stops early when the user halts.  ``seed`` controls all
-    randomness; two runs with equal arguments are identical.
+    randomness; two runs with equal arguments are identical.  ``tracer``
+    (optional) receives :class:`~repro.obs.events.ExecutionStarted`, per-
+    message :class:`~repro.obs.events.MessageSent`, per-round
+    :class:`~repro.obs.events.RoundExecuted`, and a final
+    :class:`~repro.obs.events.ExecutionFinished` event; it observes but
+    never influences the run.
 
     Raises :class:`ExecutionError` if ``max_rounds`` is not positive or a
     strategy returns an outbox of the wrong type (catching wiring mistakes
@@ -95,6 +108,16 @@ def run_execution(
     """
     if max_rounds <= 0:
         raise ExecutionError(f"max_rounds must be positive: {max_rounds}")
+
+    # Hoisted once: the hot loop below must not pay for tracing when off.
+    tracing = is_tracing(tracer)
+    if tracing:
+        tracer.emit(
+            ExecutionStarted(
+                user=user.name, server=server.name, world=world.name,
+                max_rounds=max_rounds, seed=seed,
+            )
+        )
 
     master = random.Random(seed)
     user_rng = random.Random(master.getrandbits(64))
@@ -161,9 +184,41 @@ def run_execution(
             tr.record(round_index, Roles.WORLD, Roles.USER, world_out.to_user)
             tr.record(round_index, Roles.WORLD, Roles.SERVER, world_out.to_server)
 
+        if tracing:
+            messages = message_bytes = 0
+            for sender, receiver, payload in (
+                (Roles.USER, Roles.SERVER, user_out.to_server),
+                (Roles.USER, Roles.WORLD, user_out.to_world),
+                (Roles.SERVER, Roles.USER, server_out.to_user),
+                (Roles.SERVER, Roles.WORLD, server_out.to_world),
+                (Roles.WORLD, Roles.USER, world_out.to_user),
+                (Roles.WORLD, Roles.SERVER, world_out.to_server),
+            ):
+                if payload:
+                    messages += 1
+                    message_bytes += len(payload)
+                    tracer.emit(
+                        MessageSent(
+                            round_index=round_index, sender=sender,
+                            receiver=receiver, payload=payload,
+                        )
+                    )
+            tracer.emit(
+                RoundExecuted(
+                    round_index=round_index, messages=messages,
+                    message_bytes=message_bytes, halted=user_out.halt,
+                )
+            )
+
         if user_out.halt:
             result.halted = True
             result.user_output = user_out.output
             break
 
+    if tracing:
+        tracer.emit(
+            ExecutionFinished(
+                rounds_executed=len(result.rounds), halted=result.halted
+            )
+        )
     return result

@@ -16,10 +16,12 @@ assemble their sensing from world feedback.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 from typing import Callable, Tuple
 
 from repro.core.views import UserView
+from repro.obs.events import GraceSuppressed
+from repro.obs.tracer import TracerLike, is_tracing
 
 
 class Sensing:
@@ -123,10 +125,18 @@ class GraceSensing(Sensing):
     message latency of the synchronous model — without a grace period they
     would condemn every strategy before its first action could possibly be
     scored.
+
+    When a :mod:`repro.obs` tracer is attached (``with_tracer``), each
+    round where the grace window overrides a *negative* inner verdict
+    emits a :class:`~repro.obs.events.GraceSuppressed` event — the exact
+    feedback the grace ablation (E6) gives up.  The inner sensing is only
+    consulted early when tracing, which is sound because sensing functions
+    are pure predicates of the view.
     """
 
     inner: Sensing
     grace_rounds: int = 4
+    tracer: TracerLike = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.grace_rounds < 0:
@@ -136,8 +146,19 @@ class GraceSensing(Sensing):
     def name(self) -> str:
         return f"grace({self.grace_rounds},{self.inner.name})"
 
+    def with_tracer(self, tracer: TracerLike) -> "GraceSensing":
+        """A copy of this sensing reporting suppressions to ``tracer``."""
+        return replace(self, tracer=tracer)
+
     def indicate(self, view: UserView) -> bool:
         if len(view) <= self.grace_rounds:
+            if is_tracing(self.tracer) and not self.inner.indicate(view):
+                self.tracer.emit(
+                    GraceSuppressed(
+                        round_index=len(view) - 1,
+                        grace_rounds=self.grace_rounds,
+                    )
+                )
             return True
         return self.inner.indicate(view)
 

@@ -1,0 +1,64 @@
+"""Structured tracing and metrics for the execution engine.
+
+The paper's universal user is a *dynamic* — enumerate, sense, switch — and
+this package makes that dynamic inspectable: typed events
+(:mod:`.events`), monotonic counters and histograms (:mod:`.counters`),
+wall-clock phase timers (:mod:`.timers`), pluggable sinks including a
+deterministic JSONL writer (:mod:`.sinks`), and the :class:`~.tracer.Tracer`
+that ties them together (:mod:`.tracer`).
+
+Instrumented call sites: ``run_execution(..., tracer=)`` (round and
+message events), the universal users (sensing, switch, and trial events),
+:class:`~repro.core.sensing.GraceSensing` (grace-suppression events), and
+``analysis.runner.sweep(..., telemetry=True)`` (per-cell counters).
+
+Tracing is strictly opt-in and the off path is allocation-free; see
+``docs/OBSERVABILITY.md`` for the taxonomy and usage patterns.
+"""
+
+from repro.obs.counters import Counter, CounterSet, Histogram
+from repro.obs.events import (
+    Event,
+    ExecutionFinished,
+    ExecutionStarted,
+    GraceSuppressed,
+    MessageSent,
+    RoundExecuted,
+    SensingIndication,
+    StrategySwitch,
+    TrialFinished,
+    TrialStarted,
+    event_from_dict,
+    event_kinds,
+)
+from repro.obs.sinks import JsonlSink, MemorySink, NullSink, Sink, read_jsonl
+from repro.obs.timers import PhaseTimer
+from repro.obs.tracer import NoopTracer, Tracer, TracerLike, is_tracing
+
+__all__ = [
+    "Counter",
+    "CounterSet",
+    "Histogram",
+    "Event",
+    "ExecutionStarted",
+    "ExecutionFinished",
+    "RoundExecuted",
+    "MessageSent",
+    "SensingIndication",
+    "StrategySwitch",
+    "TrialStarted",
+    "TrialFinished",
+    "GraceSuppressed",
+    "event_from_dict",
+    "event_kinds",
+    "Sink",
+    "NullSink",
+    "MemorySink",
+    "JsonlSink",
+    "read_jsonl",
+    "PhaseTimer",
+    "NoopTracer",
+    "Tracer",
+    "TracerLike",
+    "is_tracing",
+]

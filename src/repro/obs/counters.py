@@ -1,0 +1,134 @@
+"""Monotonic counters and scalar histograms.
+
+A :class:`CounterSet` is the numeric half of a trace: where the event
+stream answers *what happened when*, counters answer *how much in total* —
+cheap enough to stay on for whole sweeps, structured enough to render as a
+table.  Counters only ever go up (a reset makes a new set); histograms
+record order statistics of repeated scalar observations (e.g. per-trial
+round counts) without storing the observations themselves.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterator, Tuple, Union
+
+
+class Counter:
+    """A named monotonic integer."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be non-negative: counters never decrease)."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: negative increment {amount}")
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"<Counter {self.name}={self.value}>"
+
+
+class Histogram:
+    """Streaming summary of scalar observations (count/sum/min/max/mean).
+
+    Deliberately bucket-free: the experiments need order-of-magnitude
+    shape, not quantile precision, and a four-word summary never grows.
+    """
+
+    __slots__ = ("name", "count", "total", "minimum", "maximum")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        """Mean of observations (NaN when empty, matching ``Summary.of``)."""
+        return self.total / self.count if self.count else math.nan
+
+    def __repr__(self) -> str:
+        return f"<Histogram {self.name} n={self.count} mean={self.mean:.2f}>"
+
+
+#: Snapshot value types: counters flatten to int, histograms to a dict.
+SnapshotValue = Union[int, Dict[str, float]]
+
+
+class CounterSet:
+    """An ordered registry of counters and histograms.
+
+    Names are created on first touch (``counters.inc("rounds")`` just
+    works), and :meth:`snapshot` preserves creation order so rendered
+    telemetry tables are stable across runs.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter called ``name``."""
+        found = self._counters.get(name)
+        if found is None:
+            found = self._counters[name] = Counter(name)
+        return found
+
+    def histogram(self, name: str) -> Histogram:
+        """Get or create the histogram called ``name``."""
+        found = self._histograms.get(name)
+        if found is None:
+            found = self._histograms[name] = Histogram(name)
+        return found
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        """Shorthand for ``self.counter(name).inc(amount)``."""
+        self.counter(name).inc(amount)
+
+    def observe(self, name: str, value: float) -> None:
+        """Shorthand for ``self.histogram(name).observe(value)``."""
+        self.histogram(name).observe(value)
+
+    def get(self, name: str, default: int = 0) -> int:
+        """Current value of counter ``name`` (``default`` if never touched)."""
+        found = self._counters.get(name)
+        return default if found is None else found.value
+
+    def snapshot(self) -> Dict[str, SnapshotValue]:
+        """Counters (as ints) then histograms (as summary dicts), in
+        creation order — a plain-data copy safe to store or serialise."""
+        out: Dict[str, SnapshotValue] = {
+            name: c.value for name, c in self._counters.items()
+        }
+        for name, h in self._histograms.items():
+            out[name] = {
+                "count": h.count,
+                "total": h.total,
+                "min": h.minimum if h.count else math.nan,
+                "max": h.maximum if h.count else math.nan,
+                "mean": h.mean,
+            }
+        return out
+
+    def __iter__(self) -> Iterator[Tuple[str, SnapshotValue]]:
+        return iter(self.snapshot().items())
+
+    def __repr__(self) -> str:
+        return f"<CounterSet {self.snapshot()}>"

@@ -1,0 +1,234 @@
+"""Typed structured events — the vocabulary of the tracing layer.
+
+Every observable moment in an execution is one frozen dataclass here, so a
+trace is a typed object stream rather than a pile of log lines.  Events
+carry only plain scalars (ints, strs, bools) — never live strategy state or
+message objects — which keeps them trivially serialisable and guarantees
+that *recording* an execution cannot perturb it.
+
+The taxonomy mirrors the paper's dynamics:
+
+* engine level — :class:`ExecutionStarted`, :class:`RoundExecuted`,
+  :class:`MessageSent`, :class:`ExecutionFinished`;
+* universal-user level (Theorem 1's enumerate-and-switch loop) —
+  :class:`SensingIndication`, :class:`StrategySwitch`,
+  :class:`TrialStarted`, :class:`TrialFinished`;
+* sensing level — :class:`GraceSuppressed`, emitted when a grace window
+  masks a negative inner indication.
+
+Serialisation is deterministic: :meth:`Event.to_dict` emits ``kind`` first
+and then the dataclass fields in declaration order, and
+:func:`event_from_dict` inverts it via the ``kind`` registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, ClassVar, Dict, Mapping, Optional, Type
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base class for all trace events.
+
+    Subclasses set ``kind`` (the wire tag) and declare their payload as
+    ordinary dataclass fields.  Field order *is* the serialised order.
+    """
+
+    kind: ClassVar[str] = "event"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A plain dict with ``kind`` first, then fields in declared order."""
+        data: Dict[str, Any] = {"kind": self.kind}
+        for f in fields(self):
+            data[f.name] = getattr(self, f.name)
+        return data
+
+
+_REGISTRY: Dict[str, Type[Event]] = {}
+
+
+def register(cls: Type[Event]) -> Type[Event]:
+    """Class decorator adding an event type to the ``kind`` registry."""
+    if cls.kind in _REGISTRY:
+        raise ValueError(f"duplicate event kind: {cls.kind!r}")
+    _REGISTRY[cls.kind] = cls
+    return cls
+
+
+def event_from_dict(data: Mapping[str, Any]) -> Event:
+    """Rebuild an event from :meth:`Event.to_dict` output.
+
+    Raises ``KeyError`` on an unknown ``kind`` and ``TypeError`` on a
+    payload that does not match the event's fields — a parsed trace either
+    round-trips exactly or fails loudly.
+    """
+    payload = dict(data)
+    kind = payload.pop("kind")
+    cls = _REGISTRY[kind]
+    return cls(**payload)
+
+
+def event_kinds() -> Dict[str, Type[Event]]:
+    """A copy of the kind → class registry (for docs and tests)."""
+    return dict(_REGISTRY)
+
+
+# --------------------------------------------------------------------------
+# Engine-level events
+# --------------------------------------------------------------------------
+
+
+@register
+@dataclass(frozen=True)
+class ExecutionStarted(Event):
+    """``run_execution`` began: the cast and the horizon."""
+
+    kind: ClassVar[str] = "execution-started"
+
+    user: str
+    server: str
+    world: str
+    max_rounds: int
+    seed: int
+
+
+@register
+@dataclass(frozen=True)
+class MessageSent(Event):
+    """One non-silent message crossed one channel during one round.
+
+    ``sender``/``receiver`` are role names (``user``/``server``/``world``).
+    The payload is included verbatim — traces of adversarial codecs show
+    the scrambled bytes, exactly what the receiving party saw.
+    """
+
+    kind: ClassVar[str] = "message-sent"
+
+    round_index: int
+    sender: str
+    receiver: str
+    payload: str
+
+
+@register
+@dataclass(frozen=True)
+class RoundExecuted(Event):
+    """One synchronous round completed.
+
+    ``messages`` counts the non-silent channel messages emitted this round
+    and ``message_bytes`` their total payload length; ``halted`` is True on
+    the round where the user halted.
+    """
+
+    kind: ClassVar[str] = "round-executed"
+
+    round_index: int
+    messages: int
+    message_bytes: int
+    halted: bool
+
+
+@register
+@dataclass(frozen=True)
+class ExecutionFinished(Event):
+    """``run_execution`` returned."""
+
+    kind: ClassVar[str] = "execution-finished"
+
+    rounds_executed: int
+    halted: bool
+
+
+# --------------------------------------------------------------------------
+# Universal-user events (the Theorem 1 loop)
+# --------------------------------------------------------------------------
+
+
+@register
+@dataclass(frozen=True)
+class SensingIndication(Event):
+    """The sensing function was consulted on a trial-local view.
+
+    ``round_index`` is the user's global round; ``candidate_index`` the
+    enumeration index of the strategy being judged; ``positive`` the verdict.
+    """
+
+    kind: ClassVar[str] = "sensing-indication"
+
+    round_index: int
+    candidate_index: int
+    positive: bool
+
+
+@register
+@dataclass(frozen=True)
+class StrategySwitch(Event):
+    """A universal user advanced its enumeration on a negative indication."""
+
+    kind: ClassVar[str] = "strategy-switch"
+
+    round_index: int
+    from_index: int
+    to_index: int
+    wrapped: bool
+
+
+@register
+@dataclass(frozen=True)
+class TrialStarted(Event):
+    """A candidate strategy began a (re)trial.
+
+    ``budget`` is the trial's round budget under a Levin-style schedule, or
+    ``None`` for the compact user's open-ended trials.
+    """
+
+    kind: ClassVar[str] = "trial-started"
+
+    round_index: int
+    trial_number: int
+    candidate_index: int
+    budget: Optional[int] = None
+
+
+@register
+@dataclass(frozen=True)
+class TrialFinished(Event):
+    """A trial ended.  ``reason`` is one of:
+
+    * ``"evicted"`` — compact user: sensing read negative, candidate evicted;
+    * ``"endorsed"`` — finite user: candidate halted and sensing endorsed it;
+    * ``"halt-rejected"`` — finite user: candidate halted, sensing refused;
+    * ``"budget"`` — finite user: the trial's round budget ran out;
+    * ``"missing"`` — finite user: the scheduled index fell outside the class.
+    """
+
+    kind: ClassVar[str] = "trial-finished"
+
+    round_index: int
+    trial_number: int
+    candidate_index: int
+    rounds_used: int
+    reason: str
+
+
+# --------------------------------------------------------------------------
+# Sensing-level events
+# --------------------------------------------------------------------------
+
+
+@register
+@dataclass(frozen=True)
+class GraceSuppressed(Event):
+    """A grace window masked a negative inner indication.
+
+    Emitted by :class:`~repro.core.sensing.GraceSensing` when the inner
+    sensing would have condemned the current strategy but the trial is
+    still inside its first ``grace_rounds`` rounds.  The count of these is
+    exactly the feedback the grace ablation (E6) trades away.
+    """
+
+    kind: ClassVar[str] = "grace-suppressed"
+
+    round_index: int
+    grace_rounds: int

@@ -1,0 +1,117 @@
+"""Event sinks: where a trace goes.
+
+A sink consumes the typed event stream; the tracer does not care which.
+Three implementations cover the reproduction's needs:
+
+* :class:`NullSink` — drops everything (counters still accumulate);
+* :class:`MemorySink` — a bounded ring buffer for tests, examples, and
+  interactive inspection;
+* :class:`JsonlSink` — one JSON object per line with deterministic field
+  ordering (``kind`` first, then dataclass-field order), so traces of the
+  same seeded run are byte-identical and diffable.
+
+:func:`read_jsonl` inverts :class:`JsonlSink` back into typed events.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from pathlib import Path
+from typing import Deque, Iterator, List, Optional, Type, TypeVar, Union
+
+from repro.obs.events import Event, event_from_dict
+
+E = TypeVar("E", bound=Event)
+
+
+class Sink:
+    """Consumer of a trace's event stream."""
+
+    def emit(self, event: Event) -> None:
+        """Accept one event."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release resources (idempotent; no-op by default)."""
+
+    def __enter__(self) -> "Sink":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class NullSink(Sink):
+    """Discards every event."""
+
+    def emit(self, event: Event) -> None:
+        pass
+
+
+class MemorySink(Sink):
+    """Keeps the last ``capacity`` events in a ring buffer.
+
+    ``capacity=None`` keeps everything — fine for bounded runs, the usual
+    mode in tests; give long-lived processes a bound.
+    """
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError(f"capacity must be positive: {capacity}")
+        self._events: Deque[Event] = deque(maxlen=capacity)
+
+    def emit(self, event: Event) -> None:
+        self._events.append(event)
+
+    @property
+    def events(self) -> List[Event]:
+        """The buffered events, oldest first."""
+        return list(self._events)
+
+    def of_kind(self, event_type: Type[E]) -> List[E]:
+        """The buffered events that are instances of ``event_type``."""
+        return [e for e in self._events if isinstance(e, event_type)]
+
+    def clear(self) -> None:
+        """Forget everything buffered so far."""
+        self._events.clear()
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+
+class JsonlSink(Sink):
+    """Writes one compact JSON object per event to a file.
+
+    Field order is deterministic (insertion order of
+    :meth:`~repro.obs.events.Event.to_dict`), separators are fixed, and
+    nothing machine-dependent (timestamps, pids) is ever written — two
+    traces of the same seeded run diff clean.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._file = self.path.open("w", encoding="utf-8")
+
+    def emit(self, event: Event) -> None:
+        self._file.write(json.dumps(event.to_dict(), separators=(",", ":")))
+        self._file.write("\n")
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.close()
+
+
+def read_jsonl(path: Union[str, Path]) -> List[Event]:
+    """Parse a :class:`JsonlSink` file back into typed events, in order."""
+    events: List[Event] = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(event_from_dict(json.loads(line)))
+    return events

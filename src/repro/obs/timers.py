@@ -1,0 +1,77 @@
+"""Wall-clock phase timers.
+
+Accumulates ``time.perf_counter`` spans per named phase, so a benchmark can
+split "where did the wall time go" into engine rounds vs. sensing vs.
+reporting without a profiler.  Timing is the one part of a trace that is
+*not* deterministic; it lives in its own object (never inside events) so
+that JSONL traces of the same seeded run stay byte-identical.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Iterator, Tuple
+
+
+class _Span:
+    """Context manager that adds its elapsed time to one phase bucket."""
+
+    __slots__ = ("_timer", "_name", "_start")
+
+    def __init__(self, timer: "PhaseTimer", name: str) -> None:
+        self._timer = timer
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._start = self._timer._clock()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._timer._add(self._name, self._timer._clock() - self._start)
+
+
+class PhaseTimer:
+    """Named accumulating wall-clock buckets.
+
+    >>> timer = PhaseTimer(clock=iter([0.0, 1.5]).__next__)
+    >>> with timer.phase("engine"):
+    ...     pass
+    >>> timer.total("engine")
+    1.5
+
+    ``clock`` is injectable for tests; it defaults to
+    :func:`time.perf_counter`.
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self._clock = clock
+        self._totals: Dict[str, float] = {}
+        self._entries: Dict[str, int] = {}
+
+    def phase(self, name: str) -> _Span:
+        """A context manager timing one entry of phase ``name``."""
+        return _Span(self, name)
+
+    def _add(self, name: str, elapsed: float) -> None:
+        self._totals[name] = self._totals.get(name, 0.0) + elapsed
+        self._entries[name] = self._entries.get(name, 0) + 1
+
+    def total(self, name: str) -> float:
+        """Accumulated seconds in phase ``name`` (0.0 if never entered)."""
+        return self._totals.get(name, 0.0)
+
+    def entries(self, name: str) -> int:
+        """How many spans of phase ``name`` completed."""
+        return self._entries.get(name, 0)
+
+    def snapshot(self) -> Dict[str, float]:
+        """Phase → accumulated seconds, in first-entered order."""
+        return dict(self._totals)
+
+    def __iter__(self) -> Iterator[Tuple[str, float]]:
+        return iter(self._totals.items())
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{k}={v:.4f}s" for k, v in self._totals.items())
+        return f"<PhaseTimer {parts or 'empty'}>"

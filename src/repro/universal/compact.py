@@ -34,6 +34,8 @@ from repro.core.sensing import Sensing
 from repro.core.strategy import UserStrategy
 from repro.core.views import UserView, ViewRecord
 from repro.errors import EnumerationExhaustedError
+from repro.obs.events import SensingIndication, StrategySwitch, TrialFinished, TrialStarted
+from repro.obs.tracer import TracerLike, is_tracing
 from repro.universal.enumeration import EnumerationCursor, StrategyEnumeration
 
 
@@ -76,6 +78,14 @@ class CompactUniversalUser(UserStrategy):
         What to do when a *finite* enumeration is exhausted: restart from
         index 0 (default, making the user robust to transient negative
         indications) or raise :class:`EnumerationExhaustedError`.
+    tracer:
+        Optional :mod:`repro.obs` tracer receiving per-round
+        :class:`~repro.obs.events.SensingIndication` plus
+        :class:`~repro.obs.events.TrialStarted` /
+        :class:`~repro.obs.events.TrialFinished` /
+        :class:`~repro.obs.events.StrategySwitch` events.  Public and
+        reassignable (``user.tracer = ...``) so a sweep can attach per-cell
+        telemetry to an already-built user.
     """
 
     def __init__(
@@ -85,6 +95,7 @@ class CompactUniversalUser(UserStrategy):
         *,
         min_trial_rounds: int = 0,
         wrap_around: bool = True,
+        tracer: TracerLike = None,
     ) -> None:
         if min_trial_rounds < 0:
             raise ValueError(f"min_trial_rounds must be >= 0: {min_trial_rounds}")
@@ -92,6 +103,7 @@ class CompactUniversalUser(UserStrategy):
         self._sensing = sensing
         self._min_trial_rounds = min_trial_rounds
         self._wrap_around = wrap_around
+        self.tracer = tracer
 
     @property
     def name(self) -> str:
@@ -103,10 +115,19 @@ class CompactUniversalUser(UserStrategy):
     def step(
         self, state: CompactUniversalState, inbox: UserInbox, rng: random.Random
     ) -> Tuple[CompactUniversalState, UserOutbox]:
+        tracing = is_tracing(self.tracer)
         inner = state.cursor.get(state.index)
         if not state.inner_started:
             state.inner_state = inner.initial_state(rng)
             state.inner_started = True
+            if tracing:
+                self.tracer.emit(
+                    TrialStarted(
+                        round_index=state.total_rounds,
+                        trial_number=state.switches,
+                        candidate_index=state.index,
+                    )
+                )
 
         state_before = state.inner_state
         state.inner_state, outbox = inner.step(state.inner_state, inbox, rng)
@@ -123,8 +144,16 @@ class CompactUniversalUser(UserStrategy):
         )
 
         indication = self._sensing.indicate(state.trial_view)
+        if tracing:
+            self.tracer.emit(
+                SensingIndication(
+                    round_index=state.total_rounds - 1,
+                    candidate_index=state.index,
+                    positive=indication,
+                )
+            )
         if not indication and state.rounds_in_trial >= max(1, self._min_trial_rounds):
-            self._advance(state)
+            self._advance(state, tracing)
             # A candidate being evicted must not get the last word on
             # halting: compact goals run forever, and a halt under a
             # negative indication would end the execution on a failure.
@@ -134,16 +163,36 @@ class CompactUniversalUser(UserStrategy):
                 )
         return state, outbox
 
-    def _advance(self, state: CompactUniversalState) -> None:
+    def _advance(self, state: CompactUniversalState, tracing: bool = False) -> None:
         """Move to the next candidate (wrapping or raising at the end)."""
         next_index = state.index + 1
+        wrapped = False
         try:
             state.cursor.get(next_index)
         except EnumerationExhaustedError:
             if not self._wrap_around:
                 raise
             next_index = 0
+            wrapped = True
             state.wraps += 1
+        if tracing:
+            self.tracer.emit(
+                TrialFinished(
+                    round_index=state.total_rounds - 1,
+                    trial_number=state.switches,
+                    candidate_index=state.index,
+                    rounds_used=state.rounds_in_trial,
+                    reason="evicted",
+                )
+            )
+            self.tracer.emit(
+                StrategySwitch(
+                    round_index=state.total_rounds - 1,
+                    from_index=state.index,
+                    to_index=next_index,
+                    wrapped=wrapped,
+                )
+            )
         state.index = next_index
         state.inner_state = None
         state.inner_started = False

@@ -33,6 +33,8 @@ from repro.core.sensing import Sensing
 from repro.core.strategy import UserStrategy
 from repro.core.views import UserView, ViewRecord
 from repro.errors import EnumerationExhaustedError
+from repro.obs.events import SensingIndication, TrialFinished, TrialStarted
+from repro.obs.tracer import TracerLike, is_tracing
 from repro.universal.enumeration import EnumerationCursor, StrategyEnumeration
 from repro.universal.schedules import Trial, levin_trials
 
@@ -67,6 +69,12 @@ class FiniteUniversalUser(UserStrategy):
         Builds the trial schedule; defaults to
         :func:`~repro.universal.schedules.levin_trials` capped at the
         enumeration's size hint.  Swappable for the ablations in E2.
+    tracer:
+        Optional :mod:`repro.obs` tracer receiving
+        :class:`~repro.obs.events.TrialStarted` /
+        :class:`~repro.obs.events.TrialFinished` events for every
+        scheduled trial and a :class:`~repro.obs.events.SensingIndication`
+        whenever a halting candidate is judged.  Public and reassignable.
     """
 
     def __init__(
@@ -75,12 +83,14 @@ class FiniteUniversalUser(UserStrategy):
         sensing: Sensing,
         *,
         schedule_factory: Optional[Callable[[Optional[int]], Iterator[Trial]]] = None,
+        tracer: TracerLike = None,
     ) -> None:
         self._enumeration = enumeration
         self._sensing = sensing
         self._schedule_factory = schedule_factory or (
             lambda cap: levin_trials(max_index=None if cap is None else cap - 1)
         )
+        self.tracer = tracer
 
     @property
     def name(self) -> str:
@@ -120,15 +130,26 @@ class FiniteUniversalUser(UserStrategy):
         )
 
         if outbox.halt:
-            if self._sensing.indicate(state.trial_view):
+            assert state.current is not None
+            endorsed = self._sensing.indicate(state.trial_view)
+            if is_tracing(self.tracer):
+                self.tracer.emit(
+                    SensingIndication(
+                        round_index=state.total_rounds - 1,
+                        candidate_index=state.current[0],
+                        positive=endorsed,
+                    )
+                )
+            if endorsed:
+                self._finish_trial(state, "endorsed")
                 return state, outbox  # Endorsed: halt with the candidate's output.
-            self._abandon(state)
+            self._abandon(state, "halt-rejected")
             outbox = UserOutbox(to_server=outbox.to_server, to_world=outbox.to_world)
             return state, outbox
 
         assert state.current is not None
         if state.rounds_used >= state.current[1]:
-            self._abandon(state)
+            self._abandon(state, "budget")
         return state, outbox
 
     #: Bound on consecutive skipped schedule entries per engine round.  A
@@ -149,11 +170,20 @@ class FiniteUniversalUser(UserStrategy):
             if state.current is not None:
                 inner = self._candidate(state, state.current[0])
                 if inner is None:
-                    self._abandon(state)
+                    self._abandon(state, "missing")
                     continue
                 if not state.inner_started:
                     state.inner_state = inner.initial_state(rng)
                     state.inner_started = True
+                    if is_tracing(self.tracer):
+                        self.tracer.emit(
+                            TrialStarted(
+                                round_index=state.total_rounds - 1,
+                                trial_number=state.trials_run,
+                                candidate_index=state.current[0],
+                                budget=state.current[1],
+                            )
+                        )
                     state.trials_run += 1
                 return inner
             try:
@@ -175,8 +205,21 @@ class FiniteUniversalUser(UserStrategy):
             state.index_cap = state.cursor.known_size()
             return None
 
-    @staticmethod
-    def _abandon(state: FiniteUniversalState) -> None:
+    def _finish_trial(self, state: FiniteUniversalState, reason: str) -> None:
+        """Emit the trial's closing event (started trials only)."""
+        if is_tracing(self.tracer) and state.inner_started and state.current is not None:
+            self.tracer.emit(
+                TrialFinished(
+                    round_index=state.total_rounds - 1,
+                    trial_number=state.trials_run - 1,
+                    candidate_index=state.current[0],
+                    rounds_used=state.rounds_used,
+                    reason=reason,
+                )
+            )
+
+    def _abandon(self, state: FiniteUniversalState, reason: str = "budget") -> None:
+        self._finish_trial(state, reason)
         state.current = None
         state.inner_state = None
         state.inner_started = False

@@ -67,6 +67,41 @@ class TestSummary:
         assert "n=2" in text and "mean=1.5" in text
 
 
+class TestEmptyBatchContract:
+    """The documented asymmetry: rate → 0.0, statistics → NaN.
+
+    ``success_rate([])`` answers a yes/no-per-run question, so zero runs
+    means zero demonstrated successes; ``Summary.of([])`` answers "what
+    were the values?", which has no answer — NaN propagates instead of
+    silently reading as a real observation.
+    """
+
+    def test_success_rate_of_empty_batch_is_zero(self):
+        assert success_rate([]) == 0.0
+
+    def test_empty_summary_is_all_nan_with_zero_count(self):
+        s = Summary.of([])
+        assert s.count == 0
+        assert s.is_empty
+        for stat in (s.mean, s.median, s.minimum, s.maximum):
+            assert math.isnan(stat)
+
+    def test_nonempty_summary_is_not_empty(self):
+        assert not Summary.of([1.0]).is_empty
+
+    def test_empty_rounds_summary_inherits_the_nan_contract(self):
+        """An all-failure batch summarised over successes only is empty."""
+        batch = [RunMetrics(achieved=False, halted=True, rounds=7)]
+        s = rounds_summary(batch)
+        assert s.is_empty and math.isnan(s.mean)
+        # ...while the same batch's success rate reads a definite 0.0.
+        assert success_rate(batch) == 0.0
+
+    def test_nan_poisons_downstream_arithmetic(self):
+        """The point of NaN over 0: forgetting to check count is loud."""
+        assert math.isnan(Summary.of([]).mean + 1.0)
+
+
 class TestBatchHelpers:
     def _metrics(self, achieved, rounds):
         return RunMetrics(achieved=achieved, halted=True, rounds=rounds)

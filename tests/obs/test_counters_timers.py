@@ -1,0 +1,89 @@
+"""Counters, histograms, and phase timers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs import CounterSet, PhaseTimer
+from repro.obs.counters import Counter, Histogram
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("rounds")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_rejects_negative_increment(self):
+        with pytest.raises(ValueError):
+            Counter("rounds").inc(-1)
+
+
+class TestHistogram:
+    def test_streaming_summary(self):
+        h = Histogram("trial_rounds")
+        for v in (4, 1, 9):
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == 14
+        assert h.minimum == 1
+        assert h.maximum == 9
+        assert h.mean == pytest.approx(14 / 3)
+
+    def test_empty_histogram_mean_is_nan(self):
+        assert math.isnan(Histogram("x").mean)
+
+
+class TestCounterSet:
+    def test_create_on_first_touch(self):
+        cs = CounterSet()
+        cs.inc("rounds", 3)
+        cs.observe("trial_rounds", 7.0)
+        assert cs.get("rounds") == 3
+        assert cs.get("never_touched") == 0
+
+    def test_snapshot_preserves_creation_order(self):
+        cs = CounterSet()
+        for name in ("b", "a", "c"):
+            cs.inc(name)
+        assert list(cs.snapshot()) == ["b", "a", "c"]
+
+    def test_snapshot_flattens_histograms(self):
+        cs = CounterSet()
+        cs.observe("h", 2.0)
+        cs.observe("h", 4.0)
+        snap = cs.snapshot()["h"]
+        assert snap == {"count": 2, "total": 6.0, "min": 2.0, "max": 4.0, "mean": 3.0}
+
+    def test_snapshot_is_a_copy(self):
+        cs = CounterSet()
+        cs.inc("rounds")
+        snap = cs.snapshot()
+        cs.inc("rounds")
+        assert snap["rounds"] == 1
+
+
+class TestPhaseTimer:
+    def test_accumulates_with_injected_clock(self):
+        ticks = iter([0.0, 1.5, 10.0, 10.25])
+        timer = PhaseTimer(clock=lambda: next(ticks))
+        with timer.phase("engine"):
+            pass
+        with timer.phase("engine"):
+            pass
+        assert timer.total("engine") == pytest.approx(1.75)
+        assert timer.entries("engine") == 2
+
+    def test_untouched_phase_reads_zero(self):
+        timer = PhaseTimer()
+        assert timer.total("nothing") == 0.0
+        assert timer.entries("nothing") == 0
+
+    def test_real_clock_measures_something_nonnegative(self):
+        timer = PhaseTimer()
+        with timer.phase("noop"):
+            pass
+        assert timer.total("noop") >= 0.0

@@ -1,0 +1,78 @@
+"""Event taxonomy: registry completeness and dict round-trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    Event,
+    ExecutionFinished,
+    ExecutionStarted,
+    GraceSuppressed,
+    MessageSent,
+    RoundExecuted,
+    SensingIndication,
+    StrategySwitch,
+    TrialFinished,
+    TrialStarted,
+    event_from_dict,
+    event_kinds,
+)
+
+ALL_EVENT_TYPES = [
+    ExecutionStarted,
+    MessageSent,
+    RoundExecuted,
+    ExecutionFinished,
+    SensingIndication,
+    StrategySwitch,
+    TrialStarted,
+    TrialFinished,
+    GraceSuppressed,
+]
+
+SAMPLES = [
+    ExecutionStarted(user="u", server="s", world="w", max_rounds=10, seed=3),
+    MessageSent(round_index=2, sender="user", receiver="server", payload="hi"),
+    RoundExecuted(round_index=2, messages=3, message_bytes=17, halted=False),
+    ExecutionFinished(rounds_executed=9, halted=True),
+    SensingIndication(round_index=4, candidate_index=1, positive=False),
+    StrategySwitch(round_index=4, from_index=1, to_index=2, wrapped=False),
+    TrialStarted(round_index=5, trial_number=2, candidate_index=2, budget=16),
+    TrialFinished(round_index=8, trial_number=2, candidate_index=2,
+                  rounds_used=4, reason="evicted"),
+    GraceSuppressed(round_index=1, grace_rounds=4),
+]
+
+
+class TestRegistry:
+    def test_every_event_type_is_registered(self):
+        registry = event_kinds()
+        for cls in ALL_EVENT_TYPES:
+            assert registry[cls.kind] is cls
+
+    def test_kinds_are_unique(self):
+        kinds = [cls.kind for cls in ALL_EVENT_TYPES]
+        assert len(kinds) == len(set(kinds))
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(KeyError):
+            event_from_dict({"kind": "no-such-event"})
+
+    def test_mismatched_payload_raises(self):
+        with pytest.raises(TypeError):
+            event_from_dict({"kind": "round-executed", "bogus": 1})
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("event", SAMPLES, ids=lambda e: e.kind)
+    def test_dict_round_trip_is_identity(self, event: Event):
+        assert event_from_dict(event.to_dict()) == event
+
+    @pytest.mark.parametrize("event", SAMPLES, ids=lambda e: e.kind)
+    def test_kind_is_first_key(self, event: Event):
+        assert next(iter(event.to_dict())) == "kind"
+
+    def test_field_order_is_declaration_order(self):
+        keys = list(SAMPLES[1].to_dict())
+        assert keys == ["kind", "round_index", "sender", "receiver", "payload"]

@@ -1,0 +1,87 @@
+"""Sinks: ring-buffer semantics and deterministic JSONL round-trips."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    JsonlSink,
+    MemorySink,
+    NullSink,
+    RoundExecuted,
+    SensingIndication,
+    read_jsonl,
+)
+
+EVENTS = [
+    RoundExecuted(round_index=i, messages=1, message_bytes=4, halted=False)
+    for i in range(5)
+]
+
+
+class TestMemorySink:
+    def test_keeps_events_in_order(self):
+        sink = MemorySink()
+        for e in EVENTS:
+            sink.emit(e)
+        assert sink.events == EVENTS
+
+    def test_capacity_evicts_oldest(self):
+        sink = MemorySink(capacity=3)
+        for e in EVENTS:
+            sink.emit(e)
+        assert sink.events == EVENTS[-3:]
+
+    def test_of_kind_filters(self):
+        sink = MemorySink()
+        sink.emit(EVENTS[0])
+        sink.emit(SensingIndication(round_index=0, candidate_index=0, positive=True))
+        assert sink.of_kind(SensingIndication) == [
+            SensingIndication(round_index=0, candidate_index=0, positive=True)
+        ]
+        assert len(sink.of_kind(RoundExecuted)) == 1
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            MemorySink(capacity=0)
+
+
+class TestJsonlSink:
+    def test_write_parse_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlSink(path) as sink:
+            for e in EVENTS:
+                sink.emit(e)
+        assert read_jsonl(path) == EVENTS
+
+    def test_field_order_is_deterministic(self, tmp_path):
+        """Two traces of the same events are byte-identical."""
+        paths = [tmp_path / "a.jsonl", tmp_path / "b.jsonl"]
+        for path in paths:
+            with JsonlSink(path) as sink:
+                for e in EVENTS:
+                    sink.emit(e)
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+
+    def test_lines_are_compact_json_with_kind_first(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlSink(path) as sink:
+            sink.emit(EVENTS[0])
+        line = path.read_text().strip()
+        assert line.startswith('{"kind":"round-executed"')
+        assert json.loads(line)["round_index"] == 0
+
+    def test_close_is_idempotent(self, tmp_path):
+        sink = JsonlSink(tmp_path / "trace.jsonl")
+        sink.close()
+        sink.close()
+
+
+class TestNullSink:
+    def test_swallows_everything(self):
+        sink = NullSink()
+        for e in EVENTS:
+            sink.emit(e)
+        sink.close()
