@@ -11,9 +11,12 @@ from __future__ import annotations
 
 import random
 import time
+import tracemalloc
+
+from conftest import emit
 
 from repro.comm.codecs import ComposedCodec, ReverseCodec, XorMaskCodec, codec_family
-from repro.core.execution import run_execution
+from repro.core.execution import FULL_RECORDING, METRICS_RECORDING, run_execution
 from repro.core.strategy import SilentServer, SilentUser
 from repro.obs import MemorySink, NoopTracer, Tracer
 from repro.servers.advisors import AdvisorServer, advisor_server_class
@@ -125,6 +128,101 @@ def test_tracing_noop_within_five_percent():
         noop_times.append(time.perf_counter() - start)
     off, on = min(off_times), min(noop_times)
     assert on <= off * 1.05, f"noop tracer overhead {on / off - 1:.1%} > 5%"
+
+
+def test_engine_raw_rounds_metrics_recording(benchmark):
+    """Raw-round throughput under the lean recording policy."""
+    world = ControlWorld(LAW)
+
+    def run():
+        return run_execution(
+            SilentUser(), SilentServer(), world, max_rounds=ROUNDS, seed=0,
+            recording=METRICS_RECORDING,
+        )
+
+    result = benchmark(run)
+    assert result.rounds_executed == ROUNDS
+    assert result.rounds == []
+
+
+def test_metrics_recording_reduces_allocations():
+    """Acceptance gate: METRICS retains a fraction of FULL's allocations.
+
+    Measured with tracemalloc over the raw-rounds run: FULL keeps one
+    RoundRecord + ViewRecord (plus inbox/outbox tuples) per round, METRICS
+    keeps counters and world states only.  The documented numbers live in
+    ``docs/PERFORMANCE.md``; the gate asserts the ratio, not absolutes.
+    """
+    world = ControlWorld(LAW)
+
+    def traced_run(recording):
+        run_execution(  # warm allocator and caches outside the window
+            SilentUser(), SilentServer(), world, max_rounds=ROUNDS, seed=0,
+            recording=recording,
+        )
+        tracemalloc.start()
+        result = run_execution(
+            SilentUser(), SilentServer(), world, max_rounds=ROUNDS, seed=0,
+            recording=recording,
+        )
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        assert result.rounds_executed == ROUNDS
+        return peak
+
+    full_peak = traced_run(FULL_RECORDING)
+    metrics_peak = traced_run(METRICS_RECORDING)
+    emit(
+        f"raw-rounds peak allocations over {ROUNDS} rounds: "
+        f"full={full_peak / 1024:.0f} KiB, metrics={metrics_peak / 1024:.0f} KiB "
+        f"({full_peak / metrics_peak:.1f}x less retained)"
+    )
+    assert metrics_peak < full_peak / 2, (
+        f"metrics recording retained {metrics_peak}B vs full {full_peak}B"
+    )
+
+
+def test_incremental_sensing_per_round_cost_is_flat():
+    """Acceptance gate: doubling the horizon less-than-doubles round cost.
+
+    The universal user evaluates sensing every round; with the
+    O(len(view)) ``indicate`` path that made a T-round trial quadratic —
+    per-round cost at horizon 2H would be ~2x the cost at H.  The
+    incremental monitors make it O(1), so per-round cost must stay flat.
+    Best-of-N over interleaved repeats, same estimator as the tracing
+    gate above.
+    """
+    goal = control_goal(LAW)
+    codecs = codec_family(4)
+    server = advisor_server_class(LAW, codecs)[0]
+
+    def per_round_cost(horizon):
+        user = CompactUniversalUser(
+            ListEnumeration(follower_user_class(codecs)), control_sensing()
+        )
+        start = time.perf_counter()
+        result = run_execution(
+            user, server, goal.world, max_rounds=horizon, seed=0
+        )
+        elapsed = time.perf_counter() - start
+        assert result.rounds_executed == horizon
+        return elapsed / horizon
+
+    short_horizon, long_horizon = 1500, 3000
+    per_round_cost(long_horizon)  # Warm caches before timing.
+    short_times, long_times = [], []
+    for _ in range(7):
+        short_times.append(per_round_cost(short_horizon))
+        long_times.append(per_round_cost(long_horizon))
+    short, long_ = min(short_times), min(long_times)
+    emit(
+        f"universal per-round cost: {short * 1e6:.2f}us @ {short_horizon} rounds, "
+        f"{long_ * 1e6:.2f}us @ {long_horizon} rounds (ratio {long_ / short:.2f})"
+    )
+    assert long_ < short * 1.5, (
+        f"per-round cost grew {long_ / short:.2f}x when the horizon doubled "
+        "— sensing is no longer O(1) per round"
+    )
 
 
 def test_codec_roundtrip_throughput(benchmark):

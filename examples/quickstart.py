@@ -94,6 +94,23 @@ def main() -> None:
               f"#{switch.from_index} -> #{switch.to_index}")
     print(f"counters: {tracer.counters.snapshot()}")
 
+    # --- bonus: the full universality check, fanned out over processes.
+    #     Sweep cells are shared-nothing, so executor= only changes where
+    #     they run, never what they compute (docs/PERFORMANCE.md).
+    from repro.analysis import ProcessExecutor, sweep
+
+    fresh_universal = CompactUniversalUser(
+        ListEnumeration(candidates, label="interpreters"), control_sensing()
+    )
+    class_sweep = sweep(
+        fresh_universal, servers, goal, seeds=(0,), max_rounds=2500,
+        executor=ProcessExecutor(max_workers=2),
+    )
+    print(f"\nparallel sweep over the whole class "
+          f"({len(class_sweep.cells)} cells, 2 workers): "
+          f"universal_success={class_sweep.universal_success}")
+    assert class_sweep.universal_success
+
 
 if __name__ == "__main__":
     main()

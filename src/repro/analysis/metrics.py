@@ -52,8 +52,12 @@ def collect_metrics(execution: ExecutionResult, goal: Goal) -> RunMetrics:
     """Evaluate the goal and extract universal-user stats if available."""
     outcome: GoalOutcome = goal.evaluate(execution)
     switches = final_index = trials = None
-    if execution.rounds:
+    # The engine fills ``final_user_state`` under every recording policy;
+    # the round-list fallback covers hand-built ExecutionResults in tests.
+    state = execution.final_user_state
+    if state is None and execution.rounds:
         state = execution.rounds[-1].user_state_after
+    if state is not None:
         if isinstance(state, CompactUniversalState):
             switches = state.switches
             final_index = state.index

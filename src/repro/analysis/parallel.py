@@ -1,0 +1,123 @@
+"""Parallel sweep execution: pluggable backends for independent cells.
+
+Every reproduction target is a sweep — "pair this user with every server
+in the class, under these seeds" — and sweep cells are *shared-nothing* by
+construction (all randomness derives from the per-run seed; nothing flows
+between cells).  That makes a sweep embarrassingly parallel: this module
+provides the executor backends that :func:`repro.analysis.runner.sweep`
+and :func:`~repro.analysis.runner.sweep_goals` accept via ``executor=``.
+
+* :class:`SerialExecutor` — runs the cells in-process, in order.  The
+  reference backend: ``sweep(..., executor=SerialExecutor())`` is
+  identical to ``sweep(...)`` with no executor.
+* :class:`ProcessExecutor` — fans the cells out over a
+  :class:`concurrent.futures.ProcessPoolExecutor`.  Each worker receives
+  its cells as pickled :class:`~repro.analysis.runner.CellTask` work
+  items, so it operates on *fresh* user/server/goal instances (unpickling
+  is the cheapest possible "fresh instance per worker" factory), and
+  results are merged back in deterministic cell order.  Same seeds in,
+  equal :class:`~repro.analysis.runner.SweepResult` out, regardless of
+  worker count or chunking.
+
+Determinism contract: a backend may only change *where* cells run, never
+what they compute.  The parity tests in ``tests/analysis/test_parallel.py``
+assert serial/process equality cell by cell, including telemetry totals.
+
+Picklability: process workers require every object reachable from a task
+to pickle — use module-level functions (not lambdas or closures) for
+sensing predicates and referees.  The library's goal builders comply;
+:func:`ensure_picklable` gives an actionable error before any worker is
+spawned when a custom object does not.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor as _PoolExecutor
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analysis.runner import CellTask, SweepCell, SweepExecutorLike
+from repro.errors import ExecutionError
+
+
+def run_cell_chunk(tasks: Sequence[CellTask]) -> List[Tuple[int, SweepCell]]:
+    """Worker entry point: run a chunk of cells, tagged with their indices.
+
+    Module-level (not a method) so it pickles by reference under every
+    multiprocessing start method, including ``spawn``.
+    """
+    return [(task.index, task.run()) for task in tasks]
+
+
+def ensure_picklable(task: CellTask) -> None:
+    """Raise a diagnosable error if ``task`` cannot cross a process boundary.
+
+    Checked eagerly so the failure names the real problem instead of
+    surfacing as an opaque ``PicklingError`` from a worker's result
+    future.  Lambdas inside sensing predicates or referees are the usual
+    culprit — hoist them to module level.
+    """
+    try:
+        pickle.dumps(task)
+    except Exception as error:
+        raise ExecutionError(
+            f"sweep cell {task.index} ({task.user.name} vs {task.server.name}) "
+            f"is not picklable for process execution: {error!r}. "
+            "Process workers receive cells by pickling; replace lambdas/"
+            "closures in sensing predicates and referees with module-level "
+            "functions, or use SerialExecutor."
+        ) from error
+
+
+class SerialExecutor(SweepExecutorLike):
+    """In-process, in-order execution — the reference backend."""
+
+    def map_cells(self, tasks: Sequence[CellTask]) -> List[SweepCell]:
+        return [task.run() for task in tasks]
+
+
+class ProcessExecutor(SweepExecutorLike):
+    """Process-pool execution with chunked cell dispatch.
+
+    Parameters
+    ----------
+    max_workers:
+        Pool size; defaults to ``os.cpu_count()`` capped at the number of
+        dispatched chunks (never spawns idle workers).
+    chunk_size:
+        Cells per submitted work item.  The default of 1 maximises load
+        balance (cells are usually few and expensive); raise it when a
+        sweep has many cheap cells and per-task pickling overhead shows.
+    """
+
+    def __init__(
+        self, max_workers: Optional[int] = None, *, chunk_size: int = 1
+    ) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1: {max_workers}")
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1: {chunk_size}")
+        self._max_workers = max_workers
+        self._chunk_size = chunk_size
+
+    def map_cells(self, tasks: Sequence[CellTask]) -> List[SweepCell]:
+        if not tasks:
+            return []
+        for task in tasks:
+            ensure_picklable(task)
+        chunks = [
+            list(tasks[i : i + self._chunk_size])
+            for i in range(0, len(tasks), self._chunk_size)
+        ]
+        workers = self._max_workers or os.cpu_count() or 1
+        workers = min(workers, len(chunks))
+        indexed: List[Tuple[int, SweepCell]] = []
+        with _PoolExecutor(max_workers=workers) as pool:
+            for chunk_result in pool.map(run_cell_chunk, chunks):
+                indexed.extend(chunk_result)
+        # Deterministic merge: cells come back in task order whatever the
+        # completion order was (pool.map preserves submission order; the
+        # sort is belt-and-braces for future backends).
+        indexed.sort(key=lambda pair: pair[0])
+        return [cell for _, cell in indexed]

@@ -2,23 +2,34 @@
 
 The benchmarks all have the same skeleton — "pair this user with every
 member of this server class, under these seeds, and report per-server
-metrics" — so it lives here once.  The runner is deliberately dumb and
-sequential: executions are cheap, and determinism (fixed seed schedule, no
-shared state across runs) is worth more to a reproduction than parallelism.
+metrics" — so it lives here once.  Cells are *shared-nothing*: every run
+derives all randomness from its own seed and no state crosses cells, which
+is what lets a sweep be executed serially (the default, and the reference
+semantics) or fanned out across processes via ``executor=`` (see
+:mod:`repro.analysis.parallel`) with byte-identical results — same seeds
+in, equal :class:`SweepResult` out, regardless of backend or worker count.
 
 With ``telemetry=True`` the runner attaches one counters-only
 :class:`~repro.obs.Tracer` per cell (shared across that cell's seeds) and
 snapshots the totals into :attr:`SweepCell.telemetry` — rounds, messages,
-bytes, and, for universal users, sensing/switch/trial counts.
+bytes, and, for universal users, sensing/switch/trial counts.  Because the
+tracer is per-cell, a parallel sweep aggregates into exactly the totals a
+serial sweep produces; :func:`merge_telemetry` further folds cell totals
+into sweep-wide totals (see ``docs/OBSERVABILITY.md``).
+
+``recording=`` selects the engine's retention policy for every run in the
+sweep; metric-only sweeps should pass
+:data:`~repro.core.execution.METRICS_RECORDING` to skip per-round history
+allocations (see ``docs/PERFORMANCE.md``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.metrics import RunMetrics, collect_metrics, success_rate
-from repro.core.execution import run_execution
+from repro.core.execution import FULL_RECORDING, RecordingPolicy, run_execution
 from repro.core.goals import Goal
 from repro.core.strategy import ServerStrategy, UserStrategy
 from repro.obs.tracer import Tracer
@@ -29,13 +40,16 @@ class CellTelemetry:
     """Counter totals for one sweep cell, aggregated over its seeds.
 
     ``counters`` preserves the tracer's creation order as an immutable
-    tuple of ``(name, value)`` pairs; :meth:`as_dict` re-inflates it.
-    User-level counters (``switches``, ``sensing_negative``, …) appear
-    only when the swept user exposes a ``tracer`` attribute (the
-    universal users do).
+    tuple of ``(name, value)`` pairs; :meth:`as_dict` re-inflates it
+    (once — the dict is cached on first use).  User-level counters
+    (``switches``, ``sensing_negative``, …) appear only when the swept
+    user exposes a ``tracer`` attribute (the universal users do).
     """
 
     counters: Tuple[Tuple[str, int], ...]
+    _dict_cache: Optional[Dict[str, int]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @staticmethod
     def from_tracer(tracer: Tracer) -> "CellTelemetry":
@@ -48,10 +62,37 @@ class CellTelemetry:
         )
 
     def as_dict(self) -> Dict[str, int]:
-        return dict(self.counters)
+        """The counters as a name→value dict (built once, then cached)."""
+        cached = self._dict_cache
+        if cached is None:
+            cached = dict(self.counters)
+            # Frozen dataclass: route the one-time cache fill around the
+            # immutability guard.  The cache never affects eq/hash/repr.
+            object.__setattr__(self, "_dict_cache", cached)
+        return cached
 
     def get(self, name: str, default: int = 0) -> int:
         return self.as_dict().get(name, default)
+
+
+def merge_telemetry(
+    telemetries: Sequence[Optional[CellTelemetry]],
+) -> CellTelemetry:
+    """Fold per-cell counter totals into sweep-wide totals.
+
+    Counter order follows first appearance across the inputs, so merging
+    the cells of a parallel sweep (whatever order the workers finished
+    in, since cells are returned in deterministic cell order) equals
+    merging the serial sweep's cells.  ``None`` entries (cells swept with
+    ``telemetry=False``) are skipped.
+    """
+    totals: Dict[str, int] = {}
+    for telemetry in telemetries:
+        if telemetry is None:
+            continue
+        for name, value in telemetry.counters:
+            totals[name] = totals.get(name, 0) + value
+    return CellTelemetry(counters=tuple(totals.items()))
 
 
 @dataclass(frozen=True)
@@ -97,6 +138,35 @@ class SweepResult:
         return [cell for cell in self.cells if not cell.all_achieved]
 
 
+@dataclass(frozen=True)
+class CellTask:
+    """One sweep cell as a self-contained, picklable work item.
+
+    Everything a worker needs to reproduce the cell: the strategies, the
+    goal, the seed schedule, and the knobs.  Pickling the task is what
+    gives a process worker its *fresh* user/server/goal instances — the
+    shared-nothing guarantee — so every object reachable from a task must
+    be picklable for :class:`~repro.analysis.parallel.ProcessExecutor`
+    (module-level predicates instead of lambdas in sensing and referees).
+    """
+
+    index: int
+    user: UserStrategy
+    server: ServerStrategy
+    goal: Goal
+    seeds: Tuple[int, ...]
+    max_rounds: int
+    telemetry: bool
+    recording: RecordingPolicy = FULL_RECORDING
+
+    def run(self) -> SweepCell:
+        """Execute the cell in the current process."""
+        return _run_cell(
+            self.user, self.server, self.goal, self.seeds,
+            self.max_rounds, self.telemetry, self.recording,
+        )
+
+
 def _run_cell(
     user: UserStrategy,
     server: ServerStrategy,
@@ -104,6 +174,7 @@ def _run_cell(
     seeds: Sequence[int],
     max_rounds: int,
     telemetry: bool,
+    recording: RecordingPolicy = FULL_RECORDING,
 ) -> SweepCell:
     """One (user, server) cell: all seeds, optional shared-tracer telemetry."""
     tracer = Tracer() if telemetry else None
@@ -119,6 +190,7 @@ def _run_cell(
             execution = run_execution(
                 user, server, goal.world,
                 max_rounds=max_rounds, seed=seed, tracer=tracer,
+                recording=recording,
             )
             runs.append(collect_metrics(execution, goal))
     finally:
@@ -140,16 +212,26 @@ def sweep(
     seeds: Sequence[int] = (0, 1, 2),
     max_rounds: int = 2000,
     telemetry: bool = False,
+    recording: RecordingPolicy = FULL_RECORDING,
+    executor: Optional["SweepExecutorLike"] = None,
 ) -> SweepResult:
     """Run ``user`` against every server under every seed.
 
     ``telemetry=True`` additionally aggregates per-cell counters (see
     :class:`CellTelemetry`); it does not change any run's outcome.
+    ``executor`` dispatches the cells (``None`` = in-process, in order;
+    see :mod:`repro.analysis.parallel` for the process-pool backend) —
+    cells are independent, so every backend returns the same result.
     """
-    cells: List[SweepCell] = []
-    for server in servers:
-        cells.append(_run_cell(user, server, goal, seeds, max_rounds, telemetry))
-    return SweepResult(goal_name=goal.name, cells=tuple(cells))
+    tasks = [
+        CellTask(
+            index=i, user=user, server=server, goal=goal,
+            seeds=tuple(seeds), max_rounds=max_rounds,
+            telemetry=telemetry, recording=recording,
+        )
+        for i, server in enumerate(servers)
+    ]
+    return SweepResult(goal_name=goal.name, cells=tuple(_dispatch(tasks, executor)))
 
 
 def sweep_goals(
@@ -159,14 +241,41 @@ def sweep_goals(
     seeds: Sequence[int] = (0, 1),
     max_rounds: int = 2000,
     telemetry: bool = False,
+    recording: RecordingPolicy = FULL_RECORDING,
+    executor: Optional["SweepExecutorLike"] = None,
 ) -> List[SweepCell]:
     """Sweep over (goal, server) pairs — for world-class non-determinism.
 
     Used when the adversary picks the *world* too (e.g. one control goal
     per hidden law): each pair gets a fresh user instance from the factory.
     """
-    cells: List[SweepCell] = []
-    for goal, server in pairs:
-        user = user_factory()
-        cells.append(_run_cell(user, server, goal, seeds, max_rounds, telemetry))
-    return cells
+    tasks = [
+        CellTask(
+            index=i, user=user_factory(), server=server, goal=goal,
+            seeds=tuple(seeds), max_rounds=max_rounds,
+            telemetry=telemetry, recording=recording,
+        )
+        for i, (goal, server) in enumerate(pairs)
+    ]
+    return _dispatch(tasks, executor)
+
+
+def _dispatch(
+    tasks: Sequence[CellTask], executor: Optional["SweepExecutorLike"]
+) -> List[SweepCell]:
+    """Run the tasks on the chosen backend, results in cell order."""
+    if executor is None:
+        return [task.run() for task in tasks]
+    return executor.map_cells(tasks)
+
+
+class SweepExecutorLike:
+    """Structural interface for ``executor=`` arguments (duck-typed).
+
+    Concrete executors live in :mod:`repro.analysis.parallel`; anything
+    with a conforming ``map_cells`` works.
+    """
+
+    def map_cells(self, tasks: Sequence[CellTask]) -> List[SweepCell]:
+        """Run every task; return the cells sorted by ``task.index``."""
+        raise NotImplementedError

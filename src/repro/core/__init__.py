@@ -16,8 +16,15 @@ from repro.core.strategy import (
     SilentUser,
     SilentServer,
 )
-from repro.core.execution import ExecutionResult, RoundRecord, run_execution
-from repro.core.views import UserView, ViewRecord
+from repro.core.execution import (
+    ExecutionResult,
+    FULL_RECORDING,
+    METRICS_RECORDING,
+    RecordingPolicy,
+    RoundRecord,
+    run_execution,
+)
+from repro.core.views import BoundedUserView, UserView, ViewRecord
 from repro.core.referees import (
     FiniteReferee,
     FunctionFiniteReferee,
@@ -29,6 +36,8 @@ from repro.core.referees import (
 from repro.core.goals import FiniteGoal, CompactGoal, Goal, GoalOutcome
 from repro.core.sensing import (
     Sensing,
+    IncrementalSensing,
+    incremental_sensing,
     FunctionSensing,
     ConstantSensing,
     LastWorldMessageSensing,
@@ -57,9 +66,13 @@ __all__ = [
     "SilentUser",
     "SilentServer",
     "ExecutionResult",
+    "RecordingPolicy",
+    "FULL_RECORDING",
+    "METRICS_RECORDING",
     "RoundRecord",
     "run_execution",
     "UserView",
+    "BoundedUserView",
     "ViewRecord",
     "FiniteReferee",
     "FunctionFiniteReferee",
@@ -72,6 +85,8 @@ __all__ = [
     "Goal",
     "GoalOutcome",
     "Sensing",
+    "IncrementalSensing",
+    "incremental_sensing",
     "FunctionSensing",
     "ConstantSensing",
     "LastWorldMessageSensing",

@@ -19,6 +19,17 @@ Observability: pass ``tracer=`` (see :mod:`repro.obs`) to stream typed
 round/message events.  Tracing is read-only — it never touches the RNGs or
 channel state — so a traced run is bitwise-identical to an untraced one,
 and the off path (``tracer=None`` or a disabled tracer) allocates nothing.
+
+Recording policies: by default the engine retains everything
+(:data:`FULL_RECORDING`) — one :class:`RoundRecord` and one
+:class:`~repro.core.views.ViewRecord` per round.  Metric-only callers
+(sweeps over thousands of runs) pass ``recording=METRICS_RECORDING`` to
+skip those per-round allocations: world states, the round count, the halt
+flag, the final user state, and tracer counters are kept — exactly what
+:func:`repro.analysis.metrics.collect_metrics` reads — while ``rounds``
+stays empty and ``user_view`` becomes a bounded
+:class:`~repro.core.views.BoundedUserView`.  The simulation itself is
+untouched: both policies execute identical rounds from identical seeds.
 """
 
 from __future__ import annotations
@@ -30,11 +41,50 @@ from typing import Any, List, Optional
 from repro.comm.channels import ChannelState, Roles
 from repro.comm.messages import ServerInbox, ServerOutbox, UserInbox, UserOutbox, WorldInbox, WorldOutbox
 from repro.core.strategy import ServerStrategy, UserStrategy, WorldStrategy
-from repro.core.views import UserView, ViewRecord
+from repro.core.views import BoundedUserView, UserView, ViewRecord
 from repro.comm.transcripts import Transcript
 from repro.errors import ExecutionError
 from repro.obs.events import ExecutionFinished, ExecutionStarted, MessageSent, RoundExecuted
 from repro.obs.tracer import TracerLike, is_tracing
+
+
+@dataclass(frozen=True)
+class RecordingPolicy:
+    """What :func:`run_execution` retains as it runs.
+
+    ``keep_rounds`` controls the per-round :class:`RoundRecord` list;
+    ``view_window`` controls the engine-level user view: ``None`` keeps
+    the full history, an integer keeps a :class:`BoundedUserView` of that
+    many trailing records (0 = count rounds, store nothing).
+
+    Use :data:`FULL_RECORDING` (the default — property checkers and
+    anything replaying histories need it) or :data:`METRICS_RECORDING`;
+    :meth:`for_sensing` builds a metrics policy whose view window honours
+    what a sensing function declares it needs.
+    """
+
+    keep_rounds: bool = True
+    view_window: Optional[int] = None
+    label: str = "full"
+
+    @staticmethod
+    def for_sensing(sensing: Any) -> "RecordingPolicy":
+        """Metrics recording with the view window ``sensing`` asks for.
+
+        ``sensing.view_window()`` returning ``None`` (the whole history
+        may matter) keeps the full view — lean rounds, safe sensing.
+        """
+        window = sensing.view_window()
+        return RecordingPolicy(
+            keep_rounds=False, view_window=window, label="metrics"
+        )
+
+
+#: Retain everything (the historical behaviour, and still the default).
+FULL_RECORDING = RecordingPolicy(keep_rounds=True, view_window=None, label="full")
+
+#: Retain only what metric collection reads; no per-round allocations.
+METRICS_RECORDING = RecordingPolicy(keep_rounds=False, view_window=0, label="metrics")
 
 
 @dataclass(frozen=True)
@@ -61,6 +111,11 @@ class ExecutionResult:
     after each executed round — this is the sequence the referee judges.
     ``halted`` is True iff the *user* halted (finite-goal semantics); an
     execution that merely hit ``max_rounds`` has ``halted == False``.
+
+    Under :data:`METRICS_RECORDING`, ``rounds`` stays empty (the count
+    lives in ``rounds_completed``) and ``user_view`` may be bounded;
+    ``final_user_state`` is filled by the engine under every policy so
+    metric collection never needs the round list.
     """
 
     rounds: List[RoundRecord] = field(default_factory=list)
@@ -69,11 +124,14 @@ class ExecutionResult:
     transcript: Optional[Transcript] = None
     halted: bool = False
     user_output: Optional[str] = None
+    final_user_state: Any = None
+    rounds_completed: int = 0
+    recording: RecordingPolicy = FULL_RECORDING
 
     @property
     def rounds_executed(self) -> int:
-        """Number of rounds that actually ran."""
-        return len(self.rounds)
+        """Number of rounds that actually ran (under any recording policy)."""
+        return len(self.rounds) if self.rounds else self.rounds_completed
 
     def final_world_state(self) -> Any:
         """The last recorded world state."""
@@ -91,6 +149,7 @@ def run_execution(
     seed: int = 0,
     record_transcript: bool = False,
     tracer: TracerLike = None,
+    recording: RecordingPolicy = FULL_RECORDING,
 ) -> ExecutionResult:
     """Run the three-party system for up to ``max_rounds`` rounds.
 
@@ -100,7 +159,9 @@ def run_execution(
     message :class:`~repro.obs.events.MessageSent`, per-round
     :class:`~repro.obs.events.RoundExecuted`, and a final
     :class:`~repro.obs.events.ExecutionFinished` event; it observes but
-    never influences the run.
+    never influences the run.  ``recording`` picks how much history the
+    result retains (see :class:`RecordingPolicy`); it never changes what
+    the parties do, only what is kept.
 
     Raises :class:`ExecutionError` if ``max_rounds`` is not positive or a
     strategy returns an outbox of the wrong type (catching wiring mistakes
@@ -129,8 +190,19 @@ def run_execution(
     world_state = world.initial_state(world_rng)
 
     channels = ChannelState()
-    result = ExecutionResult(transcript=Transcript() if record_transcript else None)
+    result = ExecutionResult(
+        transcript=Transcript() if record_transcript else None,
+        recording=recording,
+    )
     result.world_states.append(world_state)
+
+    # Hoisted recording-policy flags: the hot loop below pays one branch,
+    # not attribute lookups, per retained artefact.
+    keep_rounds = recording.keep_rounds
+    view_window = recording.view_window
+    if view_window is not None:
+        result.user_view = BoundedUserView(view_window)
+    keep_view_records = view_window is None or view_window > 0
 
     for round_index in range(max_rounds):
         user_inbox = channels.user_inbox()
@@ -151,30 +223,35 @@ def run_execution(
 
         channels.deliver(user_out, server_out, world_out)
 
-        result.rounds.append(
-            RoundRecord(
-                index=round_index,
-                user_inbox=user_inbox,
-                user_outbox=user_out,
-                server_inbox=server_inbox,
-                server_outbox=server_out,
-                world_inbox=world_inbox,
-                world_outbox=world_out,
-                user_state_after=user_state,
-                server_state_after=server_state,
-                world_state_after=world_state,
+        result.rounds_completed += 1
+        if keep_rounds:
+            result.rounds.append(
+                RoundRecord(
+                    index=round_index,
+                    user_inbox=user_inbox,
+                    user_outbox=user_out,
+                    server_inbox=server_inbox,
+                    server_outbox=server_out,
+                    world_inbox=world_inbox,
+                    world_outbox=world_out,
+                    user_state_after=user_state,
+                    server_state_after=server_state,
+                    world_state_after=world_state,
+                )
             )
-        )
         result.world_states.append(world_state)
-        result.user_view.append(
-            ViewRecord(
-                round_index=round_index,
-                state_before=user_state_before,
-                inbox=user_inbox,
-                outbox=user_out,
-                state_after=user_state,
+        if keep_view_records:
+            result.user_view.append(
+                ViewRecord(
+                    round_index=round_index,
+                    state_before=user_state_before,
+                    inbox=user_inbox,
+                    outbox=user_out,
+                    state_after=user_state,
+                )
             )
-        )
+        else:
+            result.user_view.advance()
         if result.transcript is not None:
             tr = result.transcript
             tr.record(round_index, Roles.USER, Roles.SERVER, user_out.to_server)
@@ -215,10 +292,11 @@ def run_execution(
             result.user_output = user_out.output
             break
 
+    result.final_user_state = user_state
     if tracing:
         tracer.emit(
             ExecutionFinished(
-                rounds_executed=len(result.rounds), halted=result.halted
+                rounds_executed=result.rounds_completed, halted=result.halted
             )
         )
     return result

@@ -12,16 +12,44 @@ The value of a sensing function is captured by two properties, *safety* and
 checkers for those properties live in :mod:`repro.core.properties`.  This
 module provides the interface plus combinators that concrete goals use to
 assemble their sensing from world feedback.
+
+Incremental evaluation
+----------------------
+``indicate`` is a predicate of the *whole* trial view, so calling it every
+round costs O(len(view)) for sensing that scans — which turns a T-round
+trial quadratic.  :meth:`Sensing.incremental` optionally returns a
+stateful :class:`IncrementalSensing` monitor whose ``observe(record)``
+consumes one new :class:`~repro.core.views.ViewRecord` at a time and
+returns exactly what ``indicate`` would return on the prefix observed so
+far — O(1) per round for every sensing shipped here.  Custom sensing
+classes need not implement it: :func:`incremental_sensing` falls back to a
+replay wrapper that accumulates the records and calls ``indicate``, so
+behaviour is unchanged (only the asymptotics stay whatever the custom
+``indicate`` costs).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Callable, Tuple
+from typing import Callable, List, Optional, Tuple
 
-from repro.core.views import UserView
+from repro.core.views import UserView, ViewRecord
 from repro.obs.events import GraceSuppressed
 from repro.obs.tracer import TracerLike, is_tracing
+
+
+class IncrementalSensing:
+    """A stateful, per-trial monitor equivalent to some :class:`Sensing`.
+
+    ``observe`` must be fed every record of a trial view, in order, and
+    returns the indication for the prefix seen so far.  Monitors are
+    single-trial: start a fresh one (via :meth:`Sensing.incremental` or
+    :func:`incremental_sensing`) whenever the view they mirror restarts.
+    """
+
+    def observe(self, record: ViewRecord) -> bool:
+        """Consume one new round's record; return the current indication."""
+        raise NotImplementedError
 
 
 class Sensing:
@@ -30,6 +58,27 @@ class Sensing:
     def indicate(self, view: UserView) -> bool:
         """Return the indication for the given (trial-local) view."""
         raise NotImplementedError
+
+    def incremental(self) -> Optional[IncrementalSensing]:
+        """A fresh O(1)-per-round monitor, or ``None`` if unsupported.
+
+        Implementations must guarantee that feeding a view's records to
+        ``observe`` in order yields the same Booleans as calling
+        ``indicate`` on each prefix.  Callers wanting a monitor
+        unconditionally should use :func:`incremental_sensing`, which
+        supplies the replay fallback.
+        """
+        return None
+
+    def view_window(self) -> Optional[int]:
+        """How many trailing records ``indicate`` inspects.
+
+        ``None`` means the whole history may matter (the safe default);
+        an integer ``w`` promises the verdict depends only on the last
+        ``w`` records plus the view's *length*.  The metrics-only
+        recording policy uses this to bound the engine's view retention.
+        """
+        return None
 
     @property
     def name(self) -> str:
@@ -41,6 +90,30 @@ class Sensing:
 
     def __repr__(self) -> str:
         return f"<Sensing {self.name}>"
+
+
+class _ReplayIncremental(IncrementalSensing):
+    """Fallback monitor: accumulate records, re-ask ``indicate`` each round.
+
+    Exactly as fast (or slow) as calling ``indicate`` on the growing view
+    every round — which is what call sites did before the incremental
+    protocol existed — so arbitrary custom sensing keeps its behaviour.
+    """
+
+    __slots__ = ("_sensing", "_view")
+
+    def __init__(self, sensing: Sensing) -> None:
+        self._sensing = sensing
+        self._view = UserView()
+
+    def observe(self, record: ViewRecord) -> bool:
+        self._view.append(record)
+        return self._sensing.indicate(self._view)
+
+
+def incremental_sensing(sensing: Sensing) -> IncrementalSensing:
+    """A fresh monitor for ``sensing``: native if offered, else replay."""
+    return sensing.incremental() or _ReplayIncremental(sensing)
 
 
 @dataclass(frozen=True)
@@ -77,6 +150,22 @@ class ConstantSensing(Sensing):
     def indicate(self, view: UserView) -> bool:
         return self.value
 
+    def incremental(self) -> IncrementalSensing:
+        return _ConstantIncremental(self.value)
+
+    def view_window(self) -> int:
+        return 0
+
+
+class _ConstantIncremental(IncrementalSensing):
+    __slots__ = ("_value",)
+
+    def __init__(self, value: bool) -> None:
+        self._value = value
+
+    def observe(self, record: ViewRecord) -> bool:
+        return self._value
+
 
 @dataclass(frozen=True)
 class _Negation(Sensing):
@@ -88,6 +177,23 @@ class _Negation(Sensing):
 
     def indicate(self, view: UserView) -> bool:
         return not self.inner.indicate(view)
+
+    def incremental(self) -> Optional[IncrementalSensing]:
+        monitor = self.inner.incremental()
+        return None if monitor is None else _NegationIncremental(monitor)
+
+    def view_window(self) -> Optional[int]:
+        return self.inner.view_window()
+
+
+class _NegationIncremental(IncrementalSensing):
+    __slots__ = ("_inner",)
+
+    def __init__(self, inner: IncrementalSensing) -> None:
+        self._inner = inner
+
+    def observe(self, record: ViewRecord) -> bool:
+        return not self._inner.observe(record)
 
 
 @dataclass(frozen=True)
@@ -113,6 +219,25 @@ class LastWorldMessageSensing(Sensing):
         if message is None:
             return self.default
         return bool(self.predicate(message))
+
+    def incremental(self) -> IncrementalSensing:
+        return _LastWorldMessageIncremental(self.predicate, self.default)
+
+
+class _LastWorldMessageIncremental(IncrementalSensing):
+    """Tracks the latest world message — O(1) where ``indicate`` rescans."""
+
+    __slots__ = ("_predicate", "_verdict")
+
+    def __init__(self, predicate: Callable[[str], bool], default: bool) -> None:
+        self._predicate = predicate
+        self._verdict = default
+
+    def observe(self, record: ViewRecord) -> bool:
+        message = record.inbox.from_world
+        if message:
+            self._verdict = bool(self._predicate(message))
+        return self._verdict
 
 
 @dataclass(frozen=True)
@@ -162,6 +287,46 @@ class GraceSensing(Sensing):
             return True
         return self.inner.indicate(view)
 
+    def incremental(self) -> IncrementalSensing:
+        # The inner monitor must see every record to stay in sync, so the
+        # replay fallback is fine here: it costs what the plain per-round
+        # ``indicate`` loop cost before.
+        return _GraceIncremental(self, incremental_sensing(self.inner))
+
+    def view_window(self) -> Optional[int]:
+        return self.inner.view_window()
+
+
+class _GraceIncremental(IncrementalSensing):
+    """Counts rounds itself instead of re-measuring ``len(view)``.
+
+    The inner monitor is advanced every round — including during grace,
+    where the serial path only consults the inner sensing when tracing.
+    Sensing functions are pure predicates of the view, so the verdicts
+    (and any :class:`GraceSuppressed` events) are identical.
+    """
+
+    __slots__ = ("_sensing", "_inner", "_seen")
+
+    def __init__(self, sensing: "GraceSensing", inner: IncrementalSensing) -> None:
+        self._sensing = sensing
+        self._inner = inner
+        self._seen = 0
+
+    def observe(self, record: ViewRecord) -> bool:
+        self._seen += 1
+        verdict = self._inner.observe(record)
+        if self._seen <= self._sensing.grace_rounds:
+            if not verdict and is_tracing(self._sensing.tracer):
+                self._sensing.tracer.emit(
+                    GraceSuppressed(
+                        round_index=self._seen - 1,
+                        grace_rounds=self._sensing.grace_rounds,
+                    )
+                )
+            return True
+        return verdict
+
 
 @dataclass(frozen=True)
 class AllOfSensing(Sensing):
@@ -176,6 +341,14 @@ class AllOfSensing(Sensing):
     def indicate(self, view: UserView) -> bool:
         return all(part.indicate(view) for part in self.parts)
 
+    def incremental(self) -> IncrementalSensing:
+        return _CombinatorIncremental(
+            [incremental_sensing(p) for p in self.parts], want_all=True
+        )
+
+    def view_window(self) -> Optional[int]:
+        return _combined_window(self.parts)
+
 
 @dataclass(frozen=True)
 class AnyOfSensing(Sensing):
@@ -189,6 +362,44 @@ class AnyOfSensing(Sensing):
 
     def indicate(self, view: UserView) -> bool:
         return any(part.indicate(view) for part in self.parts)
+
+    def incremental(self) -> IncrementalSensing:
+        return _CombinatorIncremental(
+            [incremental_sensing(p) for p in self.parts], want_all=False
+        )
+
+    def view_window(self) -> Optional[int]:
+        return _combined_window(self.parts)
+
+
+def _combined_window(parts: Tuple[Sensing, ...]) -> Optional[int]:
+    """The widest component window (None as soon as any part is unbounded)."""
+    widest = 0
+    for part in parts:
+        window = part.view_window()
+        if window is None:
+            return None
+        widest = max(widest, window)
+    return widest
+
+
+class _CombinatorIncremental(IncrementalSensing):
+    """Advances *every* component monitor, then combines.
+
+    No short-circuiting — each component's state must track the full
+    record stream; components are pure so the combined verdict matches
+    the short-circuiting serial evaluation.
+    """
+
+    __slots__ = ("_monitors", "_want_all")
+
+    def __init__(self, monitors: List[IncrementalSensing], want_all: bool) -> None:
+        self._monitors = monitors
+        self._want_all = want_all
+
+    def observe(self, record: ViewRecord) -> bool:
+        verdicts = [monitor.observe(record) for monitor in self._monitors]
+        return all(verdicts) if self._want_all else any(verdicts)
 
 
 @dataclass(frozen=True)
@@ -213,3 +424,31 @@ class NoRecentProgressSensing(Sensing):
             return True
         recent = view.tail(self.stall_rounds)
         return any(r.inbox.from_world or r.inbox.from_server for r in recent)
+
+    def incremental(self) -> IncrementalSensing:
+        return _StallIncremental(self.stall_rounds)
+
+    def view_window(self) -> int:
+        return self.stall_rounds
+
+
+class _StallIncremental(IncrementalSensing):
+    """Remembers the last active round — O(1) where ``indicate`` rescans.
+
+    Positive iff fewer than ``stall_rounds`` rounds have passed since the
+    last inbound message (with round 0 counting as activity), which is
+    precisely the windowed scan's verdict on every prefix length.
+    """
+
+    __slots__ = ("_stall_rounds", "_rounds", "_last_activity")
+
+    def __init__(self, stall_rounds: int) -> None:
+        self._stall_rounds = stall_rounds
+        self._rounds = 0
+        self._last_activity = 0
+
+    def observe(self, record: ViewRecord) -> bool:
+        self._rounds += 1
+        if record.inbox.from_world or record.inbox.from_server:
+            self._last_activity = self._rounds
+        return self._rounds - self._last_activity < self._stall_rounds

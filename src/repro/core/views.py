@@ -10,8 +10,9 @@ type system enforces the paper's information constraint.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Any, Iterator, List, Optional, Sequence
+from typing import Any, Deque, Iterator, List, Optional, Sequence
 
 from repro.comm.messages import UserInbox, UserOutbox
 
@@ -107,3 +108,51 @@ class UserView:
             if record.inbox.from_server:
                 return record.inbox.from_server
         return None
+
+
+class BoundedUserView(UserView):
+    """A :class:`UserView` that retains only the last ``window`` records.
+
+    The metrics-only recording policy (see
+    :class:`~repro.core.execution.RecordingPolicy`) uses this to stop a
+    long execution from accumulating one :class:`ViewRecord` per round
+    when nothing downstream will read the full history.  ``len`` still
+    reports the *total* number of rounds seen — length-based sensing
+    (grace windows, stall detectors) keeps working — while the record
+    accessors answer over the retained window only.
+
+    ``window=0`` stores nothing at all; callers use :meth:`advance` to
+    tick the round count without even allocating a record.
+    """
+
+    def __init__(
+        self, window: int, records: Optional[Sequence[ViewRecord]] = None
+    ) -> None:
+        if window < 0:
+            raise ValueError(f"view window must be >= 0: {window}")
+        self._window = window
+        self._records: Deque[ViewRecord] = deque(records or (), maxlen=window)  # type: ignore[assignment]
+        self._total = len(self._records)
+
+    @property
+    def window(self) -> int:
+        """How many trailing records this view retains."""
+        return self._window
+
+    def append(self, record: ViewRecord) -> None:
+        """Add the latest round's record, evicting the oldest past the window."""
+        if self._window:
+            self._records.append(record)
+        self._total += 1
+
+    def advance(self, rounds: int = 1) -> None:
+        """Advance the round count without storing anything."""
+        self._total += rounds
+
+    def __len__(self) -> int:
+        return self._total
+
+    def tail(self, count: int) -> UserView:
+        """A view of (up to) the last ``count`` *retained* rounds."""
+        kept = list(self._records)
+        return UserView(kept[-count:])

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Iterator, Tuple, Union
+from typing import Dict, Iterator, Mapping, Tuple, Union
 
 
 class Counter:
@@ -110,6 +110,32 @@ class CounterSet:
         """Current value of counter ``name`` (``default`` if never touched)."""
         found = self._counters.get(name)
         return default if found is None else found.value
+
+    def merge(self, snapshot: Mapping[str, SnapshotValue]) -> None:
+        """Fold another accumulator's :meth:`snapshot` into this set.
+
+        The primitive behind cross-process telemetry: each sweep worker
+        counts locally, ships a plain-data snapshot back, and the parent
+        merges — counters add, histograms combine count/total/min/max.
+        Merging the per-worker snapshots of a partitioned workload yields
+        exactly the single-process totals (addition is associative; the
+        event streams are disjoint).  Names keep first-seen order, so
+        merging in deterministic cell order gives stable tables.
+        """
+        for name, value in snapshot.items():
+            if isinstance(value, int):
+                self.counter(name).inc(value)
+            else:
+                histogram = self.histogram(name)
+                count = int(value["count"])
+                if not count:
+                    continue
+                histogram.count += count
+                histogram.total += value["total"]
+                if value["min"] < histogram.minimum:
+                    histogram.minimum = value["min"]
+                if value["max"] > histogram.maximum:
+                    histogram.maximum = value["max"]
 
     def snapshot(self) -> Dict[str, SnapshotValue]:
         """Counters (as ints) then histograms (as summary dicts), in

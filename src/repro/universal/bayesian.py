@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.comm.messages import UserInbox, UserOutbox
-from repro.core.sensing import Sensing
+from repro.core.sensing import IncrementalSensing, Sensing, incremental_sensing
 from repro.core.strategy import UserStrategy
 from repro.core.views import UserView, ViewRecord
 
@@ -36,6 +36,7 @@ class BeliefState:
     inner_state: Any = None
     inner_started: bool = False
     trial_view: UserView = field(default_factory=UserView)
+    monitor: Optional[IncrementalSensing] = None
     rounds_in_trial: int = 0
     switches: int = 0
     total_rounds: int = 0
@@ -103,22 +104,22 @@ class BeliefWeightedUniversalUser(UserStrategy):
         if not state.inner_started:
             state.inner_state = inner.initial_state(rng)
             state.inner_started = True
+            state.monitor = incremental_sensing(self._sensing)
 
         state_before = state.inner_state
         state.inner_state, outbox = inner.step(state.inner_state, inbox, rng)
         state.rounds_in_trial += 1
         state.total_rounds += 1
-        state.trial_view.append(
-            ViewRecord(
-                round_index=state.rounds_in_trial - 1,
-                state_before=state_before,
-                inbox=inbox,
-                outbox=outbox,
-                state_after=state.inner_state,
-            )
+        record = ViewRecord(
+            round_index=state.rounds_in_trial - 1,
+            state_before=state_before,
+            inbox=inbox,
+            outbox=outbox,
+            state_after=state.inner_state,
         )
+        state.trial_view.append(record)
 
-        indication = self._sensing.indicate(state.trial_view)
+        indication = state.monitor.observe(record)
         if not indication and state.rounds_in_trial >= max(1, self._min_trial_rounds):
             state.weights[state.index] *= self._decay
             best = _argmax(state.weights)
@@ -127,6 +128,7 @@ class BeliefWeightedUniversalUser(UserStrategy):
                 state.inner_state = None
                 state.inner_started = False
                 state.trial_view = UserView()
+                state.monitor = None
                 state.rounds_in_trial = 0
                 state.switches += 1
             if outbox.halt:

@@ -27,10 +27,10 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Any, Tuple
+from typing import Any, Optional, Tuple
 
 from repro.comm.messages import UserInbox, UserOutbox
-from repro.core.sensing import Sensing
+from repro.core.sensing import IncrementalSensing, Sensing, incremental_sensing
 from repro.core.strategy import UserStrategy
 from repro.core.views import UserView, ViewRecord
 from repro.errors import EnumerationExhaustedError
@@ -45,7 +45,9 @@ class CompactUniversalState:
 
     The engine threads this through :meth:`CompactUniversalUser.step`; it is
     never shared between executions (each ``initial_state`` call builds a
-    fresh cursor).
+    fresh cursor).  ``monitor`` is the trial's incremental-sensing monitor
+    (see :meth:`~repro.core.sensing.Sensing.incremental`), restarted with
+    the trial view on every switch.
     """
 
     cursor: EnumerationCursor
@@ -53,6 +55,7 @@ class CompactUniversalState:
     inner_state: Any = None
     inner_started: bool = False
     trial_view: UserView = field(default_factory=UserView)
+    monitor: Optional[IncrementalSensing] = None
     rounds_in_trial: int = 0
     switches: int = 0
     wraps: int = 0
@@ -120,6 +123,7 @@ class CompactUniversalUser(UserStrategy):
         if not state.inner_started:
             state.inner_state = inner.initial_state(rng)
             state.inner_started = True
+            state.monitor = incremental_sensing(self._sensing)
             if tracing:
                 self.tracer.emit(
                     TrialStarted(
@@ -133,17 +137,18 @@ class CompactUniversalUser(UserStrategy):
         state.inner_state, outbox = inner.step(state.inner_state, inbox, rng)
         state.rounds_in_trial += 1
         state.total_rounds += 1
-        state.trial_view.append(
-            ViewRecord(
-                round_index=state.rounds_in_trial - 1,
-                state_before=state_before,
-                inbox=inbox,
-                outbox=outbox,
-                state_after=state.inner_state,
-            )
+        record = ViewRecord(
+            round_index=state.rounds_in_trial - 1,
+            state_before=state_before,
+            inbox=inbox,
+            outbox=outbox,
+            state_after=state.inner_state,
         )
+        state.trial_view.append(record)
 
-        indication = self._sensing.indicate(state.trial_view)
+        # O(1) per round for the library sensing functions; custom sensing
+        # falls back to replaying the view (the pre-incremental cost).
+        indication = state.monitor.observe(record)
         if tracing:
             self.tracer.emit(
                 SensingIndication(
@@ -197,6 +202,7 @@ class CompactUniversalUser(UserStrategy):
         state.inner_state = None
         state.inner_started = False
         state.trial_view = UserView()
+        state.monitor = None
         state.rounds_in_trial = 0
         state.switches += 1
 

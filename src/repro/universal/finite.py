@@ -29,7 +29,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Optional, Tuple
 
 from repro.comm.messages import UserInbox, UserOutbox
-from repro.core.sensing import Sensing
+from repro.core.sensing import IncrementalSensing, Sensing
 from repro.core.strategy import UserStrategy
 from repro.core.views import UserView, ViewRecord
 from repro.errors import EnumerationExhaustedError
@@ -41,7 +41,13 @@ from repro.universal.schedules import Trial, levin_trials
 
 @dataclass
 class FiniteUniversalState:
-    """Mutable state of the finite universal user (one per execution)."""
+    """Mutable state of the finite universal user (one per execution).
+
+    ``monitor`` is the trial's incremental-sensing monitor, present only
+    when the sensing offers a native one (the finite user consults sensing
+    once, at a candidate's halt, so the replay fallback would be a strict
+    regression — it keeps the indicate-at-halt path instead).
+    """
 
     cursor: EnumerationCursor
     schedule: Iterator[Trial]
@@ -49,6 +55,8 @@ class FiniteUniversalState:
     inner_state: Any = None
     inner_started: bool = False
     trial_view: UserView = field(default_factory=UserView)
+    monitor: Optional[IncrementalSensing] = None
+    monitor_verdict: bool = False
     rounds_used: int = 0
     trials_run: int = 0
     total_rounds: int = 0
@@ -119,19 +127,24 @@ class FiniteUniversalUser(UserStrategy):
         state_before = state.inner_state
         state.inner_state, outbox = inner.step(state.inner_state, inbox, rng)
         state.rounds_used += 1
-        state.trial_view.append(
-            ViewRecord(
-                round_index=state.rounds_used - 1,
-                state_before=state_before,
-                inbox=inbox,
-                outbox=outbox,
-                state_after=state.inner_state,
-            )
+        record = ViewRecord(
+            round_index=state.rounds_used - 1,
+            state_before=state_before,
+            inbox=inbox,
+            outbox=outbox,
+            state_after=state.inner_state,
         )
+        state.trial_view.append(record)
+        if state.monitor is not None:
+            state.monitor_verdict = state.monitor.observe(record)
 
         if outbox.halt:
             assert state.current is not None
-            endorsed = self._sensing.indicate(state.trial_view)
+            endorsed = (
+                state.monitor_verdict
+                if state.monitor is not None
+                else self._sensing.indicate(state.trial_view)
+            )
             if is_tracing(self.tracer):
                 self.tracer.emit(
                     SensingIndication(
@@ -175,6 +188,8 @@ class FiniteUniversalUser(UserStrategy):
                 if not state.inner_started:
                     state.inner_state = inner.initial_state(rng)
                     state.inner_started = True
+                    state.monitor = self._sensing.incremental()
+                    state.monitor_verdict = False
                     if is_tracing(self.tracer):
                         self.tracer.emit(
                             TrialStarted(
@@ -224,6 +239,8 @@ class FiniteUniversalUser(UserStrategy):
         state.inner_state = None
         state.inner_started = False
         state.trial_view = UserView()
+        state.monitor = None
+        state.monitor_verdict = False
         state.rounds_used = 0
 
     @staticmethod

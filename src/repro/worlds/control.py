@@ -156,6 +156,16 @@ class ControlWorld(WorldStrategy):
         )
 
 
+def _state_not_bad(state: object) -> bool:
+    """Referee predicate: the round did not score a mistake.
+
+    Module-level (not a lambda) so control goals pickle — parallel sweep
+    workers receive their cells by pickling the whole (user, server,
+    goal) triple.
+    """
+    return not (isinstance(state, ControlState) and state.last_event == EVENT_BAD)
+
+
 def control_goal(
     law: Mapping[str, str],
     *,
@@ -168,9 +178,7 @@ def control_goal(
         name="control",
         world=ControlWorld(law, obs_period=obs_period, deadline=deadline),
         referee=LastStateCompactReferee(
-            state_acceptable=lambda s: not (
-                isinstance(s, ControlState) and s.last_event == EVENT_BAD
-            ),
+            state_acceptable=_state_not_bad,
             label="no-mistake",
         ),
         forgiving=True,

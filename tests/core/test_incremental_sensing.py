@@ -1,0 +1,192 @@
+"""Incremental sensing must be indistinguishable from prefix re-evaluation.
+
+The contract under test (see :meth:`repro.core.sensing.Sensing.incremental`):
+feeding a view's records to a monitor's ``observe`` in order yields exactly
+the Booleans ``indicate`` returns on each prefix — for every library
+sensing natively, and for arbitrary custom sensing via the replay fallback.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.comm.messages import UserInbox, UserOutbox
+from repro.core.execution import run_execution
+from repro.core.properties import _indications_per_round
+from repro.core.sensing import (
+    AllOfSensing,
+    AnyOfSensing,
+    ConstantSensing,
+    FunctionSensing,
+    GraceSensing,
+    LastWorldMessageSensing,
+    NoRecentProgressSensing,
+    Sensing,
+    incremental_sensing,
+)
+from repro.core.views import UserView, ViewRecord
+from repro.obs import MemorySink, GraceSuppressed, Tracer
+from repro.servers.advisors import AdvisorServer
+from repro.users.control_users import AdvisorFollowingUser
+from repro.comm.codecs import IdentityCodec
+from repro.worlds.control import control_goal, control_sensing
+
+
+def synthetic_view(seed: int, rounds: int = 60) -> UserView:
+    """A view with a mix of silence, world chatter, and server chatter."""
+    rng = random.Random(seed)
+    view = UserView()
+    for index in range(rounds):
+        from_world = f"FB:{rng.choice(['ok', 'bad'])}" if rng.random() < 0.4 else ""
+        from_server = f"S{index}" if rng.random() < 0.3 else ""
+        view.append(
+            ViewRecord(
+                round_index=index,
+                state_before=index,
+                inbox=UserInbox(from_world=from_world, from_server=from_server),
+                outbox=UserOutbox(to_server=f"U{index}" if rng.random() < 0.5 else ""),
+                state_after=index + 1,
+            )
+        )
+    return view
+
+
+def prefix_trace(sensing: Sensing, view: UserView) -> list:
+    """The reference semantics: indicate() on every rebuilt prefix."""
+    records = view.records
+    return [
+        sensing.indicate(UserView(records[: t + 1])) for t in range(len(records))
+    ]
+
+
+def monitor_trace(sensing: Sensing, view: UserView) -> list:
+    monitor = incremental_sensing(sensing)
+    return [monitor.observe(record) for record in view]
+
+
+def _feedback_ok(message: str) -> bool:
+    return message.endswith("ok")
+
+
+LIBRARY_SENSINGS = [
+    ConstantSensing(True),
+    ConstantSensing(False),
+    LastWorldMessageSensing(predicate=_feedback_ok, default=True),
+    LastWorldMessageSensing(predicate=_feedback_ok, default=False),
+    GraceSensing(LastWorldMessageSensing(predicate=_feedback_ok), grace_rounds=7),
+    GraceSensing(ConstantSensing(False), grace_rounds=3),
+    NoRecentProgressSensing(stall_rounds=5),
+    NoRecentProgressSensing(stall_rounds=1),
+    LastWorldMessageSensing(predicate=_feedback_ok).negate(),
+    AllOfSensing(
+        (
+            GraceSensing(LastWorldMessageSensing(predicate=_feedback_ok), 4),
+            NoRecentProgressSensing(stall_rounds=6),
+        )
+    ),
+    AnyOfSensing(
+        (
+            LastWorldMessageSensing(predicate=_feedback_ok, default=False),
+            NoRecentProgressSensing(stall_rounds=9),
+        )
+    ),
+]
+
+
+class TestNativeEquivalence:
+    @pytest.mark.parametrize("sensing", LIBRARY_SENSINGS, ids=lambda s: s.name)
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_monitor_matches_prefix_reevaluation(self, sensing, seed):
+        view = synthetic_view(seed)
+        assert monitor_trace(sensing, view) == prefix_trace(sensing, view)
+
+    def test_library_sensing_is_native(self):
+        """The shipped sensing functions must not fall back to replay."""
+        for sensing in LIBRARY_SENSINGS:
+            assert sensing.incremental() is not None, sensing.name
+
+    def test_monitors_are_fresh_per_call(self):
+        sensing = NoRecentProgressSensing(stall_rounds=3)
+        view = synthetic_view(5)
+        first = monitor_trace(sensing, view)
+        second = monitor_trace(sensing, view)
+        assert first == second
+
+
+class TestFallback:
+    def test_function_sensing_uses_replay(self):
+        sensing = FunctionSensing(fn=lambda view: len(view) % 2 == 0, label="even")
+        assert sensing.incremental() is None
+        view = synthetic_view(3)
+        assert monitor_trace(sensing, view) == prefix_trace(sensing, view)
+
+    def test_replay_shares_record_objects(self):
+        """The fallback appends the caller's records, never copies of them."""
+        seen = []
+
+        class Spy(Sensing):
+            def indicate(self, view):
+                seen.append(view.last())
+                return True
+
+        view = synthetic_view(1, rounds=5)
+        monitor_trace(Spy(), view)
+        assert all(a is b for a, b in zip(seen, view))
+
+
+class TestGraceEvents:
+    def test_traced_grace_emits_same_suppressions(self):
+        """Suppression events agree between serial and incremental paths."""
+        def serial_events():
+            tracer = Tracer(sink=MemorySink())
+            sensing = GraceSensing(ConstantSensing(False), 4).with_tracer(tracer)
+            view = synthetic_view(2, rounds=10)
+            prefix_trace(sensing, view)
+            return [e.round_index for e in tracer.sink.of_kind(GraceSuppressed)]
+
+        def incremental_events():
+            tracer = Tracer(sink=MemorySink())
+            sensing = GraceSensing(ConstantSensing(False), 4).with_tracer(tracer)
+            view = synthetic_view(2, rounds=10)
+            monitor_trace(sensing, view)
+            return [e.round_index for e in tracer.sink.of_kind(GraceSuppressed)]
+
+        assert serial_events() == incremental_events()
+
+
+class TestIndicationsPerRound:
+    """The properties-checker satellite: no more O(T²) prefix rebuilding."""
+
+    def test_identical_trace_on_a_real_execution(self):
+        law = {"red": "blue", "blue": "red"}
+        goal = control_goal(law)
+        result = run_execution(
+            AdvisorFollowingUser(IdentityCodec()),
+            AdvisorServer(law),
+            goal.world,
+            max_rounds=120,
+            seed=0,
+        )
+        sensing = control_sensing()
+        assert _indications_per_round(sensing, result.user_view) == prefix_trace(
+            sensing, result.user_view
+        )
+
+    def test_identical_trace_for_custom_sensing(self):
+        law = {"red": "blue", "blue": "red"}
+        goal = control_goal(law)
+        result = run_execution(
+            AdvisorFollowingUser(IdentityCodec()),
+            AdvisorServer(law),
+            goal.world,
+            max_rounds=80,
+            seed=1,
+        )
+        sensing = FunctionSensing(
+            fn=lambda view: bool(len(view) % 3), label="mod3"
+        )
+        assert _indications_per_round(sensing, result.user_view) == prefix_trace(
+            sensing, result.user_view
+        )
