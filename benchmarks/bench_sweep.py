@@ -122,6 +122,7 @@ def test_sweep_backends_and_recording():
                 "cores": cores,
                 "workers": WORKERS,
                 "serial_s": round(serial_s, 4),
+                "cells_per_s": round(cells / serial_s, 3),
                 "parallel_s": round(parallel_s, 4),
                 "parallel_speedup": round(speedup, 3),
                 "metrics_recording_s": round(metrics_s, 4),

@@ -1,0 +1,84 @@
+"""Compare a fresh BENCH_sweep.json against the committed baseline.
+
+The CI bench gate works in three steps: stash the committed baseline,
+re-run ``benchmarks/bench_sweep.py`` (which overwrites the JSON), then
+invoke this script with both files::
+
+    python benchmarks/check_bench_regression.py baseline.json BENCH_sweep.json
+
+The gate is throughput, not wall-clock: ``cells_per_s`` (serial cells per
+second) is the one figure that is comparable across runs of the same
+machine class.  A candidate more than ``--tolerance`` (default 25%) slower
+than baseline fails with exit code 1.  Wall-clock fields and speedups are
+printed for context but never gate — CI runners vary too much in core
+count for the parallel numbers to be stable.
+
+Baselines recorded on a different core count are reported but not
+enforced, since serial throughput also shifts with the machine class.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load(path: Path) -> dict:
+    try:
+        return json.loads(path.read_text())
+    except FileNotFoundError:
+        sys.exit(f"error: benchmark file not found: {path}")
+    except json.JSONDecodeError as exc:
+        sys.exit(f"error: {path} is not valid JSON: {exc}")
+
+
+def throughput(payload: dict, label: str) -> float:
+    if "cells_per_s" in payload:
+        return float(payload["cells_per_s"])
+    # Older baselines predate the explicit field; derive it.
+    try:
+        return payload["cells"] / payload["serial_s"]
+    except (KeyError, ZeroDivisionError):
+        sys.exit(f"error: {label} has no usable throughput figures")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=Path, help="committed BENCH_sweep.json")
+    parser.add_argument("candidate", type=Path, help="freshly generated JSON")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional slowdown before failing (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load(args.baseline)
+    candidate = load(args.candidate)
+
+    base_tp = throughput(baseline, "baseline")
+    cand_tp = throughput(candidate, "candidate")
+    ratio = cand_tp / base_tp if base_tp else float("inf")
+
+    print(f"baseline  : {base_tp:.2f} cells/s ({baseline.get('cores')} cores)")
+    print(f"candidate : {cand_tp:.2f} cells/s ({candidate.get('cores')} cores)")
+    print(f"ratio     : {ratio:.3f} (floor {1 - args.tolerance:.2f})")
+
+    if baseline.get("cores") != candidate.get("cores"):
+        print("note: core counts differ — skipping the throughput gate")
+        return 0
+    if ratio < 1 - args.tolerance:
+        print(
+            f"FAIL: serial throughput regressed by {(1 - ratio) * 100:.1f}% "
+            f"(> {args.tolerance * 100:.0f}% allowed)"
+        )
+        return 1
+    print("OK: throughput within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,7 +25,6 @@ from repro.comm.codecs import codec_family
 from repro.core.execution import run_execution
 from repro.mathx.modular import Field
 from repro.qbf.generators import random_qbf
-from repro.qbf.qbf import QBF
 from repro.servers.provers import (
     CheatingProverServer,
     HonestProverServer,

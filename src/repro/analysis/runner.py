@@ -29,7 +29,12 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.metrics import RunMetrics, collect_metrics, success_rate
-from repro.core.execution import FULL_RECORDING, RecordingPolicy, run_execution
+from repro.core.execution import (
+    FULL_RECORDING,
+    FaultyChannelLike,
+    RecordingPolicy,
+    run_execution,
+)
 from repro.core.goals import Goal
 from repro.core.strategy import ServerStrategy, UserStrategy
 from repro.obs.tracer import Tracer
@@ -97,12 +102,18 @@ def merge_telemetry(
 
 @dataclass(frozen=True)
 class SweepCell:
-    """All runs of one (user, server) pairing."""
+    """All runs of one (user, server) pairing.
+
+    ``channel_name`` names the fault-channel configuration the cell ran
+    under (``None`` = perfect link), distinguishing the cells of a
+    ``faults=`` sweep that share a server.
+    """
 
     user_name: str
     server_name: str
     runs: Tuple[RunMetrics, ...]
     telemetry: Optional[CellTelemetry] = None
+    channel_name: Optional[str] = None
 
     @property
     def success_rate(self) -> float:
@@ -158,12 +169,13 @@ class CellTask:
     max_rounds: int
     telemetry: bool
     recording: RecordingPolicy = FULL_RECORDING
+    channel: Optional[FaultyChannelLike] = None
 
     def run(self) -> SweepCell:
         """Execute the cell in the current process."""
         return _run_cell(
             self.user, self.server, self.goal, self.seeds,
-            self.max_rounds, self.telemetry, self.recording,
+            self.max_rounds, self.telemetry, self.recording, self.channel,
         )
 
 
@@ -175,6 +187,7 @@ def _run_cell(
     max_rounds: int,
     telemetry: bool,
     recording: RecordingPolicy = FULL_RECORDING,
+    channel: Optional[FaultyChannelLike] = None,
 ) -> SweepCell:
     """One (user, server) cell: all seeds, optional shared-tracer telemetry."""
     tracer = Tracer() if telemetry else None
@@ -190,7 +203,7 @@ def _run_cell(
             execution = run_execution(
                 user, server, goal.world,
                 max_rounds=max_rounds, seed=seed, tracer=tracer,
-                recording=recording,
+                recording=recording, channel=channel,
             )
             runs.append(collect_metrics(execution, goal))
     finally:
@@ -201,6 +214,7 @@ def _run_cell(
         server_name=server.name,
         runs=tuple(runs),
         telemetry=CellTelemetry.from_tracer(tracer) if telemetry else None,
+        channel_name=None if channel is None else getattr(channel, "name", "channel"),
     )
 
 
@@ -214,6 +228,7 @@ def sweep(
     telemetry: bool = False,
     recording: RecordingPolicy = FULL_RECORDING,
     executor: Optional["SweepExecutorLike"] = None,
+    faults: Optional[Sequence[Optional[FaultyChannelLike]]] = None,
 ) -> SweepResult:
     """Run ``user`` against every server under every seed.
 
@@ -222,14 +237,23 @@ def sweep(
     ``executor`` dispatches the cells (``None`` = in-process, in order;
     see :mod:`repro.analysis.parallel` for the process-pool backend) —
     cells are independent, so every backend returns the same result.
+
+    ``faults`` adds a degradation axis: a sequence of fault-channel
+    configurations (``None`` entries mean a perfect link), crossed with
+    the server class — the sweep covers ``len(servers) × len(faults)``
+    cells, server-major, each tagged with its
+    :attr:`SweepCell.channel_name`.  Omitting ``faults`` keeps the
+    classical one-cell-per-server sweep.
     """
+    channels = list(faults) if faults is not None else [None]
     tasks = [
         CellTask(
-            index=i, user=user, server=server, goal=goal,
+            index=i * len(channels) + j, user=user, server=server, goal=goal,
             seeds=tuple(seeds), max_rounds=max_rounds,
-            telemetry=telemetry, recording=recording,
+            telemetry=telemetry, recording=recording, channel=chan,
         )
         for i, server in enumerate(servers)
+        for j, chan in enumerate(channels)
     ]
     return SweepResult(goal_name=goal.name, cells=tuple(_dispatch(tasks, executor)))
 

@@ -36,7 +36,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Any, List, Optional
+from typing import Any, List, Optional, Tuple
 
 from repro.comm.channels import ChannelState, Roles
 from repro.comm.messages import ServerInbox, ServerOutbox, UserInbox, UserOutbox, WorldInbox, WorldOutbox
@@ -127,6 +127,8 @@ class ExecutionResult:
     final_user_state: Any = None
     rounds_completed: int = 0
     recording: RecordingPolicy = FULL_RECORDING
+    #: Name of the fault channel the run went through (None = perfect link).
+    channel_name: Optional[str] = None
 
     @property
     def rounds_executed(self) -> int:
@@ -140,6 +142,29 @@ class ExecutionResult:
         return self.world_states[-1]
 
 
+class FaultyChannelLike:
+    """Structural interface for ``channel=`` arguments (duck-typed).
+
+    The concrete implementation lives in :mod:`repro.faults.channel`;
+    anything with a conforming ``start`` works, keeping the engine free of
+    an upward dependency on the fault layer.
+    """
+
+    def start(self, seed: int, tracer: TracerLike = None) -> "FaultyChannelRunLike":
+        """A fresh per-execution channel state, determined by ``seed``."""
+        raise NotImplementedError
+
+
+class FaultyChannelRunLike:
+    """What the engine calls once per round on an active fault channel."""
+
+    def apply(
+        self, round_index: int, user_to_server: str, server_to_user: str
+    ) -> "Tuple[str, str]":
+        """Transform this round's in-flight user↔server payloads."""
+        raise NotImplementedError
+
+
 def run_execution(
     user: UserStrategy,
     server: ServerStrategy,
@@ -150,6 +175,7 @@ def run_execution(
     record_transcript: bool = False,
     tracer: TracerLike = None,
     recording: RecordingPolicy = FULL_RECORDING,
+    channel: Optional["FaultyChannelLike"] = None,
 ) -> ExecutionResult:
     """Run the three-party system for up to ``max_rounds`` rounds.
 
@@ -162,6 +188,15 @@ def run_execution(
     never influences the run.  ``recording`` picks how much history the
     result retains (see :class:`RecordingPolicy`); it never changes what
     the parties do, only what is kept.
+
+    ``channel`` (optional) makes the user↔server link unreliable: a
+    :class:`~repro.faults.channel.FaultyChannel` whose per-run state is
+    seeded from the master seed, so fault traces replay exactly (see
+    ``docs/ROBUSTNESS.md``).  Faults apply to the payloads *in flight* —
+    after outboxes are recorded (the transcript shows what was said) and
+    before the next round's inboxes (views show what was heard).  With
+    ``channel=None`` the RNG derivations are untouched, so every pre-fault
+    execution is bitwise unchanged.
 
     Raises :class:`ExecutionError` if ``max_rounds`` is not positive or a
     strategy returns an outbox of the wrong type (catching wiring mistakes
@@ -184,6 +219,13 @@ def run_execution(
     user_rng = random.Random(master.getrandbits(64))
     server_rng = random.Random(master.getrandbits(64))
     world_rng = random.Random(master.getrandbits(64))
+    # Drawn *after* the party streams so channel=None leaves them — and
+    # therefore every pre-fault execution — bitwise unchanged.
+    channel_run = (
+        channel.start(master.getrandbits(64), tracer if tracing else None)
+        if channel is not None
+        else None
+    )
 
     user_state = user.initial_state(user_rng)
     server_state = server.initial_state(server_rng)
@@ -222,6 +264,10 @@ def run_execution(
             raise ExecutionError(f"world strategy {world.name} returned {type(world_out).__name__}")
 
         channels.deliver(user_out, server_out, world_out)
+        if channel_run is not None:
+            channels.user_to_server, channels.server_to_user = channel_run.apply(
+                round_index, channels.user_to_server, channels.server_to_user
+            )
 
         result.rounds_completed += 1
         if keep_rounds:
@@ -293,6 +339,8 @@ def run_execution(
             break
 
     result.final_user_state = user_state
+    if channel_run is not None:
+        result.channel_name = getattr(channel, "name", type(channel).__name__)
     if tracing:
         tracer.emit(
             ExecutionFinished(

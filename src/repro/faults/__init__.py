@@ -1,0 +1,81 @@
+"""Fault injection: unreliable channels, flaky servers, robustness checks.
+
+The paper's model assumes a perfect medium; this package removes that
+assumption so the safety/viability claims can be *tested* under
+degradation (see ``docs/ROBUSTNESS.md``):
+
+- :mod:`.schedules` — deterministic fault processes (Bernoulli, burst,
+  scripted) whose traces are pure functions of the execution seed;
+- :mod:`.channel` — :class:`~.channel.FaultyChannel` wrappers for the
+  user↔server link (drop, corrupt, duplicate, delay), accepted by
+  ``run_execution(channel=...)``;
+- :mod:`.servers` — :class:`~.servers.FlakyServer`,
+  :class:`~.servers.CrashingServer`, and
+  :class:`~.servers.ByzantineWrapper` strategy decorators, composable
+  with the codec/reset wrappers in :mod:`repro.servers.wrappers`;
+- :mod:`.verify` — :func:`~.verify.verify_robustness`, the fault-grid
+  sweep reporting empirical safety/viability margins.
+
+Every fault emits :class:`~repro.obs.events.FaultInjected` /
+:class:`~repro.obs.events.FaultRecovered` events when a tracer is
+attached, and the universal users' ``patience=`` budgets are the matching
+recovery mechanism on the user side.
+"""
+
+from repro.faults.channel import (
+    BOTH,
+    CORRUPT,
+    DELAY,
+    DROP,
+    DUPLICATE,
+    SERVER_TO_USER,
+    USER_TO_SERVER,
+    ChannelFault,
+    FaultyChannel,
+    FaultyChannelRun,
+    drop_channel,
+    garble,
+)
+from repro.faults.schedules import (
+    BernoulliSchedule,
+    BurstSchedule,
+    FaultSchedule,
+    NeverSchedule,
+    ScheduleRun,
+    ScriptedSchedule,
+)
+from repro.faults.servers import ByzantineWrapper, CrashingServer, FlakyServer
+from repro.faults.verify import (
+    FaultPointReport,
+    RobustnessReport,
+    default_fault_grid,
+    verify_robustness,
+)
+
+__all__ = [
+    "BOTH",
+    "CORRUPT",
+    "DELAY",
+    "DROP",
+    "DUPLICATE",
+    "SERVER_TO_USER",
+    "USER_TO_SERVER",
+    "ChannelFault",
+    "FaultyChannel",
+    "FaultyChannelRun",
+    "drop_channel",
+    "garble",
+    "BernoulliSchedule",
+    "BurstSchedule",
+    "FaultSchedule",
+    "NeverSchedule",
+    "ScheduleRun",
+    "ScriptedSchedule",
+    "ByzantineWrapper",
+    "CrashingServer",
+    "FlakyServer",
+    "FaultPointReport",
+    "RobustnessReport",
+    "default_fault_grid",
+    "verify_robustness",
+]

@@ -1,0 +1,213 @@
+"""Deterministic fault schedules: *when* a fault fires.
+
+A :class:`FaultSchedule` is a picklable, immutable description of a fault
+process; :meth:`FaultSchedule.start` instantiates it for one execution as
+a :class:`ScheduleRun` whose :meth:`~ScheduleRun.fires` is consulted once
+per round.  All randomness derives from the seed passed to ``start`` —
+which the engine in turn derives from the run's master seed — so the same
+execution seed replays the exact same fault trace, serially or inside a
+process-pool worker, under any recording policy.
+
+The determinism contract every schedule honours:
+
+* ``fires`` is called with consecutive round indices ``0, 1, 2, ...`` and
+  consumes a fixed amount of randomness per call (independent of channel
+  traffic), so the firing pattern is a pure function of ``(schedule,
+  seed)``;
+* ``start`` never mutates the schedule — a schedule can be shared across
+  the cells of a sweep, and each run replays its own trace.
+
+Three shapes cover the experiments:
+
+* :class:`BernoulliSchedule` — i.i.d. faults at a fixed rate (the
+  memoryless channel of classical noisy-channel models);
+* :class:`BurstSchedule` — periodic outage windows (Gilbert–Elliott-style
+  bad states with deterministic phase, so recovery timing is exact in
+  tests);
+* :class:`ScriptedSchedule` — an explicit set of fault rounds (replaying
+  a trace, or pinning a regression to one adversarial round).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable
+
+
+class ScheduleRun:
+    """Per-execution state of a schedule: feed it every round, in order."""
+
+    def fires(self, round_index: int) -> bool:
+        """True iff the fault fires on this round."""
+        raise NotImplementedError
+
+
+class FaultSchedule:
+    """An immutable description of a fault process."""
+
+    def start(self, seed: int) -> ScheduleRun:
+        """A fresh run of this schedule, fully determined by ``seed``."""
+        raise NotImplementedError
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+    def __repr__(self) -> str:
+        return f"<FaultSchedule {self.name}>"
+
+
+@dataclass(frozen=True)
+class NeverSchedule(FaultSchedule):
+    """The fault never fires (the identity element for fault grids)."""
+
+    @property
+    def name(self) -> str:
+        return "never"
+
+    def start(self, seed: int) -> ScheduleRun:
+        return _NeverRun()
+
+
+class _NeverRun(ScheduleRun):
+    __slots__ = ()
+
+    def fires(self, round_index: int) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class BernoulliSchedule(FaultSchedule):
+    """Fires independently each round with probability ``rate``.
+
+    ``salt`` decorrelates several Bernoulli schedules driven by the same
+    execution seed (e.g. independent drop processes on the two directions
+    of a channel): runs with different salts consume independent streams.
+    """
+
+    rate: float
+    salt: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1]: {self.rate}")
+
+    @property
+    def name(self) -> str:
+        return f"bernoulli({self.rate})"
+
+    def start(self, seed: int) -> ScheduleRun:
+        # String seeding hashes via SHA-512 inside random.Random — stable
+        # across processes and Python versions, unlike hash()-based mixing.
+        return _BernoulliRun(random.Random(f"{seed}/{self.salt}"), self.rate)
+
+
+class _BernoulliRun(ScheduleRun):
+    """One coin per round, drawn whether or not the channel is busy.
+
+    Drawing unconditionally is what makes the firing pattern independent
+    of traffic: two runs with the same seed agree on every round even if
+    an earlier fault changed what the parties said afterwards.
+    """
+
+    __slots__ = ("_rng", "_rate", "_next_round")
+
+    def __init__(self, rng: random.Random, rate: float) -> None:
+        self._rng = rng
+        self._rate = rate
+        self._next_round = 0
+
+    def fires(self, round_index: int) -> bool:
+        if round_index != self._next_round:
+            raise ValueError(
+                f"schedule consulted out of order: round {round_index}, "
+                f"expected {self._next_round}"
+            )
+        self._next_round += 1
+        return self._rng.random() < self._rate
+
+
+@dataclass(frozen=True)
+class BurstSchedule(FaultSchedule):
+    """Fires during a window of each period: rounds ``r`` with
+    ``phase <= r % period < phase + burst``.
+
+    Deterministic (no randomness at all), so tests can assert recovery
+    timing exactly; ``BurstSchedule(period=10, burst=3)`` is down for
+    rounds 0-2, 10-12, 20-22, ...  The window wraps modulo the period, so
+    the firing predicate is exactly ``(r - phase) % period < burst``.
+    """
+
+    period: int
+    burst: int
+    phase: int = 0
+
+    def __post_init__(self) -> None:
+        if self.period < 1:
+            raise ValueError(f"period must be >= 1: {self.period}")
+        if not 0 <= self.burst <= self.period:
+            raise ValueError(
+                f"burst must be in [0, period={self.period}]: {self.burst}"
+            )
+        if not 0 <= self.phase < self.period:
+            raise ValueError(
+                f"phase must be in [0, period={self.period}): {self.phase}"
+            )
+
+    @property
+    def name(self) -> str:
+        return f"burst({self.burst}/{self.period}@{self.phase})"
+
+    def start(self, seed: int) -> ScheduleRun:
+        return _BurstRun(self.period, self.burst, self.phase)
+
+
+class _BurstRun(ScheduleRun):
+    __slots__ = ("_period", "_burst", "_phase")
+
+    def __init__(self, period: int, burst: int, phase: int) -> None:
+        self._period = period
+        self._burst = burst
+        self._phase = phase
+
+    def fires(self, round_index: int) -> bool:
+        return (round_index - self._phase) % self._period < self._burst
+
+
+@dataclass(frozen=True)
+class ScriptedSchedule(FaultSchedule):
+    """Fires on exactly the listed rounds.
+
+    The precision instrument: replay a recorded fault trace, or pin a
+    regression test to the one round where the fault matters (e.g. "drop
+    the server's positive indication, and only it").
+    """
+
+    rounds: FrozenSet[int]
+
+    def __init__(self, rounds: Iterable[int]) -> None:
+        # Normalise any iterable (the natural call is a list literal) into
+        # the hashable frozen field the dataclass machinery expects.
+        object.__setattr__(self, "rounds", frozenset(rounds))
+        if any(r < 0 for r in self.rounds):
+            raise ValueError(f"rounds must be non-negative: {sorted(self.rounds)}")
+
+    @property
+    def name(self) -> str:
+        shown = ",".join(str(r) for r in sorted(self.rounds)[:4])
+        suffix = ",..." if len(self.rounds) > 4 else ""
+        return f"scripted({shown}{suffix})"
+
+    def start(self, seed: int) -> ScheduleRun:
+        return _ScriptedRun(self.rounds)
+
+
+class _ScriptedRun(ScheduleRun):
+    __slots__ = ("_rounds",)
+
+    def __init__(self, rounds: FrozenSet[int]) -> None:
+        self._rounds = rounds
+
+    def fires(self, round_index: int) -> bool:
+        return round_index in self._rounds

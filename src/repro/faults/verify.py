@@ -1,0 +1,213 @@
+"""Robustness verification: safety and viability across a fault grid.
+
+Theorem 1's guarantees are stated for a noiseless medium; this module
+measures what survives on a noisy one.  :func:`verify_robustness` runs a
+(user, server, goal, sensing) system across a grid of fault-channel
+configurations and reports, per grid point:
+
+* the **empirical viability margin** — the fraction of runs that still
+  achieve the goal (how much universality the noise costs);
+* the **empirical safety margin** — whether any run produced a *false
+  positive indication*: for finite goals, a halt the sensing endorsed on a
+  history the referee rejects; for compact goals, a failing tail the
+  sensing nevertheless scored all-positive (the settling criterion of
+  :func:`repro.core.properties.check_compact_safety`).
+
+Safety is the property the paper makes unconditional — faults may delay
+success but must never make failure look like success — so a single false
+positive anywhere on the grid is a verification failure
+(:attr:`RobustnessReport.safe` is False), while degraded success rates are
+expected and merely quantified.
+
+The grid is deterministic end to end: every run's fault trace derives
+from its execution seed (see :mod:`repro.faults.schedules`), so a failing
+grid point names an exactly replayable execution.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.execution import FaultyChannelLike, run_execution
+from repro.core.goals import Goal
+from repro.core.properties import _indications_per_round
+from repro.core.sensing import Sensing
+from repro.core.strategy import ServerStrategy, UserStrategy
+from repro.faults.channel import (
+    BOTH,
+    CORRUPT,
+    DROP,
+    ChannelFault,
+    FaultyChannel,
+    drop_channel,
+)
+from repro.faults.schedules import BernoulliSchedule, BurstSchedule
+
+
+def default_fault_grid() -> List[Optional[FaultyChannel]]:
+    """The standard degradation surface: perfect → drops → noise → bursts.
+
+    Small enough to run inside a test, broad enough to cover the three
+    qualitatively different failure modes (loss, corruption, outage).
+    """
+    return [
+        None,
+        drop_channel(0.05),
+        drop_channel(0.10),
+        FaultyChannel(
+            [ChannelFault(CORRUPT, BernoulliSchedule(0.10, salt=1), BOTH)],
+            label="corrupt(0.1)",
+        ),
+        FaultyChannel(
+            [ChannelFault(DROP, BurstSchedule(period=32, burst=4, phase=8), BOTH)],
+            label="burst-outage(4/32)",
+        ),
+    ]
+
+
+@dataclass(frozen=True)
+class FaultPointReport:
+    """Aggregated outcomes for one fault-grid point."""
+
+    channel_name: str
+    runs: int
+    achieved: int
+    halted: int
+    false_positives: int
+    mean_rounds: float
+
+    @property
+    def success_rate(self) -> float:
+        return self.achieved / self.runs if self.runs else math.nan
+
+    @property
+    def safe(self) -> bool:
+        return self.false_positives == 0
+
+
+@dataclass(frozen=True)
+class RobustnessReport:
+    """The full grid verdict: per-point margins plus headline properties."""
+
+    goal_name: str
+    user_name: str
+    points: Tuple[FaultPointReport, ...]
+
+    @property
+    def safe(self) -> bool:
+        """No false positive indication anywhere on the grid."""
+        return all(point.safe for point in self.points)
+
+    @property
+    def viability_floor(self) -> float:
+        """The worst success rate across the grid (1.0 = fully robust)."""
+        return min((point.success_rate for point in self.points), default=math.nan)
+
+    def point(self, channel_name: str) -> FaultPointReport:
+        """Look up one grid point by its channel name."""
+        for p in self.points:
+            if p.channel_name == channel_name:
+                return p
+        raise KeyError(f"no grid point named {channel_name!r}")
+
+    def format(self) -> str:
+        """A fixed-width table of the grid (for logs and reports)."""
+        from repro.analysis.tables import format_table
+
+        rows = [
+            [
+                p.channel_name,
+                f"{p.achieved}/{p.runs}",
+                f"{p.success_rate:.2f}",
+                str(p.false_positives),
+                "-" if math.isnan(p.mean_rounds) else f"{p.mean_rounds:.0f}",
+            ]
+            for p in self.points
+        ]
+        return format_table(
+            ["fault channel", "achieved", "rate", "false-pos", "mean rounds"],
+            rows,
+            title=f"robustness: {self.user_name} on {self.goal_name}",
+        )
+
+
+def _false_positive(goal: Goal, sensing: Sensing, execution) -> bool:
+    """Did sensing endorse a failure?  (The safety violation we hunt.)"""
+    if goal.is_compact:
+        verdict = goal.referee.judge(execution)
+        half = execution.rounds_executed // 2
+        failing_late = (
+            verdict.last_bad_round is not None and verdict.last_bad_round > half
+        )
+        if not failing_late:
+            return False
+        indications = _indications_per_round(sensing, execution.user_view)
+        return all(indications[half:])
+    if not execution.halted:
+        return False
+    if not sensing.indicate(execution.user_view):
+        return False
+    return not goal.evaluate(execution).achieved
+
+
+def verify_robustness(
+    user: UserStrategy,
+    servers: Sequence[ServerStrategy],
+    goal: Goal,
+    sensing: Sensing,
+    *,
+    grid: Optional[Sequence[Optional[FaultyChannelLike]]] = None,
+    seeds: Sequence[int] = (0, 1, 2),
+    max_rounds: int = 2000,
+) -> RobustnessReport:
+    """Sweep the fault grid and measure empirical safety/viability margins.
+
+    Every (channel, server, seed) triple is one full execution under the
+    default (FULL) recording policy — the safety check replays the user's
+    view through the sensing function, so per-round history is required.
+    """
+    if grid is None:
+        grid = default_fault_grid()
+    points: List[FaultPointReport] = []
+    for channel in grid:
+        name = "perfect" if channel is None else getattr(channel, "name", "channel")
+        runs = achieved = halted = false_positives = 0
+        achieved_rounds: List[int] = []
+        for server in servers:
+            for seed in seeds:
+                runs += 1
+                execution = run_execution(
+                    user,
+                    server,
+                    goal.world,
+                    max_rounds=max_rounds,
+                    seed=seed,
+                    channel=channel,
+                )
+                outcome = goal.evaluate(execution)
+                if outcome.achieved:
+                    achieved += 1
+                    achieved_rounds.append(outcome.rounds)
+                if execution.halted:
+                    halted += 1
+                if _false_positive(goal, sensing, execution):
+                    false_positives += 1
+        points.append(
+            FaultPointReport(
+                channel_name=name,
+                runs=runs,
+                achieved=achieved,
+                halted=halted,
+                false_positives=false_positives,
+                mean_rounds=(
+                    sum(achieved_rounds) / len(achieved_rounds)
+                    if achieved_rounds
+                    else math.nan
+                ),
+            )
+        )
+    return RobustnessReport(
+        goal_name=goal.name, user_name=user.name, points=tuple(points)
+    )

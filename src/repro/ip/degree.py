@@ -26,7 +26,7 @@ from typing import Dict, List, Tuple
 
 from repro.errors import FormulaError
 from repro.qbf.arithmetize import degree_vector
-from repro.qbf.qbf import EXISTS, FORALL, QBF
+from repro.qbf.qbf import FORALL, QBF
 
 #: Operator kinds.
 QUANT_FORALL = "forall"

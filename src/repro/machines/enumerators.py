@@ -15,7 +15,6 @@ from typing import Callable, Iterator, Optional, Sequence, Tuple
 from repro.comm.messages import UserInbox, UserOutbox
 from repro.core.strategy import UserStrategy
 from repro.machines.transducer import (
-    Transducer,
     TransducerUser,
     enumerate_all_transducers,
 )

@@ -34,10 +34,8 @@ from repro.errors import CodecError
 from repro.multiparty.reduction import CompositeServer, PartyUser, PartyWorldAdapter
 from repro.multiparty.symmetric import (
     WORLD,
-    FollowLeaderParty,
     MessageProfile,
     PartyStrategy,
-    RendezvousState,
     RendezvousWorld,
     rendezvous_referee,
 )

@@ -21,6 +21,8 @@ from repro.obs.events import (
     Event,
     ExecutionFinished,
     ExecutionStarted,
+    FaultInjected,
+    FaultRecovered,
     GraceSuppressed,
     MessageSent,
     RoundExecuted,
@@ -49,6 +51,8 @@ __all__ = [
     "TrialStarted",
     "TrialFinished",
     "GraceSuppressed",
+    "FaultInjected",
+    "FaultRecovered",
     "event_from_dict",
     "event_kinds",
     "Sink",

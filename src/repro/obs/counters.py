@@ -11,7 +11,6 @@ round counts) without storing the observations themselves.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
 from typing import Dict, Iterator, Mapping, Tuple, Union
 
 

@@ -141,6 +141,45 @@ class ExecutionFinished(Event):
 
 
 # --------------------------------------------------------------------------
+# Fault-injection events (repro.faults)
+# --------------------------------------------------------------------------
+
+
+@register
+@dataclass(frozen=True)
+class FaultInjected(Event):
+    """A fault disturbed the system (see :mod:`repro.faults`).
+
+    ``site`` locates the fault: a channel direction (``user->server`` /
+    ``server->user``) or ``server`` for the server-side wrappers.
+    ``fault`` is the fault type (``drop``, ``corrupt``, ``duplicate``,
+    ``delay``, ``flaky``, ``crash``, ``byzantine``).
+    """
+
+    kind: ClassVar[str] = "fault-injected"
+
+    round_index: int
+    site: str
+    fault: str
+
+
+@register
+@dataclass(frozen=True)
+class FaultRecovered(Event):
+    """A fault site delivered cleanly again after a faulted stretch.
+
+    Emitted on the first clean non-silent delivery (channels) or the first
+    live round (servers) after one or more faulted rounds; never emitted
+    by a fail-stop crash, which by definition does not recover.
+    """
+
+    kind: ClassVar[str] = "fault-recovered"
+
+    round_index: int
+    site: str
+
+
+# --------------------------------------------------------------------------
 # Universal-user events (the Theorem 1 loop)
 # --------------------------------------------------------------------------
 

@@ -19,6 +19,8 @@ from typing import Optional, Union
 from repro.obs.counters import CounterSet
 from repro.obs.events import (
     Event,
+    FaultInjected,
+    FaultRecovered,
     GraceSuppressed,
     MessageSent,
     RoundExecuted,
@@ -95,6 +97,10 @@ class Tracer:
             counters.inc("trials")
         elif type(event) is GraceSuppressed:
             counters.inc("grace_suppressed")
+        elif type(event) is FaultInjected:
+            counters.inc("faults_injected")
+        elif type(event) is FaultRecovered:
+            counters.inc("faults_recovered")
         self.sink.emit(event)
 
     def phase(self, name: str):

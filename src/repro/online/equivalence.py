@@ -16,7 +16,6 @@ used by experiment E8 and its tests:
 from __future__ import annotations
 
 import random
-from typing import List
 
 from repro.core.execution import run_execution
 from repro.core.strategy import SilentServer, UserStrategy

@@ -110,12 +110,24 @@ class ResettableServer(ServerStrategy):
     def step(
         self, state: _ResettableState, inbox: ServerInbox, rng: random.Random
     ) -> Tuple[_ResettableState, ServerOutbox]:
+        # Never mutate the incoming state: under FULL recording the engine
+        # keeps it as the round's ``state_before``, so in-place updates
+        # would corrupt the recorded history (before == after aliasing).
+        inner_state = state.inner_state
+        silent_rounds = state.silent_rounds
         if inbox.from_user == SILENCE:
-            state.silent_rounds += 1
-            if state.silent_rounds >= self._idle_reset:
-                state.inner_state = self._inner.initial_state(rng)
-                state.silent_rounds = 0
+            silent_rounds += 1
+            if silent_rounds >= self._idle_reset:
+                # The reset fires on exactly the ``idle_reset``-th
+                # consecutive silent round, never one round early.
+                inner_state = self._inner.initial_state(rng)
+                silent_rounds = 0
         else:
-            state.silent_rounds = 0
-        state.inner_state, outbox = self._inner.step(state.inner_state, inbox, rng)
-        return state, outbox
+            # Any non-silent user message ends the idle countdown — the
+            # session is live again, however far the counter had run.
+            silent_rounds = 0
+        inner_state, outbox = self._inner.step(inner_state, inbox, rng)
+        return (
+            _ResettableState(inner_state=inner_state, silent_rounds=silent_rounds),
+            outbox,
+        )

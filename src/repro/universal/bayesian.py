@@ -38,6 +38,7 @@ class BeliefState:
     trial_view: UserView = field(default_factory=UserView)
     monitor: Optional[IncrementalSensing] = None
     rounds_in_trial: int = 0
+    strikes: int = 0
     switches: int = 0
     total_rounds: int = 0
 
@@ -60,6 +61,11 @@ class BeliefWeightedUniversalUser(UserStrategy):
         indication; in (0, 1).
     min_trial_rounds:
         Grace floor before sensing may evict a candidate.
+    patience:
+        Per-trial budget of tolerated negative indications before the
+        weight decay applies — the noisy-channel retry budget, as for
+        :class:`~repro.universal.compact.CompactUniversalUser`.  The
+        budget refills when the user switches candidates.
     """
 
     def __init__(
@@ -70,6 +76,7 @@ class BeliefWeightedUniversalUser(UserStrategy):
         prior: Optional[Sequence[float]] = None,
         decay: float = 0.5,
         min_trial_rounds: int = 0,
+        patience: int = 0,
     ) -> None:
         if not candidates:
             raise ValueError("candidate class must be non-empty")
@@ -83,11 +90,14 @@ class BeliefWeightedUniversalUser(UserStrategy):
             raise ValueError("prior weights must be positive")
         if not 0.0 < decay < 1.0:
             raise ValueError(f"decay must be in (0, 1): {decay}")
+        if patience < 0:
+            raise ValueError(f"patience must be >= 0: {patience}")
         self._candidates = list(candidates)
         self._sensing = sensing
         self._prior = list(prior)
         self._decay = decay
         self._min_trial_rounds = min_trial_rounds
+        self._patience = patience
 
     @property
     def name(self) -> str:
@@ -121,16 +131,19 @@ class BeliefWeightedUniversalUser(UserStrategy):
 
         indication = state.monitor.observe(record)
         if not indication and state.rounds_in_trial >= max(1, self._min_trial_rounds):
-            state.weights[state.index] *= self._decay
-            best = _argmax(state.weights)
-            if best != state.index:
-                state.index = best
-                state.inner_state = None
-                state.inner_started = False
-                state.trial_view = UserView()
-                state.monitor = None
-                state.rounds_in_trial = 0
-                state.switches += 1
+            state.strikes += 1
+            if state.strikes > self._patience:
+                state.weights[state.index] *= self._decay
+                best = _argmax(state.weights)
+                if best != state.index:
+                    state.index = best
+                    state.inner_state = None
+                    state.inner_started = False
+                    state.trial_view = UserView()
+                    state.monitor = None
+                    state.rounds_in_trial = 0
+                    state.strikes = 0
+                    state.switches += 1
             if outbox.halt:
                 outbox = UserOutbox(
                     to_server=outbox.to_server, to_world=outbox.to_world

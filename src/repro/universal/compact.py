@@ -57,6 +57,7 @@ class CompactUniversalState:
     trial_view: UserView = field(default_factory=UserView)
     monitor: Optional[IncrementalSensing] = None
     rounds_in_trial: int = 0
+    strikes: int = 0
     switches: int = 0
     wraps: int = 0
     total_rounds: int = 0
@@ -77,6 +78,16 @@ class CompactUniversalUser(UserStrategy):
         A floor on how long each candidate runs before sensing may evict it.
         This is the engine-level grace period; 0 defers entirely to the
         sensing function.
+    patience:
+        Per-trial budget of tolerated negative indications: the candidate
+        is evicted on the ``patience + 1``-th negative of its trial
+        (default 0 = evict on the first negative, the paper's noiseless
+        behaviour).  On an unreliable channel a dropped reply can turn a
+        round's indication negative even though the candidate is
+        adequate; a small budget absorbs those spurious negatives instead
+        of triggering an enumeration switch, while a genuinely failing
+        candidate still burns through the budget and is evicted after a
+        bounded delay.  The budget refills on every switch.
     wrap_around:
         What to do when a *finite* enumeration is exhausted: restart from
         index 0 (default, making the user robust to transient negative
@@ -97,14 +108,18 @@ class CompactUniversalUser(UserStrategy):
         sensing: Sensing,
         *,
         min_trial_rounds: int = 0,
+        patience: int = 0,
         wrap_around: bool = True,
         tracer: TracerLike = None,
     ) -> None:
         if min_trial_rounds < 0:
             raise ValueError(f"min_trial_rounds must be >= 0: {min_trial_rounds}")
+        if patience < 0:
+            raise ValueError(f"patience must be >= 0: {patience}")
         self._enumeration = enumeration
         self._sensing = sensing
         self._min_trial_rounds = min_trial_rounds
+        self._patience = patience
         self._wrap_around = wrap_around
         self.tracer = tracer
 
@@ -157,11 +172,17 @@ class CompactUniversalUser(UserStrategy):
                     positive=indication,
                 )
             )
-        if not indication and state.rounds_in_trial >= max(1, self._min_trial_rounds):
-            self._advance(state, tracing)
-            # A candidate being evicted must not get the last word on
-            # halting: compact goals run forever, and a halt under a
-            # negative indication would end the execution on a failure.
+        if not indication:
+            state.strikes += 1
+            if (
+                state.rounds_in_trial >= max(1, self._min_trial_rounds)
+                and state.strikes > self._patience
+            ):
+                self._advance(state, tracing)
+            # A candidate being evicted (or surviving on patience) must not
+            # get the last word on halting: compact goals run forever, and
+            # a halt under a negative indication would end the execution on
+            # a failure.
             if outbox.halt:
                 outbox = UserOutbox(
                     to_server=outbox.to_server, to_world=outbox.to_world
@@ -204,6 +225,7 @@ class CompactUniversalUser(UserStrategy):
         state.trial_view = UserView()
         state.monitor = None
         state.rounds_in_trial = 0
+        state.strikes = 0
         state.switches += 1
 
     @staticmethod

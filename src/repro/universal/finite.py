@@ -58,6 +58,7 @@ class FiniteUniversalState:
     monitor: Optional[IncrementalSensing] = None
     monitor_verdict: bool = False
     rounds_used: int = 0
+    retries_left: int = 0
     trials_run: int = 0
     total_rounds: int = 0
     index_cap: Optional[int] = None
@@ -77,6 +78,14 @@ class FiniteUniversalUser(UserStrategy):
         Builds the trial schedule; defaults to
         :func:`~repro.universal.schedules.levin_trials` capped at the
         enumeration's size hint.  Swappable for the ablations in E2.
+    patience:
+        How many immediate same-candidate retries a trial gets after a
+        *halt-rejected* verdict (default 0 = abandon at once, the paper's
+        noiseless behaviour).  On an unreliable channel the rejection may
+        be the fault's doing — a dropped reply starved the sensing — and
+        an immediate retry faces fresh noise, so a small budget recovers
+        the candidate without waiting for the schedule to come back
+        around.  Each scheduled trial starts with a full budget.
     tracer:
         Optional :mod:`repro.obs` tracer receiving
         :class:`~repro.obs.events.TrialStarted` /
@@ -91,13 +100,17 @@ class FiniteUniversalUser(UserStrategy):
         sensing: Sensing,
         *,
         schedule_factory: Optional[Callable[[Optional[int]], Iterator[Trial]]] = None,
+        patience: int = 0,
         tracer: TracerLike = None,
     ) -> None:
+        if patience < 0:
+            raise ValueError(f"patience must be >= 0: {patience}")
         self._enumeration = enumeration
         self._sensing = sensing
         self._schedule_factory = schedule_factory or (
             lambda cap: levin_trials(max_index=None if cap is None else cap - 1)
         )
+        self._patience = patience
         self.tracer = tracer
 
     @property
@@ -156,7 +169,14 @@ class FiniteUniversalUser(UserStrategy):
             if endorsed:
                 self._finish_trial(state, "endorsed")
                 return state, outbox  # Endorsed: halt with the candidate's output.
-            self._abandon(state, "halt-rejected")
+            if state.retries_left > 0:
+                # Patience budget: the rejection may be channel noise, not
+                # the candidate — rerun it now against fresh noise.
+                state.retries_left -= 1
+                self._finish_trial(state, "halt-rejected")
+                self._reset_trial(state)
+            else:
+                self._abandon(state, "halt-rejected")
             outbox = UserOutbox(to_server=outbox.to_server, to_world=outbox.to_world)
             return state, outbox
 
@@ -209,6 +229,7 @@ class FiniteUniversalUser(UserStrategy):
             if state.index_cap is not None and index >= state.index_cap:
                 continue
             state.current = trial
+            state.retries_left = self._patience
 
     def _candidate(
         self, state: FiniteUniversalState, index: int
@@ -233,15 +254,19 @@ class FiniteUniversalUser(UserStrategy):
                 )
             )
 
-    def _abandon(self, state: FiniteUniversalState, reason: str = "budget") -> None:
-        self._finish_trial(state, reason)
-        state.current = None
+    def _reset_trial(self, state: FiniteUniversalState) -> None:
+        """Restart the *current* trial from scratch (keeps the budget slot)."""
         state.inner_state = None
         state.inner_started = False
         state.trial_view = UserView()
         state.monitor = None
         state.monitor_verdict = False
         state.rounds_used = 0
+
+    def _abandon(self, state: FiniteUniversalState, reason: str = "budget") -> None:
+        self._finish_trial(state, reason)
+        state.current = None
+        self._reset_trial(state)
 
     @staticmethod
     def stats(state: FiniteUniversalState) -> "FiniteRunStats":

@@ -23,7 +23,7 @@ Behaviour under mismatch or malice, by construction:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from repro.comm.codecs import Codec

@@ -29,7 +29,7 @@ interpretable form, and the quantity experiment E7 plots.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Mapping, Sequence, Tuple
 
 from repro.comm.messages import WorldInbox, WorldOutbox, parse_tagged

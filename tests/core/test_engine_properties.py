@@ -7,7 +7,6 @@ artifacts, and the correspondence between rounds, views and transcripts.
 
 from __future__ import annotations
 
-import random
 
 from hypothesis import given, settings
 from hypothesis import strategies as st

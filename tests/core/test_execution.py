@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import random
 
 import pytest
 
@@ -13,7 +12,6 @@ from repro.core.strategy import (
     SilentServer,
     SilentUser,
     UserStrategy,
-    WorldStrategy,
 )
 from repro.errors import ExecutionError
 from repro.users.scripted import ScriptedUser

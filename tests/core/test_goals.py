@@ -83,7 +83,9 @@ class TestCompactGoal:
 
     def test_stricter_settle_fraction_is_harder(self):
         # Bad prefix at 60% of the horizon: passes settle=0.3, fails 0.5.
-        predicate = lambda states: len(states) != 6
+        def predicate(states):
+            return len(states) != 6
+
         lenient = compact_goal(predicate, settle=0.3)
         strict = compact_goal(predicate, settle=0.5)
         run = execution(list(range(10)), halted=False)

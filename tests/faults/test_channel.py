@@ -1,0 +1,237 @@
+"""Faulty channels: each fault kind, direction scoping, events, engine wiring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.comm.codecs import IdentityCodec
+from repro.comm.messages import SILENCE
+from repro.core.execution import run_execution
+from repro.faults.channel import (
+    BOTH,
+    CORRUPT,
+    DELAY,
+    DROP,
+    DUPLICATE,
+    SERVER_TO_USER,
+    USER_TO_SERVER,
+    ChannelFault,
+    FaultyChannel,
+    drop_channel,
+    garble,
+)
+from repro.faults.schedules import BernoulliSchedule, NeverSchedule, ScriptedSchedule
+from repro.obs import FaultInjected, FaultRecovered, MemorySink, Tracer
+from repro.servers.printer_servers import SpacePrinter
+from repro.servers.wrappers import EncodedServer
+from repro.users.printer_users import PrinterProtocolUser
+from repro.worlds.printer import printing_goal
+
+
+def channel_of(kind: str, rounds, direction: str = BOTH, **kwargs) -> FaultyChannel:
+    return FaultyChannel(
+        [ChannelFault(kind, ScriptedSchedule(rounds), direction, **kwargs)]
+    )
+
+
+class TestGarble:
+    def test_deterministic_and_length_preserving(self):
+        assert garble("ACK:done", 3) == garble("ACK:done", 3)
+        assert len(garble("ACK:done", 3)) == len("ACK:done")
+
+    def test_changes_every_nonempty_payload(self):
+        for payload in ("x", "ACK:", "JOB:doc;TAIL:doc"):
+            assert garble(payload, 0) != payload
+
+    def test_silence_passes_through(self):
+        assert garble("", 5) == ""
+
+
+class TestChannelFaultValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            ChannelFault("mangle", NeverSchedule())
+
+    def test_unknown_direction_rejected(self):
+        with pytest.raises(ValueError):
+            ChannelFault(DROP, NeverSchedule(), "sideways")
+
+    def test_delay_rounds_validated(self):
+        with pytest.raises(ValueError):
+            ChannelFault(DELAY, NeverSchedule(), delay_rounds=0)
+
+
+class TestFaultKinds:
+    def test_drop_silences_the_payload(self):
+        run = channel_of(DROP, [0]).start(seed=0)
+        assert run.apply(0, "hello", "reply") == (SILENCE, SILENCE)
+        assert run.apply(1, "hello", "reply") == ("hello", "reply")
+
+    def test_corrupt_garbles_in_place(self):
+        run = channel_of(CORRUPT, [0]).start(seed=0)
+        u2s, s2u = run.apply(0, "hello", "reply")
+        assert u2s == garble("hello", salt=0) and u2s != "hello"
+        assert s2u == garble("reply", salt=0) and s2u != "reply"
+
+    def test_duplicate_replays_into_an_idle_round(self):
+        run = channel_of(DUPLICATE, [0]).start(seed=0)
+        assert run.apply(0, "cmd", SILENCE) == ("cmd", SILENCE)
+        assert run.apply(1, SILENCE, SILENCE) == ("cmd", SILENCE)
+        assert run.apply(2, SILENCE, SILENCE) == (SILENCE, SILENCE)
+
+    def test_duplicate_loses_to_fresh_traffic(self):
+        run = channel_of(DUPLICATE, [0]).start(seed=0)
+        run.apply(0, "old", SILENCE)
+        assert run.apply(1, "new", SILENCE) == ("new", SILENCE)
+        # The stale copy is gone for good, not deferred.
+        assert run.apply(2, SILENCE, SILENCE) == (SILENCE, SILENCE)
+
+    def test_delay_postpones_by_k_rounds(self):
+        run = channel_of(DELAY, [0], delay_rounds=2).start(seed=0)
+        assert run.apply(0, "late", SILENCE) == (SILENCE, SILENCE)
+        assert run.apply(1, SILENCE, SILENCE) == (SILENCE, SILENCE)
+        assert run.apply(2, SILENCE, SILENCE) == ("late", SILENCE)
+
+    def test_delayed_payload_loses_collision(self):
+        run = channel_of(DELAY, [0], delay_rounds=1).start(seed=0)
+        run.apply(0, "late", SILENCE)
+        assert run.apply(1, "fresh", SILENCE) == ("fresh", SILENCE)
+        assert run.apply(2, SILENCE, SILENCE) == (SILENCE, SILENCE)
+
+    def test_fault_on_silent_round_is_a_no_op(self):
+        run = channel_of(DROP, [0, 1]).start(seed=0)
+        assert run.apply(0, SILENCE, SILENCE) == (SILENCE, SILENCE)
+
+    def test_clauses_apply_in_order(self):
+        """A drop firing first leaves nothing for a later corrupt to touch."""
+        channel = FaultyChannel(
+            [
+                ChannelFault(DROP, ScriptedSchedule([0])),
+                ChannelFault(CORRUPT, ScriptedSchedule([0])),
+            ]
+        )
+        assert channel.start(seed=0).apply(0, "msg", SILENCE) == (SILENCE, SILENCE)
+
+
+class TestDirections:
+    def test_user_to_server_only(self):
+        run = channel_of(DROP, [0], USER_TO_SERVER).start(seed=0)
+        assert run.apply(0, "up", "down") == (SILENCE, "down")
+
+    def test_server_to_user_only(self):
+        run = channel_of(DROP, [0], SERVER_TO_USER).start(seed=0)
+        assert run.apply(0, "up", "down") == ("up", SILENCE)
+
+    def test_directions_consume_independent_randomness(self):
+        """A bidirectional Bernoulli drop is two decorrelated processes."""
+        channel = drop_channel(0.5)
+        run = channel.start(seed=9)
+        kept = [run.apply(r, "u", "s") for r in range(128)]
+        up = [u == "u" for u, _ in kept]
+        down = [s == "s" for _, s in kept]
+        assert up != down
+
+
+class TestNamesAndDeterminism:
+    def test_label_and_derived_names(self):
+        assert drop_channel(0.1).name == "drop(0.1)"
+        scoped = drop_channel(0.1, direction=USER_TO_SERVER)
+        assert scoped.name == "drop(0.1)[user->server]"
+        derived = channel_of(DROP, [1]).name
+        assert "drop" in derived and "scripted" in derived
+        assert FaultyChannel([]).name == "perfect"
+
+    def test_same_seed_same_fault_trace(self):
+        channel = drop_channel(0.3)
+        first_run, again_run = channel.start(seed=4), channel.start(seed=4)
+        first = [first_run.apply(r, "m", "m") for r in range(64)]
+        again = [again_run.apply(r, "m", "m") for r in range(64)]
+        assert first == again
+
+    def test_different_seeds_different_traces(self):
+        channel = drop_channel(0.5)
+        run_a, run_b = channel.start(seed=1), channel.start(seed=2)
+        a = [run_a.apply(r, "m", "m") for r in range(64)]
+        b = [run_b.apply(r, "m", "m") for r in range(64)]
+        assert a != b
+
+
+class TestFaultEvents:
+    def test_injection_and_recovery_events(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        run = channel_of(DROP, [1], USER_TO_SERVER).start(seed=0, tracer=tracer)
+        run.apply(0, "a", SILENCE)  # Clean delivery.
+        run.apply(1, "b", SILENCE)  # Dropped.
+        run.apply(2, SILENCE, SILENCE)  # Silence is not yet recovery.
+        run.apply(3, "c", SILENCE)  # First clean delivery after the fault.
+        events = [
+            e for e in sink.events if isinstance(e, (FaultInjected, FaultRecovered))
+        ]
+        assert events == [
+            FaultInjected(round_index=1, site=USER_TO_SERVER, fault=DROP),
+            FaultRecovered(round_index=3, site=USER_TO_SERVER),
+        ]
+
+    def test_tracing_never_alters_the_trace(self):
+        channel = drop_channel(0.4)
+        silent_run = channel.start(seed=6)
+        traced_run = channel.start(seed=6, tracer=Tracer())
+        silent = [silent_run.apply(r, "m", "m") for r in range(64)]
+        traced = [traced_run.apply(r, "m", "m") for r in range(64)]
+        assert silent == traced
+
+    def test_counters_aggregate_faults(self):
+        tracer = Tracer()
+        run = channel_of(DROP, [0, 1]).start(seed=0, tracer=tracer)
+        run.apply(0, "x", SILENCE)
+        run.apply(1, "y", SILENCE)
+        run.apply(2, "z", SILENCE)
+        counters = tracer.counters.snapshot()
+        assert counters["faults_injected"] == 2
+        assert counters["faults_recovered"] == 1
+
+
+class TestEngineIntegration:
+    def make_system(self):
+        user = PrinterProtocolUser("space", IdentityCodec())
+        server = EncodedServer(SpacePrinter(), IdentityCodec())
+        return user, server, printing_goal(["the doc"])
+
+    def test_result_names_the_channel(self):
+        user, server, goal = self.make_system()
+        result = run_execution(
+            user, server, goal.world, max_rounds=50, seed=0, channel=drop_channel(0.05)
+        )
+        assert result.channel_name == "drop(0.05)"
+        clean = run_execution(user, server, goal.world, max_rounds=50, seed=0)
+        assert clean.channel_name is None
+
+    def test_transcript_shows_what_was_said_views_what_was_heard(self):
+        """Faults bite between the speaker's outbox and the hearer's inbox."""
+        user, server, goal = self.make_system()
+        # Drop every user->server payload: the command is always spoken,
+        # never heard, so nothing is ever printed.
+        channel = FaultyChannel(
+            [ChannelFault(DROP, BernoulliSchedule(1.0), USER_TO_SERVER)]
+        )
+        result = run_execution(
+            user,
+            server,
+            goal.world,
+            max_rounds=40,
+            seed=0,
+            record_transcript=True,
+            channel=channel,
+        )
+        assert result.transcript.messages("user", "server")  # Spoken...
+        heard = [r.server_inbox.from_user for r in result.rounds]
+        assert all(m == SILENCE for m in heard)  # ...but never heard.
+        assert not goal.evaluate(result).achieved
+
+    def test_goal_survives_mild_drop(self):
+        user, server, goal = self.make_system()
+        result = run_execution(
+            user, server, goal.world, max_rounds=200, seed=1, channel=drop_channel(0.1)
+        )
+        assert goal.evaluate(result).achieved

@@ -1,0 +1,149 @@
+"""Flaky / crashing / byzantine server wrappers."""
+
+from __future__ import annotations
+
+import random
+
+from repro.comm.codecs import IdentityCodec, ReverseCodec
+from repro.comm.messages import ServerInbox, ServerOutbox
+from repro.core.execution import run_execution
+from repro.core.strategy import ServerStrategy
+from repro.faults.servers import ByzantineWrapper, CrashingServer, FlakyServer
+from repro.faults.schedules import ScriptedSchedule
+from repro.obs import FaultInjected, FaultRecovered, MemorySink, Tracer
+from repro.servers.printer_servers import SpacePrinter
+from repro.servers.wrappers import EncodedServer, ResettableServer
+from repro.users.printer_users import PrinterProtocolUser
+from repro.worlds.printer import printing_goal
+
+
+class _EchoCounter(ServerStrategy):
+    """Replies ``<count>`` to every message; state is the message count."""
+
+    @property
+    def name(self) -> str:
+        return "echo-counter"
+
+    def initial_state(self, rng):
+        return 0
+
+    def step(self, state, inbox, rng):
+        if inbox.from_user:
+            state += 1
+            return state, ServerOutbox(to_user=str(state))
+        return state, ServerOutbox()
+
+
+def drive(server, script, seed: int = 0):
+    """Step the server over a list of user messages; return the replies."""
+    rng = random.Random(seed)
+    state = server.initial_state(rng)
+    replies = []
+    for message in script:
+        state, out = server.step(state, ServerInbox(from_user=message), rng)
+        replies.append(out.to_user)
+    return state, replies
+
+
+class TestFlakyServer:
+    def test_frozen_rounds_then_recovery(self):
+        server = FlakyServer(_EchoCounter(), ScriptedSchedule([1, 2]))
+        _, replies = drive(server, ["a", "b", "c", "d"])
+        # Rounds 1-2 are outage: no reply, inner state frozen — so round 3
+        # resumes the count exactly where round 0 left it.
+        assert replies == ["1", "", "", "2"]
+
+    def test_step_does_not_mutate_prior_state(self):
+        server = FlakyServer(_EchoCounter(), ScriptedSchedule([]))
+        rng = random.Random(0)
+        before = server.initial_state(rng)
+        after, _ = server.step(before, ServerInbox(from_user="x"), rng)
+        assert after is not before
+        assert before.clock == 0 and after.clock == 1
+
+    def test_events_mark_outage_window(self):
+        sink = MemorySink()
+        server = FlakyServer(_EchoCounter(), ScriptedSchedule([1]), tracer=Tracer(sink))
+        drive(server, ["a", "b", "c"])
+        assert sink.of_kind(FaultInjected) == [
+            FaultInjected(round_index=1, site="server", fault="flaky")
+        ]
+        assert sink.of_kind(FaultRecovered) == [
+            FaultRecovered(round_index=2, site="server")
+        ]
+
+
+class TestCrashingServer:
+    def test_fail_stop_is_forever(self):
+        server = CrashingServer(_EchoCounter(), ScriptedSchedule([2]))
+        _, replies = drive(server, ["a", "b", "c", "d", "e"])
+        assert replies == ["1", "2", "", "", ""]
+
+    def test_crash_emits_no_recovery(self):
+        sink = MemorySink()
+        server = CrashingServer(
+            _EchoCounter(), ScriptedSchedule([1]), tracer=Tracer(sink)
+        )
+        drive(server, ["a", "b", "c", "d"])
+        assert sink.of_kind(FaultInjected) == [
+            FaultInjected(round_index=1, site="server", fault="crash")
+        ]
+        assert sink.of_kind(FaultRecovered) == []
+
+
+class TestByzantineWrapper:
+    def test_forged_replies_in_the_lie_window(self):
+        server = ByzantineWrapper(
+            _EchoCounter(), ScriptedSchedule([1]), forge="ACK:forged"
+        )
+        _, replies = drive(server, ["a", "b", "c"])
+        # The inner server still ran during the lie: round 2's count is 3.
+        assert replies == ["1", "ACK:forged", "3"]
+
+    def test_world_side_effects_cannot_be_forged(self):
+        server = ByzantineWrapper(SpacePrinter(), ScriptedSchedule([0]))
+        rng = random.Random(0)
+        state = server.initial_state(rng)
+        _, out = server.step(state, ServerInbox(from_user="PRINT doc"), rng)
+        assert out.to_user == server._forge
+        assert out.to_world == "OUT:doc"  # The paper still gets printed.
+
+
+class TestComposition:
+    def test_wrappers_compose_with_codec_and_reset_layers(self):
+        server = FlakyServer(
+            ResettableServer(EncodedServer(SpacePrinter(), ReverseCodec())),
+            ScriptedSchedule([0]),
+        )
+        assert "flaky" in server.name
+        assert "resettable" in server.name
+        assert "reverse" in server.name
+
+    def test_printing_survives_a_flaky_server(self):
+        goal = printing_goal(["the doc"])
+        server = FlakyServer(
+            EncodedServer(SpacePrinter(), IdentityCodec()),
+            ScriptedSchedule(range(0, 40, 3)),  # Down every third round.
+        )
+        result = run_execution(
+            PrinterProtocolUser("space", IdentityCodec()),
+            server,
+            goal.world,
+            max_rounds=100,
+            seed=0,
+        )
+        assert goal.evaluate(result).achieved
+
+    def test_crashed_server_fails_the_goal(self):
+        goal = printing_goal(["the doc"])
+        server = CrashingServer(
+            EncodedServer(SpacePrinter(), IdentityCodec()), ScriptedSchedule([0])
+        )
+        result = run_execution(
+            PrinterProtocolUser("space", IdentityCodec()),
+            server,
+            goal.world,
+            max_rounds=60,
+            seed=0,
+        )
+        assert not goal.evaluate(result).achieved

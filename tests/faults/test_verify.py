@@ -1,0 +1,130 @@
+"""Robustness verification: grids, margins, and false-positive hunting."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.comm.codecs import IdentityCodec, codec_family
+from repro.core.sensing import ConstantSensing
+from repro.faults.channel import drop_channel
+from repro.faults.verify import (
+    RobustnessReport,
+    default_fault_grid,
+    verify_robustness,
+)
+from repro.servers.advisors import AdvisorServer
+from repro.servers.printer_servers import printer_server_class
+from repro.universal.enumeration import ListEnumeration
+from repro.universal.finite import FiniteUniversalUser
+from repro.users.control_users import AdvisorFollowingUser
+from repro.users.printer_users import PrinterProtocolUser, printer_user_class
+from repro.worlds.control import control_goal, control_sensing
+from repro.worlds.printer import printing_goal, printing_sensing
+
+LAW = {"red": "blue", "blue": "red"}
+
+
+class TestDefaultGrid:
+    def test_shape(self):
+        grid = default_fault_grid()
+        assert grid[0] is None  # The perfect link anchors the comparison.
+        names = [c.name for c in grid[1:]]
+        assert names == [
+            "drop(0.05)",
+            "drop(0.1)",
+            "corrupt(0.1)",
+            "burst-outage(4/32)",
+        ]
+
+
+class TestFiniteVerification:
+    def make_report(self, **kwargs) -> RobustnessReport:
+        codecs = codec_family(2)
+        goal = printing_goal(["the doc"])
+        user = FiniteUniversalUser(
+            ListEnumeration(printer_user_class(["space", "tagged"], codecs)),
+            printing_sensing(),
+            patience=1,
+        )
+        servers = [printer_server_class(["space", "tagged"], codecs)[1]]
+        return verify_robustness(
+            user,
+            servers,
+            goal,
+            printing_sensing(),
+            grid=[None, drop_channel(0.05)],
+            seeds=(0, 1),
+            max_rounds=2000,
+            **kwargs,
+        )
+
+    def test_safe_and_viable_on_a_mild_grid(self):
+        report = self.make_report()
+        assert report.safe
+        assert report.viability_floor == 1.0
+        perfect = report.point("perfect")
+        assert perfect.runs == 2 and perfect.achieved == 2
+        assert not math.isnan(perfect.mean_rounds)
+
+    def test_point_lookup_and_format(self):
+        report = self.make_report()
+        assert report.point("drop(0.05)").safe
+        with pytest.raises(KeyError):
+            report.point("no-such-channel")
+        table = report.format()
+        assert "robustness" in table and "drop(0.05)" in table
+
+    def test_unsafe_sensing_is_caught(self):
+        """A blind halter endorsed by degenerate sensing = false positive."""
+        goal = printing_goal(["the doc"])
+        # Speaks the wrong dialect, then halts anyway on a timer.
+        user = PrinterProtocolUser("space", IdentityCodec(), blind_halt_after=5)
+        servers = printer_server_class(["tagged"], [IdentityCodec()])
+        report = verify_robustness(
+            user,
+            servers,
+            goal,
+            ConstantSensing(True),
+            grid=[None],
+            seeds=(0,),
+            max_rounds=200,
+        )
+        assert not report.safe
+        assert report.point("perfect").false_positives == 1
+        assert report.viability_floor == 0.0
+
+
+class TestCompactVerification:
+    def test_healthy_compact_system_is_safe(self):
+        goal = control_goal(LAW)
+        report = verify_robustness(
+            AdvisorFollowingUser(IdentityCodec()),
+            [AdvisorServer(LAW)],
+            goal,
+            control_sensing(),
+            grid=[None, drop_channel(0.05)],
+            seeds=(0,),
+            max_rounds=600,
+        )
+        assert report.safe
+        assert report.viability_floor == 1.0
+
+    def test_settled_failure_with_blind_sensing_is_a_false_positive(self):
+        """A user failing forever while sensing cheers is the compact
+        safety violation: the run looks settled to anyone trusting sensing."""
+        goal = control_goal(LAW)
+        # Wrong codec: advice is never understood, mistakes never stop.
+        wrong = AdvisorFollowingUser(codec_family(3)[2])
+        report = verify_robustness(
+            wrong,
+            [AdvisorServer(LAW)],
+            goal,
+            ConstantSensing(True),
+            grid=[None],
+            seeds=(0,),
+            max_rounds=300,
+        )
+        assert not report.safe
+        assert report.point("perfect").false_positives == 1

@@ -9,7 +9,6 @@ from __future__ import annotations
 
 import random
 
-import pytest
 
 from repro.analysis.runner import sweep
 from repro.comm.codecs import codec_family

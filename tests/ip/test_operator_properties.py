@@ -18,7 +18,7 @@ from repro.ip.qbf_protocol import apply_operator
 from repro.mathx.modular import Field
 from repro.qbf.arithmetize import base_grid
 from repro.qbf.generators import random_qbf
-from repro.qbf.qbf import EXISTS, FORALL, QBF
+from repro.qbf.qbf import FORALL
 
 F = Field()
 

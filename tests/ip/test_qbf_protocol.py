@@ -22,7 +22,6 @@ from repro.mathx.modular import Field
 from repro.mathx.polynomials import Poly
 from repro.qbf.arithmetize import base_grid
 from repro.qbf.generators import parity_qbf, random_qbf
-from repro.qbf.qbf import QBF
 
 F = Field()
 

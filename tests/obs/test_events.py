@@ -8,6 +8,8 @@ from repro.obs import (
     Event,
     ExecutionFinished,
     ExecutionStarted,
+    FaultInjected,
+    FaultRecovered,
     GraceSuppressed,
     MessageSent,
     RoundExecuted,
@@ -29,6 +31,8 @@ ALL_EVENT_TYPES = [
     TrialStarted,
     TrialFinished,
     GraceSuppressed,
+    FaultInjected,
+    FaultRecovered,
 ]
 
 SAMPLES = [
@@ -42,6 +46,8 @@ SAMPLES = [
     TrialFinished(round_index=8, trial_number=2, candidate_index=2,
                   rounds_used=4, reason="evicted"),
     GraceSuppressed(round_index=1, grace_rounds=4),
+    FaultInjected(round_index=6, site="user->server", fault="drop"),
+    FaultRecovered(round_index=7, site="user->server"),
 ]
 
 

@@ -15,7 +15,6 @@ from repro.online.adapter import (
 )
 from repro.online.learners import (
     HalvingLearner,
-    SingleHypothesisLearner,
     simulate_mistakes,
     threshold_class,
 )

@@ -103,7 +103,9 @@ class TestSingleHypothesis:
         assert learner.predict(3) is True
 
     def test_mistakes_proportional_to_disagreement(self):
-        target = lambda x: x >= 0  # Everything positive.
+        def target(x):
+            return x >= 0  # Everything positive.
+
         learner = SingleHypothesisLearner(lambda x: False)
         qs = queries(1, 8, count=100)
         assert simulate_mistakes(learner, target, qs) == 100

@@ -11,7 +11,6 @@ from repro.qbf.generators import (
     balanced_qbf_batch,
     parity_qbf,
     random_cnf,
-    random_formula,
     random_qbf,
     variable_names,
 )

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import itertools
 import random
 
 import pytest
@@ -11,7 +10,7 @@ from hypothesis import strategies as st
 
 from repro.errors import FormulaError
 from repro.qbf.formulas import And, Not, Or, Var, evaluate
-from repro.qbf.generators import random_qbf, variable_names
+from repro.qbf.generators import random_qbf
 from repro.qbf.qbf import EXISTS, FORALL, QBF
 
 

@@ -94,3 +94,53 @@ class TestResettableServer:
     def test_idle_reset_validated(self):
         with pytest.raises(ValueError):
             ResettableServer(_SessionServer(), idle_reset=0)
+
+    def test_survives_one_round_short_of_timeout(self):
+        """Regression: the reset must not fire at idle_reset - 1 silences."""
+        server = ResettableServer(_SessionServer(), idle_reset=3)
+        rng = random.Random(0)
+        state = server.initial_state(rng)
+        state, out = server.step(state, ServerInbox(from_user="x"), rng)
+        assert out.to_user == "1"
+        for _ in range(2):  # Exactly idle_reset - 1 silent rounds.
+            state, _ = server.step(state, ServerInbox(), rng)
+        state, out = server.step(state, ServerInbox(from_user="x"), rng)
+        assert out.to_user == "2"  # Session still alive.
+
+    def test_resets_exactly_at_timeout_boundary(self):
+        """The idle_reset-th consecutive silence is the one that resets."""
+        server = ResettableServer(_SessionServer(), idle_reset=3)
+        rng = random.Random(0)
+        state = server.initial_state(rng)
+        state, out = server.step(state, ServerInbox(from_user="x"), rng)
+        assert out.to_user == "1"
+        for _ in range(3):  # Exactly idle_reset silent rounds.
+            state, _ = server.step(state, ServerInbox(), rng)
+        state, out = server.step(state, ServerInbox(from_user="x"), rng)
+        assert out.to_user == "1"  # Fresh session: the reset fired.
+
+    def test_any_message_restarts_the_countdown(self):
+        """A non-silent message mid-countdown zeroes the silence counter."""
+        server = ResettableServer(_SessionServer(), idle_reset=3)
+        rng = random.Random(0)
+        state = server.initial_state(rng)
+        state, _ = server.step(state, ServerInbox(from_user="x"), rng)
+        for _ in range(2):  # Almost timed out...
+            state, _ = server.step(state, ServerInbox(), rng)
+        state, out = server.step(state, ServerInbox(from_user="x"), rng)
+        assert out.to_user == "2"  # ...but the message kept the session.
+        assert state.silent_rounds == 0
+        for _ in range(2):  # idle_reset - 1 again: still no reset.
+            state, _ = server.step(state, ServerInbox(), rng)
+        state, out = server.step(state, ServerInbox(from_user="x"), rng)
+        assert out.to_user == "3"
+
+    def test_step_does_not_mutate_prior_state(self):
+        """Recorded histories need distinct before/after state snapshots."""
+        server = ResettableServer(_SessionServer(), idle_reset=3)
+        rng = random.Random(0)
+        before = server.initial_state(rng)
+        after, _ = server.step(before, ServerInbox(), rng)
+        assert after is not before
+        assert before.silent_rounds == 0
+        assert after.silent_rounds == 1

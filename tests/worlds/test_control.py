@@ -138,7 +138,7 @@ class TestLawHelpers:
     def test_all_permutation_laws_count(self):
         laws = all_permutation_laws(("a", "b", "c"))
         assert len(laws) == 6
-        assert len({tuple(sorted(l.items())) for l in laws}) == 6
+        assert len({tuple(sorted(law.items())) for law in laws}) == 6
 
 
 class TestSensing:

@@ -9,7 +9,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.comm.codecs import IdentityCodec, ReverseCodec, codec_family
-from repro.comm.messages import ServerInbox, WorldInbox
+from repro.comm.messages import WorldInbox
 from repro.core.execution import run_execution
 from repro.core.helpfulness import is_helpful
 from repro.core.strategy import SilentServer, SilentUser
@@ -20,7 +20,6 @@ from repro.universal.schedules import doubling_sweep_trials
 from repro.users.navigation_users import GuidedNavigator, navigator_user_class
 from repro.worlds.navigation import (
     Grid,
-    NavigationState,
     corridor_grid,
     navigation_goal,
     navigation_sensing,

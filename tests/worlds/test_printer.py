@@ -8,7 +8,7 @@ import pytest
 
 from repro.comm.messages import UserInbox, UserOutbox, WorldInbox
 from repro.core.execution import run_execution
-from repro.core.strategy import SilentServer, SilentUser
+from repro.core.strategy import SilentUser
 from repro.core.views import UserView, ViewRecord
 from repro.servers.printer_servers import SpacePrinter
 from repro.users.scripted import ScriptedUser
