@@ -37,7 +37,7 @@ import pickle
 from concurrent.futures import ProcessPoolExecutor as _PoolExecutor
 from typing import List, Optional, Sequence, Tuple
 
-from repro.analysis.runner import CellTask, SweepCell, SweepExecutorLike
+from repro.analysis.runner import CellTask, SweepCell
 from repro.errors import ExecutionError
 
 
@@ -70,15 +70,22 @@ def ensure_picklable(task: CellTask) -> None:
         ) from error
 
 
-class SerialExecutor(SweepExecutorLike):
-    """In-process, in-order execution — the reference backend."""
+class SerialExecutor:
+    """In-process, in-order execution — the reference backend.
+
+    Satisfies :class:`~repro.analysis.runner.SweepExecutorLike`
+    structurally (it is a Protocol; no inheritance needed).
+    """
 
     def map_cells(self, tasks: Sequence[CellTask]) -> List[SweepCell]:
         return [task.run() for task in tasks]
 
 
-class ProcessExecutor(SweepExecutorLike):
+class ProcessExecutor:
     """Process-pool execution with chunked cell dispatch.
+
+    Satisfies :class:`~repro.analysis.runner.SweepExecutorLike`
+    structurally.
 
     Parameters
     ----------

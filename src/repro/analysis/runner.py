@@ -26,7 +26,16 @@ allocations (see ``docs/PERFORMANCE.md``).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    runtime_checkable,
+)
 
 from repro.analysis.metrics import RunMetrics, collect_metrics, success_rate
 from repro.core.execution import (
@@ -293,13 +302,18 @@ def _dispatch(
     return executor.map_cells(tasks)
 
 
-class SweepExecutorLike:
-    """Structural interface for ``executor=`` arguments (duck-typed).
+@runtime_checkable
+class SweepExecutorLike(Protocol):
+    """Structural interface for ``executor=`` arguments.
 
     Concrete executors live in :mod:`repro.analysis.parallel`; anything
-    with a conforming ``map_cells`` works.
+    with a conforming ``map_cells`` works — a Protocol, so custom
+    backends need not inherit from anything and ``mypy --strict`` checks
+    both implementations and call sites.  A backend may only change
+    *where* cells run, never what they compute (the determinism contract
+    tested by ``tests/analysis/test_parallel.py``).
     """
 
     def map_cells(self, tasks: Sequence[CellTask]) -> List[SweepCell]:
         """Run every task; return the cells sorted by ``task.index``."""
-        raise NotImplementedError
+        ...

@@ -46,6 +46,17 @@ from repro.core.sensing import (
     AnyOfSensing,
     NoRecentProgressSensing,
 )
+from repro.core.interfaces import (
+    ChannelLike,
+    ChannelRunLike,
+    FaultScheduleLike,
+    IncrementalSensingLike,
+    ScheduleRunLike,
+    SensingLike,
+    SensingPredicate,
+    StrategyLike,
+    TracerProtocol,
+)
 from repro.core.helpfulness import HelpfulnessReport, is_helpful, helpful_subclass
 from repro.core.properties import (
     PropertyReport,
@@ -94,6 +105,15 @@ __all__ = [
     "AllOfSensing",
     "AnyOfSensing",
     "NoRecentProgressSensing",
+    "ChannelLike",
+    "ChannelRunLike",
+    "FaultScheduleLike",
+    "IncrementalSensingLike",
+    "ScheduleRunLike",
+    "SensingLike",
+    "SensingPredicate",
+    "StrategyLike",
+    "TracerProtocol",
     "HelpfulnessReport",
     "is_helpful",
     "helpful_subclass",

@@ -36,10 +36,11 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Any, List, Optional, Tuple
+from typing import Any, List, Optional
 
 from repro.comm.channels import ChannelState, Roles
 from repro.comm.messages import ServerInbox, ServerOutbox, UserInbox, UserOutbox, WorldInbox, WorldOutbox
+from repro.core.interfaces import ChannelLike, ChannelRunLike
 from repro.core.strategy import ServerStrategy, UserStrategy, WorldStrategy
 from repro.core.views import BoundedUserView, UserView, ViewRecord
 from repro.comm.transcripts import Transcript
@@ -142,27 +143,13 @@ class ExecutionResult:
         return self.world_states[-1]
 
 
-class FaultyChannelLike:
-    """Structural interface for ``channel=`` arguments (duck-typed).
-
-    The concrete implementation lives in :mod:`repro.faults.channel`;
-    anything with a conforming ``start`` works, keeping the engine free of
-    an upward dependency on the fault layer.
-    """
-
-    def start(self, seed: int, tracer: TracerLike = None) -> "FaultyChannelRunLike":
-        """A fresh per-execution channel state, determined by ``seed``."""
-        raise NotImplementedError
-
-
-class FaultyChannelRunLike:
-    """What the engine calls once per round on an active fault channel."""
-
-    def apply(
-        self, round_index: int, user_to_server: str, server_to_user: str
-    ) -> "Tuple[str, str]":
-        """Transform this round's in-flight user↔server payloads."""
-        raise NotImplementedError
+# Structural interfaces for ``channel=`` arguments.  The concrete
+# implementation lives in :mod:`repro.faults.channel`; anything with a
+# conforming ``start`` works, keeping the engine free of an upward
+# dependency on the fault layer.  (Formerly duck-typed stub classes of
+# the same names; now checkable Protocols from repro.core.interfaces.)
+FaultyChannelLike = ChannelLike
+FaultyChannelRunLike = ChannelRunLike
 
 
 def run_execution(

@@ -33,7 +33,7 @@ faulted stretch on a direction); tracing never alters the trace.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 from repro.comm.messages import SILENCE
 from repro.faults.schedules import BernoulliSchedule, FaultSchedule, ScheduleRun
@@ -108,7 +108,7 @@ class FaultyChannel:
     faults: Tuple[ChannelFault, ...]
     label: str = ""
 
-    def __init__(self, faults, label: str = "") -> None:
+    def __init__(self, faults: Iterable[ChannelFault], label: str = "") -> None:
         object.__setattr__(self, "faults", tuple(faults))
         object.__setattr__(self, "label", label)
 

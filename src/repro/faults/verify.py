@@ -30,7 +30,7 @@ import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
-from repro.core.execution import FaultyChannelLike, run_execution
+from repro.core.execution import ExecutionResult, FaultyChannelLike, run_execution
 from repro.core.goals import Goal
 from repro.core.properties import _indications_per_round
 from repro.core.sensing import Sensing
@@ -133,7 +133,7 @@ class RobustnessReport:
         )
 
 
-def _false_positive(goal: Goal, sensing: Sensing, execution) -> bool:
+def _false_positive(goal: Goal, sensing: Sensing, execution: ExecutionResult) -> bool:
     """Did sensing endorse a failure?  (The safety violation we hunt.)"""
     if goal.is_compact:
         verdict = goal.referee.judge(execution)

@@ -1,0 +1,43 @@
+"""reprolint: domain-invariant static analysis for the simulation core.
+
+The paper's guarantees lean on contracts the runtime never checks: sensing
+must be a pure predicate of the user's local view (Theorem 1's
+"trustworthy indications"), strategies must not smuggle state past the
+engine's explicit threading (the determinism contract of
+``docs/ROBUSTNESS.md``), and sweep cells must survive a process boundary.
+The dynamic checks — per-seed replay tests, ``ensure_picklable``
+pre-flights — only certify the runs they saw.  This package certifies the
+*code*: an AST pass over ``src/`` and ``tests/`` with ruff-style rule
+codes, line pragmas, and JSON/GitHub output for CI.
+
+Rules (see ``docs/STATIC_ANALYSIS.md`` for the full catalogue):
+
+* ``RL001`` — no ambient nondeterminism: randomness flows through the
+  threaded ``rng``, never through module-level ``random``, wall clocks,
+  OS entropy, or hash-order-dependent ``set`` iteration.
+* ``RL002`` — non-mutating ``step``: strategy objects are shared across
+  executions and sweeps; per-round dynamics live in the threaded state.
+* ``RL003`` — sensing purity: ``indicate`` is a read-only predicate of
+  the view — no self-mutation, no I/O, no ambient randomness.
+* ``RL004`` — picklability: no lambdas, local functions, or open handles
+  stored on objects that a process-pool sweep must pickle.
+* ``RL005`` — seed plumbing: public constructors that consume randomness
+  accept an explicit ``rng``/``seed``.
+
+Run ``python -m repro.lint src tests`` (exit 0 iff clean), or
+``python -m repro.lint --help`` for output formats and the baseline
+ratchet used over ``benchmarks/``.
+"""
+
+from repro.lint.engine import LintReport, lint_paths, lint_source
+from repro.lint.rules import ALL_RULES, rule_codes
+from repro.lint.violations import Violation
+
+__all__ = [
+    "ALL_RULES",
+    "LintReport",
+    "Violation",
+    "lint_paths",
+    "lint_source",
+    "rule_codes",
+]

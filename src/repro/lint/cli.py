@@ -1,0 +1,173 @@
+"""The ``python -m repro.lint`` command line.
+
+Exit codes: 0 clean (or ``--report-only``), 1 violations or baseline
+regression, 2 usage errors / unparseable files.  Formats: ``text`` (one
+line per finding), ``json`` (machine-readable document, also the
+baseline-file shape), ``github`` (workflow annotations — violations show
+inline on PRs).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from repro.lint.engine import LintReport, lint_paths
+from repro.lint.rules import ALL_RULES, rule_codes
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "reprolint: static checks for the repo's domain invariants "
+            "(determinism, strategy statelessness, sensing purity, "
+            "picklability, seed plumbing)."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src", "tests"],
+        help="files or directories to lint (default: src tests)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json", "github"), default="text",
+        help="output format (github emits workflow annotations)",
+    )
+    parser.add_argument(
+        "--select", action="append", metavar="RULE",
+        help="run only these rule codes (repeatable, comma-separable)",
+    )
+    parser.add_argument(
+        "--ignore", action="append", metavar="RULE",
+        help="skip these rule codes (repeatable, comma-separable)",
+    )
+    parser.add_argument(
+        "--report-only", action="store_true",
+        help="always exit 0; used to record baselines over legacy trees",
+    )
+    parser.add_argument(
+        "--baseline", metavar="FILE",
+        help=(
+            "ratchet mode: exit 1 only if the violation count exceeds the "
+            "count recorded in FILE (a previous --format json output)"
+        ),
+    )
+    parser.add_argument(
+        "--explain", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    parser.add_argument(
+        "--statistics", action="store_true",
+        help="append per-rule counts to text output",
+    )
+    return parser
+
+
+def _split_codes(values: Optional[List[str]]) -> Optional[List[str]]:
+    if not values:
+        return None
+    codes: List[str] = []
+    for value in values:
+        codes.extend(part.strip().upper() for part in value.split(",") if part.strip())
+    return codes
+
+
+def _explain() -> str:
+    lines = ["reprolint rule catalogue (see docs/STATIC_ANALYSIS.md):", ""]
+    for rule in ALL_RULES:
+        lines.append(f"{rule.code}  {rule.summary}")
+        lines.append(f"       protects: {rule.rationale}")
+    return "\n".join(lines)
+
+
+def _render_text(report: LintReport, statistics: bool) -> str:
+    lines = [violation.render() for violation in report.violations]
+    lines.extend(f"error: {message}" for message in report.parse_errors)
+    summary = (
+        f"{len(report.violations)} violation(s) in "
+        f"{report.files_scanned} file(s)"
+    )
+    if report.suppressed:
+        summary += f" ({report.suppressed} suppressed by pragmas)"
+    lines.append(summary)
+    if statistics and report.counts_by_rule:
+        lines.extend(
+            f"  {code}: {count}" for code, count in report.counts_by_rule.items()
+        )
+    return "\n".join(lines)
+
+
+def _render_github(report: LintReport) -> str:
+    lines = []
+    for violation in report.violations:
+        message = violation.message.replace("\n", " ")
+        lines.append(
+            f"::error file={violation.path},line={violation.line},"
+            f"col={violation.col},title={violation.code}::{message}"
+        )
+    for error in report.parse_errors:
+        lines.append(f"::error title=reprolint::{error}")
+    lines.append(
+        f"reprolint: {len(report.violations)} violation(s) in "
+        f"{report.files_scanned} file(s)"
+    )
+    return "\n".join(lines)
+
+
+def _baseline_count(path: str) -> int:
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    count = document.get("violation_count")
+    if not isinstance(count, int):
+        raise ValueError(f"{path} has no integer 'violation_count'")
+    return count
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = _parser()
+    options = parser.parse_args(argv)
+    if options.explain:
+        print(_explain())
+        return 0
+
+    select = _split_codes(options.select)
+    ignore = _split_codes(options.ignore)
+    known = rule_codes()
+    for codes, flag in ((select, "--select"), (ignore, "--ignore")):
+        for code in codes or ():
+            if code not in known:
+                parser.error(f"{flag}: unknown rule code {code!r}")
+
+    report = lint_paths(options.paths, select=select, ignore=ignore)
+
+    if options.format == "json":
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    elif options.format == "github":
+        print(_render_github(report))
+    else:
+        print(_render_text(report, options.statistics))
+
+    if report.parse_errors:
+        return 2
+    if options.report_only:
+        return 0
+    if options.baseline:
+        try:
+            allowed = _baseline_count(options.baseline)
+        except (OSError, ValueError, json.JSONDecodeError) as error:
+            print(f"error: cannot read baseline: {error}", file=sys.stderr)
+            return 2
+        if len(report.violations) > allowed:
+            print(
+                f"reprolint: ratchet broken — {len(report.violations)} "
+                f"violation(s) exceeds the recorded baseline of {allowed}",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
+    return 0 if not report.violations else 1
+
+
+__all__ = ["main"]

@@ -1,0 +1,155 @@
+"""The lint engine: walk files, parse once, run rules, apply pragmas."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.lint.context import ModuleContext
+from repro.lint.rules import ALL_RULES
+from repro.lint.rules.base import Rule
+from repro.lint.violations import Violation
+
+#: Directory names never descended into.
+_SKIPPED_DIRS = frozenset({"__pycache__", ".git", ".ruff_cache", "related"})
+
+
+def classify_path(path: str) -> str:
+    """Which tree a file belongs to: ``src``, ``tests`` or ``benchmarks``.
+
+    Rules scope themselves by this (e.g. RL005 polices the library API
+    only).  Anything that is not a test or benchmark tree counts as
+    ``src`` — the strict default.
+    """
+    parts = os.path.normpath(path).split(os.sep)
+    if "tests" in parts:
+        return "tests"
+    if "benchmarks" in parts:
+        return "benchmarks"
+    return "src"
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced, for any output format."""
+
+    violations: List[Violation] = field(default_factory=list)
+    files_scanned: int = 0
+    parse_errors: List[str] = field(default_factory=list)
+    suppressed: int = 0
+
+    @property
+    def counts_by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for violation in self.violations:
+            counts[violation.code] = counts.get(violation.code, 0) + 1
+        return dict(sorted(counts.items()))
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations and not self.parse_errors
+
+    def as_dict(self) -> Dict[str, Any]:
+        """The ``--format json`` document (and the baseline-file shape)."""
+        return {
+            "files_scanned": self.files_scanned,
+            "violation_count": len(self.violations),
+            "suppressed": self.suppressed,
+            "counts_by_rule": self.counts_by_rule,
+            "parse_errors": list(self.parse_errors),
+            "violations": [v.as_dict() for v in self.violations],
+        }
+
+
+def _select_rules(
+    select: Optional[Iterable[str]], ignore: Optional[Iterable[str]]
+) -> List[Rule]:
+    chosen = list(ALL_RULES)
+    if select:
+        wanted = {code.upper() for code in select}
+        chosen = [rule for rule in chosen if rule.code in wanted]
+    if ignore:
+        dropped = {code.upper() for code in ignore}
+        chosen = [rule for rule in chosen if rule.code not in dropped]
+    return chosen
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    *,
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+    kind: Optional[str] = None,
+) -> LintReport:
+    """Lint one in-memory module (the unit the fixture tests drive)."""
+    report = LintReport()
+    _lint_one(report, path, source, _select_rules(select, ignore), kind)
+    report.violations.sort()
+    return report
+
+
+def lint_paths(
+    paths: Sequence[str],
+    *,
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> LintReport:
+    """Lint files and directory trees; the ``python -m repro.lint`` core."""
+    rules = _select_rules(select, ignore)
+    report = LintReport()
+    for filename in _walk(paths):
+        try:
+            with open(filename, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as error:
+            report.parse_errors.append(f"{filename}: unreadable: {error}")
+            continue
+        _lint_one(report, filename, source, rules, None)
+    report.violations.sort()
+    return report
+
+
+def _lint_one(
+    report: LintReport,
+    path: str,
+    source: str,
+    rules: Sequence[Rule],
+    kind: Optional[str],
+) -> None:
+    report.files_scanned += 1
+    try:
+        context = ModuleContext.parse(path, source)
+    except SyntaxError as error:
+        report.parse_errors.append(
+            f"{path}:{error.lineno or 0}: syntax error: {error.msg}"
+        )
+        return
+    tree_kind = kind if kind is not None else classify_path(path)
+    for rule in rules:
+        if tree_kind not in rule.scopes:
+            continue
+        for violation in rule.check(context):
+            if context.pragmas.is_suppressed(violation.line, violation.code):
+                report.suppressed += 1
+            else:
+                report.violations.append(violation)
+
+
+def _walk(paths: Sequence[str]) -> Iterable[str]:
+    for path in paths:
+        if os.path.isfile(path):
+            if path.endswith(".py"):
+                yield path
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(
+                d for d in dirnames if d not in _SKIPPED_DIRS
+            )
+            for filename in sorted(filenames):
+                if filename.endswith(".py"):
+                    yield os.path.join(dirpath, filename)
+
+
+__all__ = ["LintReport", "classify_path", "lint_paths", "lint_source"]

@@ -1,0 +1,38 @@
+"""Rule registry: the shipped rule set, in code order."""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List
+
+from repro.lint.rules.base import Rule
+from repro.lint.rules.rl001_nondeterminism import AmbientNondeterminismRule
+from repro.lint.rules.rl002_mutating_step import MutatingStepRule
+from repro.lint.rules.rl003_sensing_purity import SensingPurityRule
+from repro.lint.rules.rl004_picklability import PicklabilityRule
+from repro.lint.rules.rl005_seed_plumbing import SeedPlumbingRule
+
+#: Every shipped rule, instantiated once (rules are stateless).
+ALL_RULES: List[Rule] = [
+    AmbientNondeterminismRule(),
+    MutatingStepRule(),
+    SensingPurityRule(),
+    PicklabilityRule(),
+    SeedPlumbingRule(),
+]
+
+
+def rule_codes() -> FrozenSet[str]:
+    """The set of valid rule codes (for --select/--ignore validation)."""
+    return frozenset(rule.code for rule in ALL_RULES)
+
+
+__all__ = [
+    "ALL_RULES",
+    "AmbientNondeterminismRule",
+    "MutatingStepRule",
+    "PicklabilityRule",
+    "Rule",
+    "SeedPlumbingRule",
+    "SensingPurityRule",
+    "rule_codes",
+]

@@ -1,0 +1,39 @@
+"""The rule interface: one code, one invariant, one AST pass."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.context import ModuleContext
+from repro.lint.violations import Violation
+
+
+class Rule:
+    """A single lint rule.
+
+    Subclasses set the class attributes and implement :meth:`check` as a
+    generator of :class:`Violation` objects.  Rules must not mutate the
+    context; the engine reuses one :class:`ModuleContext` per file across
+    all rules.
+    """
+
+    #: Stable identifier used in output, pragmas, and ``--select``.
+    code: str = "RL000"
+    #: One-line summary shown by ``--explain`` and the docs generator.
+    summary: str = ""
+    #: Which paper-level property the rule protects (docs cross-link).
+    rationale: str = ""
+    #: Tree kinds the rule applies to; engine classifies each file as
+    #: "src", "tests", or "benchmarks" by its path components.
+    scopes: "frozenset[str]" = frozenset({"src", "tests", "benchmarks"})
+
+    def check(self, context: ModuleContext) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def violation(
+        self, context: ModuleContext, line: int, col: int, message: str
+    ) -> Violation:
+        """Build a violation for this rule at a location in ``context``."""
+        return Violation(
+            path=context.path, line=line, col=col + 1, code=self.code, message=message
+        )

@@ -1,0 +1,36 @@
+"""The unit of lint output: one rule violation at one source location."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One finding: ``path:line:col: CODE message``.
+
+    Ordered by location so reports are stable regardless of the order in
+    which rules ran; ``line``/``col`` are 1-based (matching compilers and
+    the GitHub annotation format).
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        """The human-readable one-liner used by the text format."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def as_dict(self) -> Dict[str, Any]:
+        """A JSON-ready mapping (the ``--format json`` item shape)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }

@@ -14,7 +14,10 @@ branch per round (benchmarked in ``benchmarks/bench_engine.py``).
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import TYPE_CHECKING, Optional, Union
+
+if TYPE_CHECKING:
+    from repro.obs.timers import _Span
 
 from repro.obs.counters import CounterSet
 from repro.obs.events import (
@@ -103,7 +106,7 @@ class Tracer:
             counters.inc("faults_recovered")
         self.sink.emit(event)
 
-    def phase(self, name: str):
+    def phase(self, name: str) -> "_Span":
         """Time a phase: ``with tracer.phase("engine"): ...``."""
         return self.timers.phase(name)
 

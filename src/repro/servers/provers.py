@@ -131,7 +131,9 @@ class _BaseProverServer(ServerStrategy):
         # Serve the expected round, or re-serve the previous one: a user
         # whose copy of our last reply was lost re-asks, and a helpful
         # server answers idempotently instead of deadlocking.
-        if index not in (session.next_round, session.next_round - 1):
+        # A fresh session has next_round == 0, so the re-serve window would
+        # otherwise admit ROUND:-1 and index the schedule from the end.
+        if index < 0 or index not in (session.next_round, session.next_round - 1):
             return ServerOutbox(to_user=f"ERR:expected-round-{session.next_round}")
         if index > 0 and index == session.next_round:
             try:
@@ -177,7 +179,15 @@ class CheatingProverServer(_BaseProverServer):
         if self._style == CHEAT_FLIP:
             return FlipClaimProver(qbf, self._field)
         if self._style == CHEAT_RANDOM:
-            return RandomCheatingProver(qbf, self._field, random.Random(self._seed))
+            # Derive the prover's stream from the threaded rng (XORing the
+            # configured seed keeps distinct servers distinct): a fixed
+            # `random.Random(self._seed)` here replayed the identical
+            # cheating stream in every trial of every execution, which let
+            # an enumeration "learn" one frozen adversary instead of facing
+            # fresh randomness per proof session (flagged by RL001).
+            return RandomCheatingProver(
+                qbf, self._field, random.Random(rng.getrandbits(64) ^ self._seed)
+            )
         wrong_bit = 1 - int(qbf.evaluate())
         return ConstantCheatingProver(self._field, wrong_bit)
 

@@ -1,0 +1,1 @@
+"""reprolint: flag/no-flag/pragma coverage per rule, CLI, and self-check."""

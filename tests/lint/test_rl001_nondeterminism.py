@@ -1,0 +1,230 @@
+"""RL001: ambient nondeterminism — flagged, allowed, and suppressed shapes."""
+
+from __future__ import annotations
+
+from textwrap import dedent
+from typing import List
+
+from repro.lint import lint_source
+from repro.lint.violations import Violation
+
+
+def rl001(source: str, kind: str = "src") -> List[Violation]:
+    return lint_source(dedent(source), select=["RL001"], kind=kind).violations
+
+
+class TestFlagged:
+    def test_wall_clock(self):
+        found = rl001(
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """
+        )
+        assert [v.code for v in found] == ["RL001"]
+        assert "time.time" in found[0].message
+
+    def test_module_level_random(self):
+        assert [v.code for v in rl001(
+            """
+            import random
+
+            def draw():
+                return random.random()
+            """
+        )] == ["RL001"]
+
+    def test_unseeded_random_random(self):
+        found = rl001(
+            """
+            import random
+
+            def fresh():
+                return random.Random()
+            """
+        )
+        assert [v.code for v in found] == ["RL001"]
+        assert "no seed" in found[0].message
+
+    def test_fixed_seed_ignoring_threaded_rng(self):
+        found = rl001(
+            """
+            import random
+
+            def resample(rng):
+                return random.Random(7).random()
+            """
+        )
+        assert [v.code for v in found] == ["RL001"]
+        assert "fixed-seed" in found[0].message
+
+    def test_seed_read_off_self_is_still_fixed(self):
+        # The shape of the CheatingProverServer bug this rule caught:
+        # `self._seed` is constant across trials, so the stream repeats.
+        found = rl001(
+            """
+            import random
+
+            class Factory:
+                def build(self, rng):
+                    return random.Random(self._seed)
+            """
+        )
+        assert [v.code for v in found] == ["RL001"]
+
+    def test_uuid4_and_urandom(self):
+        found = rl001(
+            """
+            import os
+            import uuid
+
+            def token():
+                return uuid.uuid4(), os.urandom(8)
+            """
+        )
+        assert [v.code for v in found] == ["RL001", "RL001"]
+
+    def test_set_literal_iteration(self):
+        found = rl001(
+            """
+            def first():
+                for item in {"a", "b"}:
+                    return item
+            """
+        )
+        assert [v.code for v in found] == ["RL001"]
+        assert "PYTHONHASHSEED" in found[0].message
+
+    def test_set_call_in_comprehension(self):
+        assert [v.code for v in rl001(
+            """
+            def uniques(values):
+                return [v for v in set(values)]
+            """
+        )] == ["RL001"]
+
+
+class TestAllowed:
+    def test_seed_parameter_plumbed_through(self):
+        assert rl001(
+            """
+            import random
+
+            def make(seed):
+                return random.Random(seed)
+            """
+        ) == []
+
+    def test_seed_derived_from_threaded_rng(self):
+        assert rl001(
+            """
+            import random
+
+            def resample(rng):
+                return random.Random(rng.getrandbits(64))
+            """
+        ) == []
+
+    def test_measurement_clocks_are_fine(self):
+        assert rl001(
+            """
+            import time
+
+            def measure():
+                return time.perf_counter(), time.monotonic()
+            """
+        ) == []
+
+    def test_sorted_set_iteration_is_fine(self):
+        assert rl001(
+            """
+            def ordered():
+                return [item for item in sorted({"a", "b"})]
+            """
+        ) == []
+
+
+class TestPragmas:
+    def test_same_line_disable(self):
+        report = lint_source(
+            dedent(
+                """
+                import time
+
+                def stamp():
+                    return time.time()  # reprolint: disable=RL001
+                """
+            ),
+            select=["RL001"],
+            kind="src",
+        )
+        assert report.violations == []
+        assert report.suppressed == 1
+
+    def test_disable_next_line(self):
+        report = lint_source(
+            dedent(
+                """
+                import time
+
+                def stamp():
+                    # reprolint: disable-next=RL001
+                    return time.time()
+                """
+            ),
+            select=["RL001"],
+            kind="src",
+        )
+        assert report.violations == []
+        assert report.suppressed == 1
+
+    def test_disable_file(self):
+        report = lint_source(
+            dedent(
+                """
+                # reprolint: disable-file=RL001
+                import time
+
+                def stamp():
+                    return time.time()
+
+                def stamp_again():
+                    return time.time()
+                """
+            ),
+            select=["RL001"],
+            kind="src",
+        )
+        assert report.violations == []
+        assert report.suppressed == 2
+
+    def test_disable_all_wildcard(self):
+        report = lint_source(
+            dedent(
+                """
+                import time
+
+                def stamp():
+                    return time.time()  # reprolint: disable=all
+                """
+            ),
+            kind="src",
+        )
+        assert report.violations == []
+
+    def test_pragma_for_other_rule_does_not_suppress(self):
+        report = lint_source(
+            dedent(
+                """
+                import time
+
+                def stamp():
+                    return time.time()  # reprolint: disable=RL004
+                """
+            ),
+            select=["RL001"],
+            kind="src",
+        )
+        assert [v.code for v in report.violations] == ["RL001"]

@@ -1,0 +1,136 @@
+"""RL003: sensing purity — flagged, allowed, and suppressed shapes."""
+
+from __future__ import annotations
+
+from textwrap import dedent
+from typing import List
+
+from repro.lint import lint_source
+from repro.lint.violations import Violation
+
+
+def rl003(source: str, kind: str = "src") -> List[Violation]:
+    return lint_source(dedent(source), select=["RL003"], kind=kind).violations
+
+
+class TestFlagged:
+    def test_indicate_writes_self(self):
+        found = rl003(
+            """
+            class CountingSensing(Sensing):
+                def indicate(self, view):
+                    self.calls += 1
+                    return True
+            """
+        )
+        assert [v.code for v in found] == ["RL003"]
+        assert "CountingSensing.indicate" in found[0].message
+
+    def test_indicate_performs_io(self):
+        found = rl003(
+            """
+            class ChattySensing(Sensing):
+                def indicate(self, view):
+                    print(view)
+                    return True
+            """
+        )
+        assert [v.code for v in found] == ["RL003"]
+        assert "I/O" in found[0].message
+
+    def test_indicate_mutates_the_view(self):
+        assert [v.code for v in rl003(
+            """
+            class TamperingSensing(Sensing):
+                def indicate(self, view):
+                    view.records.append(None)
+                    return True
+            """
+        )] == ["RL003"]
+
+    def test_indicate_declares_global(self):
+        assert [v.code for v in rl003(
+            """
+            class GlobalSensing(Sensing):
+                def indicate(self, view):
+                    global HITS
+                    return True
+            """
+        )] == ["RL003"]
+
+    def test_indicate_reads_ambient_clock(self):
+        assert [v.code for v in rl003(
+            """
+            import time
+
+            class TimedSensing(Sensing):
+                def indicate(self, view):
+                    return time.time() > 0
+            """
+        )] == ["RL003"]
+
+    def test_function_sensing_lambda_with_io(self):
+        found = rl003(
+            """
+            sensing = FunctionSensing(lambda view: bool(print(view)))
+            """
+        )
+        assert [v.code for v in found] == ["RL003"]
+        assert "sensing lambda" in found[0].message
+
+
+class TestAllowed:
+    def test_pure_predicate_of_the_view(self):
+        assert rl003(
+            """
+            class ProgressSensing(Sensing):
+                def indicate(self, view):
+                    recent = view.records[-3:]
+                    return any(r.world_message for r in recent)
+            """
+        ) == []
+
+    def test_reading_self_configuration_is_fine(self):
+        assert rl003(
+            """
+            class ThresholdSensing(Sensing):
+                def indicate(self, view):
+                    return len(view.records) >= self.threshold
+            """
+        ) == []
+
+    def test_incremental_observe_is_exempt_by_design(self):
+        # Monitors are single-trial and own their state; only `indicate`
+        # carries the purity obligation.
+        assert rl003(
+            """
+            class Monitor(IncrementalSensing):
+                def observe(self, record):
+                    self.seen += 1
+            """
+        ) == []
+
+    def test_function_sensing_with_named_function(self):
+        assert rl003(
+            """
+            sensing = FunctionSensing(has_recent_progress)
+            """
+        ) == []
+
+
+class TestPragmas:
+    def test_same_line_disable(self):
+        report = lint_source(
+            dedent(
+                """
+                class DebugSensing(Sensing):
+                    def indicate(self, view):
+                        print(view)  # reprolint: disable=RL003
+                        return True
+                """
+            ),
+            select=["RL003"],
+            kind="src",
+        )
+        assert report.violations == []
+        assert report.suppressed == 1

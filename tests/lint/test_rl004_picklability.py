@@ -1,0 +1,123 @@
+"""RL004: static picklability — flagged, allowed, and suppressed shapes."""
+
+from __future__ import annotations
+
+from textwrap import dedent
+from typing import List
+
+from repro.lint import lint_source
+from repro.lint.violations import Violation
+
+
+def rl004(source: str, kind: str = "src") -> List[Violation]:
+    return lint_source(dedent(source), select=["RL004"], kind=kind).violations
+
+
+class TestFlagged:
+    def test_lambda_stored_on_instance(self):
+        found = rl004(
+            """
+            class Picker:
+                def __init__(self):
+                    self.fn = lambda x: x
+            """
+        )
+        assert [v.code for v in found] == ["RL004"]
+        assert "lambda" in found[0].message
+
+    def test_local_function_stored_on_instance(self):
+        found = rl004(
+            """
+            class Picker:
+                def __init__(self):
+                    def helper(x):
+                        return x
+                    self.helper = helper
+            """
+        )
+        assert [v.code for v in found] == ["RL004"]
+        assert "closures do not pickle" in found[0].message
+
+    def test_class_attribute_lambda(self):
+        assert [v.code for v in rl004(
+            """
+            class Picker:
+                key = lambda self, x: x
+            """
+        )] == ["RL004"]
+
+    def test_dataclass_field_default_lambda(self):
+        assert [v.code for v in rl004(
+            """
+            @dataclass
+            class Config:
+                scorer: object = field(default=lambda run: run.rounds)
+            """
+        )] == ["RL004"]
+
+    def test_open_handle_stored_on_instance(self):
+        found = rl004(
+            """
+            class Logger:
+                def __init__(self, path):
+                    self.handle = open(path)
+            """
+        )
+        assert [v.code for v in found] == ["RL004"]
+        assert "handle" in found[0].message
+
+
+class TestAllowed:
+    def test_module_level_function_reference(self):
+        assert rl004(
+            """
+            class Picker:
+                def __init__(self):
+                    self.fn = module_level_scorer
+            """
+        ) == []
+
+    def test_default_factory_lambda_is_fine(self):
+        # The factory runs per instance; the *result* is what pickles.
+        assert rl004(
+            """
+            @dataclass
+            class Config:
+                items: list = field(default_factory=lambda: [])
+            """
+        ) == []
+
+    def test_plain_attribute_assignment(self):
+        assert rl004(
+            """
+            class Logger:
+                def __init__(self, path):
+                    self.path = path
+            """
+        ) == []
+
+    def test_local_lambda_not_stored_is_fine(self):
+        assert rl004(
+            """
+            class Picker:
+                def ranked(self, runs):
+                    return sorted(runs, key=lambda r: r.rounds)
+            """
+        ) == []
+
+
+class TestPragmas:
+    def test_same_line_disable(self):
+        report = lint_source(
+            dedent(
+                """
+                class SerialOnly:
+                    def __init__(self):
+                        self.fn = lambda x: x  # reprolint: disable=RL004
+                """
+            ),
+            select=["RL004"],
+            kind="src",
+        )
+        assert report.violations == []
+        assert report.suppressed == 1

@@ -1,0 +1,130 @@
+"""RL005: seed plumbing through public signatures — flag/no-flag/pragma."""
+
+from __future__ import annotations
+
+from textwrap import dedent
+from typing import List
+
+from repro.lint import lint_source
+from repro.lint.violations import Violation
+
+
+def rl005(source: str, kind: str = "src") -> List[Violation]:
+    return lint_source(dedent(source), select=["RL005"], kind=kind).violations
+
+
+class TestFlagged:
+    def test_public_function_with_hidden_rng(self):
+        found = rl005(
+            """
+            import random
+
+            def make_world():
+                return random.Random(3)
+            """
+        )
+        assert [v.code for v in found] == ["RL005"]
+        assert "plumb the seed" in found[0].message
+
+    def test_public_init_with_hidden_rng(self):
+        assert [v.code for v in rl005(
+            """
+            import random
+
+            class NoisyServer:
+                def __init__(self):
+                    self._rng = random.Random(11)
+            """
+        )] == ["RL005"]
+
+    def test_public_function_drawing_ambient_randomness(self):
+        found = rl005(
+            """
+            import random
+
+            def sample():
+                return random.random()
+            """
+        )
+        assert [v.code for v in found] == ["RL005"]
+        assert "rng" in found[0].message
+
+
+class TestAllowed:
+    def test_seed_parameter_satisfies_the_rule(self):
+        assert rl005(
+            """
+            import random
+
+            def make_world(seed=0):
+                return random.Random(seed)
+            """
+        ) == []
+
+    def test_rng_parameter_satisfies_the_rule(self):
+        assert rl005(
+            """
+            import random
+
+            class SeededServer:
+                def __init__(self, rng):
+                    self._rng = random.Random(rng.getrandbits(64))
+            """
+        ) == []
+
+    def test_private_helpers_are_exempt(self):
+        assert rl005(
+            """
+            import random
+
+            def _internal():
+                return random.Random(3)
+
+            class _Hidden:
+                def __init__(self):
+                    self._rng = random.Random(3)
+            """
+        ) == []
+
+    def test_rng_built_in_nested_def_belongs_to_the_closure(self):
+        assert rl005(
+            """
+            import random
+
+            def build():
+                def fresh(rng):
+                    return random.Random(rng.getrandbits(64))
+                return fresh
+            """
+        ) == []
+
+    def test_rule_is_scoped_to_the_library_tree(self):
+        # A test helper pinning `random.Random(0)` is the *caller*
+        # choosing a seed — exactly the plumbed-through case.
+        assert rl005(
+            """
+            import random
+
+            def make_world():
+                return random.Random(3)
+            """,
+            kind="tests",
+        ) == []
+
+
+class TestPragmas:
+    def test_same_line_disable(self):
+        report = lint_source(
+            dedent(
+                """
+                import random
+
+                def legacy_world():
+                    return random.Random(3)  # reprolint: disable=RL005
+                """
+            ),
+            select=["RL005"],
+            kind="src",
+        )
+        assert report.violations == []
+        assert report.suppressed == 1

@@ -1,0 +1,53 @@
+"""The wall checks itself: the shipped tree is reprolint-clean.
+
+These tests run the real checker over the repository, exactly as the CI
+job does — if a change introduces an ambient clock, a mutating ``step``,
+or an unplumbed seed anywhere in ``src/`` or ``tests/``, the suite fails
+before the CI gate does.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.lint import lint_paths
+from repro.lint.cli import main
+from repro.lint.engine import classify_path
+
+ROOT = Path(__file__).resolve().parents[2]
+BASELINE = ROOT / "benchmarks" / "lint_baseline.json"
+
+
+class TestSelfCheck:
+    def test_src_and_tests_are_clean(self):
+        report = lint_paths([str(ROOT / "src"), str(ROOT / "tests")])
+        assert report.parse_errors == []
+        assert report.violations == [], "\n".join(
+            v.render() for v in report.violations
+        )
+        assert report.files_scanned > 100
+
+    def test_cli_exits_zero_on_the_shipped_tree(self, capsys):
+        assert main([str(ROOT / "src"), str(ROOT / "tests")]) == 0
+        capsys.readouterr()
+
+    def test_benchmarks_stay_at_or_below_the_recorded_baseline(self):
+        # The benchmark tree is linted in report-only mode with a recorded
+        # baseline (the ratchet): violations may be fixed, never added.
+        recorded = json.loads(BASELINE.read_text(encoding="utf-8"))
+        report = lint_paths([str(ROOT / "benchmarks")])
+        assert report.parse_errors == []
+        assert len(report.violations) <= recorded["violation_count"]
+
+
+class TestClassifyPath:
+    def test_tests_tree(self):
+        assert classify_path("tests/lint/test_cli.py") == "tests"
+
+    def test_benchmarks_tree(self):
+        assert classify_path("benchmarks/bench_engine.py") == "benchmarks"
+
+    def test_everything_else_is_src(self):
+        assert classify_path("src/repro/core/execution.py") == "src"
+        assert classify_path("examples/demo.py") == "src"

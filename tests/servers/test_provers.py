@@ -50,6 +50,13 @@ class TestHonestProverServer:
         replies = drive(HonestProverServer(F), [f"PROVE:{WIRE}", "ROUND:5:1"])
         assert replies[1].startswith("ERR:expected-round")
 
+    def test_negative_round_rejected(self):
+        # A fresh session's re-serve window (next_round - 1) must not admit
+        # ROUND:-1 — it used to index the operator schedule from the end
+        # and crash (found by the garbage-stream fuzz test).
+        replies = drive(HonestProverServer(F), [f"PROVE:{WIRE}", "ROUND:-1"])
+        assert replies[1].startswith("ERR:expected-round")
+
     def test_reserves_previous_round_idempotently(self):
         replies = drive(
             HonestProverServer(F), [f"PROVE:{WIRE}", "ROUND:0", "ROUND:0"]
@@ -98,6 +105,36 @@ class TestCheatingProverServer:
     def test_unknown_style_rejected(self):
         with pytest.raises(ValueError):
             CheatingProverServer(F, "sneaky")
+
+
+class TestRandomCheatingProverSeedPlumbing:
+    """Regression for the RL001 finding in ``CheatingProverServer``.
+
+    The random-style cheater used to build ``random.Random(self._seed)``
+    inside ``_build_prover`` — ignoring the threaded ``rng`` — so every
+    execution replayed one frozen stream of cheating polynomials and a
+    verifier only ever faced a single adversarial transcript.  The stream
+    must now derive from the execution's rng: different execution seeds
+    give different cheating polynomials, equal seeds replay exactly.
+    """
+
+    MESSAGES = [f"PROVE:{WIRE}", "ROUND:0"]
+
+    def test_streams_differ_across_execution_seeds(self):
+        first = drive(CheatingProverServer(F, "random"), self.MESSAGES, seed=0)
+        second = drive(CheatingProverServer(F, "random"), self.MESSAGES, seed=1)
+        assert first[0] == second[0]  # the (wrong) claim stays deterministic
+        assert first[1] != second[1]  # the polynomials must not be frozen
+
+    def test_same_execution_seed_replays_identically(self):
+        first = drive(CheatingProverServer(F, "random"), self.MESSAGES, seed=7)
+        second = drive(CheatingProverServer(F, "random"), self.MESSAGES, seed=7)
+        assert first == second
+
+    def test_server_seed_still_differentiates_streams(self):
+        first = drive(CheatingProverServer(F, "random", seed=0), self.MESSAGES)
+        second = drive(CheatingProverServer(F, "random", seed=1), self.MESSAGES)
+        assert first[1] != second[1]
 
 
 class TestLazyProverServer:
