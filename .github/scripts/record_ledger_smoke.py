@@ -1,0 +1,71 @@
+"""CI smoke: record a faulted run + a ledgered sweep, then read both back.
+
+Writes into the directory named by argv[1]:
+
+* ``run.jsonl`` / ``run.json`` — one traced execution of a compact
+  universal user over a lossy channel, via ``record_run``;
+* ``sweep/`` — per-cell manifests plus ``sweep.json`` from a small
+  faulted sweep, via ``sweep(..., ledger_dir=)``.
+
+Exits non-zero if any written manifest fails to round-trip, so the CI
+step is a real gate, not just an artifact producer.
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+from pathlib import Path
+
+from repro.analysis.runner import sweep
+from repro.comm.codecs import codec_family
+from repro.faults.channel import drop_channel
+from repro.obs.ledger import read_manifest, record_run
+from repro.servers.advisors import advisor_server_class
+from repro.universal.compact import CompactUniversalUser
+from repro.universal.enumeration import ListEnumeration
+from repro.users.control_users import follower_user_class
+from repro.worlds.control import control_goal, control_sensing, random_law
+
+
+def main() -> int:
+    out = Path(sys.argv[1] if len(sys.argv) > 1 else "ledger-smoke")
+    law = random_law(random.Random(11))
+    goal = control_goal(law)
+    codecs = codec_family(4)
+    servers = advisor_server_class(law, codecs)
+
+    def universal() -> CompactUniversalUser:
+        return CompactUniversalUser(
+            ListEnumeration(follower_user_class(codecs)), control_sensing()
+        )
+
+    recorded = record_run(
+        universal(), servers[2], goal,
+        max_rounds=1200, seed=0, out_dir=out, name="run",
+        channel=drop_channel(0.05),
+    )
+    assert recorded.manifest.achieved == 1, "smoke run failed to achieve"
+    assert read_manifest(recorded.manifest_path) == recorded.manifest
+
+    ledger = out / "sweep"
+    sweep(
+        universal(), servers, goal,
+        seeds=(0, 1), max_rounds=1200,
+        faults=[None, drop_channel(0.05)], ledger_dir=ledger,
+    )
+    index = read_manifest(ledger / "sweep.json")
+    ids = set()
+    for cell_file in index.cells:
+        manifest = read_manifest(ledger / cell_file)
+        assert read_manifest(ledger / cell_file) == manifest
+        ids.add(manifest.run_id())
+    assert len(ids) == len(index.cells), "cell run_ids are not unique"
+
+    print(f"ledger smoke OK: {recorded.manifest_path}, "
+          f"{len(index.cells)} sweep cells under {ledger}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -77,6 +77,6 @@ def test_e14_navigation(benchmark):
     assert all(row[4] == row[1] for row in rows)  # Step-optimal everywhere.
     assert all(row[5] == 0 for row in rows)       # Never bumps a wall.
     # Rounds grow with the language's enumeration position within each maze.
-    for maze in {row[0] for row in rows}:
+    for maze in dict.fromkeys(row[0] for row in rows):
         series = [row[6] for row in rows if row[0] == maze]
         assert series == sorted(series)

@@ -15,6 +15,11 @@ count for the parallel numbers to be stable.
 
 Baselines recorded on a different core count are reported but not
 enforced, since serial throughput also shifts with the machine class.
+
+``--record FILE`` additionally appends one ``{"manifest", "metrics"}``
+line for the candidate to a bench-history JSONL file (conventionally
+``BENCH_history.jsonl``); ``python -m repro.obs diff --history FILE``
+compares the two newest entries.
 """
 
 from __future__ import annotations
@@ -23,6 +28,10 @@ import argparse
 import json
 import sys
 from pathlib import Path
+
+# CI runs this script without PYTHONPATH=src; the ledger import for
+# --record needs the in-repo package.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 
 def load(path: Path) -> dict:
@@ -44,6 +53,37 @@ def throughput(payload: dict, label: str) -> float:
         sys.exit(f"error: {label} has no usable throughput figures")
 
 
+def record_history(history: Path, candidate: dict, source: Path) -> None:
+    """Append one ``{"manifest", "metrics"}`` line for the candidate.
+
+    The manifest half is provenance (version, commit, machine class); the
+    metrics half is every numeric figure in the bench payload, which is
+    exactly the shape ``python -m repro.obs diff --history`` consumes.
+    """
+    from repro.obs.ledger import LEDGER_SCHEMA, git_sha
+    from repro.version import __version__
+
+    metrics = {
+        key: value
+        for key, value in candidate.items()
+        if isinstance(value, (int, float)) and not isinstance(value, bool)
+    }
+    entry = {
+        "manifest": {
+            "ledger_schema": LEDGER_SCHEMA,
+            "kind": "bench",
+            "source": source.name,
+            "repro_version": __version__,
+            "git_sha": git_sha(),
+            "cores": candidate.get("cores"),
+        },
+        "metrics": metrics,
+    }
+    with history.open("a", encoding="utf-8") as handle:
+        handle.write(json.dumps(entry, separators=(",", ":")) + "\n")
+    print(f"recorded candidate metrics to {history}")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline", type=Path, help="committed BENCH_sweep.json")
@@ -54,10 +94,20 @@ def main(argv: list[str] | None = None) -> int:
         default=0.25,
         help="allowed fractional slowdown before failing (default 0.25)",
     )
+    parser.add_argument(
+        "--record",
+        type=Path,
+        metavar="FILE",
+        help="append the candidate's {manifest, metrics} to this "
+        "bench-history JSONL file (see python -m repro.obs diff --history)",
+    )
     args = parser.parse_args(argv)
 
     baseline = load(args.baseline)
     candidate = load(args.candidate)
+
+    if args.record is not None:
+        record_history(args.record, candidate, args.candidate)
 
     base_tp = throughput(baseline, "baseline")
     cand_tp = throughput(candidate, "candidate")

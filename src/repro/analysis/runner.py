@@ -21,12 +21,20 @@ into sweep-wide totals (see ``docs/OBSERVABILITY.md``).
 sweep; metric-only sweeps should pass
 :data:`~repro.core.execution.METRICS_RECORDING` to skip per-round history
 allocations (see ``docs/PERFORMANCE.md``).
+
+``ledger_dir=`` writes run provenance — one :class:`repro.obs.ledger.RunManifest`
+per cell plus a linking sweep manifest — after the cells return, so every
+sweep output stays attributable to the seeds/config/version that produced
+it (see the "Run ledger" section of ``docs/OBSERVABILITY.md``).
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import (
+    TYPE_CHECKING,
     Callable,
     Dict,
     List,
@@ -34,8 +42,12 @@ from typing import (
     Protocol,
     Sequence,
     Tuple,
+    Union,
     runtime_checkable,
 )
+
+if TYPE_CHECKING:
+    from repro.obs.ledger import SweepManifest
 
 from repro.analysis.metrics import RunMetrics, collect_metrics, success_rate
 from repro.core.execution import (
@@ -123,6 +135,12 @@ class SweepCell:
     runs: Tuple[RunMetrics, ...]
     telemetry: Optional[CellTelemetry] = None
     channel_name: Optional[str] = None
+    #: Wall/CPU seconds the cell took where it ran (its worker process for
+    #: parallel sweeps).  Excluded from equality — the determinism contract
+    #: (`parallel == serial`) is about *results*, never timing — and read
+    #: by the run ledger (see :func:`sweep`'s ``ledger_dir``).
+    wall_time_s: float = field(default=0.0, compare=False)
+    cpu_time_s: float = field(default=0.0, compare=False)
 
     @property
     def success_rate(self) -> float:
@@ -204,6 +222,8 @@ def _run_cell(
     # borrow it for the cell so user-level events land in the same counters.
     user_traced = telemetry and hasattr(user, "tracer")
     saved = user.tracer if user_traced else None
+    wall_start = time.perf_counter()
+    cpu_start = time.process_time()
     if user_traced:
         user.tracer = tracer
     try:
@@ -224,6 +244,8 @@ def _run_cell(
         runs=tuple(runs),
         telemetry=CellTelemetry.from_tracer(tracer) if telemetry else None,
         channel_name=None if channel is None else getattr(channel, "name", "channel"),
+        wall_time_s=round(time.perf_counter() - wall_start, 6),
+        cpu_time_s=round(time.process_time() - cpu_start, 6),
     )
 
 
@@ -238,6 +260,7 @@ def sweep(
     recording: RecordingPolicy = FULL_RECORDING,
     executor: Optional["SweepExecutorLike"] = None,
     faults: Optional[Sequence[Optional[FaultyChannelLike]]] = None,
+    ledger_dir: Optional[Union[str, Path]] = None,
 ) -> SweepResult:
     """Run ``user`` against every server under every seed.
 
@@ -253,6 +276,13 @@ def sweep(
     cells, server-major, each tagged with its
     :attr:`SweepCell.channel_name`.  Omitting ``faults`` keeps the
     classical one-cell-per-server sweep.
+
+    ``ledger_dir`` writes run provenance (see :mod:`repro.obs.ledger`):
+    one ``cell-NNN-<run_id>.json`` manifest per cell — seeds, goal, user,
+    server, channel (fault schedule included), recording policy, rounds,
+    wall/CPU time — plus a top-level ``sweep.json`` linking them, so a
+    directory of sweep outputs is self-describing.  Ledger writing
+    happens after the cells return and never changes any result.
     """
     channels = list(faults) if faults is not None else [None]
     tasks = [
@@ -264,7 +294,61 @@ def sweep(
         for i, server in enumerate(servers)
         for j, chan in enumerate(channels)
     ]
-    return SweepResult(goal_name=goal.name, cells=tuple(_dispatch(tasks, executor)))
+    wall_start = time.perf_counter()
+    result = SweepResult(goal_name=goal.name, cells=tuple(_dispatch(tasks, executor)))
+    if ledger_dir is not None:
+        _write_sweep_ledger(
+            result, tasks, Path(ledger_dir), time.perf_counter() - wall_start
+        )
+    return result
+
+
+def _write_sweep_ledger(
+    result: SweepResult,
+    tasks: Sequence[CellTask],
+    directory: Path,
+    wall_time_s: float,
+) -> "SweepManifest":
+    """One manifest per cell plus the linking sweep manifest.
+
+    Deliberately a lazy import: the ledger is analysis-side code, and
+    sweeps without ``ledger_dir`` (the hot path) must not load it.
+    """
+    from repro.obs.ledger import RunManifest, SweepManifest, git_sha, write_manifest
+
+    sha = git_sha()
+    cell_files: List[str] = []
+    for task, cell in zip(tasks, result.cells):
+        manifest = RunManifest(
+            kind="cell",
+            goal=result.goal_name,
+            user=cell.user_name,
+            server=cell.server_name,
+            channel=cell.channel_name,
+            recording=task.recording.label,
+            seeds=task.seeds,
+            max_rounds=task.max_rounds,
+            rounds=sum(m.rounds for m in cell.runs),
+            achieved=sum(1 for m in cell.runs if m.achieved),
+            halted=sum(1 for m in cell.runs if m.halted),
+            wall_time_s=cell.wall_time_s,
+            cpu_time_s=cell.cpu_time_s,
+            git_sha=sha,
+        )
+        filename = f"cell-{task.index:03d}-{manifest.run_id()}.json"
+        write_manifest(manifest, directory / filename)
+        cell_files.append(filename)
+    sweep_manifest = SweepManifest(
+        goal=result.goal_name,
+        user=tasks[0].user.name if tasks else "",
+        cells=tuple(cell_files),
+        seeds=tasks[0].seeds if tasks else (),
+        max_rounds=tasks[0].max_rounds if tasks else 0,
+        wall_time_s=round(wall_time_s, 6),
+        git_sha=sha,
+    )
+    write_manifest(sweep_manifest, directory / "sweep.json")
+    return sweep_manifest
 
 
 def sweep_goals(

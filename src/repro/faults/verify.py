@@ -11,7 +11,13 @@ configurations and reports, per grid point:
   positive indication*: for finite goals, a halt the sensing endorsed on a
   history the referee rejects; for compact goals, a failing tail the
   sensing nevertheless scored all-positive (the settling criterion of
-  :func:`repro.core.properties.check_compact_safety`).
+  :func:`repro.core.properties.check_compact_safety`);
+* the **mean enumeration overhead** — for universal users (anything
+  exposing a reassignable ``tracer``), the mean
+  :attr:`~repro.obs.overhead.OverheadReport.overhead_ratio` across the
+  point's runs, measured by :func:`repro.obs.overhead.compute_overhead`
+  on each run's trace — noise should raise the overhead before it dents
+  the success rate, and this column shows exactly that.
 
 Safety is the property the paper makes unconditional — faults may delay
 success but must never make failure look like success — so a single false
@@ -44,6 +50,9 @@ from repro.faults.channel import (
     drop_channel,
 )
 from repro.faults.schedules import BernoulliSchedule, BurstSchedule
+from repro.obs.overhead import compute_overhead
+from repro.obs.sinks import MemorySink
+from repro.obs.tracer import Tracer
 
 
 def default_fault_grid() -> List[Optional[FaultyChannel]]:
@@ -77,6 +86,9 @@ class FaultPointReport:
     halted: int
     false_positives: int
     mean_rounds: float
+    #: Mean enumeration-overhead ratio across the point's runs (NaN when
+    #: the user is not universal / emitted no trials).
+    mean_overhead_ratio: float = math.nan
 
     @property
     def success_rate(self) -> float:
@@ -123,11 +135,17 @@ class RobustnessReport:
                 f"{p.success_rate:.2f}",
                 str(p.false_positives),
                 "-" if math.isnan(p.mean_rounds) else f"{p.mean_rounds:.0f}",
+                "-"
+                if math.isnan(p.mean_overhead_ratio)
+                else f"{p.mean_overhead_ratio:.3f}",
             ]
             for p in self.points
         ]
         return format_table(
-            ["fault channel", "achieved", "rate", "false-pos", "mean rounds"],
+            [
+                "fault channel", "achieved", "rate", "false-pos",
+                "mean rounds", "overhead",
+            ],
             rows,
             title=f"robustness: {self.user_name} on {self.goal_name}",
         )
@@ -170,22 +188,35 @@ def verify_robustness(
     """
     if grid is None:
         grid = default_fault_grid()
+    # Universal users expose a reassignable ``tracer``; borrowing it per
+    # run yields the event stream the overhead accounting reads.  Tracing
+    # is read-only, so every traced run is bitwise-identical to untraced.
+    user_traceable = hasattr(user, "tracer")
     points: List[FaultPointReport] = []
     for channel in grid:
         name = "perfect" if channel is None else getattr(channel, "name", "channel")
         runs = achieved = halted = false_positives = 0
         achieved_rounds: List[int] = []
+        overhead_ratios: List[float] = []
         for server in servers:
             for seed in seeds:
                 runs += 1
-                execution = run_execution(
-                    user,
-                    server,
-                    goal.world,
-                    max_rounds=max_rounds,
-                    seed=seed,
-                    channel=channel,
-                )
+                sink = MemorySink() if user_traceable else None
+                saved = user.tracer if user_traceable else None
+                if user_traceable:
+                    user.tracer = Tracer(sink=sink)
+                try:
+                    execution = run_execution(
+                        user,
+                        server,
+                        goal.world,
+                        max_rounds=max_rounds,
+                        seed=seed,
+                        channel=channel,
+                    )
+                finally:
+                    if user_traceable:
+                        user.tracer = saved
                 outcome = goal.evaluate(execution)
                 if outcome.achieved:
                     achieved += 1
@@ -194,6 +225,10 @@ def verify_robustness(
                     halted += 1
                 if _false_positive(goal, sensing, execution):
                     false_positives += 1
+                if sink is not None:
+                    overhead = compute_overhead(sink.events)
+                    if overhead.trials:
+                        overhead_ratios.append(overhead.overhead_ratio)
         points.append(
             FaultPointReport(
                 channel_name=name,
@@ -204,6 +239,11 @@ def verify_robustness(
                 mean_rounds=(
                     sum(achieved_rounds) / len(achieved_rounds)
                     if achieved_rounds
+                    else math.nan
+                ),
+                mean_overhead_ratio=(
+                    sum(overhead_ratios) / len(overhead_ratios)
+                    if overhead_ratios
                     else math.nan
                 ),
             )

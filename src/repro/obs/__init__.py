@@ -14,6 +14,12 @@ message events), the universal users (sensing, switch, and trial events),
 
 Tracing is strictly opt-in and the off path is allocation-free; see
 ``docs/OBSERVABILITY.md`` for the taxonomy and usage patterns.
+
+The read/analysis half of the stack — the run ledger (:mod:`.ledger`),
+overhead accounting (:mod:`.overhead`), and the ``python -m repro.obs``
+trace CLI (:mod:`.analyze`) — is re-exported *lazily* (PEP 562): the
+engine's ``from repro.obs.events import ...`` runs this ``__init__``, and
+the tracing-off path must not pay for (or even load) analysis-side code.
 """
 
 from repro.obs.counters import Counter, CounterSet, Histogram
@@ -33,9 +39,48 @@ from repro.obs.events import (
     event_from_dict,
     event_kinds,
 )
-from repro.obs.sinks import JsonlSink, MemorySink, NullSink, Sink, read_jsonl
+from repro.obs.sinks import (
+    TRACE_SCHEMA,
+    JsonlSink,
+    MemorySink,
+    NullSink,
+    Sink,
+    TraceSchemaError,
+    read_jsonl,
+    read_trace,
+)
 from repro.obs.timers import PhaseTimer
 from repro.obs.tracer import NoopTracer, Tracer, TracerLike, is_tracing
+
+#: Analysis-side names resolved on first attribute access (PEP 562), so
+#: importing the emit-side modules never loads ledger/overhead code.
+_LAZY_EXPORTS = {
+    "RunManifest": "repro.obs.ledger",
+    "SweepManifest": "repro.obs.ledger",
+    "record_run": "repro.obs.ledger",
+    "OverheadReport": "repro.obs.overhead",
+    "StrategyAttribution": "repro.obs.overhead",
+    "compute_overhead": "repro.obs.overhead",
+    "DiffReport": "repro.obs.analyze",
+    "TraceSummary": "repro.obs.analyze",
+    "compute_diff": "repro.obs.analyze",
+    "render_timeline": "repro.obs.analyze",
+    "summarize_trace": "repro.obs.analyze",
+}
+
+
+def __getattr__(name: str) -> object:
+    module_name = _LAZY_EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__() -> "list[str]":
+    return sorted(set(globals()) | set(_LAZY_EXPORTS))
+
 
 __all__ = [
     "Counter",
@@ -59,7 +104,21 @@ __all__ = [
     "NullSink",
     "MemorySink",
     "JsonlSink",
+    "TRACE_SCHEMA",
+    "TraceSchemaError",
     "read_jsonl",
+    "read_trace",
+    "RunManifest",
+    "SweepManifest",
+    "record_run",
+    "OverheadReport",
+    "StrategyAttribution",
+    "compute_overhead",
+    "DiffReport",
+    "TraceSummary",
+    "compute_diff",
+    "render_timeline",
+    "summarize_trace",
     "PhaseTimer",
     "NoopTracer",
     "Tracer",

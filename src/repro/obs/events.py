@@ -203,7 +203,17 @@ class SensingIndication(Event):
 @register
 @dataclass(frozen=True)
 class StrategySwitch(Event):
-    """A universal user advanced its enumeration on a negative indication."""
+    """A universal user abandoned one candidate for another.
+
+    ``reason`` names what triggered the move, so overhead attribution
+    (:mod:`repro.obs.overhead`) can distinguish the enumeration's own
+    cost from prior-driven re-ranking:
+
+    * ``"sensing-negative"`` — compact user: the enumeration advanced on
+      a negative indication (Theorem 1's switch);
+    * ``"belief-decay"`` — belief-weighted user: the candidate's decayed
+      weight fell below another candidate's.
+    """
 
     kind: ClassVar[str] = "strategy-switch"
 
@@ -211,6 +221,7 @@ class StrategySwitch(Event):
     from_index: int
     to_index: int
     wrapped: bool
+    reason: str = "sensing-negative"
 
 
 @register
@@ -239,7 +250,9 @@ class TrialFinished(Event):
     * ``"endorsed"`` — finite user: candidate halted and sensing endorsed it;
     * ``"halt-rejected"`` — finite user: candidate halted, sensing refused;
     * ``"budget"`` — finite user: the trial's round budget ran out;
-    * ``"missing"`` — finite user: the scheduled index fell outside the class.
+    * ``"missing"`` — finite user: the scheduled index fell outside the class;
+    * ``"decayed"`` — belief-weighted user: the candidate's weight decayed
+      below another's.
     """
 
     kind: ClassVar[str] = "trial-finished"

@@ -1,0 +1,263 @@
+"""Overhead accounting: where a universal user's rounds went.
+
+Theorem 1's universal user pays an *enumeration overhead* — rounds spent
+on candidate strategies that sensing later evicts — and the paper's
+lower bound (the password server class, E3) shows this overhead is
+necessary in general.  This module turns that story into a measured
+quantity: :func:`compute_overhead` replays a trace (a live
+:class:`~repro.obs.sinks.MemorySink` buffer or a JSONL file parsed by
+:func:`~repro.obs.sinks.read_jsonl`) and attributes every round to the
+enumerated strategy that consumed it.
+
+Definitions (over one execution's event stream):
+
+* a round belongs to the trial that was live when it ran; trials belong
+  to their ``candidate_index``;
+* the **settled** trial is the one still live when the trace ends, or
+  the one that ended ``"endorsed"`` (the finite user's successful halt);
+  a trace whose last trial was evicted/abandoned settled nowhere;
+* **productive rounds** are the settled trial's rounds — the paper's
+  "cost of the adequate strategy";
+* **overhead rounds** are everything else: the enumeration's wasted
+  work, ``overhead_ratio`` = overhead / total.
+
+The accounting consumes only event fields the universal users emit
+(``TrialStarted`` / ``TrialFinished`` / ``SensingIndication`` /
+``StrategySwitch``), so it works identically on compact, finite, and
+belief-weighted traces, live or replayed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.obs.events import (
+    Event,
+    ExecutionFinished,
+    RoundExecuted,
+    SensingIndication,
+    StrategySwitch,
+    TrialFinished,
+    TrialStarted,
+)
+
+#: ``TrialFinished.reason`` values that mean the candidate *succeeded*.
+_SUCCESS_REASONS = frozenset({"endorsed"})
+
+
+@dataclass(frozen=True)
+class StrategyAttribution:
+    """One enumerated strategy's share of the run.
+
+    ``rounds`` counts every round the strategy's trials consumed,
+    ``indications`` / ``negative_indications`` the sensing verdicts it
+    was judged on, ``switched_away`` whether any of its trials ended by
+    eviction/abandonment (as opposed to settling or being endorsed).
+    """
+
+    index: int
+    trials: int
+    rounds: int
+    indications: int
+    negative_indications: int
+    switched_away: bool
+
+
+@dataclass(frozen=True)
+class OverheadReport:
+    """The enumeration-overhead decomposition of one traced execution."""
+
+    total_rounds: int
+    productive_rounds: int
+    overhead_rounds: int
+    overhead_ratio: float
+    settled_index: Optional[int]
+    switches: int
+    wraps: int
+    trials: int
+    per_strategy: Tuple[StrategyAttribution, ...]
+
+    def strategy(self, index: int) -> StrategyAttribution:
+        """Look up one strategy's attribution by enumeration index."""
+        for attribution in self.per_strategy:
+            if attribution.index == index:
+                return attribution
+        raise KeyError(f"no attribution for strategy index {index}")
+
+    def format(self) -> str:
+        """A fixed-width text rendering (the CLI's ``overhead`` output)."""
+        lines = [
+            f"total rounds      : {self.total_rounds}",
+            f"productive rounds : {self.productive_rounds}",
+            f"overhead rounds   : {self.overhead_rounds}",
+            f"overhead ratio    : {self.overhead_ratio:.3f}",
+            f"settled index     : "
+            f"{'-' if self.settled_index is None else self.settled_index}",
+            f"switches          : {self.switches} (wraps: {self.wraps})",
+            f"trials            : {self.trials}",
+        ]
+        if self.per_strategy:
+            lines.append("per-strategy attribution:")
+            lines.append("  index  trials  rounds  neg/indications  switched-away")
+            for a in self.per_strategy:
+                lines.append(
+                    f"  {a.index:>5}  {a.trials:>6}  {a.rounds:>6}  "
+                    f"{a.negative_indications:>3}/{a.indications:<11}  "
+                    f"{'yes' if a.switched_away else 'no'}"
+                )
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-data form (the CLI's ``--format json`` output)."""
+        return {
+            "total_rounds": self.total_rounds,
+            "productive_rounds": self.productive_rounds,
+            "overhead_rounds": self.overhead_rounds,
+            "overhead_ratio": self.overhead_ratio,
+            "settled_index": self.settled_index,
+            "switches": self.switches,
+            "wraps": self.wraps,
+            "trials": self.trials,
+            "per_strategy": [
+                {
+                    "index": a.index,
+                    "trials": a.trials,
+                    "rounds": a.rounds,
+                    "indications": a.indications,
+                    "negative_indications": a.negative_indications,
+                    "switched_away": a.switched_away,
+                }
+                for a in self.per_strategy
+            ],
+        }
+
+
+@dataclass
+class _TrialTally:
+    """Mutable per-strategy accumulator used while scanning the stream."""
+
+    index: int
+    trials: int = 0
+    rounds: int = 0
+    indications: int = 0
+    negative_indications: int = 0
+    switched_away: bool = False
+
+
+def compute_overhead(events: Iterable[Event]) -> OverheadReport:
+    """Attribute a traced execution's rounds to its enumerated strategies.
+
+    Accepts any ordered event stream — ``MemorySink.events``, the list
+    from :func:`~repro.obs.sinks.read_jsonl`, or a generator.  Traces
+    without universal-user events (no trials) yield an all-zero report
+    with ``settled_index=None`` and an overhead ratio of 0.0: a
+    non-enumerating user has no enumeration overhead by definition.
+    """
+    tallies: Dict[int, _TrialTally] = {}
+    engine_rounds: Optional[int] = None
+    rounds_executed = 0
+    switches = 0
+    wraps = 0
+    trials = 0
+    closed_trial_rounds = 0
+
+    open_index: Optional[int] = None
+    open_rounds = 0  # Sensing consultations seen in the open trial.
+    endorsed_index: Optional[int] = None
+    endorsed_rounds = 0
+
+    def tally(index: int) -> _TrialTally:
+        found = tallies.get(index)
+        if found is None:
+            found = tallies[index] = _TrialTally(index=index)
+        return found
+
+    for event in events:
+        if isinstance(event, RoundExecuted):
+            rounds_executed += 1
+        elif isinstance(event, ExecutionFinished):
+            engine_rounds = event.rounds_executed
+        elif isinstance(event, TrialStarted):
+            open_index = event.candidate_index
+            open_rounds = 0
+            endorsed_index = None  # A new trial supersedes any endorsement.
+            trials += 1
+            tally(event.candidate_index).trials += 1
+        elif isinstance(event, SensingIndication):
+            t = tally(event.candidate_index)
+            t.indications += 1
+            if not event.positive:
+                t.negative_indications += 1
+            if event.candidate_index == open_index:
+                open_rounds += 1
+        elif isinstance(event, TrialFinished):
+            t = tally(event.candidate_index)
+            t.rounds += event.rounds_used
+            closed_trial_rounds += event.rounds_used
+            if event.reason in _SUCCESS_REASONS:
+                endorsed_index = event.candidate_index
+                endorsed_rounds = event.rounds_used
+            else:
+                t.switched_away = True
+            if event.candidate_index == open_index:
+                open_index = None
+                open_rounds = 0
+        elif isinstance(event, StrategySwitch):
+            switches += 1
+            if event.wrapped:
+                wraps += 1
+
+    total_rounds = engine_rounds if engine_rounds is not None else rounds_executed
+    if total_rounds == 0:
+        # User-only trace (tracer attached to the user but not the engine):
+        # every user round produced one sensing consultation.
+        total_rounds = closed_trial_rounds + open_rounds
+
+    # The open trial's rounds: whatever the closed trials did not consume.
+    # (More robust than counting its indications — a patience budget or a
+    # grace wrapper can consult sensing on a subset of rounds.)
+    open_trial_rounds = max(0, total_rounds - closed_trial_rounds)
+    if open_index is not None:
+        tally(open_index).rounds += open_trial_rounds
+
+    if open_index is not None:
+        settled_index: Optional[int] = open_index
+        productive_rounds = open_trial_rounds
+    elif endorsed_index is not None:
+        # The finite user's successful halt: exactly the endorsed trial's
+        # own rounds were productive; earlier trials of the same candidate
+        # (budget re-runs) still count as overhead.
+        settled_index = endorsed_index
+        productive_rounds = endorsed_rounds
+    else:
+        settled_index = None
+        productive_rounds = 0
+
+    overhead_rounds = max(0, total_rounds - productive_rounds)
+    ratio = overhead_rounds / total_rounds if total_rounds else 0.0
+    per_strategy = tuple(
+        StrategyAttribution(
+            index=t.index,
+            trials=t.trials,
+            rounds=t.rounds,
+            indications=t.indications,
+            negative_indications=t.negative_indications,
+            switched_away=t.switched_away,
+        )
+        for t in sorted(tallies.values(), key=lambda t: t.index)
+    )
+    return OverheadReport(
+        total_rounds=total_rounds,
+        productive_rounds=productive_rounds,
+        overhead_rounds=overhead_rounds,
+        overhead_ratio=ratio,
+        settled_index=settled_index,
+        switches=switches,
+        wraps=wraps,
+        trials=trials,
+        per_strategy=per_strategy,
+    )
+
+
+__all__ = ["OverheadReport", "StrategyAttribution", "compute_overhead"]

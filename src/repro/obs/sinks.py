@@ -11,6 +11,12 @@ Three implementations cover the reproduction's needs:
   same seeded run are byte-identical and diffable.
 
 :func:`read_jsonl` inverts :class:`JsonlSink` back into typed events.
+
+Trace files are schema-versioned: the first line a :class:`JsonlSink`
+writes is a header object ``{"trace_schema": 1, ...}`` (never an event),
+and the replay path refuses schema majors it does not understand with a
+:class:`TraceSchemaError` rather than misparsing the stream.  Headerless
+files (pre-versioning traces, hand-built fixtures) still read fine.
 """
 
 from __future__ import annotations
@@ -18,11 +24,30 @@ from __future__ import annotations
 import json
 from collections import deque
 from pathlib import Path
-from typing import Deque, Iterator, List, Optional, Type, TypeVar, Union
+from typing import (
+    Any,
+    Deque,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    Type,
+    TypeVar,
+    Union,
+)
 
 from repro.obs.events import Event, event_from_dict
 
 E = TypeVar("E", bound=Event)
+
+#: The trace-file schema major this build writes and understands.
+TRACE_SCHEMA = 1
+
+
+class TraceSchemaError(ValueError):
+    """A trace file declares a schema this build cannot interpret."""
 
 
 class Sink:
@@ -91,11 +116,25 @@ class JsonlSink(Sink):
     :meth:`~repro.obs.events.Event.to_dict`), separators are fixed, and
     nothing machine-dependent (timestamps, pids) is ever written — two
     traces of the same seeded run diff clean.
+
+    The first line is the schema header (``{"trace_schema": 1}`` plus any
+    ``header`` extras, which must themselves be deterministic values for
+    the byte-identity guarantee to hold).
     """
 
-    def __init__(self, path: Union[str, Path]) -> None:
+    def __init__(
+        self,
+        path: Union[str, Path],
+        header: Optional[Mapping[str, Any]] = None,
+    ) -> None:
         self.path = Path(path)
         self._file = self.path.open("w", encoding="utf-8")
+        head: Dict[str, Any] = {"trace_schema": TRACE_SCHEMA}
+        for key, value in (header or {}).items():
+            if key != "trace_schema":
+                head[key] = value
+        self._file.write(json.dumps(head, separators=(",", ":")))
+        self._file.write("\n")
 
     def emit(self, event: Event) -> None:
         self._file.write(json.dumps(event.to_dict(), separators=(",", ":")))
@@ -106,12 +145,50 @@ class JsonlSink(Sink):
             self._file.close()
 
 
-def read_jsonl(path: Union[str, Path]) -> List[Event]:
-    """Parse a :class:`JsonlSink` file back into typed events, in order."""
+def _check_trace_header(header: Mapping[str, Any], path: Path) -> None:
+    """Reject schema majors this build does not understand."""
+    declared = header.get("trace_schema")
+    if not isinstance(declared, int) or declared <= 0:
+        raise TraceSchemaError(
+            f"{path}: malformed trace_schema header value {declared!r}"
+        )
+    if declared > TRACE_SCHEMA:
+        raise TraceSchemaError(
+            f"{path}: trace_schema {declared} is newer than the supported "
+            f"major {TRACE_SCHEMA}; re-read it with a matching repro build"
+        )
+
+
+def read_trace(path: Union[str, Path]) -> Tuple[Dict[str, Any], List[Event]]:
+    """Parse a :class:`JsonlSink` file into ``(header, events)``.
+
+    The header is ``{}`` for pre-versioning files whose first line is
+    already an event (anything carrying a ``kind`` tag).  Raises
+    :class:`TraceSchemaError` on an unsupported or malformed schema
+    declaration, and the underlying ``json``/``KeyError``/``TypeError``
+    on lines that are not valid events — a trace either round-trips
+    exactly or fails loudly.
+    """
+    resolved = Path(path)
+    header: Dict[str, Any] = {}
     events: List[Event] = []
-    with Path(path).open("r", encoding="utf-8") as handle:
+    first = True
+    with resolved.open("r", encoding="utf-8") as handle:
         for line in handle:
             line = line.strip()
-            if line:
-                events.append(event_from_dict(json.loads(line)))
-    return events
+            if not line:
+                continue
+            record = json.loads(line)
+            if first:
+                first = False
+                if isinstance(record, dict) and "kind" not in record:
+                    _check_trace_header(record, resolved)
+                    header = record
+                    continue
+            events.append(event_from_dict(record))
+    return header, events
+
+
+def read_jsonl(path: Union[str, Path]) -> List[Event]:
+    """Parse a :class:`JsonlSink` file back into typed events, in order."""
+    return read_trace(path)[1]

@@ -25,6 +25,8 @@ from repro.comm.messages import UserInbox, UserOutbox
 from repro.core.sensing import IncrementalSensing, Sensing, incremental_sensing
 from repro.core.strategy import UserStrategy
 from repro.core.views import UserView, ViewRecord
+from repro.obs.events import SensingIndication, StrategySwitch, TrialFinished, TrialStarted
+from repro.obs.tracer import TracerLike, is_tracing
 
 
 @dataclass
@@ -66,6 +68,14 @@ class BeliefWeightedUniversalUser(UserStrategy):
         weight decay applies — the noisy-channel retry budget, as for
         :class:`~repro.universal.compact.CompactUniversalUser`.  The
         budget refills when the user switches candidates.
+    tracer:
+        Optional :mod:`repro.obs` tracer receiving per-round
+        :class:`~repro.obs.events.SensingIndication` plus
+        :class:`~repro.obs.events.TrialStarted` /
+        :class:`~repro.obs.events.TrialFinished` /
+        :class:`~repro.obs.events.StrategySwitch` (``reason`` =
+        ``"belief-decay"``) events, like the other universal users.
+        Public and reassignable so sweeps can attach per-cell telemetry.
     """
 
     def __init__(
@@ -77,6 +87,7 @@ class BeliefWeightedUniversalUser(UserStrategy):
         decay: float = 0.5,
         min_trial_rounds: int = 0,
         patience: int = 0,
+        tracer: TracerLike = None,
     ) -> None:
         if not candidates:
             raise ValueError("candidate class must be non-empty")
@@ -98,6 +109,7 @@ class BeliefWeightedUniversalUser(UserStrategy):
         self._decay = decay
         self._min_trial_rounds = min_trial_rounds
         self._patience = patience
+        self.tracer = tracer
 
     @property
     def name(self) -> str:
@@ -110,11 +122,20 @@ class BeliefWeightedUniversalUser(UserStrategy):
     def step(
         self, state: BeliefState, inbox: UserInbox, rng: random.Random
     ) -> Tuple[BeliefState, UserOutbox]:
+        tracing = is_tracing(self.tracer)
         inner = self._candidates[state.index]
         if not state.inner_started:
             state.inner_state = inner.initial_state(rng)
             state.inner_started = True
             state.monitor = incremental_sensing(self._sensing)
+            if tracing:
+                self.tracer.emit(
+                    TrialStarted(
+                        round_index=state.total_rounds,
+                        trial_number=state.switches,
+                        candidate_index=state.index,
+                    )
+                )
 
         state_before = state.inner_state
         state.inner_state, outbox = inner.step(state.inner_state, inbox, rng)
@@ -130,12 +151,39 @@ class BeliefWeightedUniversalUser(UserStrategy):
         state.trial_view.append(record)
 
         indication = state.monitor.observe(record)
+        if tracing:
+            self.tracer.emit(
+                SensingIndication(
+                    round_index=state.total_rounds - 1,
+                    candidate_index=state.index,
+                    positive=indication,
+                )
+            )
         if not indication and state.rounds_in_trial >= max(1, self._min_trial_rounds):
             state.strikes += 1
             if state.strikes > self._patience:
                 state.weights[state.index] *= self._decay
                 best = _argmax(state.weights)
                 if best != state.index:
+                    if tracing:
+                        self.tracer.emit(
+                            TrialFinished(
+                                round_index=state.total_rounds - 1,
+                                trial_number=state.switches,
+                                candidate_index=state.index,
+                                rounds_used=state.rounds_in_trial,
+                                reason="decayed",
+                            )
+                        )
+                        self.tracer.emit(
+                            StrategySwitch(
+                                round_index=state.total_rounds - 1,
+                                from_index=state.index,
+                                to_index=best,
+                                wrapped=False,
+                                reason="belief-decay",
+                            )
+                        )
                     state.index = best
                     state.inner_state = None
                     state.inner_started = False

@@ -217,6 +217,7 @@ class CompactUniversalUser(UserStrategy):
                     from_index=state.index,
                     to_index=next_index,
                     wrapped=wrapped,
+                    reason="sensing-negative",
                 )
             )
         state.index = next_index

@@ -41,7 +41,8 @@ SAMPLES = [
     RoundExecuted(round_index=2, messages=3, message_bytes=17, halted=False),
     ExecutionFinished(rounds_executed=9, halted=True),
     SensingIndication(round_index=4, candidate_index=1, positive=False),
-    StrategySwitch(round_index=4, from_index=1, to_index=2, wrapped=False),
+    StrategySwitch(round_index=4, from_index=1, to_index=2, wrapped=False,
+                   reason="belief-decay"),
     TrialStarted(round_index=5, trial_number=2, candidate_index=2, budget=16),
     TrialFinished(round_index=8, trial_number=2, candidate_index=2,
                   rounds_used=4, reason="evicted"),
@@ -82,3 +83,19 @@ class TestRoundTrip:
     def test_field_order_is_declaration_order(self):
         keys = list(SAMPLES[1].to_dict())
         assert keys == ["kind", "round_index", "sender", "receiver", "payload"]
+
+    def test_samples_cover_every_registered_kind(self):
+        """A new event type must gain a sample here (and thus a round-trip)."""
+        assert {e.kind for e in SAMPLES} == set(event_kinds())
+
+    def test_every_kind_round_trips_through_a_trace_file(self, tmp_path):
+        """JsonlSink → read_trace is the identity for every event type."""
+        from repro.obs import TRACE_SCHEMA, JsonlSink, read_trace
+
+        path = tmp_path / "all-kinds.jsonl"
+        with JsonlSink(path) as sink:
+            for event in SAMPLES:
+                sink.emit(event)
+        header, events = read_trace(path)
+        assert header == {"trace_schema": TRACE_SCHEMA}
+        assert events == SAMPLES

@@ -7,12 +7,15 @@ import json
 import pytest
 
 from repro.obs import (
+    TRACE_SCHEMA,
     JsonlSink,
     MemorySink,
     NullSink,
     RoundExecuted,
     SensingIndication,
+    TraceSchemaError,
     read_jsonl,
+    read_trace,
 )
 
 EVENTS = [
@@ -69,14 +72,53 @@ class TestJsonlSink:
         path = tmp_path / "trace.jsonl"
         with JsonlSink(path) as sink:
             sink.emit(EVENTS[0])
-        line = path.read_text().strip()
-        assert line.startswith('{"kind":"round-executed"')
-        assert json.loads(line)["round_index"] == 0
+        header_line, event_line = path.read_text().strip().splitlines()
+        assert json.loads(header_line) == {"trace_schema": TRACE_SCHEMA}
+        assert event_line.startswith('{"kind":"round-executed"')
+        assert json.loads(event_line)["round_index"] == 0
 
     def test_close_is_idempotent(self, tmp_path):
         sink = JsonlSink(tmp_path / "trace.jsonl")
         sink.close()
         sink.close()
+
+
+class TestTraceSchema:
+    def test_header_round_trips_with_extras(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlSink(path, header={"run_id": "abc123"}) as sink:
+            sink.emit(EVENTS[0])
+        header, events = read_trace(path)
+        assert header == {"trace_schema": TRACE_SCHEMA, "run_id": "abc123"}
+        assert events == [EVENTS[0]]
+
+    def test_header_extras_cannot_shadow_schema(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        JsonlSink(path, header={"trace_schema": 99}).close()
+        header, _ = read_trace(path)
+        assert header["trace_schema"] == TRACE_SCHEMA
+
+    def test_headerless_file_reads_as_legacy(self, tmp_path):
+        """Pre-versioning traces (first line is an event) still parse."""
+        path = tmp_path / "legacy.jsonl"
+        path.write_text(
+            json.dumps(EVENTS[0].to_dict(), separators=(",", ":")) + "\n"
+        )
+        header, events = read_trace(path)
+        assert header == {}
+        assert events == [EVENTS[0]]
+
+    def test_newer_major_is_rejected(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        path.write_text(json.dumps({"trace_schema": TRACE_SCHEMA + 1}) + "\n")
+        with pytest.raises(TraceSchemaError, match="newer than the supported"):
+            read_trace(path)
+
+    def test_malformed_schema_is_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"trace_schema": "one"}\n')
+        with pytest.raises(TraceSchemaError, match="malformed"):
+            read_trace(path)
 
 
 class TestNullSink:
