@@ -4,8 +4,15 @@ Writes into the directory named by argv[1]:
 
 * ``run.jsonl`` / ``run.json`` — one traced execution of a compact
   universal user over a lossy channel, via ``record_run``;
+* ``qbf.jsonl`` / ``qbf.json`` — one QBF delegation run whose trace
+  carries the interactive-proof transcript;
 * ``sweep/`` — per-cell manifests plus ``sweep.json`` from a small
   faulted sweep, via ``sweep(..., ledger_dir=)``.
+
+Everything is recorded with ``certify=True``, so each artefact is
+checked against its own trace before it is ever uploaded; the CI job
+then re-certifies the traces through ``python -m repro.obs certify``
+(the engine-free path) and uploads the certificates alongside.
 
 Exits non-zero if any written manifest fails to round-trip, so the CI
 step is a real gate, not just an artifact producer.
@@ -18,13 +25,18 @@ import sys
 from pathlib import Path
 
 from repro.analysis.runner import sweep
-from repro.comm.codecs import codec_family
+from repro.comm.codecs import IdentityCodec, codec_family
 from repro.faults.channel import drop_channel
+from repro.mathx.modular import Field
 from repro.obs.ledger import read_manifest, record_run
+from repro.qbf.generators import random_qbf
 from repro.servers.advisors import advisor_server_class
+from repro.servers.provers import HonestProverServer
 from repro.universal.compact import CompactUniversalUser
 from repro.universal.enumeration import ListEnumeration
 from repro.users.control_users import follower_user_class
+from repro.users.delegation_users import DelegationUser
+from repro.worlds.computation import delegation_goal
 from repro.worlds.control import control_goal, control_sensing, random_law
 
 
@@ -43,16 +55,25 @@ def main() -> int:
     recorded = record_run(
         universal(), servers[2], goal,
         max_rounds=1200, seed=0, out_dir=out, name="run",
-        channel=drop_channel(0.05),
+        channel=drop_channel(0.05), certify=True,
     )
     assert recorded.manifest.achieved == 1, "smoke run failed to achieve"
     assert read_manifest(recorded.manifest_path) == recorded.manifest
+
+    field = Field()
+    delegated = record_run(
+        DelegationUser(IdentityCodec(), field),
+        HonestProverServer(field),
+        delegation_goal([random_qbf(random.Random(s), 2) for s in (1, 4)]),
+        max_rounds=300, seed=0, out_dir=out, name="qbf", certify=True,
+    )
+    assert delegated.manifest.achieved == 1, "delegation smoke failed"
 
     ledger = out / "sweep"
     sweep(
         universal(), servers, goal,
         seeds=(0, 1), max_rounds=1200,
-        faults=[None, drop_channel(0.05)], ledger_dir=ledger,
+        faults=[None, drop_channel(0.05)], ledger_dir=ledger, certify=True,
     )
     index = read_manifest(ledger / "sweep.json")
     ids = set()

@@ -12,6 +12,7 @@ from __future__ import annotations
 import random
 import time
 import tracemalloc
+from pathlib import Path
 
 from conftest import emit
 
@@ -222,6 +223,51 @@ def test_incremental_sensing_per_round_cost_is_flat():
     assert long_ < short * 1.5, (
         f"per-round cost grew {long_ / short:.2f}x when the horizon doubled "
         "— sensing is no longer O(1) per round"
+    )
+
+
+CERTIFY_TRACE = Path(__file__).parent / "data" / "certify_demo.jsonl"
+
+
+def test_certify_trace_throughput(benchmark):
+    """End-to-end certification of the committed demo trace."""
+    from repro.obs.certify import certify_trace
+
+    report = benchmark(lambda: certify_trace(CERTIFY_TRACE))
+    assert report.ok, report.format()
+
+
+def test_certify_overhead_within_four_x_of_parsing():
+    """Acceptance gate: certify ≤ 4x the cost of merely reading the trace.
+
+    The checker replays seeds, faults, switches, and verdict arithmetic
+    on top of the JSONL parse, so it can never beat ``read_trace`` — but
+    if it drifts past a small multiple of the parse cost, certifying
+    every CI trace stops being free and the gate should catch the
+    regression.  Best-of-N over interleaved repeats, same estimator as
+    the tracing gate above.
+    """
+    from repro.obs.certify import certify_trace
+    from repro.obs.sinks import read_trace
+
+    certify_trace(CERTIFY_TRACE)  # Warm caches before timing.
+    read_times, certify_times = [], []
+    for _ in range(7):
+        start = time.perf_counter()
+        read_trace(CERTIFY_TRACE)
+        read_times.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        report = certify_trace(CERTIFY_TRACE)
+        certify_times.append(time.perf_counter() - start)
+    assert report.ok, report.format()
+    read, certify = min(read_times), min(certify_times)
+    emit(
+        f"certify {certify * 1e3:.1f}ms vs read {read * 1e3:.1f}ms over "
+        f"{report.events} events ({certify / read:.1f}x)"
+    )
+    assert certify <= read * 4.0, (
+        f"certify took {certify / read:.1f}x the parse time — "
+        "the checker grew a superlinear pass"
     )
 
 

@@ -261,6 +261,7 @@ def sweep(
     executor: Optional["SweepExecutorLike"] = None,
     faults: Optional[Sequence[Optional[FaultyChannelLike]]] = None,
     ledger_dir: Optional[Union[str, Path]] = None,
+    certify: bool = False,
 ) -> SweepResult:
     """Run ``user`` against every server under every seed.
 
@@ -283,7 +284,14 @@ def sweep(
     wall/CPU time — plus a top-level ``sweep.json`` linking them, so a
     directory of sweep outputs is self-describing.  Ledger writing
     happens after the cells return and never changes any result.
+
+    ``certify=True`` (requires ``ledger_dir``) re-checks the written
+    ledger's integrity — every cell manifest present and the sweep
+    manifest's ``cells_sha256`` digest matching — raising
+    :class:`repro.obs.certify.CertificationError` on any mismatch.
     """
+    if certify and ledger_dir is None:
+        raise ValueError("sweep(certify=True) requires ledger_dir")
     channels = list(faults) if faults is not None else [None]
     tasks = [
         CellTask(
@@ -300,6 +308,10 @@ def sweep(
         _write_sweep_ledger(
             result, tasks, Path(ledger_dir), time.perf_counter() - wall_start
         )
+        if certify:
+            from repro.obs.certify import certify_sweep
+
+            certify_sweep(Path(ledger_dir))
     return result
 
 
@@ -314,6 +326,7 @@ def _write_sweep_ledger(
     Deliberately a lazy import: the ledger is analysis-side code, and
     sweeps without ``ledger_dir`` (the hot path) must not load it.
     """
+    from repro.obs.certify import sweep_cells_digest
     from repro.obs.ledger import RunManifest, SweepManifest, git_sha, write_manifest
 
     sha = git_sha()
@@ -344,6 +357,7 @@ def _write_sweep_ledger(
         cells=tuple(cell_files),
         seeds=tasks[0].seeds if tasks else (),
         max_rounds=tasks[0].max_rounds if tasks else 0,
+        cells_sha256=sweep_cells_digest(directory, cell_files),
         wall_time_s=round(wall_time_s, 6),
         git_sha=sha,
     )

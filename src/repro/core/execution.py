@@ -45,7 +45,13 @@ from repro.core.strategy import ServerStrategy, UserStrategy, WorldStrategy
 from repro.core.views import BoundedUserView, UserView, ViewRecord
 from repro.comm.transcripts import Transcript
 from repro.errors import ExecutionError
-from repro.obs.events import ExecutionFinished, ExecutionStarted, MessageSent, RoundExecuted
+from repro.obs.events import (
+    ExecutionFinished,
+    ExecutionStarted,
+    MessageSent,
+    RoundExecuted,
+    rng_chain_digest,
+)
 from repro.obs.tracer import TracerLike, is_tracing
 
 
@@ -194,18 +200,26 @@ def run_execution(
 
     # Hoisted once: the hot loop below must not pay for tracing when off.
     tracing = is_tracing(tracer)
+
+    master = random.Random(seed)
+    user_seed = master.getrandbits(64)
+    server_seed = master.getrandbits(64)
+    world_seed = master.getrandbits(64)
+    user_rng = random.Random(user_seed)
+    server_rng = random.Random(server_seed)
+    world_rng = random.Random(world_seed)
+
     if tracing:
         tracer.emit(
             ExecutionStarted(
                 user=user.name, server=server.name, world=world.name,
                 max_rounds=max_rounds, seed=seed,
+                rng_digest=rng_chain_digest(
+                    seed, (user_seed, server_seed, world_seed)
+                ),
             )
         )
 
-    master = random.Random(seed)
-    user_rng = random.Random(master.getrandbits(64))
-    server_rng = random.Random(master.getrandbits(64))
-    world_rng = random.Random(master.getrandbits(64))
     # Drawn *after* the party streams so channel=None leaves them — and
     # therefore every pre-fault execution — bitwise unchanged.
     channel_run = (

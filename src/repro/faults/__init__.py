@@ -20,62 +20,59 @@ Every fault emits :class:`~repro.obs.events.FaultInjected` /
 :class:`~repro.obs.events.FaultRecovered` events when a tracer is
 attached, and the universal users' ``patience=`` budgets are the matching
 recovery mechanism on the user side.
+
+Re-exports are lazy (PEP 562), mirroring :mod:`repro.obs`: the schedule
+and channel halves are engine-free and must stay importable by the
+``repro.obs certify`` checker without dragging in :mod:`repro.core`,
+which :mod:`.servers` and :mod:`.verify` both require.
 """
 
-from repro.faults.channel import (
-    BOTH,
-    CORRUPT,
-    DELAY,
-    DROP,
-    DUPLICATE,
-    SERVER_TO_USER,
-    USER_TO_SERVER,
-    ChannelFault,
-    FaultyChannel,
-    FaultyChannelRun,
-    drop_channel,
-    garble,
-)
-from repro.faults.schedules import (
-    BernoulliSchedule,
-    BurstSchedule,
-    FaultSchedule,
-    NeverSchedule,
-    ScheduleRun,
-    ScriptedSchedule,
-)
-from repro.faults.servers import ByzantineWrapper, CrashingServer, FlakyServer
-from repro.faults.verify import (
-    FaultPointReport,
-    RobustnessReport,
-    default_fault_grid,
-    verify_robustness,
-)
+from typing import List
 
-__all__ = [
-    "BOTH",
-    "CORRUPT",
-    "DELAY",
-    "DROP",
-    "DUPLICATE",
-    "SERVER_TO_USER",
-    "USER_TO_SERVER",
-    "ChannelFault",
-    "FaultyChannel",
-    "FaultyChannelRun",
-    "drop_channel",
-    "garble",
-    "BernoulliSchedule",
-    "BurstSchedule",
-    "FaultSchedule",
-    "NeverSchedule",
-    "ScheduleRun",
-    "ScriptedSchedule",
-    "ByzantineWrapper",
-    "CrashingServer",
-    "FlakyServer",
-    "FaultPointReport",
-    "RobustnessReport",
-    "default_fault_grid",
-    "verify_robustness",
-]
+_LAZY_EXPORTS = {
+    "BOTH": "repro.faults.channel",
+    "CORRUPT": "repro.faults.channel",
+    "DELAY": "repro.faults.channel",
+    "DROP": "repro.faults.channel",
+    "DUPLICATE": "repro.faults.channel",
+    "SERVER_TO_USER": "repro.faults.channel",
+    "USER_TO_SERVER": "repro.faults.channel",
+    "ChannelFault": "repro.faults.channel",
+    "FaultyChannel": "repro.faults.channel",
+    "FaultyChannelRun": "repro.faults.channel",
+    "channel_from_spec": "repro.faults.channel",
+    "drop_channel": "repro.faults.channel",
+    "garble": "repro.faults.channel",
+    "BernoulliSchedule": "repro.faults.schedules",
+    "BurstSchedule": "repro.faults.schedules",
+    "FaultSchedule": "repro.faults.schedules",
+    "NeverSchedule": "repro.faults.schedules",
+    "ScheduleRun": "repro.faults.schedules",
+    "ScriptedSchedule": "repro.faults.schedules",
+    "schedule_from_spec": "repro.faults.schedules",
+    "ByzantineWrapper": "repro.faults.servers",
+    "CrashingServer": "repro.faults.servers",
+    "FlakyServer": "repro.faults.servers",
+    "FaultPointReport": "repro.faults.verify",
+    "RobustnessReport": "repro.faults.verify",
+    "default_fault_grid": "repro.faults.verify",
+    "verify_robustness": "repro.faults.verify",
+}
+
+__all__ = sorted(_LAZY_EXPORTS)
+
+
+def __getattr__(name: str) -> object:
+    target = _LAZY_EXPORTS.get(name)
+    if target is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(target)
+    value = getattr(module, name)
+    globals()[name] = value  # cache: next access skips __getattr__
+    return value
+
+
+def __dir__() -> List[str]:
+    return sorted(set(globals()) | set(_LAZY_EXPORTS))

@@ -33,10 +33,15 @@ faulted stretch on a direction); tracing never alters the trace.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Tuple
+from typing import Any, Dict, Iterable, List, Mapping, Tuple
 
 from repro.comm.messages import SILENCE
-from repro.faults.schedules import BernoulliSchedule, FaultSchedule, ScheduleRun
+from repro.faults.schedules import (
+    BernoulliSchedule,
+    FaultSchedule,
+    ScheduleRun,
+    schedule_from_spec,
+)
 from repro.obs.events import FaultInjected, FaultRecovered
 from repro.obs.tracer import TracerLike, is_tracing
 
@@ -94,6 +99,16 @@ class ChannelFault:
         kind = f"delay+{self.delay_rounds}" if self.kind == DELAY else self.kind
         return f"{kind}[{self.direction}]@{self.schedule.name}"
 
+    def spec(self) -> Dict[str, Any]:
+        """Plain-JSON description (raises ``NotImplementedError`` for
+        custom schedules that do not describe themselves)."""
+        return {
+            "kind": self.kind,
+            "direction": self.direction,
+            "delay_rounds": self.delay_rounds,
+            "schedule": self.schedule.spec(),
+        }
+
 
 @dataclass(frozen=True)
 class FaultyChannel:
@@ -123,6 +138,34 @@ class FaultyChannel:
     def start(self, seed: int, tracer: TracerLike = None) -> "FaultyChannelRun":
         """A fresh per-execution run, fully determined by ``seed``."""
         return FaultyChannelRun(self, seed, tracer)
+
+    def spec(self) -> Dict[str, Any]:
+        """A plain-JSON description that :func:`channel_from_spec` inverts.
+
+        Recorders (``record_run``) stamp this into the trace header so the
+        ``repro.obs certify`` checker can rebuild the channel and replay
+        its fault schedule from the execution seed alone.  Raises
+        ``NotImplementedError`` when any clause's schedule cannot describe
+        itself.
+        """
+        return {
+            "label": self.label,
+            "faults": [fault.spec() for fault in self.faults],
+        }
+
+
+def channel_from_spec(data: Mapping[str, Any]) -> FaultyChannel:
+    """Rebuild a channel from :meth:`FaultyChannel.spec` output."""
+    faults = [
+        ChannelFault(
+            kind=str(item["kind"]),
+            schedule=schedule_from_spec(item["schedule"]),
+            direction=str(item.get("direction", BOTH)),
+            delay_rounds=int(item.get("delay_rounds", 1)),
+        )
+        for item in data.get("faults", ())
+    ]
+    return FaultyChannel(faults, label=str(data.get("label", "")))
 
 
 def drop_channel(rate: float, *, direction: str = BOTH, salt: int = 0) -> FaultyChannel:

@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import FrozenSet, Iterable
+from typing import Any, Dict, FrozenSet, Iterable, Mapping
 
 
 class ScheduleRun:
@@ -49,6 +49,17 @@ class FaultSchedule:
     def start(self, seed: int) -> ScheduleRun:
         """A fresh run of this schedule, fully determined by ``seed``."""
         raise NotImplementedError
+
+    def spec(self) -> Dict[str, Any]:
+        """A plain-JSON description that :func:`schedule_from_spec` inverts.
+
+        Specs make fault configurations self-describing in trace headers,
+        which is what lets ``repro.obs certify`` replay a run's fault
+        schedule without the recording process.  Custom schedules may
+        decline (the default): recorders then omit the spec and the run is
+        simply not fault-replayable.
+        """
+        raise NotImplementedError(f"{type(self).__name__} has no spec")
 
     @property
     def name(self) -> str:
@@ -68,6 +79,9 @@ class NeverSchedule(FaultSchedule):
 
     def start(self, seed: int) -> ScheduleRun:
         return _NeverRun()
+
+    def spec(self) -> Dict[str, Any]:
+        return {"type": "never"}
 
 
 class _NeverRun(ScheduleRun):
@@ -101,6 +115,9 @@ class BernoulliSchedule(FaultSchedule):
         # String seeding hashes via SHA-512 inside random.Random — stable
         # across processes and Python versions, unlike hash()-based mixing.
         return _BernoulliRun(random.Random(f"{seed}/{self.salt}"), self.rate)
+
+    def spec(self) -> Dict[str, Any]:
+        return {"type": "bernoulli", "rate": self.rate, "salt": self.salt}
 
 
 class _BernoulliRun(ScheduleRun):
@@ -162,6 +179,14 @@ class BurstSchedule(FaultSchedule):
     def start(self, seed: int) -> ScheduleRun:
         return _BurstRun(self.period, self.burst, self.phase)
 
+    def spec(self) -> Dict[str, Any]:
+        return {
+            "type": "burst",
+            "period": self.period,
+            "burst": self.burst,
+            "phase": self.phase,
+        }
+
 
 class _BurstRun(ScheduleRun):
     __slots__ = ("_period", "_burst", "_phase")
@@ -202,6 +227,9 @@ class ScriptedSchedule(FaultSchedule):
     def start(self, seed: int) -> ScheduleRun:
         return _ScriptedRun(self.rounds)
 
+    def spec(self) -> Dict[str, Any]:
+        return {"type": "scripted", "rounds": sorted(self.rounds)}
+
 
 class _ScriptedRun(ScheduleRun):
     __slots__ = ("_rounds",)
@@ -211,3 +239,28 @@ class _ScriptedRun(ScheduleRun):
 
     def fires(self, round_index: int) -> bool:
         return round_index in self._rounds
+
+
+def schedule_from_spec(data: Mapping[str, Any]) -> FaultSchedule:
+    """Rebuild a schedule from :meth:`FaultSchedule.spec` output.
+
+    The inverse is exact: ``schedule_from_spec(s.spec()) == s`` for every
+    built-in schedule, so a replay drives the identical firing pattern.
+    Raises ``ValueError`` on an unknown ``type`` tag.
+    """
+    schedule_type = data.get("type")
+    if schedule_type == "never":
+        return NeverSchedule()
+    if schedule_type == "bernoulli":
+        return BernoulliSchedule(
+            rate=float(data["rate"]), salt=int(data.get("salt", 0))
+        )
+    if schedule_type == "burst":
+        return BurstSchedule(
+            period=int(data["period"]),
+            burst=int(data["burst"]),
+            phase=int(data.get("phase", 0)),
+        )
+    if schedule_type == "scripted":
+        return ScriptedSchedule(int(r) for r in data["rounds"])
+    raise ValueError(f"unknown schedule spec type: {schedule_type!r}")

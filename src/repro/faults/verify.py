@@ -179,12 +179,22 @@ def verify_robustness(
     grid: Optional[Sequence[Optional[FaultyChannelLike]]] = None,
     seeds: Sequence[int] = (0, 1, 2),
     max_rounds: int = 2000,
+    certify: bool = False,
 ) -> RobustnessReport:
     """Sweep the fault grid and measure empirical safety/viability margins.
 
     Every (channel, server, seed) triple is one full execution under the
     default (FULL) recording policy — the safety check replays the user's
     view through the sensing function, so per-round history is required.
+
+    With ``certify=True`` (universal users only), every run's in-memory
+    event stream is additionally handed to
+    :func:`repro.obs.certify.certify_events`; any internal inconsistency
+    — an unjustified strategy switch, a trial closed with an
+    out-of-vocabulary reason — raises
+    :class:`~repro.obs.certify.CertificationError` naming the offending
+    grid point, so a grid that passes was not merely safe but internally
+    coherent event-by-event.
     """
     if grid is None:
         grid = default_fault_grid()
@@ -226,9 +236,22 @@ def verify_robustness(
                 if _false_positive(goal, sensing, execution):
                     false_positives += 1
                 if sink is not None:
-                    overhead = compute_overhead(sink.events)
+                    events = sink.events
+                    overhead = compute_overhead(events)
                     if overhead.trials:
                         overhead_ratios.append(overhead.overhead_ratio)
+                    if certify:
+                        # Lazy: the checker is analysis-side code and must
+                        # not load on the plain verification path.
+                        from repro.obs.certify import (
+                            CertificationError,
+                            certify_events,
+                        )
+
+                        label = f"{name}/server={server.name}/seed={seed}"
+                        certificate = certify_events(events, trace=label)
+                        if not certificate.ok:
+                            raise CertificationError(certificate.format())
         points.append(
             FaultPointReport(
                 channel_name=name,

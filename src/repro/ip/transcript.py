@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.mathx.polynomials import Poly
+from repro.obs.events import Event, ProofFinished, ProofRoundChecked, ProofStarted
 
 
 @dataclass(frozen=True)
@@ -61,3 +62,47 @@ class ProofTranscript:
         status = {True: "ACCEPTED", False: "REJECTED", None: "UNFINISHED"}[self.accepted]
         lines.append(f"  => {status} {self.rejection_reason}")
         return "\n".join(lines)
+
+
+def transcript_events(
+    transcript: ProofTranscript, *, protocol: str, modulus: int
+) -> List[Event]:
+    """Serialise a finished transcript as trace events.
+
+    The bundle — one :class:`~repro.obs.events.ProofStarted`, one
+    :class:`~repro.obs.events.ProofRoundChecked` per round (polynomials in
+    :meth:`Poly.serialize` wire form), one
+    :class:`~repro.obs.events.ProofFinished` — carries everything the
+    ``repro.obs certify`` checker needs to recheck the verifier's degree,
+    consistency, and evaluation constraints offline.  Raises
+    ``ValueError`` on an unfinished transcript: partial proofs are not
+    evidence.
+    """
+    if transcript.accepted is None:
+        raise ValueError("cannot serialise an unfinished proof transcript")
+    events: List[Event] = [
+        ProofStarted(
+            protocol=protocol,
+            modulus=modulus,
+            claimed_value=transcript.claimed_value,
+        )
+    ]
+    for r in transcript.rounds:
+        events.append(
+            ProofRoundChecked(
+                index=r.index,
+                op_kind=r.op_kind,
+                var=r.var,
+                degree_bound=r.degree_bound,
+                poly=r.poly.serialize(),
+                challenge=r.challenge,
+                claim_before=r.claim_before,
+                claim_after=r.claim_after,
+            )
+        )
+    events.append(
+        ProofFinished(
+            accepted=transcript.accepted, reason=transcript.rejection_reason
+        )
+    )
+    return events

@@ -16,10 +16,11 @@ Tracing is strictly opt-in and the off path is allocation-free; see
 ``docs/OBSERVABILITY.md`` for the taxonomy and usage patterns.
 
 The read/analysis half of the stack — the run ledger (:mod:`.ledger`),
-overhead accounting (:mod:`.overhead`), and the ``python -m repro.obs``
-trace CLI (:mod:`.analyze`) — is re-exported *lazily* (PEP 562): the
-engine's ``from repro.obs.events import ...`` runs this ``__init__``, and
-the tracing-off path must not pay for (or even load) analysis-side code.
+overhead accounting (:mod:`.overhead`), the certificate checker
+(:mod:`.certify`), and the ``python -m repro.obs`` trace CLI
+(:mod:`.analyze`) — is re-exported *lazily* (PEP 562): the engine's
+``from repro.obs.events import ...`` runs this ``__init__``, and the
+tracing-off path must not pay for (or even load) analysis-side code.
 """
 
 from repro.obs.counters import Counter, CounterSet, Histogram
@@ -29,8 +30,12 @@ from repro.obs.events import (
     ExecutionStarted,
     FaultInjected,
     FaultRecovered,
+    GoalVerdict,
     GraceSuppressed,
     MessageSent,
+    ProofFinished,
+    ProofRoundChecked,
+    ProofStarted,
     RoundExecuted,
     SensingIndication,
     StrategySwitch,
@@ -41,11 +46,14 @@ from repro.obs.events import (
 )
 from repro.obs.sinks import (
     TRACE_SCHEMA,
+    TRACE_SCHEMA_MINOR,
     JsonlSink,
     MemorySink,
     NullSink,
     Sink,
     TraceSchemaError,
+    iter_trace,
+    iter_trace_numbered,
     read_jsonl,
     read_trace,
 )
@@ -66,6 +74,13 @@ _LAZY_EXPORTS = {
     "compute_diff": "repro.obs.analyze",
     "render_timeline": "repro.obs.analyze",
     "summarize_trace": "repro.obs.analyze",
+    "CertificateReport": "repro.obs.certify",
+    "CertificationError": "repro.obs.certify",
+    "CertifyIssue": "repro.obs.certify",
+    "certify_events": "repro.obs.certify",
+    "certify_run": "repro.obs.certify",
+    "certify_sweep": "repro.obs.certify",
+    "certify_trace": "repro.obs.certify",
 }
 
 
@@ -98,6 +113,10 @@ __all__ = [
     "GraceSuppressed",
     "FaultInjected",
     "FaultRecovered",
+    "GoalVerdict",
+    "ProofStarted",
+    "ProofRoundChecked",
+    "ProofFinished",
     "event_from_dict",
     "event_kinds",
     "Sink",
@@ -105,9 +124,19 @@ __all__ = [
     "MemorySink",
     "JsonlSink",
     "TRACE_SCHEMA",
+    "TRACE_SCHEMA_MINOR",
     "TraceSchemaError",
+    "iter_trace",
+    "iter_trace_numbered",
     "read_jsonl",
     "read_trace",
+    "CertificateReport",
+    "CertificationError",
+    "CertifyIssue",
+    "certify_events",
+    "certify_run",
+    "certify_sweep",
+    "certify_trace",
     "RunManifest",
     "SweepManifest",
     "record_run",

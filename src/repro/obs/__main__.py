@@ -7,14 +7,18 @@ Subcommands (all stdlib-only, mirroring ``python -m repro.lint``):
 * ``overhead <trace.jsonl ...>`` — the enumeration-overhead decomposition
   (:mod:`repro.obs.overhead`) of each trace;
 * ``timeline <trace.jsonl>`` — one plain-text line per event;
+* ``certify <trace.jsonl>`` — re-derive the run's claims from the trace
+  alone (:mod:`repro.obs.certify`), optionally cross-checked against a
+  manifest (``--manifest``, or the sibling ``.json`` when present);
 * ``diff <old> <new>`` — compare two traces (``.jsonl``) or two ledger
   manifests (``.json``); ``diff --history FILE`` compares the two newest
   entries of a bench-history file.  ``--fail-on METRIC`` (repeatable,
   comma-separable) plus ``--tolerance PCT`` configure which increases
   count as regressions.
 
-Exit codes: 0 clean, 1 configured regression (``diff``), 2 usage errors /
-malformed inputs.  ``--format json`` swaps the text rendering for a
+Exit codes: 0 clean, 1 configured regression (``diff``) or failed /
+uncertifiable certificate (``certify``), 2 usage errors / malformed
+inputs.  ``--format json`` swaps the text rendering for a
 machine-readable document.
 """
 
@@ -33,7 +37,7 @@ from repro.obs.analyze import (
     summarize_events,
 )
 from repro.obs.overhead import compute_overhead
-from repro.obs.sinks import read_trace
+from repro.obs.sinks import iter_trace, read_trace
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -66,6 +70,17 @@ def _parser() -> argparse.ArgumentParser:
         "--limit", type=int, default=None, metavar="N",
         help="show only the first N events",
     )
+
+    certify = sub.add_parser(
+        "certify",
+        help="re-derive a recorded run's claims from its trace",
+    )
+    certify.add_argument("trace", metavar="TRACE")
+    certify.add_argument(
+        "--manifest", metavar="FILE", default=None,
+        help="manifest to cross-check (default: the sibling .json, if any)",
+    )
+    _add_format(certify)
 
     diff = sub.add_parser(
         "diff",
@@ -111,7 +126,7 @@ def _split_metrics(values: Optional[List[str]]) -> List[str]:
 def _cmd_summarize(options: argparse.Namespace) -> int:
     documents: List[Dict[str, Any]] = []
     for path in options.traces:
-        header, events = read_trace(path)
+        header, events = iter_trace(path)
         summary = summarize_events(events, path=path, header=header or None)
         if options.format == "json":
             documents.append(summary.to_dict())
@@ -140,9 +155,22 @@ def _cmd_overhead(options: argparse.Namespace) -> int:
 
 
 def _cmd_timeline(options: argparse.Namespace) -> int:
-    _, events = read_trace(options.trace)
+    _, events = iter_trace(options.trace)
     print(render_timeline(events, limit=options.limit))
     return 0
+
+
+def _cmd_certify(options: argparse.Namespace) -> int:
+    # Lazy import: the checker (and the fault-channel module it pulls in)
+    # only loads when certification is actually requested.
+    from repro.obs.certify import certify_trace
+
+    report = certify_trace(options.trace, manifest_path=options.manifest)
+    if options.format == "json":
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.format())
+    return 0 if report.ok else 1
 
 
 def _cmd_diff(options: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
@@ -182,6 +210,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_overhead(options)
         if options.command == "timeline":
             return _cmd_timeline(options)
+        if options.command == "certify":
+            return _cmd_certify(options)
         return _cmd_diff(options, parser)
     except (OSError, ValueError, KeyError, TypeError) as error:
         # ValueError covers JSONDecodeError, TraceSchemaError, and

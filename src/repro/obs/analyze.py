@@ -32,6 +32,7 @@ from pathlib import Path
 from typing import (
     Any,
     Dict,
+    Iterable,
     List,
     Mapping,
     Optional,
@@ -45,15 +46,19 @@ from repro.obs.events import (
     ExecutionFinished,
     ExecutionStarted,
     FaultInjected,
+    GoalVerdict,
     GraceSuppressed,
     MessageSent,
+    ProofFinished,
+    ProofRoundChecked,
+    ProofStarted,
     RoundExecuted,
     SensingIndication,
     StrategySwitch,
     TrialFinished,
     TrialStarted,
 )
-from repro.obs.sinks import read_trace
+from repro.obs.sinks import iter_trace, read_trace
 
 
 # --------------------------------------------------------------------------
@@ -120,13 +125,19 @@ class TraceSummary:
 
 
 def summarize_events(
-    events: Sequence[Event],
+    events: Iterable[Event],
     *,
     path: str = "<memory>",
     header: Optional[Mapping[str, Any]] = None,
 ) -> TraceSummary:
-    """Build a :class:`TraceSummary` from an ordered event stream."""
-    kinds: "Counter[str]" = Counter(event.kind for event in events)
+    """Build a :class:`TraceSummary` from an ordered event stream.
+
+    Single-pass: any iterable works, including the lazy stream from
+    :func:`~repro.obs.sinks.iter_trace`, so a multi-gigabyte trace is
+    never materialised.
+    """
+    kinds: "Counter[str]" = Counter()
+    total = 0
     rounds = 0
     halted = False
     messages = 0
@@ -135,6 +146,8 @@ def summarize_events(
     user: Optional[str] = None
     server: Optional[str] = None
     for event in events:
+        kinds[event.kind] += 1
+        total += 1
         if isinstance(event, RoundExecuted):
             rounds += 1
             messages += event.messages
@@ -154,7 +167,7 @@ def summarize_events(
     return TraceSummary(
         path=path,
         trace_schema=schema,
-        events=len(events),
+        events=total,
         counts=tuple(sorted(kinds.items())),
         rounds=rounds,
         halted=halted,
@@ -167,8 +180,8 @@ def summarize_events(
 
 
 def summarize_trace(path: Union[str, Path]) -> TraceSummary:
-    """Read one JSONL trace and summarise it."""
-    header, events = read_trace(path)
+    """Stream one JSONL trace and summarise it."""
+    header, events = iter_trace(path)
     return summarize_events(events, path=str(path), header=header or None)
 
 
@@ -218,25 +231,53 @@ def _detail(event: Event) -> str:
         )
     if isinstance(event, GraceSuppressed):
         return f"grace window ({event.grace_rounds} rounds) masked a negative"
+    if isinstance(event, GoalVerdict):
+        verdict = "ACHIEVED" if event.achieved else "not achieved"
+        evidence = (
+            f", settled by prefix {event.last_bad_round}"
+            if event.last_bad_round is not None
+            else ""
+        )
+        return f"{event.goal}: {verdict} after {event.rounds} round(s){evidence}"
+    if isinstance(event, ProofStarted):
+        return (
+            f"{event.protocol} over GF({event.modulus}), "
+            f"claim {event.claimed_value}"
+        )
+    if isinstance(event, ProofRoundChecked):
+        status = "rejected" if event.challenge is None else "passed"
+        return (
+            f"round {event.index}: {event.op_kind}({event.var}) "
+            f"deg<={event.degree_bound} {status}"
+        )
+    if isinstance(event, ProofFinished):
+        if event.accepted:
+            return "ACCEPTED"
+        return f"REJECTED ({event.reason or 'no reason recorded'})"
     payload = {k: v for k, v in event.to_dict().items() if k != "kind"}
     payload.pop("round_index", None)
     return " ".join(f"{k}={v!r}" for k, v in payload.items())
 
 
-def render_timeline(events: Sequence[Event], *, limit: Optional[int] = None) -> str:
+def render_timeline(events: Iterable[Event], *, limit: Optional[int] = None) -> str:
     """One plain-text line per event, in stream order.
 
     ``limit`` truncates to the first N events (with a trailing marker), so
-    a multi-thousand-round trace stays glanceable.
+    a multi-thousand-round trace stays glanceable.  Single-pass: events
+    past the limit are counted for the marker but never rendered, so a
+    lazy :func:`~repro.obs.sinks.iter_trace` stream works unmaterialised.
     """
-    shown = events if limit is None else events[:limit]
     lines: List[str] = []
-    for event in shown:
+    truncated = 0
+    for event in events:
+        if limit is not None and len(lines) >= limit:
+            truncated += 1
+            continue
         round_index = getattr(event, "round_index", None)
         where = "     -" if round_index is None else f"{round_index:>6}"
         lines.append(f"[{where}] {event.kind:<19} {_detail(event)}")
-    if limit is not None and len(events) > limit:
-        lines.append(f"... {len(events) - limit} more event(s) truncated")
+    if truncated:
+        lines.append(f"... {truncated} more event(s) truncated")
     return "\n".join(lines)
 
 

@@ -1,0 +1,1253 @@
+"""Run certificates: re-derive a recorded run's claims from its trace.
+
+A trace written at schema minor >= 1 is *self-verifying*: together with
+its manifest it forms a certificate that a small, engine-free checker can
+validate offline — the VeriPB idea applied to goal-oriented executions.
+:func:`certify_trace` replays the evidence a recorded run left behind and
+re-derives every claim that is re-derivable without the engine:
+
+* **stream shape** — one ``execution-started``/``execution-finished``
+  pair, round indices consecutive from zero, per-round message tallies
+  equal to the ``message-sent`` events, nothing after the halt;
+* **seed chain** — the per-party RNG seeds derive from the recorded
+  master seed (``rng_digest`` recomputes from ``seed`` alone, so an
+  edited seed or digest is caught);
+* **goal verdict** — the recorded ``goal-verdict`` is rechecked against
+  the recorded prefix evidence: compact goals re-run the settle
+  arithmetic (``settle_round = int(total_prefixes * (1 - f))``), finite
+  goals must have halted to achieve;
+* **switch legality** — every ``strategy-switch`` is justified by a
+  preceding eviction/decay of the same candidate, itself justified by a
+  negative sensing indication; enumeration order and wrap-around are
+  rechecked, and a candidate change without a switch (a dropped event)
+  is flagged;
+* **overhead arithmetic** — the enumeration-overhead decomposition
+  recomputed from the stream must agree with the event counts;
+* **fault replay** — when the trace header carries the channel's fault
+  spec, the whole fault schedule is replayed from the recorded seed and
+  the ``fault-injected``/``fault-recovered`` events must match round for
+  round;
+* **proof transcripts** — ``proof-round`` events are rechecked: degree
+  bounds, the quantifier/linearization/partial-sum consistency identity
+  against the running claim, the claim chain, and
+  ``claim_after = poly(challenge)``.
+
+What is **not** re-derived: the verifier's *final* direct evaluation of
+the arithmetized matrix/formula (it needs the instance, which the trace
+does not carry) and the parties' actual message contents (the payloads
+are recorded but their semantics belong to the strategies).  A rejecting
+transcript whose recorded rounds all pass locally is therefore accepted
+as-recorded.  See ``docs/OBSERVABILITY.md`` for the full threat model.
+
+This module must stay **engine-free**: it imports only the emit-side
+observability modules, the fault-channel description (itself engine
+free), and the stdlib — never ``repro.core`` or the strategy packages.
+A subprocess test pins this down.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple, Union
+
+from repro.comm.messages import SILENCE
+from repro.faults.channel import (
+    SERVER_TO_USER,
+    USER_TO_SERVER,
+    FaultyChannelRun,
+    channel_from_spec,
+)
+from repro.obs.events import (
+    SWITCH_BELIEF_DECAY,
+    SWITCH_REASONS,
+    SWITCH_SENSING_NEGATIVE,
+    TRIAL_DECAYED,
+    TRIAL_ENDORSED,
+    TRIAL_EVICTED,
+    TRIAL_HALT_REJECTED,
+    TRIAL_REASONS,
+    Event,
+    ExecutionFinished,
+    ExecutionStarted,
+    FaultInjected,
+    FaultRecovered,
+    GoalVerdict,
+    MessageSent,
+    ProofFinished,
+    ProofRoundChecked,
+    ProofStarted,
+    RoundExecuted,
+    SensingIndication,
+    StrategySwitch,
+    TrialFinished,
+    TrialStarted,
+    rng_chain_digest,
+)
+from repro.obs.overhead import compute_overhead
+from repro.obs.sinks import (
+    TRACE_SCHEMA_MINOR,
+    MemorySink,
+    TraceSchemaError,
+    iter_trace_numbered,
+)
+from repro.obs.tracer import Tracer
+
+#: Checks the certifier runs, in report order.
+CHECKS = (
+    "stream",
+    "seed-chain",
+    "goal-verdict",
+    "switch-legality",
+    "overhead",
+    "fault-replay",
+    "proof",
+    "manifest",
+)
+
+#: ``TrialFinished`` reasons that require a *negative* sensing indication.
+_NEGATIVE_EVIDENCE = frozenset({TRIAL_EVICTED, TRIAL_DECAYED, TRIAL_HALT_REJECTED})
+
+#: Trial-close reason → the switch reason it licenses.
+_SWITCH_FOR_CLOSE = {
+    TRIAL_EVICTED: SWITCH_SENSING_NEGATIVE,
+    TRIAL_DECAYED: SWITCH_BELIEF_DECAY,
+}
+
+
+class CertificationError(ValueError):
+    """A trace failed certification (raised by the ``certify=`` hooks)."""
+
+
+@dataclass(frozen=True)
+class CertifyIssue:
+    """One failed re-derivation, anchored to a trace line when possible."""
+
+    check: str
+    message: str
+    line: Optional[int] = None
+
+    def format(self, trace: str = "") -> str:
+        anchor = trace or "<events>"
+        if self.line is not None:
+            anchor = f"{anchor}:{self.line}"
+        return f"{anchor}: [{self.check}] {self.message}"
+
+
+@dataclass(frozen=True)
+class CertificateReport:
+    """The outcome of certifying one trace (see :attr:`ok`)."""
+
+    trace: str
+    certifiable: bool
+    reason: str
+    issues: Tuple[CertifyIssue, ...]
+    events: int
+    trace_sha256: Optional[str] = None
+    manifest: Optional[str] = None
+    checks: Tuple[str, ...] = CHECKS
+
+    @property
+    def ok(self) -> bool:
+        """True when the trace is certifiable and every check passed."""
+        return self.certifiable and not self.issues
+
+    def format(self) -> str:
+        """Fixed-width text rendering (the CLI's default output)."""
+        if not self.certifiable:
+            status = f"UNCERTIFIABLE ({self.reason})"
+        elif self.issues:
+            status = f"FAILED ({len(self.issues)} issue(s))"
+        else:
+            status = "CERTIFIED"
+        lines = [
+            f"trace    : {self.trace}",
+            f"events   : {self.events}",
+            f"manifest : {self.manifest or '-'}",
+            f"sha256   : {self.trace_sha256 or '-'}",
+            f"checks   : {', '.join(self.checks)}",
+            f"status   : {status}",
+        ]
+        for issue in self.issues:
+            lines.append(issue.format(self.trace))
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-data form (the CLI's ``--format json`` output)."""
+        return {
+            "trace": self.trace,
+            "certified": self.ok,
+            "certifiable": self.certifiable,
+            "reason": self.reason,
+            "events": self.events,
+            "manifest": self.manifest,
+            "trace_sha256": self.trace_sha256,
+            "checks": list(self.checks),
+            "issues": [
+                {"check": i.check, "line": i.line, "message": i.message}
+                for i in self.issues
+            ],
+        }
+
+
+@dataclass
+class _ProofState:
+    """One open ``proof-started`` … ``proof-finished`` segment."""
+
+    protocol: str
+    modulus: int
+    line: Optional[int]
+    claim: int
+    next_index: int = 0
+    challenges: Dict[str, int] = field(default_factory=dict)
+    rejected: bool = False
+    all_rounds_ok: bool = True
+
+
+class _Checker:
+    """Single-pass re-derivation over one event stream.
+
+    Feed events in trace order via :meth:`feed`, then call
+    :meth:`finalize`; :attr:`issues` accumulates every failed check.
+    """
+
+    def __init__(
+        self,
+        header: Optional[Mapping[str, Any]],
+        manifest: Optional[Mapping[str, Any]],
+    ) -> None:
+        self.issues: List[CertifyIssue] = []
+        self.events_seen = 0
+        self._header = header or {}
+        self._manifest = manifest
+
+        # Stream shape.
+        self._started: Optional[ExecutionStarted] = None
+        self._finished: Optional[ExecutionFinished] = None
+        self._verdict: Optional[GoalVerdict] = None
+        self._verdict_line: Optional[int] = None
+        self._expected_round = 0
+        self._rounds_seen = 0
+        self._halted = False
+        self._round_messages = 0
+        self._round_bytes = 0
+        self._round_us: Optional[str] = None
+        self._round_su: Optional[str] = None
+
+        # Fault replay.
+        self._replay: Optional[FaultyChannelRun] = None
+        self._replay_sink: Optional[MemorySink] = None
+        self._round_faults: List[Tuple[str, str, str]] = []
+        self._unreplayable_fault_line: Optional[int] = None
+
+        # Switch legality.
+        self._last_indication: Optional[SensingIndication] = None
+        self._open_trial: Optional[TrialStarted] = None
+        self._trials_started = 0
+        self._last_closed: Optional[Tuple[TrialStarted, str]] = None
+        self._pending_switch: Optional[StrategySwitch] = None
+        self._switches = 0
+        self._wraps = 0
+
+        # Proof segments.
+        self._proof: Optional[_ProofState] = None
+        self._proofs_finished = 0
+
+        # Overhead recomputation input (message events carry no trial
+        # attribution and dominate the stream, so they are not buffered).
+        self._buffer: List[Event] = []
+
+    # ------------------------------------------------------------------
+    def issue(self, check: str, message: str, line: Optional[int] = None) -> None:
+        self.issues.append(CertifyIssue(check=check, message=message, line=line))
+
+    def feed(self, line: Optional[int], event: Event) -> None:
+        self.events_seen += 1
+        if not isinstance(event, MessageSent):
+            self._buffer.append(event)
+        if self._finished is not None and isinstance(
+            event, (ExecutionStarted, MessageSent, RoundExecuted, FaultInjected, FaultRecovered)
+        ):
+            self.issue(
+                "stream",
+                f"{event.kind} event after execution-finished",
+                line,
+            )
+        if isinstance(event, ExecutionStarted):
+            self._feed_started(line, event)
+        elif isinstance(event, MessageSent):
+            self._feed_message(line, event)
+        elif isinstance(event, (FaultInjected, FaultRecovered)):
+            self._feed_fault(line, event)
+        elif isinstance(event, RoundExecuted):
+            self._feed_round(line, event)
+        elif isinstance(event, ExecutionFinished):
+            self._feed_finished(line, event)
+        elif isinstance(event, SensingIndication):
+            self._last_indication = event
+        elif isinstance(event, TrialStarted):
+            self._feed_trial_started(line, event)
+        elif isinstance(event, TrialFinished):
+            self._feed_trial_finished(line, event)
+        elif isinstance(event, StrategySwitch):
+            self._feed_switch(line, event)
+        elif isinstance(event, GoalVerdict):
+            self._feed_verdict(line, event)
+        elif isinstance(event, ProofStarted):
+            self._feed_proof_started(line, event)
+        elif isinstance(event, ProofRoundChecked):
+            self._feed_proof_round(line, event)
+        elif isinstance(event, ProofFinished):
+            self._feed_proof_finished(line, event)
+
+    # ------------------------------------------------------------------
+    # Stream shape + seed chain.
+    def _feed_started(self, line: Optional[int], event: ExecutionStarted) -> None:
+        if self._started is not None:
+            self.issue("stream", "duplicate execution-started event", line)
+            return
+        self._started = event
+        draws = self._derive_seed_chain(line, event)
+        self._setup_replay(line, draws)
+
+    def _derive_seed_chain(
+        self, line: Optional[int], event: ExecutionStarted
+    ) -> Tuple[int, ...]:
+        """Re-derive the per-party seeds; returns all four master draws."""
+        master = random.Random(event.seed)
+        draws = tuple(master.getrandbits(64) for _ in range(4))
+        if event.rng_digest is None:
+            self.issue(
+                "seed-chain",
+                "execution-started carries no rng digest (nothing commits "
+                "to the seed derivation)",
+                line,
+            )
+        else:
+            expected = rng_chain_digest(event.seed, draws[:3])
+            if event.rng_digest != expected:
+                self.issue(
+                    "seed-chain",
+                    f"rng digest mismatch: trace records {event.rng_digest} "
+                    f"but seed {event.seed} derives {expected} — the seed or "
+                    f"digest field was edited",
+                    line,
+                )
+        return draws
+
+    def _setup_replay(self, line: Optional[int], draws: Tuple[int, ...]) -> None:
+        spec = self._header.get("channel")
+        if not isinstance(spec, Mapping):
+            return
+        try:
+            channel = channel_from_spec(spec)
+        except (KeyError, TypeError, ValueError) as exc:
+            self.issue(
+                "fault-replay",
+                f"channel spec in the trace header does not rebuild: {exc}",
+                line,
+            )
+            return
+        # The engine draws the channel seed from the master stream right
+        # after the three party seeds.
+        self._replay_sink = MemorySink()
+        self._replay = channel.start(draws[3], Tracer(sink=self._replay_sink))
+
+    def _feed_message(self, line: Optional[int], event: MessageSent) -> None:
+        if event.round_index != self._expected_round:
+            self.issue(
+                "stream",
+                f"message-sent for round {event.round_index} inside round "
+                f"{self._expected_round}",
+                line,
+            )
+        if not event.payload:
+            self.issue("stream", "message-sent with an empty payload", line)
+        self._round_messages += 1
+        self._round_bytes += len(event.payload)
+        if event.sender == "user" and event.receiver == "server":
+            if self._round_us is None:
+                self._round_us = event.payload
+        elif event.sender == "server" and event.receiver == "user":
+            if self._round_su is None:
+                self._round_su = event.payload
+
+    def _feed_fault(
+        self, line: Optional[int], event: Union[FaultInjected, FaultRecovered]
+    ) -> None:
+        if event.round_index != self._expected_round:
+            self.issue(
+                "stream",
+                f"{event.kind} for round {event.round_index} inside round "
+                f"{self._expected_round}",
+                line,
+            )
+        if event.site not in (USER_TO_SERVER, SERVER_TO_USER):
+            return  # Server-side wrappers inject their own faults.
+        if isinstance(event, FaultInjected):
+            self._round_faults.append(("injected", event.site, event.fault))
+        else:
+            self._round_faults.append(("recovered", event.site, ""))
+        if self._replay is None and self._unreplayable_fault_line is None:
+            self._unreplayable_fault_line = line if line is not None else -1
+
+    def _feed_round(self, line: Optional[int], event: RoundExecuted) -> None:
+        if event.round_index != self._expected_round:
+            self.issue(
+                "stream",
+                f"rounds out of order: round-executed {event.round_index} "
+                f"where round {self._expected_round} was expected",
+                line,
+            )
+            self._expected_round = event.round_index
+        if self._halted:
+            self.issue(
+                "stream",
+                f"round {event.round_index} executed after the user halted",
+                line,
+            )
+        if (
+            event.messages != self._round_messages
+            or event.message_bytes != self._round_bytes
+        ):
+            self.issue(
+                "stream",
+                f"round {event.round_index} claims {event.messages} message(s) "
+                f"/ {event.message_bytes} byte(s) but the trace shows "
+                f"{self._round_messages} / {self._round_bytes}",
+                line,
+            )
+        self._replay_round(line, event)
+        if event.halted:
+            self._halted = True
+        self._rounds_seen += 1
+        self._expected_round = event.round_index + 1
+        self._round_messages = 0
+        self._round_bytes = 0
+        self._round_us = None
+        self._round_su = None
+        self._round_faults = []
+
+    def _replay_round(self, line: Optional[int], event: RoundExecuted) -> None:
+        if self._replay is None or self._replay_sink is None:
+            return
+        user_to_server = self._round_us if self._round_us is not None else SILENCE
+        server_to_user = self._round_su if self._round_su is not None else SILENCE
+        try:
+            self._replay.apply(event.round_index, user_to_server, server_to_user)
+        except (KeyError, ValueError) as exc:
+            self.issue(
+                "fault-replay",
+                f"fault-schedule replay lost sync at round "
+                f"{event.round_index}: {exc}",
+                line,
+            )
+            self._replay = None
+            return
+        replayed = [
+            ("injected", e.site, e.fault)
+            if isinstance(e, FaultInjected)
+            else ("recovered", getattr(e, "site", "?"), "")
+            for e in self._replay_sink.events
+        ]
+        self._replay_sink.clear()
+        if replayed != self._round_faults:
+            self.issue(
+                "fault-replay",
+                f"round {event.round_index}: fault events diverge from the "
+                f"replayed schedule (replay derives "
+                f"{_format_faults(replayed)}, trace has "
+                f"{_format_faults(self._round_faults)})",
+                line,
+            )
+
+    def _feed_finished(self, line: Optional[int], event: ExecutionFinished) -> None:
+        if self._finished is not None:
+            self.issue("stream", "duplicate execution-finished event", line)
+            return
+        self._finished = event
+        if event.rounds_executed != self._rounds_seen:
+            self.issue(
+                "stream",
+                f"execution-finished claims {event.rounds_executed} round(s) "
+                f"but the trace shows {self._rounds_seen} round-executed "
+                f"event(s)",
+                line,
+            )
+        if event.halted != self._halted:
+            self.issue(
+                "stream",
+                f"execution-finished halted={event.halted} disagrees with "
+                f"the round events (halted={self._halted})",
+                line,
+            )
+
+    # ------------------------------------------------------------------
+    # Switch legality.
+    def _feed_trial_started(self, line: Optional[int], event: TrialStarted) -> None:
+        if self._open_trial is not None:
+            self.issue(
+                "switch-legality",
+                f"trial {event.trial_number} started while trial "
+                f"{self._open_trial.trial_number} is still open",
+                line,
+            )
+        if event.trial_number != self._trials_started:
+            self.issue(
+                "switch-legality",
+                f"trial numbers not consecutive: got {event.trial_number}, "
+                f"expected {self._trials_started}",
+                line,
+            )
+        if self._pending_switch is not None:
+            if event.candidate_index != self._pending_switch.to_index:
+                self.issue(
+                    "switch-legality",
+                    f"trial opened on candidate {event.candidate_index} but "
+                    f"the preceding switch moved to candidate "
+                    f"{self._pending_switch.to_index}",
+                    line,
+                )
+            self._pending_switch = None
+        elif self._last_closed is not None:
+            closed, _reason = self._last_closed
+            if closed.budget is None and event.candidate_index != closed.candidate_index:
+                self.issue(
+                    "switch-legality",
+                    f"candidate changed {closed.candidate_index} -> "
+                    f"{event.candidate_index} without a justifying "
+                    f"strategy-switch (dropped switch event?)",
+                    line,
+                )
+        self._trials_started = event.trial_number + 1
+        self._open_trial = event
+
+    def _feed_trial_finished(self, line: Optional[int], event: TrialFinished) -> None:
+        opened = self._open_trial
+        if opened is None:
+            self.issue(
+                "switch-legality",
+                f"trial {event.trial_number} finished with no open trial",
+                line,
+            )
+        elif (
+            event.trial_number != opened.trial_number
+            or event.candidate_index != opened.candidate_index
+        ):
+            self.issue(
+                "switch-legality",
+                f"trial-finished ({event.trial_number}, candidate "
+                f"{event.candidate_index}) does not match the open trial "
+                f"({opened.trial_number}, candidate {opened.candidate_index})",
+                line,
+            )
+        if event.reason not in TRIAL_REASONS:
+            self.issue(
+                "switch-legality",
+                f"unknown trial-finished reason {event.reason!r}",
+                line,
+            )
+        indication = self._last_indication
+        if event.reason in _NEGATIVE_EVIDENCE:
+            if (
+                indication is None
+                or indication.candidate_index != event.candidate_index
+                or indication.positive
+            ):
+                self.issue(
+                    "switch-legality",
+                    f"trial {event.trial_number} finished {event.reason!r} "
+                    f"without a preceding negative sensing indication for "
+                    f"candidate {event.candidate_index}",
+                    line,
+                )
+        elif event.reason == TRIAL_ENDORSED:
+            if (
+                indication is None
+                or indication.candidate_index != event.candidate_index
+                or not indication.positive
+            ):
+                self.issue(
+                    "switch-legality",
+                    f"trial {event.trial_number} endorsed without a "
+                    f"preceding positive sensing indication for candidate "
+                    f"{event.candidate_index}",
+                    line,
+                )
+        if opened is not None:
+            self._last_closed = (opened, event.reason)
+        self._open_trial = None
+
+    def _feed_switch(self, line: Optional[int], event: StrategySwitch) -> None:
+        self._switches += 1
+        if event.wrapped:
+            self._wraps += 1
+        if event.reason not in SWITCH_REASONS:
+            self.issue(
+                "switch-legality",
+                f"unknown strategy-switch reason {event.reason!r}",
+                line,
+            )
+        if self._open_trial is not None:
+            self.issue(
+                "switch-legality",
+                f"strategy-switch while trial "
+                f"{self._open_trial.trial_number} is open",
+                line,
+            )
+        closed = self._last_closed
+        if (
+            closed is None
+            or closed[0].candidate_index != event.from_index
+            or closed[1] not in _SWITCH_FOR_CLOSE
+        ):
+            self.issue(
+                "switch-legality",
+                f"strategy-switch away from candidate {event.from_index} is "
+                f"not justified by a preceding eviction/decay of that "
+                f"candidate",
+                line,
+            )
+        elif _SWITCH_FOR_CLOSE[closed[1]] != event.reason:
+            self.issue(
+                "switch-legality",
+                f"switch reason {event.reason!r} does not match the closing "
+                f"trial's reason {closed[1]!r}",
+                line,
+            )
+        if event.wrapped and event.to_index != 0:
+            self.issue(
+                "switch-legality",
+                f"wrapped switch must return to candidate 0, not "
+                f"{event.to_index}",
+                line,
+            )
+        if (
+            event.reason == SWITCH_SENSING_NEGATIVE
+            and not event.wrapped
+            and event.to_index != event.from_index + 1
+        ):
+            self.issue(
+                "switch-legality",
+                f"sensing-negative switch must advance the enumeration "
+                f"({event.from_index} -> {event.from_index + 1}), not jump "
+                f"to {event.to_index}",
+                line,
+            )
+        self._last_closed = None
+        self._pending_switch = event
+
+    # ------------------------------------------------------------------
+    # Goal verdict.
+    def _feed_verdict(self, line: Optional[int], event: GoalVerdict) -> None:
+        if self._verdict is not None:
+            self.issue("goal-verdict", "duplicate goal-verdict event", line)
+            return
+        self._verdict = event
+        self._verdict_line = line
+
+    def _check_verdict(self) -> None:
+        verdict = self._verdict
+        line = self._verdict_line
+        if verdict is None:
+            if self._manifest is not None and "achieved" in self._manifest:
+                self.issue(
+                    "goal-verdict",
+                    "manifest claims a goal outcome but the trace records no "
+                    "goal-verdict event",
+                )
+            return
+        finished = self._finished
+        if finished is not None:
+            if verdict.rounds != finished.rounds_executed:
+                self.issue(
+                    "goal-verdict",
+                    f"verdict counts {verdict.rounds} round(s) but the "
+                    f"execution ran {finished.rounds_executed}",
+                    line,
+                )
+            if verdict.halted != finished.halted:
+                self.issue(
+                    "goal-verdict",
+                    f"verdict halted={verdict.halted} disagrees with the "
+                    f"execution (halted={finished.halted})",
+                    line,
+                )
+        if verdict.compact:
+            self._check_compact_verdict(verdict, line)
+        elif verdict.achieved and not verdict.halted:
+            self.issue(
+                "goal-verdict",
+                "finite goal recorded as achieved without halting",
+                line,
+            )
+
+    def _check_compact_verdict(
+        self, verdict: GoalVerdict, line: Optional[int]
+    ) -> None:
+        if verdict.settle_fraction is None or verdict.total_prefixes is None:
+            self.issue(
+                "goal-verdict",
+                "compact verdict carries no prefix evidence "
+                "(settle_fraction/total_prefixes missing)",
+                line,
+            )
+            return
+        total = verdict.total_prefixes
+        last_bad = verdict.last_bad_round
+        if self._finished is not None and total != self._finished.rounds_executed + 1:
+            self.issue(
+                "goal-verdict",
+                f"verdict judged {total} prefixes but "
+                f"{self._finished.rounds_executed} executed round(s) yield "
+                f"{self._finished.rounds_executed + 1} (the initial state "
+                f"counts)",
+                line,
+            )
+        bad = verdict.bad_prefixes or 0
+        if last_bad is None:
+            if bad != 0:
+                self.issue(
+                    "goal-verdict",
+                    f"verdict counts {bad} bad prefix(es) but records no "
+                    f"last bad round",
+                    line,
+                )
+        elif not 1 <= last_bad <= total or bad < 1 or bad > total:
+            self.issue(
+                "goal-verdict",
+                f"prefix evidence out of range: last bad round {last_bad}, "
+                f"{bad} bad of {total} prefixes",
+                line,
+            )
+        settle_round = int(total * (1 - verdict.settle_fraction))
+        derived = last_bad is None or last_bad <= settle_round
+        if derived != verdict.achieved:
+            self.issue(
+                "goal-verdict",
+                f"recorded achieved={verdict.achieved} but the settle "
+                f"arithmetic derives {derived} (settle round {settle_round}, "
+                f"last bad prefix {last_bad})",
+                line,
+            )
+
+    # ------------------------------------------------------------------
+    # Proof transcripts.
+    def _feed_proof_started(self, line: Optional[int], event: ProofStarted) -> None:
+        if self._proof is not None:
+            self.issue(
+                "proof",
+                "proof-started inside an unfinished proof segment",
+                line,
+            )
+        if event.modulus < 2:
+            self.issue("proof", f"modulus {event.modulus} is not a prime", line)
+            self._proof = None
+            return
+        self._proof = _ProofState(
+            protocol=event.protocol,
+            modulus=event.modulus,
+            line=line,
+            claim=event.claimed_value % event.modulus,
+        )
+
+    def _feed_proof_round(self, line: Optional[int], event: ProofRoundChecked) -> None:
+        proof = self._proof
+        if proof is None:
+            self.issue("proof", "proof-round outside a proof segment", line)
+            return
+        if event.index != proof.next_index:
+            self.issue(
+                "proof",
+                f"proof rounds out of order: got {event.index}, expected "
+                f"{proof.next_index}",
+                line,
+            )
+        proof.next_index = event.index + 1
+        if proof.rejected:
+            self.issue("proof", "proof-round after a rejecting round", line)
+            return
+        p = proof.modulus
+        coeffs = _parse_poly(event.poly)
+        if coeffs is None:
+            self.issue(
+                "proof", f"unparseable polynomial wire form {event.poly!r}", line
+            )
+            proof.rejected = True
+            proof.all_rounds_ok = False
+            return
+        coeffs = [c % p for c in coeffs]
+        while coeffs and coeffs[-1] == 0:
+            coeffs.pop()
+        degree = len(coeffs) - 1
+        s0 = _poly_eval(coeffs, 0, p)
+        s1 = _poly_eval(coeffs, 1, p)
+        derived_ok = degree <= event.degree_bound
+        if derived_ok:
+            expected = self._proof_identity(proof, event, s0, s1, line)
+            derived_ok = expected is not None and expected == event.claim_before % p
+        if event.claim_before % p != proof.claim:
+            self.issue(
+                "proof",
+                f"claim chain broken at round {event.index}: claim_before "
+                f"{event.claim_before} != running claim {proof.claim}",
+                line,
+            )
+        recorded_ok = event.challenge is not None
+        if recorded_ok != derived_ok:
+            self.issue(
+                "proof",
+                f"round {event.index} ({event.op_kind} on {event.var}): "
+                f"recorded {'pass' if recorded_ok else 'reject'} but "
+                f"re-derivation says {'pass' if derived_ok else 'reject'}",
+                line,
+            )
+        if event.challenge is not None:
+            if not 0 <= event.challenge < p:
+                self.issue(
+                    "proof",
+                    f"challenge {event.challenge} outside GF({p})",
+                    line,
+                )
+            evaluated = _poly_eval(coeffs, event.challenge % p, p)
+            if event.claim_after is None or event.claim_after % p != evaluated:
+                self.issue(
+                    "proof",
+                    f"round {event.index}: claim_after {event.claim_after} "
+                    f"!= poly({event.challenge}) = {evaluated}",
+                    line,
+                )
+            proof.challenges[event.var] = event.challenge % p
+            proof.claim = evaluated
+        else:
+            proof.rejected = True
+            proof.all_rounds_ok = False
+            if event.claim_after is not None:
+                self.issue(
+                    "proof",
+                    f"rejected round {event.index} carries a claim_after",
+                    line,
+                )
+
+    def _proof_identity(
+        self,
+        proof: _ProofState,
+        event: ProofRoundChecked,
+        s0: int,
+        s1: int,
+        line: Optional[int],
+    ) -> Optional[int]:
+        """The consistency identity's expected value, or None if unknown."""
+        p = proof.modulus
+        if event.op_kind == "forall":
+            return (s0 * s1) % p
+        if event.op_kind == "exists":
+            return (s0 + s1 - s0 * s1) % p
+        if event.op_kind == "sum":
+            return (s0 + s1) % p
+        if event.op_kind == "linearize":
+            r_v = proof.challenges.get(event.var)
+            if r_v is None:
+                self.issue(
+                    "proof",
+                    f"linearize on {event.var} with no prior challenge for it",
+                    line,
+                )
+                return None
+            return ((1 - r_v) * s0 + r_v * s1) % p
+        self.issue("proof", f"unknown proof operator {event.op_kind!r}", line)
+        return None
+
+    def _feed_proof_finished(self, line: Optional[int], event: ProofFinished) -> None:
+        proof = self._proof
+        if proof is None:
+            self.issue("proof", "proof-finished outside a proof segment", line)
+            return
+        if event.accepted and not proof.all_rounds_ok:
+            self.issue(
+                "proof",
+                "transcript accepted but a recorded round fails "
+                "re-derivation",
+                line,
+            )
+        # accepted=False with all rounds locally consistent is legitimate:
+        # the verifier's final direct evaluation of the instance is the one
+        # check this trace does not carry the data to re-derive.
+        self._proof = None
+        self._proofs_finished += 1
+
+    # ------------------------------------------------------------------
+    def finalize(self, trace_sha256: Optional[str] = None) -> None:
+        """Run the whole-stream checks once the stream is exhausted."""
+        if self._started is not None and self._finished is None:
+            self.issue("stream", "trace truncated: no execution-finished event")
+        if self._round_messages or self._round_faults:
+            self.issue(
+                "stream",
+                "trace ends mid-round: message/fault events without a "
+                "closing round-executed",
+            )
+        if self._proof is not None:
+            self.issue(
+                "proof", "proof segment truncated: no proof-finished event"
+            )
+        if self._unreplayable_fault_line is not None and self._replay is None:
+            spec = self._header.get("channel")
+            if not isinstance(spec, Mapping):
+                self.issue(
+                    "fault-replay",
+                    "channel fault events present but the trace header "
+                    "carries no channel spec to replay them against",
+                    None
+                    if self._unreplayable_fault_line < 0
+                    else self._unreplayable_fault_line,
+                )
+        self._check_verdict()
+        self._check_overhead()
+        self._check_manifest(trace_sha256)
+
+    def _check_overhead(self) -> None:
+        report = compute_overhead(self._buffer)
+        if report.productive_rounds + report.overhead_rounds != report.total_rounds:
+            self.issue(
+                "overhead",
+                f"overhead decomposition does not add up: "
+                f"{report.productive_rounds} + {report.overhead_rounds} != "
+                f"{report.total_rounds}",
+            )
+        if report.switches != self._switches or report.wraps != self._wraps:
+            self.issue(
+                "overhead",
+                f"overhead counts {report.switches} switch(es) / "
+                f"{report.wraps} wrap(s) but the stream shows "
+                f"{self._switches} / {self._wraps}",
+            )
+        if report.trials != self._trials_started:
+            self.issue(
+                "overhead",
+                f"overhead counts {report.trials} trial(s) but the stream "
+                f"shows {self._trials_started}",
+            )
+        if self._finished is not None and self._rounds_seen:
+            if report.total_rounds != self._finished.rounds_executed:
+                self.issue(
+                    "overhead",
+                    f"overhead accounts {report.total_rounds} round(s) but "
+                    f"the execution ran {self._finished.rounds_executed}",
+                )
+
+    def _check_manifest(self, trace_sha256: Optional[str]) -> None:
+        manifest = self._manifest
+        if manifest is None:
+            return
+        kind = manifest.get("kind")
+        if kind not in ("run", "cell"):
+            self.issue(
+                "manifest", f"manifest kind {kind!r} is not a run manifest"
+            )
+            return
+        recorded_sha = manifest.get("trace_sha256")
+        if (
+            isinstance(recorded_sha, str)
+            and trace_sha256 is not None
+            and recorded_sha != trace_sha256
+        ):
+            self.issue(
+                "manifest",
+                f"trace digest mismatch: manifest stamps {recorded_sha} but "
+                f"the file hashes to {trace_sha256} — the trace was modified "
+                f"after recording",
+            )
+        started = self._started
+        if started is not None:
+            seeds = manifest.get("seeds")
+            if isinstance(seeds, list) and started.seed not in seeds:
+                self.issue(
+                    "manifest",
+                    f"execution seed {started.seed} is not among the "
+                    f"manifest seeds {seeds}",
+                )
+            for key, recorded, actual in (
+                ("max_rounds", manifest.get("max_rounds"), started.max_rounds),
+                ("user", manifest.get("user"), started.user),
+                ("server", manifest.get("server"), started.server),
+            ):
+                if recorded is not None and recorded != actual:
+                    self.issue(
+                        "manifest",
+                        f"manifest {key}={recorded!r} disagrees with the "
+                        f"trace ({actual!r})",
+                    )
+        if kind != "run":
+            return  # Cell manifests aggregate several seeds' totals.
+        finished = self._finished
+        if finished is not None:
+            if manifest.get("rounds") != finished.rounds_executed:
+                self.issue(
+                    "manifest",
+                    f"manifest rounds={manifest.get('rounds')} disagrees "
+                    f"with the trace ({finished.rounds_executed})",
+                )
+            if manifest.get("halted") != int(finished.halted):
+                self.issue(
+                    "manifest",
+                    f"manifest halted={manifest.get('halted')} disagrees "
+                    f"with the trace ({int(finished.halted)})",
+                )
+        verdict = self._verdict
+        if verdict is not None:
+            if manifest.get("achieved") != int(verdict.achieved):
+                self.issue(
+                    "manifest",
+                    f"manifest achieved={manifest.get('achieved')} disagrees "
+                    f"with the recorded verdict ({int(verdict.achieved)})",
+                )
+            if manifest.get("goal") not in (None, verdict.goal):
+                self.issue(
+                    "manifest",
+                    f"manifest goal={manifest.get('goal')!r} disagrees with "
+                    f"the recorded verdict ({verdict.goal!r})",
+                )
+
+
+def _format_faults(entries: List[Tuple[str, str, str]]) -> str:
+    if not entries:
+        return "none"
+    return "+".join(
+        f"{kind}:{site}:{fault}" if fault else f"{kind}:{site}"
+        for kind, site, fault in entries
+    )
+
+
+def _poly_eval(coeffs: List[int], x: int, p: int) -> int:
+    """Horner evaluation of lowest-first coefficients over GF(p)."""
+    result = 0
+    for c in reversed(coeffs):
+        result = (result * x + c) % p
+    return result
+
+
+def _parse_poly(text: str) -> Optional[List[int]]:
+    """Parse :meth:`Poly.serialize` wire form ("" is the zero polynomial)."""
+    if not text:
+        return []
+    try:
+        return [int(part) for part in text.split(",")]
+    except ValueError:
+        return None
+
+
+def _uncertifiable_reason(header: Optional[Mapping[str, Any]]) -> str:
+    """Why a trace header rules out certification ("" = certifiable)."""
+    if header is None:
+        return ""  # In-memory streams come from this build's emitters.
+    if not header:
+        return "trace has no schema header (pre-versioning trace)"
+    minor = header.get("trace_schema_minor")
+    if not isinstance(minor, int) or minor < 1:
+        return (
+            f"trace predates the certificate evidence "
+            f"(trace_schema_minor >= 1 required, header has {minor!r})"
+        )
+    if minor > TRACE_SCHEMA_MINOR:
+        return (
+            f"trace_schema_minor {minor} is newer than this build "
+            f"({TRACE_SCHEMA_MINOR}); its evidence may not be understood"
+        )
+    return ""
+
+
+def certify_events(
+    events: Iterable[Event],
+    *,
+    header: Optional[Mapping[str, Any]] = None,
+    manifest: Optional[Mapping[str, Any]] = None,
+    trace: str = "<events>",
+) -> CertificateReport:
+    """Certify an in-memory event stream (no file, no line anchors).
+
+    ``header=None`` means the events came straight from this build's
+    emitters and are treated as current-schema; pass the parsed file
+    header to apply the certifiability gate.
+    """
+    reason = _uncertifiable_reason(header)
+    checker = _Checker(header, manifest)
+    if reason:
+        count = sum(1 for _ in events)
+        return CertificateReport(
+            trace=trace,
+            certifiable=False,
+            reason=reason,
+            issues=(),
+            events=count,
+        )
+    for event in events:
+        checker.feed(None, event)
+    checker.finalize()
+    return CertificateReport(
+        trace=trace,
+        certifiable=True,
+        reason="",
+        issues=tuple(checker.issues),
+        events=checker.events_seen,
+    )
+
+
+def _load_manifest(
+    trace_path: Path, manifest_path: Optional[Union[str, Path]]
+) -> Tuple[Optional[Dict[str, Any]], Optional[str]]:
+    """The manifest to check against, if any.
+
+    An explicit path must exist and parse (``ValueError`` otherwise — a
+    named manifest that cannot be read is a usage error, not a finding).
+    Without one, the trace's sibling ``<name>.json`` is used when it
+    exists and parses as an object; junk siblings are silently ignored.
+    """
+    if manifest_path is not None:
+        resolved = Path(manifest_path)
+        data = json.loads(resolved.read_text(encoding="utf-8"))
+        if not isinstance(data, dict):
+            raise ValueError(f"{resolved}: manifest is not a JSON object")
+        return data, str(resolved)
+    sibling = trace_path.with_suffix(".json")
+    if not sibling.exists():
+        return None, None
+    try:
+        data = json.loads(sibling.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return None, None
+    if not isinstance(data, dict):
+        return None, None
+    return data, str(sibling)
+
+
+def _file_sha256(path: Path) -> str:
+    return hashlib.sha256(path.read_bytes()).hexdigest()
+
+
+def certify_trace(
+    path: Union[str, Path],
+    manifest_path: Optional[Union[str, Path]] = None,
+) -> CertificateReport:
+    """Certify a JSONL trace file (the ``repro.obs certify`` entry point).
+
+    Streams the file once via :func:`~repro.obs.sinks.iter_trace_numbered`
+    so every issue is anchored to its 1-based file line.  A malformed or
+    truncated line mid-stream becomes a ``stream`` issue (the certificate
+    *fails*, exit 1) rather than an error — tampering must never look
+    like a usage mistake.  Header-level schema errors (an unsupported
+    major) still raise :class:`~repro.obs.sinks.TraceSchemaError`.
+    """
+    resolved = Path(path)
+    trace_sha256 = _file_sha256(resolved)
+    manifest, manifest_label = _load_manifest(resolved, manifest_path)
+    header, numbered = iter_trace_numbered(resolved)
+    reason = _uncertifiable_reason(header)
+    checker = _Checker(header, manifest)
+    count = 0
+    stream_issue: Optional[CertifyIssue] = None
+    try:
+        for line, event in numbered:
+            count += 1
+            if not reason:
+                checker.feed(line, event)
+    except TraceSchemaError as exc:
+        stream_issue = CertifyIssue(
+            check="stream",
+            message=f"trace unreadable past this point: {exc}",
+            line=exc.line,
+        )
+    if reason:
+        return CertificateReport(
+            trace=str(resolved),
+            certifiable=False,
+            reason=reason,
+            issues=(stream_issue,) if stream_issue is not None else (),
+            events=count,
+            trace_sha256=trace_sha256,
+            manifest=manifest_label,
+        )
+    checker.finalize(trace_sha256)
+    issues = list(checker.issues)
+    if stream_issue is not None:
+        issues.insert(0, stream_issue)
+    return CertificateReport(
+        trace=str(resolved),
+        certifiable=True,
+        reason="",
+        issues=tuple(issues),
+        events=count,
+        trace_sha256=trace_sha256,
+        manifest=manifest_label,
+    )
+
+
+def certify_run(
+    trace_path: Union[str, Path],
+    manifest_path: Optional[Union[str, Path]] = None,
+) -> CertificateReport:
+    """Certify or raise — the hook behind ``record_run(..., certify=True)``."""
+    report = certify_trace(trace_path, manifest_path)
+    if not report.ok:
+        raise CertificationError(report.format())
+    return report
+
+
+def sweep_cells_digest(directory: Union[str, Path], cells: Iterable[str]) -> str:
+    """The sweep ledger's cell digest: SHA-256 over the per-cell digests.
+
+    Defined as the hash of the newline-joined per-file SHA-256 hex digests
+    in manifest order, so a single edited cell manifest changes it.
+    """
+    root = Path(directory)
+    parts = [_file_sha256(root / name) for name in cells]
+    return hashlib.sha256("\n".join(parts).encode("ascii")).hexdigest()
+
+
+def certify_sweep(directory: Union[str, Path]) -> None:
+    """Check a sweep ledger directory's integrity; raise on tampering.
+
+    Verifies that ``sweep.json`` parses, every listed cell manifest
+    exists, and the recorded ``cells_sha256`` matches the recomputed
+    digest.  Used by ``analysis.runner.sweep(..., certify=True)``.
+    """
+    root = Path(directory)
+    sweep_path = root / "sweep.json"
+    data = json.loads(sweep_path.read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or data.get("kind") != "sweep":
+        raise CertificationError(f"{sweep_path}: not a sweep manifest")
+    cells = data.get("cells")
+    if not isinstance(cells, list):
+        raise CertificationError(f"{sweep_path}: manifest lists no cells")
+    missing = [name for name in cells if not (root / name).exists()]
+    if missing:
+        raise CertificationError(
+            f"{sweep_path}: missing cell manifest(s): {', '.join(missing)}"
+        )
+    recorded = data.get("cells_sha256")
+    if recorded is None:
+        raise CertificationError(
+            f"{sweep_path}: manifest carries no cells_sha256 digest"
+        )
+    actual = sweep_cells_digest(root, cells)
+    if recorded != actual:
+        raise CertificationError(
+            f"{sweep_path}: cells digest mismatch: manifest stamps "
+            f"{recorded} but the cell files hash to {actual}"
+        )
+
+
+__all__ = [
+    "CHECKS",
+    "CertificateReport",
+    "CertificationError",
+    "CertifyIssue",
+    "certify_events",
+    "certify_run",
+    "certify_sweep",
+    "certify_trace",
+    "sweep_cells_digest",
+]

@@ -14,17 +14,65 @@ The taxonomy mirrors the paper's dynamics:
   :class:`SensingIndication`, :class:`StrategySwitch`,
   :class:`TrialStarted`, :class:`TrialFinished`;
 * sensing level — :class:`GraceSuppressed`, emitted when a grace window
-  masks a negative inner indication.
+  masks a negative inner indication;
+* verdict level (the certificate evidence, schema minor >= 1) —
+  :class:`GoalVerdict`, recorded by :func:`repro.obs.ledger.record_run`
+  once the referee has judged the run, and the interactive-proof events
+  :class:`ProofStarted` / :class:`ProofRoundChecked` /
+  :class:`ProofFinished`, recorded by the delegation users when a
+  verifier session concludes.
 
 Serialisation is deterministic: :meth:`Event.to_dict` emits ``kind`` first
 and then the dataclass fields in declaration order, and
 :func:`event_from_dict` inverts it via the ``kind`` registry.
+
+The ``reason`` vocabularies of :class:`StrategySwitch` and
+:class:`TrialFinished` are exported as constants (``SWITCH_*`` /
+``TRIAL_*``) so the emitters (the universal users), the overhead
+accounting, and the ``repro.obs certify`` checker agree on the exact
+strings by construction.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, fields
-from typing import Any, ClassVar, Dict, Mapping, Optional, Type
+from typing import Any, ClassVar, Dict, Mapping, Optional, Sequence, Type
+
+#: ``StrategySwitch.reason`` vocabulary.
+SWITCH_SENSING_NEGATIVE = "sensing-negative"
+SWITCH_BELIEF_DECAY = "belief-decay"
+SWITCH_REASONS = frozenset({SWITCH_SENSING_NEGATIVE, SWITCH_BELIEF_DECAY})
+
+#: ``TrialFinished.reason`` vocabulary.
+TRIAL_EVICTED = "evicted"
+TRIAL_ENDORSED = "endorsed"
+TRIAL_HALT_REJECTED = "halt-rejected"
+TRIAL_BUDGET = "budget"
+TRIAL_MISSING = "missing"
+TRIAL_DECAYED = "decayed"
+TRIAL_REASONS = frozenset(
+    {
+        TRIAL_EVICTED,
+        TRIAL_ENDORSED,
+        TRIAL_HALT_REJECTED,
+        TRIAL_BUDGET,
+        TRIAL_MISSING,
+        TRIAL_DECAYED,
+    }
+)
+
+
+def rng_chain_digest(seed: int, draws: Sequence[int]) -> str:
+    """Digest of the engine's per-party RNG seed derivation.
+
+    The engine derives one 64-bit stream seed per party from the master
+    seed; this digest commits to that chain so an offline checker can
+    re-derive it from ``ExecutionStarted.seed`` alone and detect an edited
+    seed field (the derivation is pure stdlib ``random.Random``).
+    """
+    payload = ":".join([str(seed), *(str(draw) for draw in draws)])
+    return hashlib.sha256(payload.encode("ascii")).hexdigest()[:16]
 
 
 @dataclass(frozen=True)
@@ -82,7 +130,12 @@ def event_kinds() -> Dict[str, Type[Event]]:
 @register
 @dataclass(frozen=True)
 class ExecutionStarted(Event):
-    """``run_execution`` began: the cast and the horizon."""
+    """``run_execution`` began: the cast and the horizon.
+
+    ``rng_digest`` (schema minor >= 1) commits to the per-party RNG seed
+    chain the engine derived from ``seed`` — see :func:`rng_chain_digest`.
+    ``None`` on legacy traces.
+    """
 
     kind: ClassVar[str] = "execution-started"
 
@@ -91,6 +144,7 @@ class ExecutionStarted(Event):
     world: str
     max_rounds: int
     seed: int
+    rng_digest: Optional[str] = None
 
 
 @register
@@ -284,3 +338,90 @@ class GraceSuppressed(Event):
 
     round_index: int
     grace_rounds: int
+
+
+# --------------------------------------------------------------------------
+# Verdict-level events (certificate evidence, schema minor >= 1)
+# --------------------------------------------------------------------------
+
+
+@register
+@dataclass(frozen=True)
+class GoalVerdict(Event):
+    """The referee's judgement of the finished run, with its evidence.
+
+    For compact goals the verdict carries the prefix statistics the referee
+    derived (``total_prefixes``, ``bad_prefixes``, ``last_bad_round``) plus
+    the goal's ``settle_fraction``, so a checker can re-derive ``achieved``
+    from the settle arithmetic alone.  For finite goals those fields are
+    ``None`` and the invariant is ``achieved`` implies ``halted``.
+    """
+
+    kind: ClassVar[str] = "goal-verdict"
+
+    goal: str
+    compact: bool
+    achieved: bool
+    halted: bool
+    rounds: int
+    settle_fraction: Optional[float] = None
+    total_prefixes: Optional[int] = None
+    bad_prefixes: Optional[int] = None
+    last_bad_round: Optional[int] = None
+    note: str = ""
+
+
+@register
+@dataclass(frozen=True)
+class ProofStarted(Event):
+    """An interactive-proof verifier session began.
+
+    ``protocol`` is ``"qbf"`` or ``"sumcheck"``; ``modulus`` the prime of
+    the working field; ``claimed_value`` the prover's claim (already
+    normalised into the field).
+    """
+
+    kind: ClassVar[str] = "proof-started"
+
+    protocol: str
+    modulus: int
+    claimed_value: int
+
+
+@register
+@dataclass(frozen=True)
+class ProofRoundChecked(Event):
+    """One verifier round of an interactive proof, with full evidence.
+
+    ``poly`` is the round polynomial in :meth:`repro.mathx.polynomials.Poly.
+    serialize` wire form (comma-separated coefficients, lowest degree
+    first).  ``challenge`` and ``claim_after`` are ``None`` when the
+    verifier rejected this round before drawing a challenge.
+    """
+
+    kind: ClassVar[str] = "proof-round"
+
+    index: int
+    op_kind: str
+    var: str
+    degree_bound: int
+    poly: str
+    challenge: Optional[int]
+    claim_before: int
+    claim_after: Optional[int]
+
+
+@register
+@dataclass(frozen=True)
+class ProofFinished(Event):
+    """The verifier session concluded.
+
+    ``accepted=False`` with a round-level cause carries the verifier's
+    ``reason``; acceptance additionally attests the final evaluation check
+    against the instance, which a trace-only checker cannot re-derive.
+    """
+
+    kind: ClassVar[str] = "proof-finished"
+
+    accepted: bool
+    reason: str = ""

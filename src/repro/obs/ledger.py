@@ -48,6 +48,7 @@ from repro.core.execution import (
 )
 from repro.core.goals import Goal
 from repro.core.strategy import ServerStrategy, UserStrategy
+from repro.obs.events import GoalVerdict
 from repro.obs.sinks import JsonlSink
 from repro.obs.tracer import Tracer
 from repro.version import __version__
@@ -133,6 +134,7 @@ class RunManifest:
     wall_time_s: float
     cpu_time_s: float
     trace_path: Optional[str] = None
+    trace_sha256: Optional[str] = None
     repro_version: str = __version__
     git_sha: Optional[str] = None
 
@@ -169,6 +171,7 @@ class SweepManifest:
     seeds: Tuple[int, ...]
     max_rounds: int
     wall_time_s: float
+    cells_sha256: Optional[str] = None
     repro_version: str = __version__
     git_sha: Optional[str] = None
     kind: str = "sweep"
@@ -226,6 +229,28 @@ class RecordedRun:
     trace_path: Path
 
 
+def file_sha256(path: Union[str, Path]) -> str:
+    """SHA-256 of a file's bytes — the certificate digest of a trace."""
+    return hashlib.sha256(Path(path).read_bytes()).hexdigest()
+
+
+def _channel_spec(channel: Optional[FaultyChannelLike]) -> Optional[Dict[str, Any]]:
+    """The channel's self-description for the trace header, if it has one.
+
+    Custom channels without a ``spec()`` (or whose schedules cannot
+    describe themselves) simply record no spec: the run stays certifiable
+    except for fault replay.
+    """
+    spec = getattr(channel, "spec", None)
+    if not callable(spec):
+        return None
+    try:
+        described = spec()
+    except NotImplementedError:
+        return None
+    return described if isinstance(described, dict) else None
+
+
 def record_run(
     user: UserStrategy,
     server: ServerStrategy,
@@ -237,6 +262,7 @@ def record_run(
     name: str = "run",
     recording: RecordingPolicy = FULL_RECORDING,
     channel: Optional[FaultyChannelLike] = None,
+    certify: bool = False,
 ) -> RecordedRun:
     """Run one traced execution and write ``<name>.jsonl`` + ``<name>.json``.
 
@@ -246,13 +272,26 @@ def record_run(
     (anything exposing a reassignable ``tracer`` attribute) contribute
     their sensing/switch/trial events to the same trace; the attribute is
     restored afterwards.
+
+    The trace doubles as a certificate: the header carries the channel's
+    fault spec (when it can describe itself), the goal's verdict is
+    recorded as a :class:`~repro.obs.events.GoalVerdict` event with its
+    evidence, and the manifest stamps the trace's SHA-256.  With
+    ``certify=True`` the freshly written pair is immediately re-checked by
+    :func:`repro.obs.certify.certify_trace`;
+    :class:`~repro.obs.certify.CertificationError` means the recording
+    pipeline itself is broken.
     """
     directory = Path(out_dir)
     directory.mkdir(parents=True, exist_ok=True)
     trace_path = directory / f"{name}.jsonl"
     manifest_path = directory / f"{name}.json"
 
-    tracer = Tracer(sink=JsonlSink(trace_path))
+    header: Dict[str, Any] = {}
+    spec = _channel_spec(channel)
+    if spec is not None:
+        header["channel"] = spec
+    tracer = Tracer(sink=JsonlSink(trace_path, header=header))
     user_traced = hasattr(user, "tracer")
     saved = user.tracer if user_traced else None
     wall_start = time.perf_counter()
@@ -265,6 +304,26 @@ def record_run(
             max_rounds=max_rounds, seed=seed,
             tracer=tracer, recording=recording, channel=channel,
         )
+        outcome = goal.evaluate(execution)
+        # The verdict goes *into* the trace so the claim being certified is
+        # part of the evidence stream, not only manifest metadata.
+        verdict = outcome.compact_verdict
+        tracer.emit(
+            GoalVerdict(
+                goal=goal.name,
+                compact=goal.is_compact,
+                achieved=outcome.achieved,
+                halted=outcome.halted,
+                rounds=outcome.rounds,
+                settle_fraction=(
+                    goal.settle_fraction if goal.is_compact else None
+                ),
+                total_prefixes=None if verdict is None else verdict.total_prefixes,
+                bad_prefixes=None if verdict is None else verdict.bad_prefixes,
+                last_bad_round=None if verdict is None else verdict.last_bad_round,
+                note=outcome.note,
+            )
+        )
     finally:
         if user_traced:
             user.tracer = saved
@@ -272,7 +331,6 @@ def record_run(
     wall = time.perf_counter() - wall_start
     cpu = time.process_time() - cpu_start
 
-    outcome = goal.evaluate(execution)
     manifest = RunManifest(
         kind="run",
         goal=goal.name,
@@ -288,9 +346,14 @@ def record_run(
         wall_time_s=round(wall, 6),
         cpu_time_s=round(cpu, 6),
         trace_path=trace_path.name,
+        trace_sha256=file_sha256(trace_path),
         git_sha=git_sha(),
     )
     write_manifest(manifest, manifest_path)
+    if certify:
+        from repro.obs.certify import certify_run
+
+        certify_run(trace_path, manifest_path)
     return RecordedRun(
         execution=execution,
         manifest=manifest,
@@ -306,6 +369,7 @@ __all__ = [
     "RecordedRun",
     "RunManifest",
     "SweepManifest",
+    "file_sha256",
     "git_sha",
     "read_manifest",
     "record_run",

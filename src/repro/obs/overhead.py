@@ -33,6 +33,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, Optional, Tuple
 
 from repro.obs.events import (
+    TRIAL_ENDORSED,
     Event,
     ExecutionFinished,
     RoundExecuted,
@@ -43,7 +44,7 @@ from repro.obs.events import (
 )
 
 #: ``TrialFinished.reason`` values that mean the candidate *succeeded*.
-_SUCCESS_REASONS = frozenset({"endorsed"})
+_SUCCESS_REASONS = frozenset({TRIAL_ENDORSED})
 
 
 @dataclass(frozen=True)

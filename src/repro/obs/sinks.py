@@ -13,10 +13,19 @@ Three implementations cover the reproduction's needs:
 :func:`read_jsonl` inverts :class:`JsonlSink` back into typed events.
 
 Trace files are schema-versioned: the first line a :class:`JsonlSink`
-writes is a header object ``{"trace_schema": 1, ...}`` (never an event),
-and the replay path refuses schema majors it does not understand with a
-:class:`TraceSchemaError` rather than misparsing the stream.  Headerless
-files (pre-versioning traces, hand-built fixtures) still read fine.
+writes is a header object ``{"trace_schema": 1, "trace_schema_minor": 1,
+...}`` (never an event), and the replay path refuses schema majors it
+does not understand with a :class:`TraceSchemaError` rather than
+misparsing the stream.  Headerless files (pre-versioning traces,
+hand-built fixtures) still read fine.  The minor revision is additive
+evidence: minor >= 1 traces carry the fields ``repro.obs.certify`` needs
+to re-derive the run's claims; older traces still read but are reported
+as uncertifiable.
+
+:func:`read_trace` materialises the whole event list; :func:`iter_trace`
+streams it (header eagerly, events lazily), and
+:func:`iter_trace_numbered` additionally yields each event's 1-based file
+line number so downstream diagnostics can anchor to the exact line.
 """
 
 from __future__ import annotations
@@ -45,9 +54,23 @@ E = TypeVar("E", bound=Event)
 #: The trace-file schema major this build writes and understands.
 TRACE_SCHEMA = 1
 
+#: The additive minor revision.  Minor 1 adds the certificate evidence:
+#: ``rng_digest`` on ``execution-started``, the ``goal-verdict`` event,
+#: the ``proof-*`` events, and the channel fault spec in the header.
+TRACE_SCHEMA_MINOR = 1
+
 
 class TraceSchemaError(ValueError):
-    """A trace file declares a schema this build cannot interpret."""
+    """A trace file cannot be interpreted by this build.
+
+    Raised both for schema declarations this build does not understand and
+    for malformed lines; ``line`` carries the 1-based file line number when
+    the error is anchored to one.
+    """
+
+    def __init__(self, message: str, *, line: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.line = line
 
 
 class Sink:
@@ -129,9 +152,12 @@ class JsonlSink(Sink):
     ) -> None:
         self.path = Path(path)
         self._file = self.path.open("w", encoding="utf-8")
-        head: Dict[str, Any] = {"trace_schema": TRACE_SCHEMA}
+        head: Dict[str, Any] = {
+            "trace_schema": TRACE_SCHEMA,
+            "trace_schema_minor": TRACE_SCHEMA_MINOR,
+        }
         for key, value in (header or {}).items():
-            if key != "trace_schema":
+            if key not in head:
                 head[key] = value
         self._file.write(json.dumps(head, separators=(",", ":")))
         self._file.write("\n")
@@ -159,34 +185,110 @@ def _check_trace_header(header: Mapping[str, Any], path: Path) -> None:
         )
 
 
+def _parse_record(text: str, path: Path, number: int) -> Any:
+    """One line of a trace file → parsed JSON, or a line-anchored error."""
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise TraceSchemaError(
+            f"{path}:{number}: not valid JSON: {exc.msg}", line=number
+        ) from exc
+
+
+def _parse_event(record: Any, path: Path, number: int) -> Event:
+    """One parsed record → a typed event, or a line-anchored error."""
+    if not isinstance(record, dict):
+        raise TraceSchemaError(
+            f"{path}:{number}: event line is not a JSON object", line=number
+        )
+    try:
+        return event_from_dict(record)
+    except KeyError as exc:
+        raise TraceSchemaError(
+            f"{path}:{number}: unknown or missing event kind "
+            f"{exc.args[0]!r}",
+            line=number,
+        ) from exc
+    except TypeError as exc:
+        raise TraceSchemaError(
+            f"{path}:{number}: malformed event payload: {exc}", line=number
+        ) from exc
+
+
+def iter_trace_numbered(
+    path: Union[str, Path],
+) -> Tuple[Dict[str, Any], Iterator[Tuple[int, Event]]]:
+    """Stream a trace as ``(header, iterator of (line_number, event))``.
+
+    The header line is consumed eagerly — schema errors raise before this
+    returns — while events parse lazily as the iterator is drained, each
+    paired with its 1-based file line number.  Malformed lines raise
+    :class:`TraceSchemaError` anchored to that line; the file handle is
+    closed when the iterator is exhausted or garbage-collected.
+    """
+    resolved = Path(path)
+    handle = resolved.open("r", encoding="utf-8")
+    header: Dict[str, Any] = {}
+    first_event: Optional[Tuple[int, Event]] = None
+    consumed = 0
+    try:
+        for line in handle:
+            consumed += 1
+            text = line.strip()
+            if not text:
+                continue
+            record = _parse_record(text, resolved, consumed)
+            if isinstance(record, dict) and "kind" not in record:
+                _check_trace_header(record, resolved)
+                header = record
+            else:
+                first_event = (consumed, _parse_event(record, resolved, consumed))
+            break
+    except BaseException:
+        handle.close()
+        raise
+
+    def events(start: int) -> Iterator[Tuple[int, Event]]:
+        with handle:
+            if first_event is not None:
+                yield first_event
+            number = start
+            for line in handle:
+                number += 1
+                text = line.strip()
+                if not text:
+                    continue
+                record = _parse_record(text, resolved, number)
+                yield number, _parse_event(record, resolved, number)
+
+    return header, events(consumed)
+
+
+def iter_trace(
+    path: Union[str, Path],
+) -> Tuple[Dict[str, Any], Iterator[Event]]:
+    """Stream a trace as ``(header, event iterator)``.
+
+    Like :func:`read_trace` but the events parse lazily — large traces are
+    never materialised as a full list.  The header is ``{}`` for
+    pre-versioning files whose first line is already an event.
+    """
+    header, numbered = iter_trace_numbered(path)
+    return header, (event for _, event in numbered)
+
+
 def read_trace(path: Union[str, Path]) -> Tuple[Dict[str, Any], List[Event]]:
     """Parse a :class:`JsonlSink` file into ``(header, events)``.
 
     The header is ``{}`` for pre-versioning files whose first line is
     already an event (anything carrying a ``kind`` tag).  Raises
     :class:`TraceSchemaError` on an unsupported or malformed schema
-    declaration, and the underlying ``json``/``KeyError``/``TypeError``
-    on lines that are not valid events — a trace either round-trips
-    exactly or fails loudly.
+    declaration and on lines that are not valid events, anchored to the
+    offending file line — a trace either round-trips exactly or fails
+    loudly.
     """
-    resolved = Path(path)
-    header: Dict[str, Any] = {}
-    events: List[Event] = []
-    first = True
-    with resolved.open("r", encoding="utf-8") as handle:
-        for line in handle:
-            line = line.strip()
-            if not line:
-                continue
-            record = json.loads(line)
-            if first:
-                first = False
-                if isinstance(record, dict) and "kind" not in record:
-                    _check_trace_header(record, resolved)
-                    header = record
-                    continue
-            events.append(event_from_dict(record))
-    return header, events
+    header, numbered = iter_trace_numbered(path)
+    return header, [event for _, event in numbered]
 
 
 def read_jsonl(path: Union[str, Path]) -> List[Event]:

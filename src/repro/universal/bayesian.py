@@ -25,7 +25,14 @@ from repro.comm.messages import UserInbox, UserOutbox
 from repro.core.sensing import IncrementalSensing, Sensing, incremental_sensing
 from repro.core.strategy import UserStrategy
 from repro.core.views import UserView, ViewRecord
-from repro.obs.events import SensingIndication, StrategySwitch, TrialFinished, TrialStarted
+from repro.obs.events import (
+    SWITCH_BELIEF_DECAY,
+    TRIAL_DECAYED,
+    SensingIndication,
+    StrategySwitch,
+    TrialFinished,
+    TrialStarted,
+)
 from repro.obs.tracer import TracerLike, is_tracing
 
 
@@ -172,7 +179,7 @@ class BeliefWeightedUniversalUser(UserStrategy):
                                 trial_number=state.switches,
                                 candidate_index=state.index,
                                 rounds_used=state.rounds_in_trial,
-                                reason="decayed",
+                                reason=TRIAL_DECAYED,
                             )
                         )
                         self.tracer.emit(
@@ -181,7 +188,7 @@ class BeliefWeightedUniversalUser(UserStrategy):
                                 from_index=state.index,
                                 to_index=best,
                                 wrapped=False,
-                                reason="belief-decay",
+                                reason=SWITCH_BELIEF_DECAY,
                             )
                         )
                     state.index = best

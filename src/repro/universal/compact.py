@@ -34,7 +34,14 @@ from repro.core.sensing import IncrementalSensing, Sensing, incremental_sensing
 from repro.core.strategy import UserStrategy
 from repro.core.views import UserView, ViewRecord
 from repro.errors import EnumerationExhaustedError
-from repro.obs.events import SensingIndication, StrategySwitch, TrialFinished, TrialStarted
+from repro.obs.events import (
+    SWITCH_SENSING_NEGATIVE,
+    TRIAL_EVICTED,
+    SensingIndication,
+    StrategySwitch,
+    TrialFinished,
+    TrialStarted,
+)
 from repro.obs.tracer import TracerLike, is_tracing
 from repro.universal.enumeration import EnumerationCursor, StrategyEnumeration
 
@@ -208,7 +215,7 @@ class CompactUniversalUser(UserStrategy):
                     trial_number=state.switches,
                     candidate_index=state.index,
                     rounds_used=state.rounds_in_trial,
-                    reason="evicted",
+                    reason=TRIAL_EVICTED,
                 )
             )
             self.tracer.emit(
@@ -217,7 +224,7 @@ class CompactUniversalUser(UserStrategy):
                     from_index=state.index,
                     to_index=next_index,
                     wrapped=wrapped,
-                    reason="sensing-negative",
+                    reason=SWITCH_SENSING_NEGATIVE,
                 )
             )
         state.index = next_index

@@ -33,7 +33,15 @@ from repro.core.sensing import IncrementalSensing, Sensing
 from repro.core.strategy import UserStrategy
 from repro.core.views import UserView, ViewRecord
 from repro.errors import EnumerationExhaustedError
-from repro.obs.events import SensingIndication, TrialFinished, TrialStarted
+from repro.obs.events import (
+    TRIAL_BUDGET,
+    TRIAL_ENDORSED,
+    TRIAL_HALT_REJECTED,
+    TRIAL_MISSING,
+    SensingIndication,
+    TrialFinished,
+    TrialStarted,
+)
 from repro.obs.tracer import TracerLike, is_tracing
 from repro.universal.enumeration import EnumerationCursor, StrategyEnumeration
 from repro.universal.schedules import Trial, levin_trials
@@ -167,22 +175,22 @@ class FiniteUniversalUser(UserStrategy):
                     )
                 )
             if endorsed:
-                self._finish_trial(state, "endorsed")
+                self._finish_trial(state, TRIAL_ENDORSED)
                 return state, outbox  # Endorsed: halt with the candidate's output.
             if state.retries_left > 0:
                 # Patience budget: the rejection may be channel noise, not
                 # the candidate — rerun it now against fresh noise.
                 state.retries_left -= 1
-                self._finish_trial(state, "halt-rejected")
+                self._finish_trial(state, TRIAL_HALT_REJECTED)
                 self._reset_trial(state)
             else:
-                self._abandon(state, "halt-rejected")
+                self._abandon(state, TRIAL_HALT_REJECTED)
             outbox = UserOutbox(to_server=outbox.to_server, to_world=outbox.to_world)
             return state, outbox
 
         assert state.current is not None
         if state.rounds_used >= state.current[1]:
-            self._abandon(state, "budget")
+            self._abandon(state, TRIAL_BUDGET)
         return state, outbox
 
     #: Bound on consecutive skipped schedule entries per engine round.  A
@@ -203,7 +211,7 @@ class FiniteUniversalUser(UserStrategy):
             if state.current is not None:
                 inner = self._candidate(state, state.current[0])
                 if inner is None:
-                    self._abandon(state, "missing")
+                    self._abandon(state, TRIAL_MISSING)
                     continue
                 if not state.inner_started:
                     state.inner_state = inner.initial_state(rng)
@@ -263,7 +271,7 @@ class FiniteUniversalUser(UserStrategy):
         state.monitor_verdict = False
         state.rounds_used = 0
 
-    def _abandon(self, state: FiniteUniversalState, reason: str = "budget") -> None:
+    def _abandon(self, state: FiniteUniversalState, reason: str = TRIAL_BUDGET) -> None:
         self._finish_trial(state, reason)
         state.current = None
         self._reset_trial(state)

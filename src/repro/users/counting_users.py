@@ -17,8 +17,10 @@ from repro.comm.messages import SILENCE, UserInbox, UserOutbox, parse_tagged
 from repro.core.strategy import UserStrategy
 from repro.errors import AlgebraError, CodecError, FormulaError
 from repro.ip.sumcheck import SumcheckVerifierSession
+from repro.ip.transcript import transcript_events
 from repro.mathx.modular import Field
 from repro.mathx.polynomials import Poly
+from repro.obs.tracer import TracerLike, is_tracing
 from repro.qbf import formulas
 from repro.worlds.counting import canonical_order
 
@@ -52,6 +54,7 @@ class CountingUser(UserStrategy):
         *,
         resend_every: int = 8,
         proof_seed: int = 0,
+        tracer: TracerLike = None,
     ) -> None:
         if resend_every < 1:
             raise ValueError(f"resend_every must be >= 1: {resend_every}")
@@ -59,6 +62,8 @@ class CountingUser(UserStrategy):
         self._field = field_
         self._resend_every = resend_every
         self._proof_seed = proof_seed
+        #: Public and reassignable so ``record_run`` can borrow it.
+        self.tracer: TracerLike = tracer
 
     @property
     def name(self) -> str:
@@ -155,6 +160,7 @@ class CountingUser(UserStrategy):
             return UserOutbox()
         challenge = state.session.receive_poly(poly)
         if state.session.finished:
+            self._emit_proof(state.session)
             if state.session.accepted:
                 state.proof_accepted = True
                 return UserOutbox(halt=True, output=f"COUNT:{state.claim}")
@@ -162,6 +168,18 @@ class CountingUser(UserStrategy):
             return UserOutbox()
         state.expected_round = index + 1
         return self._request(state, f"SROUND:{index + 1}:{challenge}")
+
+    def _emit_proof(self, session: SumcheckVerifierSession) -> None:
+        """Serialise the finished session's transcript into the trace."""
+        if not is_tracing(self.tracer):
+            return
+        transcript = session.transcript
+        if transcript is None or transcript.accepted is None:
+            return
+        for event in transcript_events(
+            transcript, protocol="sumcheck", modulus=self._field.p
+        ):
+            self.tracer.emit(event)
 
     # ------------------------------------------------------------------
     def _request(self, state: CountingUserState, plain: str) -> UserOutbox:

@@ -31,8 +31,10 @@ from repro.comm.messages import SILENCE, UserInbox, UserOutbox, parse_tagged
 from repro.core.strategy import UserStrategy
 from repro.errors import AlgebraError, CodecError, FormulaError
 from repro.ip.qbf_protocol import QBFVerifierSession
+from repro.ip.transcript import transcript_events
 from repro.mathx.modular import Field
 from repro.mathx.polynomials import Poly
+from repro.obs.tracer import TracerLike, is_tracing
 from repro.qbf.qbf import QBF
 
 #: Protocol phases of the delegation user.
@@ -66,6 +68,7 @@ class DelegationUser(UserStrategy):
         *,
         resend_every: int = 8,
         proof_seed: int = 0,
+        tracer: TracerLike = None,
     ) -> None:
         if resend_every < 1:
             raise ValueError(f"resend_every must be >= 1: {resend_every}")
@@ -73,6 +76,9 @@ class DelegationUser(UserStrategy):
         self._field = field_
         self._resend_every = resend_every
         self._proof_seed = proof_seed
+        #: Public and reassignable so ``record_run`` can borrow it, exactly
+        #: like the universal users' tracer attribute.
+        self.tracer: TracerLike = tracer
 
     @property
     def name(self) -> str:
@@ -163,6 +169,7 @@ class DelegationUser(UserStrategy):
             return UserOutbox()
         challenge = state.session.receive_poly(poly)
         if state.session.finished:
+            self._emit_proof(state.session)
             if state.session.accepted:
                 state.proof_accepted = True
                 return UserOutbox(halt=True, output=f"ANSWER:{state.claim}")
@@ -170,6 +177,18 @@ class DelegationUser(UserStrategy):
             return UserOutbox()
         state.expected_round = index + 1
         return self._request(state, f"ROUND:{index + 1}:{challenge}")
+
+    def _emit_proof(self, session: QBFVerifierSession) -> None:
+        """Serialise the finished session's transcript into the trace."""
+        if not is_tracing(self.tracer):
+            return
+        transcript = session.transcript
+        if transcript is None or transcript.accepted is None:
+            return
+        for event in transcript_events(
+            transcript, protocol="qbf", modulus=self._field.p
+        ):
+            self.tracer.emit(event)
 
     # ------------------------------------------------------------------
     def _request(self, state: DelegationUserState, plain: str) -> UserOutbox:
@@ -228,15 +247,26 @@ class RepeatedDelegationUser(UserStrategy):
         *,
         resend_every: int = 8,
         proof_seed: int = 0,
+        tracer: TracerLike = None,
     ) -> None:
         self._verifier = DelegationUser(
-            codec, field_, resend_every=resend_every, proof_seed=proof_seed
+            codec, field_, resend_every=resend_every, proof_seed=proof_seed,
+            tracer=tracer,
         )
         self._codec = codec
 
     @property
     def name(self) -> str:
         return f"redelegate@{self._codec.name}"
+
+    @property
+    def tracer(self) -> TracerLike:
+        """Forwarded to the inner verifier, which emits the proof events."""
+        return self._verifier.tracer
+
+    @tracer.setter
+    def tracer(self, value: TracerLike) -> None:
+        self._verifier.tracer = value
 
     def initial_state(self, rng: random.Random) -> RepeatedDelegationState:
         return RepeatedDelegationState(inner=self._verifier.initial_state(rng))

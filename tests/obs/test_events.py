@@ -10,8 +10,12 @@ from repro.obs import (
     ExecutionStarted,
     FaultInjected,
     FaultRecovered,
+    GoalVerdict,
     GraceSuppressed,
     MessageSent,
+    ProofFinished,
+    ProofRoundChecked,
+    ProofStarted,
     RoundExecuted,
     SensingIndication,
     StrategySwitch,
@@ -33,10 +37,15 @@ ALL_EVENT_TYPES = [
     GraceSuppressed,
     FaultInjected,
     FaultRecovered,
+    GoalVerdict,
+    ProofStarted,
+    ProofRoundChecked,
+    ProofFinished,
 ]
 
 SAMPLES = [
-    ExecutionStarted(user="u", server="s", world="w", max_rounds=10, seed=3),
+    ExecutionStarted(user="u", server="s", world="w", max_rounds=10, seed=3,
+                     rng_digest="abc123"),
     MessageSent(round_index=2, sender="user", receiver="server", payload="hi"),
     RoundExecuted(round_index=2, messages=3, message_bytes=17, halted=False),
     ExecutionFinished(rounds_executed=9, halted=True),
@@ -49,6 +58,14 @@ SAMPLES = [
     GraceSuppressed(round_index=1, grace_rounds=4),
     FaultInjected(round_index=6, site="user->server", fault="drop"),
     FaultRecovered(round_index=7, site="user->server"),
+    GoalVerdict(goal="g", compact=True, achieved=True, halted=False, rounds=9,
+                settle_fraction=0.1, total_prefixes=10, bad_prefixes=2,
+                last_bad_round=3),
+    ProofStarted(protocol="qbf", modulus=97, claimed_value=1),
+    ProofRoundChecked(index=0, op_kind="exists", var="x", degree_bound=2,
+                      poly="1,0,96", challenge=11, claim_before=1,
+                      claim_after=42),
+    ProofFinished(accepted=True),
 ]
 
 
@@ -90,12 +107,20 @@ class TestRoundTrip:
 
     def test_every_kind_round_trips_through_a_trace_file(self, tmp_path):
         """JsonlSink → read_trace is the identity for every event type."""
-        from repro.obs import TRACE_SCHEMA, JsonlSink, read_trace
+        from repro.obs import (
+            TRACE_SCHEMA,
+            TRACE_SCHEMA_MINOR,
+            JsonlSink,
+            read_trace,
+        )
 
         path = tmp_path / "all-kinds.jsonl"
         with JsonlSink(path) as sink:
             for event in SAMPLES:
                 sink.emit(event)
         header, events = read_trace(path)
-        assert header == {"trace_schema": TRACE_SCHEMA}
+        assert header == {
+            "trace_schema": TRACE_SCHEMA,
+            "trace_schema_minor": TRACE_SCHEMA_MINOR,
+        }
         assert events == SAMPLES

@@ -8,12 +8,15 @@ import pytest
 
 from repro.obs import (
     TRACE_SCHEMA,
+    TRACE_SCHEMA_MINOR,
     JsonlSink,
     MemorySink,
     NullSink,
     RoundExecuted,
     SensingIndication,
     TraceSchemaError,
+    iter_trace,
+    iter_trace_numbered,
     read_jsonl,
     read_trace,
 )
@@ -73,7 +76,10 @@ class TestJsonlSink:
         with JsonlSink(path) as sink:
             sink.emit(EVENTS[0])
         header_line, event_line = path.read_text().strip().splitlines()
-        assert json.loads(header_line) == {"trace_schema": TRACE_SCHEMA}
+        assert json.loads(header_line) == {
+            "trace_schema": TRACE_SCHEMA,
+            "trace_schema_minor": TRACE_SCHEMA_MINOR,
+        }
         assert event_line.startswith('{"kind":"round-executed"')
         assert json.loads(event_line)["round_index"] == 0
 
@@ -89,14 +95,21 @@ class TestTraceSchema:
         with JsonlSink(path, header={"run_id": "abc123"}) as sink:
             sink.emit(EVENTS[0])
         header, events = read_trace(path)
-        assert header == {"trace_schema": TRACE_SCHEMA, "run_id": "abc123"}
+        assert header == {
+            "trace_schema": TRACE_SCHEMA,
+            "trace_schema_minor": TRACE_SCHEMA_MINOR,
+            "run_id": "abc123",
+        }
         assert events == [EVENTS[0]]
 
     def test_header_extras_cannot_shadow_schema(self, tmp_path):
         path = tmp_path / "trace.jsonl"
-        JsonlSink(path, header={"trace_schema": 99}).close()
+        JsonlSink(
+            path, header={"trace_schema": 99, "trace_schema_minor": 99}
+        ).close()
         header, _ = read_trace(path)
         assert header["trace_schema"] == TRACE_SCHEMA
+        assert header["trace_schema_minor"] == TRACE_SCHEMA_MINOR
 
     def test_headerless_file_reads_as_legacy(self, tmp_path):
         """Pre-versioning traces (first line is an event) still parse."""
@@ -118,6 +131,88 @@ class TestTraceSchema:
         path = tmp_path / "bad.jsonl"
         path.write_text('{"trace_schema": "one"}\n')
         with pytest.raises(TraceSchemaError, match="malformed"):
+            read_trace(path)
+
+
+class TestIterTrace:
+    def write_trace(self, path):
+        with JsonlSink(path) as sink:
+            for e in EVENTS:
+                sink.emit(e)
+
+    def test_streams_same_events_as_read_trace(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        self.write_trace(path)
+        header, stream = iter_trace(path)
+        assert header["trace_schema"] == TRACE_SCHEMA
+        assert list(stream) == read_trace(path)[1]
+
+    def test_events_parse_lazily(self, tmp_path):
+        """A bad line deep in the file only raises when reached."""
+        path = tmp_path / "trace.jsonl"
+        self.write_trace(path)
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write("not json\n")
+        header, stream = iter_trace(path)
+        for _ in range(len(EVENTS)):
+            next(stream)  # the good prefix streams fine
+        with pytest.raises(TraceSchemaError, match="not valid JSON"):
+            next(stream)
+
+    def test_numbered_yields_one_based_file_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        self.write_trace(path)
+        _, numbered = iter_trace_numbered(path)
+        lines = [number for number, _ in numbered]
+        # Line 1 is the header, so events start at line 2.
+        assert lines == list(range(2, 2 + len(EVENTS)))
+
+    def test_headerless_file_numbers_from_one(self, tmp_path):
+        path = tmp_path / "legacy.jsonl"
+        path.write_text(
+            json.dumps(EVENTS[0].to_dict(), separators=(",", ":")) + "\n"
+        )
+        header, numbered = iter_trace_numbered(path)
+        assert header == {}
+        assert [number for number, _ in numbered] == [1]
+
+    def test_header_errors_raise_eagerly(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        path.write_text(json.dumps({"trace_schema": TRACE_SCHEMA + 1}) + "\n")
+        with pytest.raises(TraceSchemaError, match="newer than the supported"):
+            iter_trace(path)
+
+
+class TestLineAnchoredErrors:
+    def test_bad_json_carries_path_and_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"trace_schema": 1}\n\n{oops\n')
+        with pytest.raises(TraceSchemaError, match=r"bad\.jsonl:3: not valid JSON"):
+            read_trace(path)
+
+    def test_unknown_kind_carries_path_and_line(self, tmp_path):
+        path = tmp_path / "unknown.jsonl"
+        path.write_text('{"trace_schema": 1}\n{"kind": "martian"}\n')
+        with pytest.raises(
+            TraceSchemaError, match=r"unknown\.jsonl:2: unknown or missing"
+        ):
+            read_trace(path)
+
+    def test_bad_payload_carries_path_and_line(self, tmp_path):
+        path = tmp_path / "payload.jsonl"
+        path.write_text(
+            '{"trace_schema": 1}\n{"kind": "round-executed", "bogus": 1}\n'
+        )
+        with pytest.raises(
+            TraceSchemaError, match=r"payload\.jsonl:2: malformed event payload"
+        ) as excinfo:
+            read_trace(path)
+        assert excinfo.value.line == 2
+
+    def test_non_object_line_is_rejected(self, tmp_path):
+        path = tmp_path / "scalar.jsonl"
+        path.write_text('{"trace_schema": 1}\n42\n')
+        with pytest.raises(TraceSchemaError, match="not a JSON object"):
             read_trace(path)
 
 
