@@ -32,6 +32,7 @@ grid point names an exactly replayable execution.
 
 from __future__ import annotations
 
+import copy
 import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
@@ -170,6 +171,80 @@ def _false_positive(goal: Goal, sensing: Sensing, execution: ExecutionResult) ->
     return not goal.evaluate(execution).achieved
 
 
+def _point_runs(
+    user: UserStrategy,
+    servers: Sequence[ServerStrategy],
+    goal: Goal,
+    channel: Optional[FaultyChannelLike],
+    seeds: Sequence[int],
+    max_rounds: int,
+    batch: int,
+    user_traceable: bool,
+) -> List[Tuple[ServerStrategy, int, ExecutionResult, Optional[MemorySink]]]:
+    """All of one grid point's runs, server-major, on either engine path.
+
+    ``batch == 1`` is the serial reference: one :func:`run_execution` per
+    (server, seed), borrowing the original user's ``tracer``.  ``batch > 1``
+    steps chunks of runs in lockstep; each slot carries a deep-copied user
+    holding a private :class:`~repro.obs.tracer.Tracer`, so per-run event
+    streams stay in-order and complete (what overhead + certification
+    consume).  Both paths return identical executions — the lockstep
+    engine's parity contract, pinned by ``tests/faults`` / ``tests/core``.
+    """
+    pairs = [(server, seed) for server in servers for seed in seeds]
+    results: List[
+        Tuple[ServerStrategy, int, ExecutionResult, Optional[MemorySink]]
+    ] = []
+    if batch == 1:
+        for server, seed in pairs:
+            sink = MemorySink() if user_traceable else None
+            saved = user.tracer if user_traceable else None
+            if user_traceable:
+                user.tracer = Tracer(sink=sink)
+            try:
+                execution = run_execution(
+                    user,
+                    server,
+                    goal.world,
+                    max_rounds=max_rounds,
+                    seed=seed,
+                    channel=channel,
+                )
+            finally:
+                if user_traceable:
+                    user.tracer = saved
+            results.append((server, seed, execution, sink))
+        return results
+    from repro.core.batch import BatchItem, run_execution_batch
+
+    for start in range(0, len(pairs), batch):
+        chunk = pairs[start : start + batch]
+        items: List[BatchItem] = []
+        sinks: List[Optional[MemorySink]] = []
+        for server, seed in chunk:
+            slot_user = user
+            slot_sink: Optional[MemorySink] = None
+            if user_traceable:
+                slot_sink = MemorySink()
+                slot_user = copy.deepcopy(user)
+                slot_user.tracer = Tracer(sink=slot_sink)
+            sinks.append(slot_sink)
+            items.append(
+                BatchItem(
+                    user=slot_user,
+                    server=server,
+                    world=goal.world,
+                    seed=seed,
+                    max_rounds=max_rounds,
+                    channel=channel,
+                )
+            )
+        executions = run_execution_batch(items)
+        for (server, seed), execution, sink in zip(chunk, executions, sinks):
+            results.append((server, seed, execution, sink))
+    return results
+
+
 def verify_robustness(
     user: UserStrategy,
     servers: Sequence[ServerStrategy],
@@ -179,6 +254,7 @@ def verify_robustness(
     grid: Optional[Sequence[Optional[FaultyChannelLike]]] = None,
     seeds: Sequence[int] = (0, 1, 2),
     max_rounds: int = 2000,
+    batch: int = 1,
     certify: bool = False,
 ) -> RobustnessReport:
     """Sweep the fault grid and measure empirical safety/viability margins.
@@ -186,6 +262,13 @@ def verify_robustness(
     Every (channel, server, seed) triple is one full execution under the
     default (FULL) recording policy — the safety check replays the user's
     view through the sensing function, so per-round history is required.
+
+    ``batch=N`` steps up to N of a grid point's runs in lockstep through
+    :func:`repro.core.batch.run_execution_batch` instead of one at a time
+    — results are identical (the lockstep engine's contract), and every
+    run still carries its *own* in-order event stream (each lockstep slot
+    gets a deep-copied user with a private tracer), so the per-run
+    overhead accounting and ``certify=True`` work unchanged.
 
     With ``certify=True`` (universal users only), every run's in-memory
     event stream is additionally handed to
@@ -198,6 +281,8 @@ def verify_robustness(
     """
     if grid is None:
         grid = default_fault_grid()
+    if batch < 1:
+        raise ValueError(f"batch must be >= 1: {batch}")
     # Universal users expose a reassignable ``tracer``; borrowing it per
     # run yields the event stream the overhead accounting reads.  Tracing
     # is read-only, so every traced run is bitwise-identical to untraced.
@@ -208,50 +293,35 @@ def verify_robustness(
         runs = achieved = halted = false_positives = 0
         achieved_rounds: List[int] = []
         overhead_ratios: List[float] = []
-        for server in servers:
-            for seed in seeds:
-                runs += 1
-                sink = MemorySink() if user_traceable else None
-                saved = user.tracer if user_traceable else None
-                if user_traceable:
-                    user.tracer = Tracer(sink=sink)
-                try:
-                    execution = run_execution(
-                        user,
-                        server,
-                        goal.world,
-                        max_rounds=max_rounds,
-                        seed=seed,
-                        channel=channel,
+        for server, seed, execution, sink in _point_runs(
+            user, servers, goal, channel, seeds, max_rounds, batch, user_traceable
+        ):
+            runs += 1
+            outcome = goal.evaluate(execution)
+            if outcome.achieved:
+                achieved += 1
+                achieved_rounds.append(outcome.rounds)
+            if execution.halted:
+                halted += 1
+            if _false_positive(goal, sensing, execution):
+                false_positives += 1
+            if sink is not None:
+                events = sink.events
+                overhead = compute_overhead(events)
+                if overhead.trials:
+                    overhead_ratios.append(overhead.overhead_ratio)
+                if certify:
+                    # Lazy: the checker is analysis-side code and must
+                    # not load on the plain verification path.
+                    from repro.obs.certify import (
+                        CertificationError,
+                        certify_events,
                     )
-                finally:
-                    if user_traceable:
-                        user.tracer = saved
-                outcome = goal.evaluate(execution)
-                if outcome.achieved:
-                    achieved += 1
-                    achieved_rounds.append(outcome.rounds)
-                if execution.halted:
-                    halted += 1
-                if _false_positive(goal, sensing, execution):
-                    false_positives += 1
-                if sink is not None:
-                    events = sink.events
-                    overhead = compute_overhead(events)
-                    if overhead.trials:
-                        overhead_ratios.append(overhead.overhead_ratio)
-                    if certify:
-                        # Lazy: the checker is analysis-side code and must
-                        # not load on the plain verification path.
-                        from repro.obs.certify import (
-                            CertificationError,
-                            certify_events,
-                        )
 
-                        label = f"{name}/server={server.name}/seed={seed}"
-                        certificate = certify_events(events, trace=label)
-                        if not certificate.ok:
-                            raise CertificationError(certificate.format())
+                    label = f"{name}/server={server.name}/seed={seed}"
+                    certificate = certify_events(events, trace=label)
+                    if not certificate.ok:
+                        raise CertificationError(certificate.format())
         points.append(
             FaultPointReport(
                 channel_name=name,

@@ -37,7 +37,7 @@ import subprocess
 import time
 from dataclasses import dataclass, fields
 from pathlib import Path
-from typing import Any, Dict, Mapping, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
 
 from repro.core.execution import (
     FULL_RECORDING,
@@ -163,7 +163,14 @@ class RunManifest:
 
 @dataclass(frozen=True)
 class SweepManifest:
-    """Top-level index of a ledgered sweep: one entry per cell manifest."""
+    """Top-level index of a ledgered sweep: one entry per cell manifest.
+
+    ``backend`` names the executor that dispatched the cells (``serial``,
+    ``process``, ``batch``, ``batch-process``) and ``batch_width`` records
+    the lockstep width for batched backends (``None`` otherwise) — results
+    are backend-independent by contract, so these are provenance, not
+    identity.
+    """
 
     goal: str
     user: str
@@ -175,6 +182,8 @@ class SweepManifest:
     repro_version: str = __version__
     git_sha: Optional[str] = None
     kind: str = "sweep"
+    backend: str = "serial"
+    batch_width: Optional[int] = None
 
     def to_json(self) -> str:
         """Deterministic single-document JSON (trailing newline included)."""
