@@ -1,0 +1,96 @@
+"""CI smoke: the session service under production-shaped load.
+
+Drives 200 genuinely concurrent sessions — mixed goal families (relay /
+control / universal), 10% Bernoulli message drop — through one
+:class:`~repro.serve.engine.ServeEngine`, all admitted before the first
+scheduler slice runs, and then holds the service to the reproduction
+repo's standard of evidence:
+
+* every session settles with an :class:`~repro.core.execution
+  .ExecutionResult` **equal** to ``run_execution`` on the same cast/seed
+  (the serve layer may change where rounds run, never what they compute),
+  and the same goal verdict;
+* every session leaves a manifest + trace in the ledger directory named
+  by ``argv[1]``, each certified in-process here (``certify_run``) and
+  re-certified by the CI job through the engine-free
+  ``python -m repro.obs certify`` CLI before upload.
+
+Exits non-zero on any parity break, failed session, or uncertifiable
+trace, so the CI step is a real gate, not just an artifact producer.
+
+Runs numpy-free on purpose: the smoke jobs install only pytest, pinning
+the service to the stdlib.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+from pathlib import Path
+
+from repro.core.execution import run_execution
+from repro.obs.certify import certify_run
+from repro.serve.engine import ServeEngine
+from repro.serve.loadgen import demo_specs
+
+SESSIONS = 200
+HORIZON = 150
+DROP = 0.1
+SEED = 17
+
+
+def main() -> int:
+    out = Path(sys.argv[1] if len(sys.argv) > 1 else "serve-smoke")
+    specs = demo_specs(
+        "mixed", SESSIONS, seed=SEED, max_rounds=HORIZON, drop=DROP
+    )
+
+    async def serve():
+        engine = ServeEngine(
+            max_open=SESSIONS, workers=4, slice_rounds=16,
+            ledger_dir=out, trace=True,
+        )
+        async with engine:
+            # try_submit never awaits, so all 200 sessions are open before
+            # the first worker slice runs: the high-water mark below is a
+            # real concurrency witness, not a race.
+            handles = [engine.try_submit(spec) for spec in specs]
+            outcomes = await asyncio.gather(*(h.future for h in handles))
+            return engine, outcomes
+
+    engine, outcomes = asyncio.run(serve())
+
+    high_water = int(engine.counters.histogram("serve.open_sessions").maximum)
+    assert high_water == SESSIONS, (
+        f"expected {SESSIONS} concurrently open sessions, saw {high_water}"
+    )
+    assert engine.counters.get("serve.sessions_failed") == 0
+
+    achieved = 0
+    for spec, outcome in zip(specs, outcomes):
+        reference = run_execution(
+            spec.user, spec.server, spec.goal.world,
+            max_rounds=spec.max_rounds, seed=spec.seed,
+            recording=spec.recording, channel=spec.channel,
+        )
+        verdict = spec.goal.evaluate(reference)
+        assert outcome.execution == reference, (
+            f"served result diverged from batch run_execution: {spec.label}"
+        )
+        assert outcome.outcome == verdict, (
+            f"served verdict diverged from batch evaluation: {spec.label}"
+        )
+        certify_run(outcome.trace_path, outcome.manifest_path)
+        achieved += int(verdict.achieved)
+
+    print(
+        f"serve smoke OK: {len(outcomes)} sessions settled "
+        f"({achieved} achieved), high water {high_water}, "
+        f"{engine.counters.get('serve.rounds')} rounds, "
+        f"traces certified in {out}/"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,15 @@ code 1.  Wall-clock fields and speedups are printed for context but never
 gate — CI runners vary too much in core count for the parallel numbers to
 be stable.
 
+``--metric KEY`` points the gate at a different throughput figure; the
+serve capacity gate compares ``BENCH_serve.json`` files the same way::
+
+    python benchmarks/check_bench_regression.py \
+        baseline_serve.json BENCH_serve.json --metric sessions_per_s
+
+(The secondary ``batched_cells_per_s`` check only applies to the default
+``cells_per_s`` metric.)
+
 Baselines recorded on a different core count are reported but not
 enforced, since serial throughput also shifts with the machine class.
 
@@ -45,14 +54,23 @@ def load(path: Path) -> dict:
         sys.exit(f"error: {path} is not valid JSON: {exc}")
 
 
-def throughput(payload: dict, label: str) -> float:
-    if "cells_per_s" in payload:
-        return float(payload["cells_per_s"])
-    # Older baselines predate the explicit field; derive it.
-    try:
-        return payload["cells"] / payload["serial_s"]
-    except (KeyError, ZeroDivisionError):
-        sys.exit(f"error: {label} has no usable throughput figures")
+def throughput(payload: dict, label: str, metric: str = "cells_per_s") -> float:
+    if metric in payload:
+        return float(payload[metric])
+    if metric == "cells_per_s":
+        # Older baselines predate the explicit field; derive it.
+        try:
+            return payload["cells"] / payload["serial_s"]
+        except (KeyError, ZeroDivisionError):
+            pass
+    sys.exit(f"error: {label} has no usable {metric} figures")
+
+
+def unit(metric: str) -> str:
+    """Human display unit for a ``*_per_s`` metric key."""
+    if metric.endswith("_per_s"):
+        return metric[: -len("_per_s")].replace("_", " ") + "/s"
+    return metric
 
 
 def record_history(history: Path, candidate: dict, source: Path) -> None:
@@ -103,6 +121,13 @@ def main(argv: list[str] | None = None) -> int:
         help="append the candidate's {manifest, metrics} to this "
         "bench-history JSONL file (see python -m repro.obs diff --history)",
     )
+    parser.add_argument(
+        "--metric",
+        default="cells_per_s",
+        metavar="KEY",
+        help="throughput key to gate on (default cells_per_s; the serve "
+        "gate passes sessions_per_s for BENCH_serve.json pairs)",
+    )
     args = parser.parse_args(argv)
 
     baseline = load(args.baseline)
@@ -111,12 +136,13 @@ def main(argv: list[str] | None = None) -> int:
     if args.record is not None:
         record_history(args.record, candidate, args.candidate)
 
-    base_tp = throughput(baseline, "baseline")
-    cand_tp = throughput(candidate, "candidate")
+    base_tp = throughput(baseline, "baseline", args.metric)
+    cand_tp = throughput(candidate, "candidate", args.metric)
     ratio = cand_tp / base_tp if base_tp else float("inf")
+    figures = unit(args.metric)
 
-    print(f"baseline  : {base_tp:.2f} cells/s ({baseline.get('cores')} cores)")
-    print(f"candidate : {cand_tp:.2f} cells/s ({candidate.get('cores')} cores)")
+    print(f"baseline  : {base_tp:.2f} {figures} ({baseline.get('cores')} cores)")
+    print(f"candidate : {cand_tp:.2f} {figures} ({candidate.get('cores')} cores)")
     print(f"ratio     : {ratio:.3f} (floor {1 - args.tolerance:.2f})")
 
     if baseline.get("cores") != candidate.get("cores"):
@@ -124,16 +150,17 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if ratio < 1 - args.tolerance:
         print(
-            f"FAIL: serial throughput regressed by {(1 - ratio) * 100:.1f}% "
+            f"FAIL: {figures} throughput regressed by {(1 - ratio) * 100:.1f}% "
             f"(> {args.tolerance * 100:.0f}% allowed)"
         )
         return 1
 
     # The batched backend gates only when both sides measured it (older
-    # baselines predate it; numpy-less runs skip the batched bench).
+    # baselines predate it; numpy-less runs skip the batched bench), and
+    # only alongside the default serial metric.
     base_batched = baseline.get("batched_cells_per_s")
     cand_batched = candidate.get("batched_cells_per_s")
-    if base_batched and cand_batched:
+    if args.metric == "cells_per_s" and base_batched and cand_batched:
         batched_ratio = float(cand_batched) / float(base_batched)
         print(
             f"batched   : {float(cand_batched):.2f} vs "

@@ -248,8 +248,14 @@ class ProcessExecutor:
     max_workers:
         Pool size; defaults to ``os.cpu_count()``.  The pool is created
         lazily on first :meth:`map_cells` and **reused across calls** —
-        repeated sweeps pay process spawning once.  :meth:`close` (or
-        interpreter exit) shuts it down.
+        repeated sweeps pay process spawning once.  :meth:`close` shuts
+        it down; the executor is also a context manager (``with
+        ProcessExecutor() as executor: ...`` closes on exit), and an
+        ``atexit`` hook — registered once per live pool, unregistered by
+        :meth:`close` — catches anything still open at interpreter exit,
+        so long-lived processes (e.g. one also running a
+        :class:`~repro.serve.engine.ServeEngine`) never leak worker
+        processes or their semaphores.
     chunk_size:
         Cells per submitted work item.  The default ``"auto"`` times the
         first cell in the parent process (its result is kept — no work is
@@ -276,23 +282,44 @@ class ProcessExecutor:
         self._max_workers = max_workers
         self._chunk_size = chunk_size
         self._pool: Optional[_PoolExecutor] = None
+        self._atexit_registered = False
 
     @property
     def workers(self) -> int:
         """The pool size this executor runs (or will create) with."""
         return self._max_workers or os.cpu_count() or 1
 
+    def __enter__(self) -> "ProcessExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
     def close(self) -> None:
-        """Shut the persistent pool down (idempotent; recreated on next use)."""
+        """Shut the persistent pool down (idempotent; recreated on next use).
+
+        Also drops this executor's ``atexit`` hook: a closed executor holds
+        no worker processes, so there is nothing left for interpreter exit
+        to clean up, and the hook must not pin the executor alive.  A later
+        :meth:`map_cells` recreates both the pool and the hook.
+        """
         pool = self._pool
         self._pool = None
+        if self._atexit_registered:
+            self._atexit_registered = False
+            atexit.unregister(self.close)
         if pool is not None:
             pool.shutdown(wait=True)
 
     def _ensure_pool(self) -> _PoolExecutor:
         if self._pool is None:
             self._pool = _PoolExecutor(max_workers=self.workers)
-            atexit.register(self.close)
+            if not self._atexit_registered:
+                # Exactly one live registration per open pool: close()
+                # unregisters, so close/recreate cycles cannot stack
+                # duplicate hooks in the interpreter's exit table.
+                self._atexit_registered = True
+                atexit.register(self.close)
         return self._pool
 
     def _worker_batch_width(self) -> Optional[int]:

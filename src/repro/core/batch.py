@@ -44,7 +44,6 @@ certificates) are not supported — see the "Batched execution" section of
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import (
     Any,
@@ -58,34 +57,32 @@ from typing import (
     runtime_checkable,
 )
 
-from repro.comm.channels import ChannelState, Roles
-from repro.comm.messages import (
-    SILENCE,
-    ServerOutbox,
-    UserOutbox,
-    WorldOutbox,
-)
-from repro.comm.transcripts import Transcript
+from repro.comm.messages import SILENCE
 from repro.core.execution import (
     FULL_RECORDING,
     ExecutionResult,
     FaultyChannelLike,
     RecordingPolicy,
-    RoundRecord,
 )
 from repro.core.goals import CompactGoal, Goal
 from repro.core.referees import LastStateCompactReferee
+from repro.core.stepper import ExecutionStepper, derive_party_seeds
 from repro.core.strategy import ServerStrategy, UserStrategy, WorldStrategy
-from repro.core.views import BoundedUserView, ViewRecord
 from repro.errors import ExecutionError
-from repro.obs.events import (
-    ExecutionFinished,
-    ExecutionStarted,
-    MessageSent,
-    RoundExecuted,
-    rng_chain_digest,
-)
-from repro.obs.tracer import TracerLike, is_tracing
+from repro.obs.tracer import TracerLike
+
+__all__ = [
+    "HAVE_NUMPY",
+    "BatchItem",
+    "TabularCast",
+    "TabularOutcome",
+    "TabularParty",
+    "TabularStrategy",
+    "compile_tabular_cast",
+    "derive_party_seeds",  # canonical home: repro.core.stepper
+    "run_execution_batch",
+    "run_tabular_batch",
+]
 
 try:  # pragma: no cover - exercised via the HAVE_NUMPY branches in tests
     import numpy as _np
@@ -94,24 +91,6 @@ except ImportError:  # pragma: no cover
 
 #: True when numpy imported and the vectorized tier is available.
 HAVE_NUMPY: bool = _np is not None
-
-
-def derive_party_seeds(seed: int) -> Tuple[int, int, int, int]:
-    """The engine's per-party seed chain for master ``seed``.
-
-    Mirrors :func:`repro.core.execution.run_execution` exactly: user,
-    server, and world streams first, then the channel stream (drawn last
-    so fault-free runs never perturb the party streams).  The lockstep
-    engine derives its slots through this helper, and the parity suite
-    pins it against the serial engine's observable draws.
-    """
-    master = random.Random(seed)
-    return (
-        master.getrandbits(64),
-        master.getrandbits(64),
-        master.getrandbits(64),
-        master.getrandbits(64),
-    )
 
 
 @dataclass(frozen=True)
@@ -134,186 +113,24 @@ class BatchItem:
             raise ExecutionError(f"max_rounds must be positive: {self.max_rounds}")
 
 
-class _Slot:
-    """Mutable lockstep state for one :class:`BatchItem`."""
+def _slot(item: BatchItem) -> ExecutionStepper:
+    """One lockstep slot: the extracted engine loop, parameterised by item.
 
-    __slots__ = (
-        "item", "user_rng", "server_rng", "world_rng", "user_state",
-        "server_state", "world_state", "channels", "channel_run", "result",
-        "tracing", "keep_rounds", "keep_view_records", "live",
+    The per-round mechanics live in :class:`repro.core.stepper.ExecutionStepper`
+    (the engine's loop body as an object); this module only decides *which*
+    executions advance together.
+    """
+    return ExecutionStepper(
+        item.user,
+        item.server,
+        item.world,
+        max_rounds=item.max_rounds,
+        seed=item.seed,
+        record_transcript=item.record_transcript,
+        tracer=item.tracer,
+        recording=item.recording,
+        channel=item.channel,
     )
-
-    def __init__(self, item: BatchItem) -> None:
-        self.item = item
-        user_seed, server_seed, world_seed, channel_seed = derive_party_seeds(
-            item.seed
-        )
-        self.user_rng = random.Random(user_seed)
-        self.server_rng = random.Random(server_seed)
-        self.world_rng = random.Random(world_seed)
-        self.tracing = is_tracing(item.tracer)
-        if self.tracing:
-            item.tracer.emit(
-                ExecutionStarted(
-                    user=item.user.name,
-                    server=item.server.name,
-                    world=item.world.name,
-                    max_rounds=item.max_rounds,
-                    seed=item.seed,
-                    rng_digest=rng_chain_digest(
-                        item.seed, (user_seed, server_seed, world_seed)
-                    ),
-                )
-            )
-        self.channel_run = (
-            item.channel.start(channel_seed, item.tracer if self.tracing else None)
-            if item.channel is not None
-            else None
-        )
-        self.user_state = item.user.initial_state(self.user_rng)
-        self.server_state = item.server.initial_state(self.server_rng)
-        self.world_state = item.world.initial_state(self.world_rng)
-        self.channels = ChannelState()
-        recording = item.recording
-        self.result = ExecutionResult(
-            transcript=Transcript() if item.record_transcript else None,
-            recording=recording,
-        )
-        self.result.world_states.append(self.world_state)
-        self.keep_rounds = recording.keep_rounds
-        view_window = recording.view_window
-        if view_window is not None:
-            self.result.user_view = BoundedUserView(view_window)
-        self.keep_view_records = view_window is None or view_window > 0
-        self.live = True
-
-    def step_round(self, round_index: int) -> None:
-        """Advance this slot by one synchronous round (mirrors the engine)."""
-        item = self.item
-        channels = self.channels
-        user_inbox = channels.user_inbox()
-        server_inbox = channels.server_inbox()
-        world_inbox = channels.world_inbox()
-
-        user_state_before = self.user_state
-        self.user_state, user_out = item.user.step(
-            self.user_state, user_inbox, self.user_rng
-        )
-        self.server_state, server_out = item.server.step(
-            self.server_state, server_inbox, self.server_rng
-        )
-        self.world_state, world_out = item.world.step(
-            self.world_state, world_inbox, self.world_rng
-        )
-
-        if not isinstance(user_out, UserOutbox):
-            raise ExecutionError(
-                f"user strategy {item.user.name} returned {type(user_out).__name__}"
-            )
-        if not isinstance(server_out, ServerOutbox):
-            raise ExecutionError(
-                f"server strategy {item.server.name} returned "
-                f"{type(server_out).__name__}"
-            )
-        if not isinstance(world_out, WorldOutbox):
-            raise ExecutionError(
-                f"world strategy {item.world.name} returned "
-                f"{type(world_out).__name__}"
-            )
-
-        channels.deliver(user_out, server_out, world_out)
-        if self.channel_run is not None:
-            channels.user_to_server, channels.server_to_user = self.channel_run.apply(
-                round_index, channels.user_to_server, channels.server_to_user
-            )
-
-        result = self.result
-        result.rounds_completed += 1
-        if self.keep_rounds:
-            result.rounds.append(
-                RoundRecord(
-                    index=round_index,
-                    user_inbox=user_inbox,
-                    user_outbox=user_out,
-                    server_inbox=server_inbox,
-                    server_outbox=server_out,
-                    world_inbox=world_inbox,
-                    world_outbox=world_out,
-                    user_state_after=self.user_state,
-                    server_state_after=self.server_state,
-                    world_state_after=self.world_state,
-                )
-            )
-        result.world_states.append(self.world_state)
-        if self.keep_view_records:
-            result.user_view.append(
-                ViewRecord(
-                    round_index=round_index,
-                    state_before=user_state_before,
-                    inbox=user_inbox,
-                    outbox=user_out,
-                    state_after=self.user_state,
-                )
-            )
-        else:
-            result.user_view.advance()
-        if result.transcript is not None:
-            tr = result.transcript
-            tr.record(round_index, Roles.USER, Roles.SERVER, user_out.to_server)
-            tr.record(round_index, Roles.USER, Roles.WORLD, user_out.to_world)
-            tr.record(round_index, Roles.SERVER, Roles.USER, server_out.to_user)
-            tr.record(round_index, Roles.SERVER, Roles.WORLD, server_out.to_world)
-            tr.record(round_index, Roles.WORLD, Roles.USER, world_out.to_user)
-            tr.record(round_index, Roles.WORLD, Roles.SERVER, world_out.to_server)
-
-        if self.tracing:
-            tracer = item.tracer
-            messages = message_bytes = 0
-            for sender, receiver, payload in (
-                (Roles.USER, Roles.SERVER, user_out.to_server),
-                (Roles.USER, Roles.WORLD, user_out.to_world),
-                (Roles.SERVER, Roles.USER, server_out.to_user),
-                (Roles.SERVER, Roles.WORLD, server_out.to_world),
-                (Roles.WORLD, Roles.USER, world_out.to_user),
-                (Roles.WORLD, Roles.SERVER, world_out.to_server),
-            ):
-                if payload:
-                    messages += 1
-                    message_bytes += len(payload)
-                    tracer.emit(
-                        MessageSent(
-                            round_index=round_index, sender=sender,
-                            receiver=receiver, payload=payload,
-                        )
-                    )
-            tracer.emit(
-                RoundExecuted(
-                    round_index=round_index, messages=messages,
-                    message_bytes=message_bytes, halted=user_out.halt,
-                )
-            )
-
-        if user_out.halt:
-            result.halted = True
-            result.user_output = user_out.output
-            self.live = False
-        elif result.rounds_completed >= item.max_rounds:
-            self.live = False
-
-    def finish(self) -> ExecutionResult:
-        result = self.result
-        result.final_user_state = self.user_state
-        if self.channel_run is not None:
-            result.channel_name = getattr(
-                self.item.channel, "name", type(self.item.channel).__name__
-            )
-        if self.tracing:
-            self.item.tracer.emit(
-                ExecutionFinished(
-                    rounds_executed=result.rounds_completed, halted=result.halted
-                )
-            )
-        return result
 
 
 def run_execution_batch(items: Sequence[BatchItem]) -> List[ExecutionResult]:
@@ -330,13 +147,11 @@ def run_execution_batch(items: Sequence[BatchItem]) -> List[ExecutionResult]:
     lockstep interleaving calls ``step`` for slot A between two calls for
     slot B, which a ``self``-mutating strategy would observe.
     """
-    slots = [_Slot(item) for item in items]
+    slots = [_slot(item) for item in items]
     live = list(slots)
-    round_index = 0
     while live:
         for slot in live:
-            slot.step_round(round_index)
-        round_index += 1
+            slot.step()
         if any(not slot.live for slot in live):
             live = [slot for slot in live if slot.live]
     return [slot.finish() for slot in slots]

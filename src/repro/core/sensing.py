@@ -51,6 +51,28 @@ class IncrementalSensing:
         """Consume one new round's record; return the current indication."""
         raise NotImplementedError
 
+    def _state(self) -> Tuple[object, ...]:
+        """Every slot value, MRO order — the monitor's structural content."""
+        names: List[str] = []
+        for klass in type(self).__mro__:
+            names.extend(getattr(klass, "__slots__", ()))
+        return tuple(getattr(self, name) for name in names)
+
+    def __eq__(self, other: object) -> bool:
+        """Structural equality: same monitor type, same slot contents.
+
+        Universal-user states embed their monitors, and the serve/batch
+        parity suites compare those states structurally — two runs of the
+        same cast/seed must produce *equal* states, not merely equivalent
+        ones.  Subclasses keep all state in ``__slots__``, so comparing
+        slot tuples compares the full progress of the monitor.
+        """
+        if type(other) is not type(self):
+            return NotImplemented
+        return self._state() == other._state()
+
+    __hash__ = None  # type: ignore[assignment]  # mutable monitor
+
 
 class Sensing:
     """A Boolean feedback function over the user's local view."""

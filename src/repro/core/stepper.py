@@ -1,0 +1,348 @@
+"""A resumable round-stepper: the engine's loop body as a standalone object.
+
+:func:`repro.core.execution.run_execution` runs a cast to completion; some
+callers need the *same* execution advanced cooperatively — the batched
+lockstep backend interleaves thousands of slots round by round, and the
+session service (:mod:`repro.serve`) parks an execution between scheduler
+slices for arbitrarily long.  :class:`ExecutionStepper` is the engine's
+loop body extracted into an object: construct it with exactly the arguments
+``run_execution`` takes, call :meth:`step` until it returns ``False``, and
+:meth:`finish` hands back the :class:`~repro.core.execution.ExecutionResult`.
+
+Parity contract: a stepper stepped to completion is **bitwise identical**
+to ``run_execution`` with the same arguments — same per-party RNG
+derivation (user, server, world streams first, channel stream last), same
+outbox validation, same channel-fault application, same recording policies,
+same tracer event order.  ``tests/serve/test_session.py`` and
+``tests/core/test_batch.py`` pin this field by field; any change here must
+keep both the serial engine and this extraction in lockstep.
+
+The serial engine itself deliberately keeps its own hoisted-local loop
+(``run_execution`` is the hot reference path and benchmark subject); this
+module is the *resumable* form of that loop, shared by every caller that
+cannot run an execution to completion in one call.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.comm.channels import ChannelState, Roles
+from repro.comm.messages import ServerOutbox, UserOutbox, WorldOutbox
+from repro.comm.transcripts import Transcript
+from repro.core.execution import (
+    FULL_RECORDING,
+    ExecutionResult,
+    FaultyChannelLike,
+    RecordingPolicy,
+    RoundRecord,
+)
+from repro.core.strategy import ServerStrategy, UserStrategy, WorldStrategy
+from repro.core.views import BoundedUserView, ViewRecord
+from repro.errors import ExecutionError
+from repro.obs.events import (
+    ExecutionFinished,
+    ExecutionStarted,
+    MessageSent,
+    RoundExecuted,
+    rng_chain_digest,
+)
+from repro.obs.tracer import TracerLike, is_tracing
+
+
+def derive_party_seeds(seed: int) -> Tuple[int, int, int, int]:
+    """The engine's per-party seed chain for master ``seed``.
+
+    Mirrors :func:`repro.core.execution.run_execution` exactly: user,
+    server, and world streams first, then the channel stream (drawn last
+    so fault-free runs never perturb the party streams).  The stepper and
+    the lockstep engine derive their runs through this helper, and the
+    parity suites pin it against the serial engine's observable draws.
+    """
+    master = random.Random(seed)
+    return (
+        master.getrandbits(64),
+        master.getrandbits(64),
+        master.getrandbits(64),
+        master.getrandbits(64),
+    )
+
+
+class ExecutionStepper:
+    """One execution, advanced one synchronous round per :meth:`step` call.
+
+    Construction performs everything ``run_execution`` does before its
+    loop: seed derivation, tracer start event, channel-run creation, and
+    the parties' initial states.  Each :meth:`step` call is one iteration
+    of the engine's loop; the stepper goes *settled* when the user halts
+    or ``max_rounds`` is exhausted, after which :meth:`step` is an error
+    and :meth:`finish` returns the result (and emits the finish event).
+
+    Steppers are single-use and not thread-safe; cooperative interleaving
+    (many steppers advanced from one thread, in any order) is the intended
+    mode and changes no stepper's results — all state is per-instance.
+    """
+
+    __slots__ = (
+        "user", "server", "world", "max_rounds", "recording", "channel",
+        "tracer", "user_rng", "server_rng", "world_rng", "user_state",
+        "server_state", "world_state", "channels", "channel_run", "result",
+        "tracing", "keep_rounds", "keep_view_records", "live", "finished",
+        "round_index",
+    )
+
+    def __init__(
+        self,
+        user: UserStrategy,
+        server: ServerStrategy,
+        world: WorldStrategy,
+        *,
+        max_rounds: int,
+        seed: int = 0,
+        record_transcript: bool = False,
+        tracer: TracerLike = None,
+        recording: RecordingPolicy = FULL_RECORDING,
+        channel: Optional[FaultyChannelLike] = None,
+    ) -> None:
+        if max_rounds <= 0:
+            raise ExecutionError(f"max_rounds must be positive: {max_rounds}")
+        self.user = user
+        self.server = server
+        self.world = world
+        self.max_rounds = max_rounds
+        self.recording = recording
+        self.channel = channel
+        self.tracer = tracer
+        user_seed, server_seed, world_seed, channel_seed = derive_party_seeds(seed)
+        self.user_rng = random.Random(user_seed)
+        self.server_rng = random.Random(server_seed)
+        self.world_rng = random.Random(world_seed)
+        self.tracing = is_tracing(tracer)
+        if self.tracing:
+            assert tracer is not None
+            tracer.emit(
+                ExecutionStarted(
+                    user=user.name,
+                    server=server.name,
+                    world=world.name,
+                    max_rounds=max_rounds,
+                    seed=seed,
+                    rng_digest=rng_chain_digest(
+                        seed, (user_seed, server_seed, world_seed)
+                    ),
+                )
+            )
+        self.channel_run = (
+            channel.start(channel_seed, tracer if self.tracing else None)
+            if channel is not None
+            else None
+        )
+        self.user_state = user.initial_state(self.user_rng)
+        self.server_state = server.initial_state(self.server_rng)
+        self.world_state = world.initial_state(self.world_rng)
+        self.channels = ChannelState()
+        self.result = ExecutionResult(
+            transcript=Transcript() if record_transcript else None,
+            recording=recording,
+        )
+        self.result.world_states.append(self.world_state)
+        self.keep_rounds = recording.keep_rounds
+        view_window = recording.view_window
+        if view_window is not None:
+            self.result.user_view = BoundedUserView(view_window)
+        self.keep_view_records = view_window is None or view_window > 0
+        self.live = True
+        self.finished = False
+        self.round_index = 0
+
+    @property
+    def rounds_completed(self) -> int:
+        """Rounds executed so far (== the next round's index while live)."""
+        return self.result.rounds_completed
+
+    def step(self) -> bool:
+        """Advance one synchronous round; return ``True`` while live.
+
+        Exactly the body of the serial engine's loop — party steps, outbox
+        validation, delivery, channel faults, recording, tracing, and the
+        halt check — for the stepper's current round index.  Raises
+        :class:`~repro.errors.ExecutionError` when called after the
+        execution settled (a scheduler bug, not a recoverable condition).
+        """
+        if not self.live:
+            raise ExecutionError("step() called on a settled execution")
+        round_index = self.round_index
+        channels = self.channels
+        user_inbox = channels.user_inbox()
+        server_inbox = channels.server_inbox()
+        world_inbox = channels.world_inbox()
+
+        user_state_before = self.user_state
+        self.user_state, user_out = self.user.step(
+            self.user_state, user_inbox, self.user_rng
+        )
+        self.server_state, server_out = self.server.step(
+            self.server_state, server_inbox, self.server_rng
+        )
+        self.world_state, world_out = self.world.step(
+            self.world_state, world_inbox, self.world_rng
+        )
+
+        if not isinstance(user_out, UserOutbox):
+            raise ExecutionError(
+                f"user strategy {self.user.name} returned {type(user_out).__name__}"
+            )
+        if not isinstance(server_out, ServerOutbox):
+            raise ExecutionError(
+                f"server strategy {self.server.name} returned "
+                f"{type(server_out).__name__}"
+            )
+        if not isinstance(world_out, WorldOutbox):
+            raise ExecutionError(
+                f"world strategy {self.world.name} returned "
+                f"{type(world_out).__name__}"
+            )
+
+        channels.deliver(user_out, server_out, world_out)
+        if self.channel_run is not None:
+            channels.user_to_server, channels.server_to_user = self.channel_run.apply(
+                round_index, channels.user_to_server, channels.server_to_user
+            )
+
+        result = self.result
+        result.rounds_completed += 1
+        if self.keep_rounds:
+            result.rounds.append(
+                RoundRecord(
+                    index=round_index,
+                    user_inbox=user_inbox,
+                    user_outbox=user_out,
+                    server_inbox=server_inbox,
+                    server_outbox=server_out,
+                    world_inbox=world_inbox,
+                    world_outbox=world_out,
+                    user_state_after=self.user_state,
+                    server_state_after=self.server_state,
+                    world_state_after=self.world_state,
+                )
+            )
+        result.world_states.append(self.world_state)
+        if self.keep_view_records:
+            result.user_view.append(
+                ViewRecord(
+                    round_index=round_index,
+                    state_before=user_state_before,
+                    inbox=user_inbox,
+                    outbox=user_out,
+                    state_after=self.user_state,
+                )
+            )
+        else:
+            result.user_view.advance()
+        if result.transcript is not None:
+            tr = result.transcript
+            tr.record(round_index, Roles.USER, Roles.SERVER, user_out.to_server)
+            tr.record(round_index, Roles.USER, Roles.WORLD, user_out.to_world)
+            tr.record(round_index, Roles.SERVER, Roles.USER, server_out.to_user)
+            tr.record(round_index, Roles.SERVER, Roles.WORLD, server_out.to_world)
+            tr.record(round_index, Roles.WORLD, Roles.USER, world_out.to_user)
+            tr.record(round_index, Roles.WORLD, Roles.SERVER, world_out.to_server)
+
+        if self.tracing:
+            tracer = self.tracer
+            assert tracer is not None
+            messages = message_bytes = 0
+            for sender, receiver, payload in (
+                (Roles.USER, Roles.SERVER, user_out.to_server),
+                (Roles.USER, Roles.WORLD, user_out.to_world),
+                (Roles.SERVER, Roles.USER, server_out.to_user),
+                (Roles.SERVER, Roles.WORLD, server_out.to_world),
+                (Roles.WORLD, Roles.USER, world_out.to_user),
+                (Roles.WORLD, Roles.SERVER, world_out.to_server),
+            ):
+                if payload:
+                    messages += 1
+                    message_bytes += len(payload)
+                    tracer.emit(
+                        MessageSent(
+                            round_index=round_index, sender=sender,
+                            receiver=receiver, payload=payload,
+                        )
+                    )
+            tracer.emit(
+                RoundExecuted(
+                    round_index=round_index, messages=messages,
+                    message_bytes=message_bytes, halted=user_out.halt,
+                )
+            )
+
+        self.round_index = round_index + 1
+        if user_out.halt:
+            result.halted = True
+            result.user_output = user_out.output
+            self.live = False
+        elif result.rounds_completed >= self.max_rounds:
+            self.live = False
+        return self.live
+
+    def step_many(self, rounds: int) -> int:
+        """Advance up to ``rounds`` rounds; return how many actually ran.
+
+        The scheduler-slice form of :meth:`step`: stops early when the
+        execution settles, and is a no-op (returning 0) on an already
+        settled stepper — schedulers may race a settle without guarding.
+        """
+        if rounds < 0:
+            raise ExecutionError(f"rounds must be non-negative: {rounds}")
+        executed = 0
+        while executed < rounds and self.live:
+            self.step()
+            executed += 1
+        return executed
+
+    def finish(self) -> ExecutionResult:
+        """Seal and return the result (idempotent after the first call).
+
+        Mirrors the serial engine's epilogue: fills ``final_user_state``,
+        stamps the channel name, and emits the
+        :class:`~repro.obs.events.ExecutionFinished` event exactly once.
+        Callable while live (an aborted drain still wants partial state),
+        but the normal path calls it once ``step`` returned ``False``.
+        """
+        result = self.result
+        if self.finished:
+            return result
+        self.finished = True
+        result.final_user_state = self.user_state
+        if self.channel_run is not None:
+            result.channel_name = getattr(
+                self.channel, "name", type(self.channel).__name__
+            )
+        if self.tracing:
+            assert self.tracer is not None
+            self.tracer.emit(
+                ExecutionFinished(
+                    rounds_executed=result.rounds_completed, halted=result.halted
+                )
+            )
+        return result
+
+
+def run_steppers(steppers: Sequence[ExecutionStepper]) -> List[ExecutionResult]:
+    """Advance every stepper in lockstep to completion; results in order.
+
+    The minimal cooperative scheduler: each pass steps every live stepper
+    once, so N concurrent executions share one process and interleave
+    round by round — the structural skeleton both
+    :func:`repro.core.batch.run_execution_batch` and the session service
+    build on.  Results are bitwise-identical to running each stepper to
+    completion on its own (steppers share no state).
+    """
+    live = [s for s in steppers if s.live]
+    while live:
+        for stepper in live:
+            stepper.step()
+        if any(not s.live for s in live):
+            live = [s for s in live if s.live]
+    return [s.finish() for s in steppers]

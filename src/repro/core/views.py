@@ -57,6 +57,23 @@ class UserView:
     def __getitem__(self, index: int) -> ViewRecord:
         return self._records[index]
 
+    def __eq__(self, other: object) -> bool:
+        """Structural equality: same rounds seen, same retained records.
+
+        Views compare by content, not identity, so two executions of the
+        same cast/seed have *equal* results — the property the batch and
+        serve parity suites assert end to end.  Comparing ``len`` (total
+        rounds, which for bounded views exceeds the retained count) keeps
+        a bounded view distinct from a truncated full view.
+        """
+        if not isinstance(other, UserView):
+            return NotImplemented
+        return len(self) == len(other) and tuple(self._records) == tuple(
+            other._records
+        )
+
+    __hash__ = None  # type: ignore[assignment]  # mutable container
+
     @property
     def records(self) -> Sequence[ViewRecord]:
         """Read-only access to the underlying records."""

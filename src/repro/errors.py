@@ -55,3 +55,13 @@ class VerificationError(ReproError):
 
 class CodecError(ReproError):
     """A codec could not decode a message (non-image input)."""
+
+
+class ServeError(ReproError):
+    """The session service was misused or refused an operation.
+
+    Covers lifecycle misuse (stepping a closed session, submitting to a
+    closed engine) and admission-control refusals; the engine's
+    backpressure rejection is the :class:`repro.serve.engine.SessionRejected`
+    subclass so load generators can catch it specifically.
+    """

@@ -46,7 +46,7 @@ from repro.core.execution import (
     RecordingPolicy,
     run_execution,
 )
-from repro.core.goals import Goal
+from repro.core.goals import Goal, GoalOutcome
 from repro.core.strategy import ServerStrategy, UserStrategy
 from repro.obs.events import GoalVerdict
 from repro.obs.sinks import JsonlSink
@@ -243,12 +243,13 @@ def file_sha256(path: Union[str, Path]) -> str:
     return hashlib.sha256(Path(path).read_bytes()).hexdigest()
 
 
-def _channel_spec(channel: Optional[FaultyChannelLike]) -> Optional[Dict[str, Any]]:
+def channel_spec(channel: Optional[FaultyChannelLike]) -> Optional[Dict[str, Any]]:
     """The channel's self-description for the trace header, if it has one.
 
     Custom channels without a ``spec()`` (or whose schedules cannot
     describe themselves) simply record no spec: the run stays certifiable
-    except for fault replay.
+    except for fault replay.  Shared by :func:`record_run` and the session
+    service (:mod:`repro.serve`), which write the same trace headers.
     """
     spec = getattr(channel, "spec", None)
     if not callable(spec):
@@ -258,6 +259,33 @@ def _channel_spec(channel: Optional[FaultyChannelLike]) -> Optional[Dict[str, An
     except NotImplementedError:
         return None
     return described if isinstance(described, dict) else None
+
+
+def emit_goal_verdict(tracer: Tracer, goal: Goal, outcome: GoalOutcome) -> None:
+    """Record ``outcome`` as a :class:`~repro.obs.events.GoalVerdict` event.
+
+    The verdict goes *into* the trace so the claim being certified is part
+    of the evidence stream, not only manifest metadata.  Every writer of a
+    certifiable trace (:func:`record_run`, :mod:`repro.serve` sessions)
+    emits its verdict through this helper so the event shape cannot drift.
+    """
+    verdict = outcome.compact_verdict
+    tracer.emit(
+        GoalVerdict(
+            goal=goal.name,
+            compact=goal.is_compact,
+            achieved=outcome.achieved,
+            halted=outcome.halted,
+            rounds=outcome.rounds,
+            settle_fraction=(
+                goal.settle_fraction if goal.is_compact else None
+            ),
+            total_prefixes=None if verdict is None else verdict.total_prefixes,
+            bad_prefixes=None if verdict is None else verdict.bad_prefixes,
+            last_bad_round=None if verdict is None else verdict.last_bad_round,
+            note=outcome.note,
+        )
+    )
 
 
 def record_run(
@@ -297,7 +325,7 @@ def record_run(
     manifest_path = directory / f"{name}.json"
 
     header: Dict[str, Any] = {}
-    spec = _channel_spec(channel)
+    spec = channel_spec(channel)
     if spec is not None:
         header["channel"] = spec
     tracer = Tracer(sink=JsonlSink(trace_path, header=header))
@@ -314,25 +342,7 @@ def record_run(
             tracer=tracer, recording=recording, channel=channel,
         )
         outcome = goal.evaluate(execution)
-        # The verdict goes *into* the trace so the claim being certified is
-        # part of the evidence stream, not only manifest metadata.
-        verdict = outcome.compact_verdict
-        tracer.emit(
-            GoalVerdict(
-                goal=goal.name,
-                compact=goal.is_compact,
-                achieved=outcome.achieved,
-                halted=outcome.halted,
-                rounds=outcome.rounds,
-                settle_fraction=(
-                    goal.settle_fraction if goal.is_compact else None
-                ),
-                total_prefixes=None if verdict is None else verdict.total_prefixes,
-                bad_prefixes=None if verdict is None else verdict.bad_prefixes,
-                last_bad_round=None if verdict is None else verdict.last_bad_round,
-                note=outcome.note,
-            )
-        )
+        emit_goal_verdict(tracer, goal, outcome)
     finally:
         if user_traced:
             user.tracer = saved
@@ -378,6 +388,8 @@ __all__ = [
     "RecordedRun",
     "RunManifest",
     "SweepManifest",
+    "channel_spec",
+    "emit_goal_verdict",
     "file_sha256",
     "git_sha",
     "read_manifest",

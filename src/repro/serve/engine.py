@@ -1,0 +1,391 @@
+"""ServeEngine: an asyncio multiplexer for goal-oriented sessions.
+
+One process, one event loop, thousands of interleaved sessions.  The
+engine is a cooperative scheduler over :class:`~repro.serve.session.Session`
+objects: each worker task repeatedly takes the next runnable session,
+advances it ``slice_rounds`` rounds, and re-queues it — round-robin
+through a deque, so no session can starve and no session can monopolise
+the loop for more than one slice.  CPU-bound stepping happens inline (the
+model is synchronous and pure Python); concurrency buys *multiplexing*
+(long-lived sessions with persistent enumeration state, arrival/completion
+overlap, bounded memory), not parallelism — that is what
+:mod:`repro.analysis.parallel` is for.
+
+Backpressure is at admission: the engine holds at most ``max_open``
+sessions.  :meth:`ServeEngine.try_submit` *rejects* (raises
+:class:`SessionRejected`) when full — the open-loop load-shedding mode —
+while :meth:`ServeEngine.submit` *parks* the caller on a condition until
+a slot frees.  Only admission is bounded; the internal runnable queue
+holds admitted sessions only, so workers re-queueing a live session can
+never deadlock against the limit.
+
+Lifecycle: :meth:`start` (or ``async with``) spawns the workers;
+:meth:`drain` closes admission and waits for every open session to
+settle; :meth:`close` drains and then stops the workers; :meth:`abort`
+fails everything immediately (pending futures get :class:`~repro.errors.ServeError`,
+trace sinks are flushed via :meth:`~repro.serve.session.Session.abandon`).
+
+Telemetry flows through a per-engine
+:class:`~repro.obs.counters.CounterSet` (``serve.*`` names: sessions
+submitted/rejected/parked/settled/achieved/failed, rounds, open-session
+and queue-depth high-water marks) — the same plain-data snapshots the
+sweep runner ships, so serve metrics merge into existing tooling.  With
+``ledger_dir`` set, every session writes a manifest (and, with
+``trace=True``, a certifiable trace) through the :mod:`repro.obs` ledger.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from collections import deque
+from pathlib import Path
+from typing import Any, Deque, Dict, List, Optional, Union
+
+from repro.errors import ServeError
+from repro.obs.counters import CounterSet
+from repro.serve.session import Session, SessionOutcome, SessionSpec
+
+
+class SessionRejected(ServeError):
+    """Admission refused: the engine is at ``max_open`` (backpressure)."""
+
+
+class EngineClosed(ServeError):
+    """Submission after :meth:`ServeEngine.drain`/``close`` began."""
+
+
+class SessionHandle:
+    """A submitted session's future result (plus the live session).
+
+    ``await handle`` (or ``await handle.future``) yields the
+    :class:`~repro.serve.session.SessionOutcome`; failures surface as the
+    exception that broke the session.  The handle exposes the live
+    :class:`~repro.serve.session.Session` read-only conveniences
+    (``rounds_completed``) for progress inspection.
+    """
+
+    __slots__ = ("session", "future")
+
+    def __init__(
+        self, session: Session, future: "asyncio.Future[SessionOutcome]"
+    ) -> None:
+        self.session = session
+        self.future = future
+
+    @property
+    def session_id(self) -> str:
+        return self.session.session_id
+
+    def done(self) -> bool:
+        return self.future.done()
+
+    async def result(self) -> SessionOutcome:
+        return await self.future
+
+    def __await__(self) -> Any:
+        return self.future.__await__()
+
+    def __repr__(self) -> str:
+        state = "done" if self.future.done() else "open"
+        return f"<SessionHandle {self.session_id} {state}>"
+
+
+class ServeEngine:
+    """A bounded, fair, drainable multiplexer of sessions.
+
+    Parameters
+    ----------
+    max_open:
+        Admission bound — the most sessions open (admitted, not yet
+        settled) at once.  This is the engine's memory bound: each open
+        session holds its states and recording buffers.
+    workers:
+        Cooperative worker tasks.  More workers do not add CPU (one
+        event loop); they shorten the re-queue latency when a slice
+        blocks on I/O (trace flushes).  One or two is typical.
+    slice_rounds:
+        Rounds per scheduling slice — the fairness quantum.  Small
+        slices interleave finely (lower per-session latency variance),
+        large slices amortise scheduling overhead.
+    ledger_dir / trace / certify:
+        Per-session provenance, passed through to
+        :class:`~repro.serve.session.Session`: manifests (and traces,
+        and an immediate certification re-check) for every session.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_open: int = 1024,
+        workers: int = 2,
+        slice_rounds: int = 32,
+        ledger_dir: Optional[Union[str, Path]] = None,
+        trace: bool = False,
+        certify: bool = False,
+        counters: Optional[CounterSet] = None,
+    ) -> None:
+        if max_open <= 0:
+            raise ServeError(f"max_open must be positive: {max_open}")
+        if workers <= 0:
+            raise ServeError(f"workers must be positive: {workers}")
+        if slice_rounds <= 0:
+            raise ServeError(f"slice_rounds must be positive: {slice_rounds}")
+        self.max_open = max_open
+        self.slice_rounds = slice_rounds
+        self.counters = counters if counters is not None else CounterSet()
+        self._worker_count = workers
+        self._ledger_dir = None if ledger_dir is None else Path(ledger_dir)
+        self._trace = trace
+        self._certify = certify
+
+        self._runnable: Deque[SessionHandle] = deque()
+        self._space = asyncio.Condition()
+        self._wakeup = asyncio.Event()
+        self._open = 0
+        self._next_id = 0
+        self._closing = False
+        self._stopping = False
+        self._workers: List["asyncio.Task[None]"] = []
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    def start(self) -> None:
+        """Spawn the worker tasks (requires a running event loop)."""
+        if self._workers:
+            raise ServeError("engine already started")
+        if self._stopping:
+            raise ServeError("engine already closed")
+        self._workers = [
+            asyncio.create_task(self._worker(), name=f"serve-worker-{i}")
+            for i in range(self._worker_count)
+        ]
+
+    async def __aenter__(self) -> "ServeEngine":
+        self.start()
+        return self
+
+    async def __aexit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        if exc_type is None:
+            await self.close()
+        else:
+            await self.abort()
+
+    async def join(self) -> None:
+        """Wait until every open session has settled (admission stays open)."""
+        async with self._space:
+            while self._open:
+                await self._space.wait()
+
+    async def drain(self) -> None:
+        """Close admission, then wait for the open sessions to settle.
+
+        Graceful by construction: sessions already admitted keep their
+        enumeration state and run to their natural settle; parked
+        :meth:`submit` callers are woken and get :class:`EngineClosed`.
+        """
+        self._closing = True
+        async with self._space:
+            self._space.notify_all()
+        await self.join()
+
+    async def close(self) -> None:
+        """Drain, stop the workers, and write the engine summary."""
+        await self.drain()
+        self._stopping = True
+        self._wakeup.set()
+        if self._workers:
+            await asyncio.gather(*self._workers)
+        self._write_summary()
+
+    async def abort(self) -> None:
+        """Fail fast: stop workers, fail every open session's future.
+
+        Open sessions are :meth:`~repro.serve.session.Session.abandon`\\ ed
+        (trace sinks flushed, no verdict written) so an aborted ledger is
+        visibly incomplete rather than falsely certified.
+        """
+        self._closing = True
+        self._stopping = True
+        self._wakeup.set()
+        for task in self._workers:
+            task.cancel()
+        if self._workers:
+            await asyncio.gather(*self._workers, return_exceptions=True)
+        error = ServeError("engine aborted")
+        while self._runnable:
+            handle = self._runnable.popleft()
+            handle.session.abandon()
+            if not handle.future.done():
+                handle.future.set_exception(error)
+            self.counters.inc("serve.sessions_failed")
+        async with self._space:
+            self._open = 0
+            self._space.notify_all()
+
+    # ------------------------------------------------------------------
+    # admission
+
+    def _admit(self, spec: SessionSpec, session_id: Optional[str]) -> SessionHandle:
+        if session_id is None:
+            session_id = f"s{self._next_id:06d}"
+        self._next_id += 1
+        session = Session(
+            spec,
+            session_id=session_id,
+            ledger_dir=self._ledger_dir,
+            trace=self._trace,
+            certify=self._certify,
+        )
+        loop = asyncio.get_running_loop()
+        handle = SessionHandle(session, loop.create_future())
+        self._open += 1
+        self._runnable.append(handle)
+        self.counters.inc("serve.sessions_submitted")
+        self.counters.observe("serve.open_sessions", float(self._open))
+        self.counters.observe("serve.queue_depth", float(len(self._runnable)))
+        self._wakeup.set()
+        return handle
+
+    def try_submit(
+        self, spec: SessionSpec, *, session_id: Optional[str] = None
+    ) -> SessionHandle:
+        """Admit ``spec`` now or raise — the load-shedding admission mode.
+
+        Raises :class:`EngineClosed` once draining began and
+        :class:`SessionRejected` when ``max_open`` sessions are already
+        open; the caller decides whether to retry, queue elsewhere, or
+        drop the arrival.
+        """
+        if self._closing:
+            raise EngineClosed("engine is draining; no new sessions")
+        if self._open >= self.max_open:
+            self.counters.inc("serve.sessions_rejected")
+            raise SessionRejected(
+                f"{self._open} sessions open (max_open={self.max_open})"
+            )
+        return self._admit(spec, session_id)
+
+    async def submit(
+        self, spec: SessionSpec, *, session_id: Optional[str] = None
+    ) -> SessionHandle:
+        """Admit ``spec``, parking the caller while the engine is full.
+
+        The flow-controlled admission mode: arrivals queue *outside* the
+        engine (in their own coroutines) until a slot frees, so memory
+        stays bounded by ``max_open`` no matter how fast callers submit.
+        Raises :class:`EngineClosed` if draining begins while parked.
+        """
+        parked = False
+        async with self._space:
+            while self._open >= self.max_open and not self._closing:
+                if not parked:
+                    parked = True
+                    self.counters.inc("serve.sessions_parked")
+                await self._space.wait()
+            if self._closing:
+                raise EngineClosed("engine is draining; no new sessions")
+            return self._admit(spec, session_id)
+
+    # ------------------------------------------------------------------
+    # scheduling
+
+    async def _worker(self) -> None:
+        while True:
+            if not self._runnable:
+                if self._stopping:
+                    return
+                self._wakeup.clear()
+                if self._runnable or self._stopping:
+                    continue  # lost-wakeup guard: re-check after clear
+                await self._wakeup.wait()
+                continue
+            handle = self._runnable.popleft()
+            live = False
+            error: Optional[BaseException] = None
+            try:
+                executed = handle.session.step(self.slice_rounds)
+                self.counters.inc("serve.rounds", executed)
+                live = handle.session.live
+            except asyncio.CancelledError:
+                self._runnable.appendleft(handle)
+                raise
+            except Exception as exc:
+                error = exc
+            if live:
+                self._runnable.append(handle)
+            else:
+                await self._settle(handle, error)
+            # Yield every slice so submitters, timers, and the other
+            # workers run between quanta even while the queue is hot.
+            await asyncio.sleep(0)
+
+    async def _settle(
+        self, handle: SessionHandle, error: Optional[BaseException]
+    ) -> None:
+        outcome: Optional[SessionOutcome] = None
+        if error is None:
+            try:
+                outcome = handle.session.close()
+            except Exception as exc:
+                error = exc
+        if error is None:
+            assert outcome is not None
+            self.counters.inc("serve.sessions_settled")
+            if outcome.outcome.achieved:
+                self.counters.inc("serve.sessions_achieved")
+            self.counters.observe(
+                "serve.session_rounds", float(outcome.execution.rounds_executed)
+            )
+            self.counters.observe(
+                "serve.session_wall_ms", outcome.wall_time_s * 1000.0
+            )
+        else:
+            handle.session.abandon()
+            self.counters.inc("serve.sessions_failed")
+        async with self._space:
+            self._open -= 1
+            self._space.notify_all()
+        if not handle.future.done():
+            if error is None:
+                assert outcome is not None
+                handle.future.set_result(outcome)
+            else:
+                handle.future.set_exception(error)
+
+    # ------------------------------------------------------------------
+    # introspection
+
+    @property
+    def open_sessions(self) -> int:
+        """Sessions admitted and not yet settled."""
+        return self._open
+
+    @property
+    def draining(self) -> bool:
+        return self._closing
+
+    def stats(self) -> Dict[str, Any]:
+        """Counters snapshot plus the instantaneous gauges."""
+        snapshot: Dict[str, Any] = dict(self.counters.snapshot())
+        snapshot["open_sessions_now"] = self._open
+        snapshot["runnable_now"] = len(self._runnable)
+        return snapshot
+
+    def _write_summary(self) -> None:
+        """Drop the engine's counter snapshot beside the session ledger."""
+        if self._ledger_dir is None:
+            return
+        self._ledger_dir.mkdir(parents=True, exist_ok=True)
+        path = self._ledger_dir / "engine.json"
+        path.write_text(
+            json.dumps(self.stats(), indent=2, sort_keys=False) + "\n",
+            encoding="utf-8",
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<ServeEngine open={self._open}/{self.max_open} "
+            f"runnable={len(self._runnable)} workers={len(self._workers)}>"
+        )

@@ -138,6 +138,26 @@ class EnumerationCursor:
         """How many candidates have been produced so far."""
         return len(self._cache)
 
+    def __eq__(self, other: object) -> bool:
+        """Cursors compare by the class they enumerate.
+
+        The prefix cache and iterator position are performance artifacts
+        — invisible to every sensing/switch decision, which go through
+        :meth:`get` — so two cursors over the same class are equal however
+        much each has materialised.  Universal-user states embed their
+        cursor, and the serve/batch parity suites compare those states
+        structurally; without this, state equality would degenerate to
+        cursor identity.
+        """
+        if not isinstance(other, EnumerationCursor):
+            return NotImplemented
+        return (
+            self._enumeration is other._enumeration
+            or self._enumeration == other._enumeration
+        )
+
+    __hash__ = None  # type: ignore[assignment]  # mutable cache
+
 
 def materialize(enumeration: StrategyEnumeration) -> EnumerationCursor:
     """Create a fresh cursor over ``enumeration``."""

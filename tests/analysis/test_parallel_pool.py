@@ -150,6 +150,77 @@ class TestPersistentPool:
             executor.close()
 
 
+class TestPoolShutdown:
+    """The persistent pool must die cleanly: context manager, atexit
+    hygiene, and coexistence with the asyncio session service."""
+
+    def test_context_manager_closes_pool(self):
+        with ProcessExecutor(max_workers=1) as executor:
+            first = relay_sweep(executor=executor)
+            assert executor._pool is not None
+        assert executor._pool is None
+        # Closed is not dead: the next use recreates the pool.
+        with executor:
+            assert relay_sweep(executor=executor) == first
+        assert executor._pool is None
+
+    def test_atexit_hook_tracks_the_live_pool(self, monkeypatch):
+        """One registration per open pool, removed on close — repeated
+        close/recreate cycles never stack hooks in the exit table."""
+        registered, unregistered = [], []
+        monkeypatch.setattr(
+            parallel_module.atexit, "register", lambda fn: registered.append(fn)
+        )
+        monkeypatch.setattr(
+            parallel_module.atexit,
+            "unregister",
+            lambda fn: unregistered.append(fn),
+        )
+        executor = ProcessExecutor(max_workers=1)
+        try:
+            executor._ensure_pool()
+            executor._ensure_pool()  # reuse: no second registration
+            assert len(registered) == 1
+            executor.close()
+            assert unregistered == registered
+            executor.close()  # idempotent: nothing new to unregister
+            assert len(unregistered) == 1
+            executor._ensure_pool()  # recreation re-registers exactly once
+            assert len(registered) == 2
+        finally:
+            executor.close()
+        assert len(unregistered) == 2
+
+    def test_serve_and_pool_coexist_without_leaked_workers(self):
+        """A ServeEngine load and a process sweep in one interpreter:
+        closing the executor reaps its workers (and their semaphores) even
+        while the asyncio service keeps running in the same process."""
+        import multiprocessing
+
+        from repro.serve.loadgen import demo_specs, run_load
+
+        # Other tests' pools may still be open (they rely on the atexit
+        # hook); only *this* executor's workers must be gone afterwards.
+        before = {child.pid for child in multiprocessing.active_children()}
+        with ProcessExecutor(max_workers=2) as executor:
+            swept = relay_sweep(executor=executor)
+            report = run_load(
+                demo_specs("relay", 4, seed=1, max_rounds=30), workers=1
+            )
+            assert report.settled == 4
+            assert relay_sweep(executor=executor) == swept
+        assert executor._pool is None
+        lingering = {
+            child.pid for child in multiprocessing.active_children()
+        } - before
+        assert lingering == set()
+        # The service still works after the pool is gone.
+        report = run_load(
+            demo_specs("relay", 2, seed=2, max_rounds=30), workers=1
+        )
+        assert report.settled == 2
+
+
 class TestAdaptiveChunking:
     def test_explicit_chunk_size_passes_through(self):
         executor = ProcessExecutor(max_workers=2, chunk_size=5)
