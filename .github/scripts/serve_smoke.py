@@ -54,7 +54,9 @@ def main() -> int:
             # try_submit never awaits, so all 200 sessions are open before
             # the first worker slice runs: the high-water mark below is a
             # real concurrency witness, not a race.
-            handles = [engine.try_submit(spec) for spec in specs]
+            # Inline ledger open at admission is the serve design
+            # (single-threaded write path, docs/SERVING.md).
+            handles = [engine.try_submit(spec) for spec in specs]  # reprolint: disable=RL101
             outcomes = await asyncio.gather(*(h.future for h in handles))
             return engine, outcomes
 

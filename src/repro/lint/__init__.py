@@ -24,12 +24,32 @@ Rules (see ``docs/STATIC_ANALYSIS.md`` for the full catalogue):
 * ``RL005`` — seed plumbing: public constructors that consume randomness
   accept an explicit ``rng``/``seed``.
 
+The async/serve era added project-level families, backed by the
+whole-program view in :mod:`repro.lint.graph` (import + call graph) and
+:mod:`repro.lint.dataflow` (intra-function def-use facts):
+
+* ``RL101`` — async-hazard: nothing reachable from ``async def`` blocks
+  the event loop (subprocess, sleep, file/socket I/O, pool spin-up),
+  with witness chains through the call graph.
+* ``RL102`` — await interleaving: no shared-attribute read-modify-write
+  split by an ``await`` (the asyncio lost-update).
+* ``RL103`` — orphan tasks: no unawaited coroutines, no fire-and-forget
+  ``create_task`` with a discarded handle.
+* ``RL201`` — seed flow: accepted ``seed``/``rng`` parameters reach a
+  sink (interprocedural, to a fixed point over the call graph).
+* ``RL202`` — seed sinks: derived draws are consumed, never discarded.
+* ``RL203`` — stream aliasing: one seed expression never feeds two
+  independent stream constructors.
+* ``RL301``/``RL302``/``RL303`` — event contract: every registered
+  event kind is emitted by real code, handled by the trace consumers
+  (certify/analyze/overhead), and constructed with the declared fields.
+
 Run ``python -m repro.lint src tests`` (exit 0 iff clean), or
 ``python -m repro.lint --help`` for output formats and the baseline
 ratchet used over ``benchmarks/``.
 """
 
-from repro.lint.engine import LintReport, lint_paths, lint_source
+from repro.lint.engine import LintReport, lint_paths, lint_source, lint_sources
 from repro.lint.rules import ALL_RULES, rule_codes
 from repro.lint.violations import Violation
 
@@ -39,5 +59,6 @@ __all__ = [
     "Violation",
     "lint_paths",
     "lint_source",
+    "lint_sources",
     "rule_codes",
 ]

@@ -92,7 +92,8 @@ def _render_text(report: LintReport, statistics: bool) -> str:
     if report.suppressed:
         summary += f" ({report.suppressed} suppressed by pragmas)"
     lines.append(summary)
-    if statistics and report.counts_by_rule:
+    if statistics:
+        lines.append(f"  elapsed: {report.elapsed_s:.3f}s")
         lines.extend(
             f"  {code}: {count}" for code, count in report.counts_by_rule.items()
         )

@@ -4,12 +4,22 @@ from __future__ import annotations
 
 from typing import FrozenSet, List
 
-from repro.lint.rules.base import Rule
+from repro.lint.rules.base import ProjectRule, Rule
 from repro.lint.rules.rl001_nondeterminism import AmbientNondeterminismRule
 from repro.lint.rules.rl002_mutating_step import MutatingStepRule
 from repro.lint.rules.rl003_sensing_purity import SensingPurityRule
 from repro.lint.rules.rl004_picklability import PicklabilityRule
 from repro.lint.rules.rl005_seed_plumbing import SeedPlumbingRule
+from repro.lint.rules.rl101_async_blocking import AsyncBlockingRule
+from repro.lint.rules.rl102_await_interleaving import AwaitInterleavingRule
+from repro.lint.rules.rl103_orphan_tasks import OrphanTaskRule
+from repro.lint.rules.rl201_seed_flow import SeedFlowRule
+from repro.lint.rules.rl202_seed_sinks import SeedAliasRule, SeedSinkRule
+from repro.lint.rules.rl301_event_contract import (
+    EventConsumerRule,
+    EventContractRule,
+    EventPayloadRule,
+)
 
 #: Every shipped rule, instantiated once (rules are stateless).
 ALL_RULES: List[Rule] = [
@@ -18,6 +28,15 @@ ALL_RULES: List[Rule] = [
     SensingPurityRule(),
     PicklabilityRule(),
     SeedPlumbingRule(),
+    AsyncBlockingRule(),
+    AwaitInterleavingRule(),
+    OrphanTaskRule(),
+    SeedFlowRule(),
+    SeedSinkRule(),
+    SeedAliasRule(),
+    EventContractRule(),
+    EventConsumerRule(),
+    EventPayloadRule(),
 ]
 
 
@@ -29,10 +48,20 @@ def rule_codes() -> FrozenSet[str]:
 __all__ = [
     "ALL_RULES",
     "AmbientNondeterminismRule",
+    "AsyncBlockingRule",
+    "AwaitInterleavingRule",
+    "EventConsumerRule",
+    "EventContractRule",
+    "EventPayloadRule",
     "MutatingStepRule",
+    "OrphanTaskRule",
     "PicklabilityRule",
+    "ProjectRule",
     "Rule",
+    "SeedAliasRule",
+    "SeedFlowRule",
     "SeedPlumbingRule",
+    "SeedSinkRule",
     "SensingPurityRule",
     "rule_codes",
 ]

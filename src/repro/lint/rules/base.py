@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 from repro.lint.context import ModuleContext
 from repro.lint.violations import Violation
@@ -37,3 +37,34 @@ class Rule:
         return Violation(
             path=context.path, line=line, col=col + 1, code=self.code, message=message
         )
+
+
+class ProjectRule(Rule):
+    """A rule that needs the whole-program view, not one module.
+
+    The engine parses every file first, builds one
+    :class:`repro.lint.graph.Project` per run, and calls
+    :meth:`check_project` once.  Pragma suppression still applies —
+    the engine routes each violation back through its module's pragma
+    index — and ``scopes`` is advisory: project rules see all modules
+    and decide per-module relevance themselves (a call graph crossing
+    src and tests is the point).
+    """
+
+    def check(self, context: ModuleContext) -> Iterator[Violation]:
+        return iter(())
+
+    def check_project(self, project: "Project") -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def project_violation(
+        self, path: str, line: int, col: int, message: str
+    ) -> Violation:
+        """Build a violation at an arbitrary module location."""
+        return Violation(
+            path=path, line=line, col=col + 1, code=self.code, message=message
+        )
+
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.lint.graph import Project

@@ -1,0 +1,62 @@
+"""RL101: nothing reachable from ``async def`` blocks the event loop.
+
+The serve tier multiplexes thousands of sessions on one thread; a
+single blocking call — a ``subprocess`` spawn, ``time.sleep``, file or
+socket I/O, a process-pool spin-up — stalls *every* session, not just
+the offender.  The classic leak is indirect: an async function calls an
+innocent-looking sync helper that, three frames down, shells out (the
+first ``git_sha()`` call inside ``Session.close`` did exactly this).
+
+The rule walks the project call graph: every call site inside an
+``async def`` whose sync closure reaches a blocking primitive is
+flagged, with the witness chain (``caller -> helper -> primitive``) in
+the message.  Awaited *async* callees are not propagated through — a
+blocking call inside them is their own RL101 finding, reported once at
+the point where blocking work enters async context.  Executor hops are
+naturally exempt: ``run_in_executor(None, fn)`` passes ``fn`` as data,
+not as a call.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.graph import Project
+from repro.lint.rules.base import ProjectRule
+from repro.lint.violations import Violation
+
+
+class AsyncBlockingRule(ProjectRule):
+    code = "RL101"
+    scopes = frozenset({"src", "scripts"})
+    summary = "async functions must not reach blocking calls on the event loop"
+    rationale = (
+        "One blocked event loop stalls every live session at once; the "
+        "serve tier's capacity story (thousands of open sessions per "
+        "process) only holds if blocking work never runs on the loop."
+    )
+
+    def check_project(self, project: Project) -> Iterator[Violation]:
+        for fn in project.async_functions():
+            if fn.module.kind not in self.scopes:
+                continue
+            for site in fn.calls:
+                reason = project.blocking_reason_for_site(site)
+                if reason is None:
+                    continue
+                desc, chain = reason
+                if chain:
+                    via = " -> ".join(
+                        qual.rsplit(".", 1)[-1] + "()" for qual in chain
+                    )
+                    detail = f"reaches `{desc}` via {via}"
+                else:
+                    detail = f"calls `{desc}` directly"
+                yield self.project_violation(
+                    fn.module.path,
+                    site.node.lineno,
+                    site.node.col_offset,
+                    f"`async def {fn.name}` {detail}: blocking work on the "
+                    "event loop stalls every live session — hop to an "
+                    "executor or precompute before serving",
+                )

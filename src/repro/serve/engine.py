@@ -44,7 +44,12 @@ from typing import Any, Deque, Dict, List, Optional, Union
 
 from repro.errors import ServeError
 from repro.obs.counters import CounterSet
-from repro.serve.session import Session, SessionOutcome, SessionSpec
+from repro.serve.session import (
+    Session,
+    SessionOutcome,
+    SessionSpec,
+    _cached_git_sha,
+)
 
 
 class SessionRejected(ServeError):
@@ -157,13 +162,22 @@ class ServeEngine:
             raise ServeError("engine already started")
         if self._stopping:
             raise ServeError("engine already closed")
+        if self._ledger_dir is not None:
+            # Warm the git-sha cache before any session is admitted: the
+            # first call shells out to `git rev-parse`, and leaving it to
+            # the first session close would block the event loop mid-serve
+            # (the RL101 hazard).  Here it costs startup time only.
+            _cached_git_sha()
         self._workers = [
             asyncio.create_task(self._worker(), name=f"serve-worker-{i}")
             for i in range(self._worker_count)
         ]
 
     async def __aenter__(self) -> "ServeEngine":
-        self.start()
+        # start() warms the git-sha cache (one subprocess) before any
+        # session exists: blocking the loop at startup is the accepted
+        # cost of never blocking it mid-serve.
+        self.start()  # reprolint: disable=RL101
         return self
 
     async def __aexit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
@@ -197,7 +211,9 @@ class ServeEngine:
         self._wakeup.set()
         if self._workers:
             await asyncio.gather(*self._workers)
-        self._write_summary()
+        # Runs after drain: no live session is left to stall, so the
+        # summary write may block the loop for its one file.
+        self._write_summary()  # reprolint: disable=RL101
 
     async def abort(self) -> None:
         """Fail fast: stop workers, fail every open session's future.
@@ -216,7 +232,9 @@ class ServeEngine:
         error = ServeError("engine aborted")
         while self._runnable:
             handle = self._runnable.popleft()
-            handle.session.abandon()
+            # Inline sink flush on the fail-fast path: the engine is
+            # tearing down, there is no serving left to stall.
+            handle.session.abandon()  # reprolint: disable=RL101
             if not handle.future.done():
                 handle.future.set_exception(error)
             self.counters.inc("serve.sessions_failed")
@@ -286,7 +304,11 @@ class ServeEngine:
                 await self._space.wait()
             if self._closing:
                 raise EngineClosed("engine is draining; no new sessions")
-            return self._admit(spec, session_id)
+            # Deliberate inline ledger I/O: admission opens the session's
+            # trace sink (mkdir + open) on the loop.  Byte-identical
+            # traces require the single-threaded write path
+            # (docs/SERVING.md); the cost is microseconds on local disk.
+            return self._admit(spec, session_id)  # reprolint: disable=RL101
 
     # ------------------------------------------------------------------
     # scheduling
@@ -327,7 +349,10 @@ class ServeEngine:
         outcome: Optional[SessionOutcome] = None
         if error is None:
             try:
-                outcome = handle.session.close()
+                # Deliberate inline ledger I/O: settling writes manifest +
+                # trace tail on the loop — the single-threaded write path
+                # that keeps traces byte-identical (docs/SERVING.md).
+                outcome = handle.session.close()  # reprolint: disable=RL101
             except Exception as exc:
                 error = exc
         if error is None:
@@ -342,7 +367,8 @@ class ServeEngine:
                 "serve.session_wall_ms", outcome.wall_time_s * 1000.0
             )
         else:
-            handle.session.abandon()
+            # Inline sink flush, same single-threaded write path as above.
+            handle.session.abandon()  # reprolint: disable=RL101
             self.counters.inc("serve.sessions_failed")
         async with self._space:
             self._open -= 1

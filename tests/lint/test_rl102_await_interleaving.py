@@ -1,0 +1,165 @@
+"""RL102: shared-state RMW split by await — flag/no-flag/pragma."""
+
+from __future__ import annotations
+
+from textwrap import dedent
+from typing import List
+
+from repro.lint import lint_source
+from repro.lint.violations import Violation
+
+
+def rl102(source: str, kind: str = "src") -> List[Violation]:
+    return lint_source(dedent(source), select=["RL102"], kind=kind).violations
+
+
+class TestSplitExpression:
+    def test_augassign_across_await(self):
+        found = rl102(
+            """
+            class Engine:
+                async def settle(self):
+                    self.count += await self.fetch()
+            """
+        )
+        assert [v.code for v in found] == ["RL102"]
+        assert "self.count" in found[0].message
+
+    def test_assign_reading_its_own_target_across_await(self):
+        found = rl102(
+            """
+            class Engine:
+                async def settle(self):
+                    self.total = self.total + await self.fetch()
+            """
+        )
+        assert [v.code for v in found] == ["RL102"]
+        assert "stale" in found[0].message
+
+    def test_await_into_local_then_atomic_update_is_clean(self):
+        assert rl102(
+            """
+            class Engine:
+                async def settle(self):
+                    delta = await self.fetch()
+                    self.count += delta
+            """
+        ) == []
+
+
+class TestStaleLocal:
+    def test_copy_awaits_then_writes_back(self):
+        found = rl102(
+            """
+            class Engine:
+                async def settle(self, outcome):
+                    open_now = self.open_count
+                    await self.persist(outcome)
+                    self.open_count = open_now - 1
+            """
+        )
+        assert [v.code for v in found] == ["RL102"]
+        assert "self.open_count" in found[0].message
+        assert "stale" in found[0].message
+
+    def test_reread_after_await_is_clean(self):
+        assert rl102(
+            """
+            class Engine:
+                async def settle(self, outcome):
+                    await self.persist(outcome)
+                    open_now = self.open_count
+                    self.open_count = open_now - 1
+            """
+        ) == []
+
+    def test_rebound_local_forgets_the_copy(self):
+        assert rl102(
+            """
+            class Engine:
+                async def settle(self):
+                    n = self.open_count
+                    await self.tick()
+                    n = 0
+                    self.open_count = n
+            """
+        ) == []
+
+
+class TestStaleGuard:
+    def test_if_guard_awaits_then_writes_guard_attr(self):
+        found = rl102(
+            """
+            class Engine:
+                async def maybe_close(self):
+                    if self.running:
+                        await self.drain()
+                        self.running = False
+            """
+        )
+        assert [v.code for v in found] == ["RL102"]
+        assert "guard" in found[0].message
+
+    def test_write_before_await_is_clean(self):
+        assert rl102(
+            """
+            class Engine:
+                async def maybe_close(self):
+                    if self.running:
+                        self.running = False
+                        await self.drain()
+            """
+        ) == []
+
+    def test_while_recheck_idiom_is_exempt(self):
+        # The condition-variable idiom re-tests after every resumption:
+        # that is the *fix* for staleness, not an instance of it.
+        assert rl102(
+            """
+            class Engine:
+                async def acquire(self):
+                    while True:
+                        if self.locked:
+                            await self.cond.wait()
+                            self.locked = True
+                            return
+            """
+        ) == []
+
+
+class TestScope:
+    def test_tests_tree_is_out_of_scope(self):
+        assert rl102(
+            """
+            class Engine:
+                async def settle(self):
+                    self.count += await self.fetch()
+            """,
+            kind="tests",
+        ) == []
+
+    def test_sync_methods_are_exempt(self):
+        assert rl102(
+            """
+            class Engine:
+                def settle(self):
+                    self.count += 1
+            """
+        ) == []
+
+
+class TestPragmas:
+    def test_same_line_disable(self):
+        report = lint_source(
+            dedent(
+                """
+                class Engine:
+                    async def settle(self):
+                        self.count += await self.fetch()  # reprolint: disable=RL102
+                """
+            ),
+            select=["RL102"],
+            kind="src",
+        )
+        assert report.violations == []
+        assert report.suppressed == 1

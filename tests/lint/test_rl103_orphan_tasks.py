@@ -1,0 +1,158 @@
+"""RL103: unawaited coroutines and dropped task handles — flag/no-flag/pragma."""
+
+from __future__ import annotations
+
+from textwrap import dedent
+from typing import List
+
+from repro.lint import lint_source
+from repro.lint.violations import Violation
+
+
+def rl103(source: str, kind: str = "src") -> List[Violation]:
+    return lint_source(dedent(source), select=["RL103"], kind=kind).violations
+
+
+class TestFlagged:
+    def test_fire_and_forget_create_task(self):
+        found = rl103(
+            """
+            import asyncio
+
+            async def worker():
+                pass
+
+            async def serve():
+                asyncio.create_task(worker())
+            """
+        )
+        assert [v.code for v in found] == ["RL103"]
+        assert "fire-and-forget" in found[0].message
+
+    def test_discarded_handle_binding(self):
+        found = rl103(
+            """
+            import asyncio
+
+            async def worker():
+                pass
+
+            async def serve():
+                task = asyncio.create_task(worker())
+                return None
+            """
+        )
+        assert [v.code for v in found] == ["RL103"]
+        assert "`task`" in found[0].message
+
+    def test_unawaited_project_coroutine(self):
+        found = rl103(
+            """
+            async def worker():
+                pass
+
+            async def serve():
+                worker()
+            """
+        )
+        assert [v.code for v in found] == ["RL103"]
+        assert "never awaited" in found[0].message
+
+    def test_loop_method_spawner_form(self):
+        found = rl103(
+            """
+            async def serve(loop, worker):
+                loop.create_task(worker())
+            """
+        )
+        assert [v.code for v in found] == ["RL103"]
+
+
+class TestAllowed:
+    def test_awaited_handle(self):
+        assert rl103(
+            """
+            import asyncio
+
+            async def worker():
+                pass
+
+            async def serve():
+                task = asyncio.create_task(worker())
+                await task
+            """
+        ) == []
+
+    def test_handle_parked_for_drain(self):
+        assert rl103(
+            """
+            import asyncio
+
+            async def worker():
+                pass
+
+            class Engine:
+                async def start(self):
+                    task = asyncio.create_task(worker())
+                    self._tasks.append(task)
+            """
+        ) == []
+
+    def test_awaited_coroutine(self):
+        assert rl103(
+            """
+            async def worker():
+                pass
+
+            async def serve():
+                await worker()
+            """
+        ) == []
+
+    def test_underscore_binding_is_a_deliberate_drop(self):
+        assert rl103(
+            """
+            import asyncio
+
+            async def worker():
+                pass
+
+            async def serve():
+                _ = asyncio.create_task(worker())
+            """
+        ) == []
+
+    def test_tests_tree_is_out_of_scope(self):
+        assert rl103(
+            """
+            import asyncio
+
+            async def worker():
+                pass
+
+            async def serve():
+                asyncio.create_task(worker())
+            """,
+            kind="tests",
+        ) == []
+
+
+class TestPragmas:
+    def test_same_line_disable(self):
+        report = lint_source(
+            dedent(
+                """
+                import asyncio
+
+                async def worker():
+                    pass
+
+                async def serve():
+                    asyncio.create_task(worker())  # reprolint: disable=RL103
+                """
+            ),
+            select=["RL103"],
+            kind="src",
+        )
+        assert report.violations == []
+        assert report.suppressed == 1

@@ -1,0 +1,189 @@
+"""RL201: accepted seed/rng params must reach a sink — flag/no-flag/pragma."""
+
+from __future__ import annotations
+
+from textwrap import dedent
+from typing import List
+
+from repro.lint import lint_source, lint_sources
+from repro.lint.violations import Violation
+
+
+def rl201(source: str, kind: str = "src") -> List[Violation]:
+    return lint_source(dedent(source), select=["RL201"], kind=kind).violations
+
+
+class TestFlagged:
+    def test_dropped_seed_parameter(self):
+        found = rl201(
+            """
+            def run(seed):
+                return 42
+            """
+        )
+        assert [v.code for v in found] == ["RL201"]
+        assert "silently dropped" in found[0].message
+
+    def test_dropped_rng_parameter(self):
+        found = rl201(
+            """
+            def sample(rng, count):
+                return [0.0] * count
+            """
+        )
+        assert [v.code for v in found] == ["RL201"]
+        assert "`rng`" in found[0].message
+
+    def test_transfer_into_a_dead_param_is_still_dead(self):
+        # Interprocedural: run -> _dispatch threads the seed, but the
+        # callee drops it, so neither parameter ever reaches a sink.
+        found = rl201(
+            """
+            def _dispatch(seed):
+                return 1
+
+            def run(seed):
+                return _dispatch(seed)
+            """
+        )
+        assert [v.code for v in found] == ["RL201", "RL201"]
+
+    def test_cross_module_dead_chain(self):
+        report = lint_sources(
+            {
+                "src/repro/inner.py": dedent(
+                    """
+                    def consume(seed):
+                        return 0
+                    """
+                ),
+                "src/repro/outer.py": dedent(
+                    """
+                    from repro.inner import consume
+
+                    def run(seed):
+                        return consume(seed)
+                    """
+                ),
+            },
+            select=["RL201"],
+        )
+        assert len(report.violations) == 2
+
+
+class TestAllowed:
+    def test_seed_feeding_a_stream_constructor(self):
+        assert rl201(
+            """
+            import random
+
+            def run(seed):
+                return random.Random(seed).random()
+            """
+        ) == []
+
+    def test_transfer_into_a_live_param_is_live(self):
+        assert rl201(
+            """
+            import random
+
+            def _dispatch(seed):
+                return random.Random(seed)
+
+            def run(seed):
+                return _dispatch(seed)
+            """
+        ) == []
+
+    def test_keyword_transfer_resolves(self):
+        assert rl201(
+            """
+            import random
+
+            def _dispatch(seed):
+                return random.Random(seed)
+
+            def run(seed):
+                return _dispatch(seed=seed)
+            """
+        ) == []
+
+    def test_underscore_prefix_declares_the_drop(self):
+        assert rl201(
+            """
+            def run(_seed):
+                return 42
+            """
+        ) == []
+
+    def test_protocol_method_implementations_are_exempt(self):
+        assert rl201(
+            """
+            from typing import Protocol
+
+            class UserStrategy(Protocol):
+                def react(self, rng):
+                    ...
+
+            class Silent:
+                def react(self, rng):
+                    return 0
+            """
+        ) == []
+
+    def test_overrides_inherit_the_base_contract(self):
+        assert rl201(
+            """
+            class Base:
+                def react(self, rng):
+                    return rng.random()
+
+            class Deterministic(Base):
+                def react(self, rng):
+                    return 0.5
+            """
+        ) == []
+
+    def test_trivial_bodies_are_declarations(self):
+        assert rl201(
+            """
+            def react(rng):
+                ...
+            """
+        ) == []
+
+    def test_tests_tree_is_out_of_scope(self):
+        assert rl201(
+            """
+            def run(seed):
+                return 42
+            """,
+            kind="tests",
+        ) == []
+
+
+class TestPragmas:
+    def test_same_line_disable(self):
+        report = lint_source(
+            dedent(
+                """
+                def run(seed):
+                    return 42
+                """
+            ),
+            select=["RL201"],
+            kind="src",
+        )
+        assert len(report.violations) == 1
+        suppressed = lint_source(
+            dedent(
+                """
+                def run(seed):  # reprolint: disable=RL201
+                    return 42
+                """
+            ),
+            select=["RL201"],
+            kind="src",
+        )
+        assert suppressed.violations == []
+        assert suppressed.suppressed == 1

@@ -1,9 +1,9 @@
 """The wall checks itself: the shipped tree is reprolint-clean.
 
 These tests run the real checker over the repository, exactly as the CI
-job does — if a change introduces an ambient clock, a mutating ``step``,
-or an unplumbed seed anywhere in ``src/`` or ``tests/``, the suite fails
-before the CI gate does.
+job does — if a change introduces an ambient clock, a blocking call in an
+async path, an unplumbed seed, or an event-contract drift anywhere in the
+four scanned trees, the suite fails before the CI gate does.
 """
 
 from __future__ import annotations
@@ -17,6 +17,12 @@ from repro.lint.engine import classify_path
 
 ROOT = Path(__file__).resolve().parents[2]
 BASELINE = ROOT / "benchmarks" / "lint_baseline.json"
+ALL_TREES = [
+    str(ROOT / "src"),
+    str(ROOT / "tests"),
+    str(ROOT / "benchmarks"),
+    str(ROOT / ".github"),
+]
 
 
 class TestSelfCheck:
@@ -28,8 +34,24 @@ class TestSelfCheck:
         )
         assert report.files_scanned > 100
 
+    def test_all_four_trees_are_clean(self):
+        # The full project-level run: module rules + call-graph/dataflow
+        # rules (RL1xx/2xx/3xx) over src, tests, benchmarks and the CI
+        # scripts — the same invocation the lint-graph CI job gates on.
+        report = lint_paths(ALL_TREES)
+        assert report.parse_errors == []
+        assert report.violations == [], "\n".join(
+            v.render() for v in report.violations
+        )
+
+    def test_full_scan_is_fast_enough_for_ci(self):
+        # The CI job budgets 10 s of wall time for the whole-project
+        # analysis; leave headroom so slow runners do not flake.
+        report = lint_paths(ALL_TREES)
+        assert report.elapsed_s < 10.0
+
     def test_cli_exits_zero_on_the_shipped_tree(self, capsys):
-        assert main([str(ROOT / "src"), str(ROOT / "tests")]) == 0
+        assert main(ALL_TREES) == 0
         capsys.readouterr()
 
     def test_benchmarks_stay_at_or_below_the_recorded_baseline(self):
@@ -40,6 +62,10 @@ class TestSelfCheck:
         assert report.parse_errors == []
         assert len(report.violations) <= recorded["violation_count"]
 
+    def test_benchmarks_baseline_is_ratcheted_to_zero(self):
+        recorded = json.loads(BASELINE.read_text(encoding="utf-8"))
+        assert recorded["violation_count"] == 0
+
 
 class TestClassifyPath:
     def test_tests_tree(self):
@@ -47,6 +73,10 @@ class TestClassifyPath:
 
     def test_benchmarks_tree(self):
         assert classify_path("benchmarks/bench_engine.py") == "benchmarks"
+
+    def test_ci_scripts_tree(self):
+        assert classify_path(".github/scripts/serve_smoke.py") == "scripts"
+        assert classify_path("/root/repo/.github/scripts/x.py") == "scripts"
 
     def test_everything_else_is_src(self):
         assert classify_path("src/repro/core/execution.py") == "src"

@@ -1,0 +1,116 @@
+"""Regression tests for the two serve-path bugs reprolint v2 surfaced.
+
+RL101 found the first-call ``git_sha`` subprocess hiding inside session
+settle (async context → ``Session.close`` → manifest → ``git rev-parse``);
+the fix warms the process-wide cache in ``ServeEngine.start`` so the one
+subprocess runs at startup, never mid-serve.  RL203 found ``demo_specs``
+seeding the control law and the session seeds from the *same*
+``random.Random(seed)`` stream — correlated draws; the fix fans both out
+of one root stream via distinct ``getrandbits(64)`` prefixes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from typing import List
+
+import repro.obs.ledger as ledger
+from repro.serve.engine import ServeEngine
+from repro.serve.loadgen import demo_specs
+from repro.serve.session import _cached_git_sha, derive_session_seeds
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+class TestGitShaWarmedAtStart:
+    """One ``git rev-parse`` at engine start; zero during serving."""
+
+    def test_cache_is_warmed_before_any_session(self, tmp_path, monkeypatch):
+        calls: List[int] = []
+
+        def counting_git_sha():
+            calls.append(1)
+            return "deadbeef"
+
+        # _cached_git_sha imports git_sha at call time (late binding),
+        # so patching the ledger module is enough.
+        monkeypatch.setattr(ledger, "git_sha", counting_git_sha)
+        _cached_git_sha.cache_clear()
+        try:
+            specs = demo_specs("relay", 3, seed=1, max_rounds=30)
+
+            async def serve():
+                engine = ServeEngine(
+                    max_open=4, workers=1, ledger_dir=tmp_path
+                )
+                async with engine:
+                    calls_at_start = len(calls)
+                    handles = [await engine.submit(spec) for spec in specs]
+                    await asyncio.gather(*(h.future for h in handles))
+                return calls_at_start
+
+            calls_at_start = run(serve())
+            assert calls_at_start == 1, "start() must warm the cache"
+            assert len(calls) == 1, (
+                "session settles must reuse the warmed cache, not shell "
+                "out on the event loop"
+            )
+        finally:
+            _cached_git_sha.cache_clear()
+
+    def test_no_subprocess_without_a_ledger(self, monkeypatch):
+        calls: List[int] = []
+
+        def counting_git_sha():
+            calls.append(1)
+            return "deadbeef"
+
+        monkeypatch.setattr(ledger, "git_sha", counting_git_sha)
+        _cached_git_sha.cache_clear()
+        try:
+            specs = demo_specs("relay", 2, seed=1, max_rounds=30)
+
+            async def serve():
+                async with ServeEngine(max_open=4, workers=1) as engine:
+                    handles = [await engine.submit(spec) for spec in specs]
+                    await asyncio.gather(*(h.future for h in handles))
+
+            run(serve())
+            assert calls == [], "no ledger → no manifest → no git lookup"
+        finally:
+            _cached_git_sha.cache_clear()
+
+
+class TestDemoSpecsSeedIndependence:
+    """Session seeds and the control law no longer share one stream."""
+
+    def test_session_seeds_are_not_the_raw_master_prefix(self):
+        # The old bug: seeds == derive_session_seeds(seed, n) while the
+        # control law consumed random.Random(seed) — the identical stream.
+        seed, sessions = 123, 4
+        specs = demo_specs("control", sessions, seed=seed)
+        assert [s.seed for s in specs] != derive_session_seeds(seed, sessions)
+
+    def test_session_seeds_fan_out_from_a_derived_root(self):
+        seed, sessions = 123, 4
+        entropy = random.Random(seed)
+        entropy.getrandbits(64)  # law_seed draw
+        session_root = entropy.getrandbits(64)
+        specs = demo_specs("relay", sessions, seed=seed)
+        assert [s.seed for s in specs] == derive_session_seeds(
+            session_root, sessions
+        )
+
+    def test_session_seeds_are_distinct(self):
+        specs = demo_specs("mixed", 12, seed=7)
+        seeds = [s.seed for s in specs]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_specs_stay_deterministic_in_the_new_scheme(self):
+        first = demo_specs("control", 6, seed=9, max_rounds=20)
+        again = demo_specs("control", 6, seed=9, max_rounds=20)
+        assert [s.seed for s in first] == [s.seed for s in again]
+        assert [s.label for s in first] == [s.label for s in again]
