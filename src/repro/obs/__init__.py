@@ -17,10 +17,13 @@ Tracing is strictly opt-in and the off path is allocation-free; see
 
 The read/analysis half of the stack — the run ledger (:mod:`.ledger`),
 overhead accounting (:mod:`.overhead`), the certificate checker
-(:mod:`.certify`), and the ``python -m repro.obs`` trace CLI
-(:mod:`.analyze`) — is re-exported *lazily* (PEP 562): the engine's
-``from repro.obs.events import ...`` runs this ``__init__``, and the
-tracing-off path must not pay for (or even load) analysis-side code.
+(:mod:`.certify`), the live-telemetry plane (:mod:`.live`), and the
+``python -m repro.obs`` trace CLI (:mod:`.analyze`) — is re-exported
+*lazily* (PEP 562): the engine's ``from repro.obs.events import ...``
+runs this ``__init__``, and the tracing-off path must not pay for (or
+even load) analysis-side code.  The flight recorder (:mod:`.flight`) is
+emit-side and eager: a bounded ring plus :func:`dump_flight` for the
+last-events-before-death black box.
 """
 
 from repro.obs.counters import Counter, CounterSet, Histogram
@@ -38,12 +41,14 @@ from repro.obs.events import (
     ProofStarted,
     RoundExecuted,
     SensingIndication,
+    SessionAbandoned,
     StrategySwitch,
     TrialFinished,
     TrialStarted,
     event_from_dict,
     event_kinds,
 )
+from repro.obs.flight import FlightBuffer, TeeSink, dump_flight
 from repro.obs.sinks import (
     TRACE_SCHEMA,
     TRACE_SCHEMA_MINOR,
@@ -81,6 +86,16 @@ _LAZY_EXPORTS = {
     "certify_run": "repro.obs.certify",
     "certify_sweep": "repro.obs.certify",
     "certify_trace": "repro.obs.certify",
+    "METRICS_SCHEMA": "repro.obs.live",
+    "AdminServer": "repro.obs.live",
+    "MetricsSampler": "repro.obs.live",
+    "MetricsSchemaError": "repro.obs.live",
+    "cumulative_counters": "repro.obs.live",
+    "parse_prometheus": "repro.obs.live",
+    "read_metrics": "repro.obs.live",
+    "render_prometheus": "repro.obs.live",
+    "scrape_admin": "repro.obs.live",
+    "write_metrics": "repro.obs.live",
 }
 
 
@@ -117,8 +132,12 @@ __all__ = [
     "ProofStarted",
     "ProofRoundChecked",
     "ProofFinished",
+    "SessionAbandoned",
     "event_from_dict",
     "event_kinds",
+    "FlightBuffer",
+    "TeeSink",
+    "dump_flight",
     "Sink",
     "NullSink",
     "MemorySink",
@@ -137,6 +156,16 @@ __all__ = [
     "certify_run",
     "certify_sweep",
     "certify_trace",
+    "METRICS_SCHEMA",
+    "AdminServer",
+    "MetricsSampler",
+    "MetricsSchemaError",
+    "cumulative_counters",
+    "parse_prometheus",
+    "read_metrics",
+    "render_prometheus",
+    "scrape_admin",
+    "write_metrics",
     "RunManifest",
     "SweepManifest",
     "record_run",

@@ -10,6 +10,9 @@ Subcommands (all stdlib-only, mirroring ``python -m repro.lint``):
 * ``certify <trace.jsonl>`` — re-derive the run's claims from the trace
   alone (:mod:`repro.obs.certify`), optionally cross-checked against a
   manifest (``--manifest``, or the sibling ``.json`` when present);
+  ``--fragment`` certifies a flight dump's surviving invariants;
+* ``top <source>`` — live serve metrics: tail a ``metrics.jsonl`` file
+  or scrape a running engine's admin endpoint (``--follow`` refreshes);
 * ``diff <old> <new>`` — compare two traces (``.jsonl``) or two ledger
   manifests (``.json``); ``diff --history FILE`` compares the two newest
   entries of a bench-history file.  ``--fail-on METRIC`` (repeatable,
@@ -80,7 +83,34 @@ def _parser() -> argparse.ArgumentParser:
         "--manifest", metavar="FILE", default=None,
         help="manifest to cross-check (default: the sibling .json, if any)",
     )
+    certify.add_argument(
+        "--fragment", action="store_true",
+        help="certify a flight dump: check only the invariants that "
+        "survive a missing prefix and a missing end",
+    )
     _add_format(certify)
+
+    top = sub.add_parser(
+        "top",
+        help="live serve metrics: tail a metrics.jsonl file or scrape "
+        "an admin endpoint",
+    )
+    top.add_argument(
+        "source", metavar="SOURCE",
+        help="metrics.jsonl path, HOST:PORT, or admin .sock path",
+    )
+    top.add_argument(
+        "--follow", action="store_true",
+        help="refresh continuously instead of rendering one frame",
+    )
+    top.add_argument(
+        "--frames", type=int, default=0, metavar="N",
+        help="with --follow, stop after N frames (default: unbounded)",
+    )
+    top.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="refresh interval with --follow (default: 2.0)",
+    )
 
     diff = sub.add_parser(
         "diff",
@@ -165,12 +195,29 @@ def _cmd_certify(options: argparse.Namespace) -> int:
     # only loads when certification is actually requested.
     from repro.obs.certify import certify_trace
 
-    report = certify_trace(options.trace, manifest_path=options.manifest)
+    report = certify_trace(
+        options.trace,
+        manifest_path=options.manifest,
+        fragment=options.fragment,
+    )
     if options.format == "json":
         print(json.dumps(report.to_dict(), indent=2))
     else:
         print(report.format())
     return 0 if report.ok else 1
+
+
+def _cmd_top(options: argparse.Namespace) -> int:
+    # Lazy import: the live-telemetry module only loads when asked for.
+    from repro.obs.live import top_frames
+
+    top_frames(
+        options.source,
+        frames=options.frames,
+        interval_s=options.interval,
+        follow=options.follow,
+    )
+    return 0
 
 
 def _cmd_diff(options: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
@@ -212,6 +259,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_timeline(options)
         if options.command == "certify":
             return _cmd_certify(options)
+        if options.command == "top":
+            return _cmd_top(options)
         return _cmd_diff(options, parser)
     except (OSError, ValueError, KeyError, TypeError) as error:
         # ValueError covers JSONDecodeError, TraceSchemaError, and

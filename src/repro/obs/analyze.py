@@ -54,6 +54,7 @@ from repro.obs.events import (
     ProofStarted,
     RoundExecuted,
     SensingIndication,
+    SessionAbandoned,
     StrategySwitch,
     TrialFinished,
     TrialStarted,
@@ -254,6 +255,11 @@ def _detail(event: Event) -> str:
         if event.accepted:
             return "ACCEPTED"
         return f"REJECTED ({event.reason or 'no reason recorded'})"
+    if isinstance(event, SessionAbandoned):
+        return (
+            f"session {event.session_id} abandoned ({event.reason}) "
+            f"after {event.rounds_completed} round(s)"
+        )
     payload = {k: v for k, v in event.to_dict().items() if k != "kind"}
     payload.pop("round_index", None)
     return " ".join(f"{k}={v!r}" for k, v in payload.items())

@@ -62,6 +62,7 @@ from repro.faults.channel import (
     channel_from_spec,
 )
 from repro.obs.events import (
+    ABANDON_REASONS,
     SWITCH_BELIEF_DECAY,
     SWITCH_REASONS,
     SWITCH_SENSING_NEGATIVE,
@@ -82,6 +83,7 @@ from repro.obs.events import (
     ProofStarted,
     RoundExecuted,
     SensingIndication,
+    SessionAbandoned,
     StrategySwitch,
     TrialFinished,
     TrialStarted,
@@ -107,6 +109,11 @@ CHECKS = (
     "proof",
     "manifest",
 )
+
+#: The subset that still applies to a *fragment* (a flight dump: the
+#: stream may be missing its prefix).  Overhead arithmetic needs the
+#: whole stream, so it is the one check fragment mode drops.
+FRAGMENT_CHECKS = tuple(check for check in CHECKS if check != "overhead")
 
 #: ``TrialFinished`` reasons that require a *negative* sensing indication.
 _NEGATIVE_EVIDENCE = frozenset({TRIAL_EVICTED, TRIAL_DECAYED, TRIAL_HALT_REJECTED})
@@ -149,6 +156,7 @@ class CertificateReport:
     trace_sha256: Optional[str] = None
     manifest: Optional[str] = None
     checks: Tuple[str, ...] = CHECKS
+    fragment: bool = False
 
     @property
     def ok(self) -> bool:
@@ -163,6 +171,8 @@ class CertificateReport:
             status = f"FAILED ({len(self.issues)} issue(s))"
         else:
             status = "CERTIFIED"
+        if self.fragment:
+            status += " [fragment]"
         lines = [
             f"trace    : {self.trace}",
             f"events   : {self.events}",
@@ -182,6 +192,7 @@ class CertificateReport:
             "certified": self.ok,
             "certifiable": self.certifiable,
             "reason": self.reason,
+            "fragment": self.fragment,
             "events": self.events,
             "manifest": self.manifest,
             "trace_sha256": self.trace_sha256,
@@ -212,24 +223,38 @@ class _Checker:
 
     Feed events in trace order via :meth:`feed`, then call
     :meth:`finalize`; :attr:`issues` accumulates every failed check.
+
+    With ``fragment=True`` the stream is a flight dump whose prefix may
+    have been evicted: the first ``round-executed`` becomes the round
+    sync point (its index is adopted, and the first — possibly partial —
+    round's message tally is not checked), trial numbering syncs to the
+    first trial event seen, a leading ``trial-finished``/``switch`` whose
+    justifying context predates the window is accepted, and the
+    whole-stream truncation and overhead checks are skipped.  Every
+    in-window invariant still applies.
     """
 
     def __init__(
         self,
         header: Optional[Mapping[str, Any]],
         manifest: Optional[Mapping[str, Any]],
+        *,
+        fragment: bool = False,
     ) -> None:
         self.issues: List[CertifyIssue] = []
         self.events_seen = 0
         self._header = header or {}
         self._manifest = manifest
+        self._fragment = fragment
 
         # Stream shape.
         self._started: Optional[ExecutionStarted] = None
         self._finished: Optional[ExecutionFinished] = None
+        self._abandoned: Optional[SessionAbandoned] = None
         self._verdict: Optional[GoalVerdict] = None
         self._verdict_line: Optional[int] = None
         self._expected_round = 0
+        self._rounds_synced = not fragment
         self._rounds_seen = 0
         self._halted = False
         self._round_messages = 0
@@ -247,6 +272,7 @@ class _Checker:
         self._last_indication: Optional[SensingIndication] = None
         self._open_trial: Optional[TrialStarted] = None
         self._trials_started = 0
+        self._trials_synced = not fragment
         self._last_closed: Optional[Tuple[TrialStarted, str]] = None
         self._pending_switch: Optional[StrategySwitch] = None
         self._switches = 0
@@ -276,7 +302,16 @@ class _Checker:
                 f"{event.kind} event after execution-finished",
                 line,
             )
-        if isinstance(event, ExecutionStarted):
+        if self._abandoned is not None:
+            self.issue(
+                "stream",
+                f"{event.kind} event after session-abandoned (the abandon "
+                f"event terminates the stream)",
+                line,
+            )
+        if isinstance(event, SessionAbandoned):
+            self._feed_abandoned(line, event)
+        elif isinstance(event, ExecutionStarted):
             self._feed_started(line, event)
         elif isinstance(event, MessageSent):
             self._feed_message(line, event)
@@ -310,6 +345,11 @@ class _Checker:
             self.issue("stream", "duplicate execution-started event", line)
             return
         self._started = event
+        if self.events_seen == 1:
+            # A fragment that still holds its execution-started lost no
+            # prefix: every positional check applies from round zero.
+            self._rounds_synced = True
+            self._trials_synced = True
         draws = self._derive_seed_chain(line, event)
         self._setup_replay(line, draws)
 
@@ -356,8 +396,24 @@ class _Checker:
         self._replay_sink = MemorySink()
         self._replay = channel.start(draws[3], Tracer(sink=self._replay_sink))
 
+    def _feed_abandoned(self, line: Optional[int], event: SessionAbandoned) -> None:
+        self._abandoned = event
+        if event.reason not in ABANDON_REASONS:
+            self.issue(
+                "stream",
+                f"unknown session-abandoned reason {event.reason!r}",
+                line,
+            )
+        if event.rounds_completed < self._rounds_seen:
+            self.issue(
+                "stream",
+                f"session-abandoned claims {event.rounds_completed} round(s) "
+                f"but the stream already shows {self._rounds_seen}",
+                line,
+            )
+
     def _feed_message(self, line: Optional[int], event: MessageSent) -> None:
-        if event.round_index != self._expected_round:
+        if event.round_index != self._expected_round and self._rounds_synced:
             self.issue(
                 "stream",
                 f"message-sent for round {event.round_index} inside round "
@@ -378,7 +434,7 @@ class _Checker:
     def _feed_fault(
         self, line: Optional[int], event: Union[FaultInjected, FaultRecovered]
     ) -> None:
-        if event.round_index != self._expected_round:
+        if event.round_index != self._expected_round and self._rounds_synced:
             self.issue(
                 "stream",
                 f"{event.kind} for round {event.round_index} inside round "
@@ -395,6 +451,12 @@ class _Checker:
             self._unreplayable_fault_line = line if line is not None else -1
 
     def _feed_round(self, line: Optional[int], event: RoundExecuted) -> None:
+        synced = self._rounds_synced
+        if not synced:
+            # Fragment sync point: the dump's first round-executed fixes
+            # where the surviving window sits in the original stream.
+            self._rounds_synced = True
+            self._expected_round = event.round_index
         if event.round_index != self._expected_round:
             self.issue(
                 "stream",
@@ -409,7 +471,7 @@ class _Checker:
                 f"round {event.round_index} executed after the user halted",
                 line,
             )
-        if (
+        if synced and (
             event.messages != self._round_messages
             or event.message_bytes != self._round_bytes
         ):
@@ -495,6 +557,10 @@ class _Checker:
                 f"{self._open_trial.trial_number} is still open",
                 line,
             )
+        if not self._trials_synced:
+            # Fragment sync point: adopt the first in-window trial number.
+            self._trials_synced = True
+            self._trials_started = event.trial_number
         if event.trial_number != self._trials_started:
             self.issue(
                 "switch-legality",
@@ -527,6 +593,22 @@ class _Checker:
 
     def _feed_trial_finished(self, line: Optional[int], event: TrialFinished) -> None:
         opened = self._open_trial
+        pre_window = opened is None and not self._trials_synced
+        if pre_window:
+            # Fragment: this trial opened before the surviving window.
+            # Sync numbering to it (the next start must be its successor)
+            # and reconstruct the opened record from the finish itself so
+            # a following switch can be justified; its sensing evidence
+            # predates the window, so skip that.
+            self._trials_synced = True
+            self._trials_started = event.trial_number + 1
+            opened = TrialStarted(
+                round_index=event.round_index,
+                trial_number=event.trial_number,
+                candidate_index=event.candidate_index,
+                budget=None,
+            )
+            self._open_trial = opened
         if opened is None:
             self.issue(
                 "switch-legality",
@@ -551,7 +633,9 @@ class _Checker:
                 line,
             )
         indication = self._last_indication
-        if event.reason in _NEGATIVE_EVIDENCE:
+        if pre_window:
+            pass  # The justifying indication predates the dump window.
+        elif event.reason in _NEGATIVE_EVIDENCE:
             if (
                 indication is None
                 or indication.candidate_index != event.candidate_index
@@ -599,7 +683,11 @@ class _Checker:
                 line,
             )
         closed = self._last_closed
-        if (
+        if closed is None and not self._trials_synced:
+            # Fragment: the eviction/decay justifying a leading switch
+            # predates the dump window; in-window geometry still applies.
+            pass
+        elif (
             closed is None
             or closed[0].candidate_index != event.from_index
             or closed[1] not in _SWITCH_FOR_CLOSE
@@ -881,20 +969,35 @@ class _Checker:
 
     # ------------------------------------------------------------------
     def finalize(self, trace_sha256: Optional[str] = None) -> None:
-        """Run the whole-stream checks once the stream is exhausted."""
+        """Run the whole-stream checks once the stream is exhausted.
+
+        Truncation findings are suppressed for fragments (missing ends
+        are their nature) and for streams terminated by a
+        ``session-abandoned`` event — the abandon *is* the explained end
+        of the stream, which is exactly what distinguishes a recovered
+        flight dump from silent data loss.
+        """
+        explained_end = self._fragment or self._abandoned is not None
         if self._started is not None and self._finished is None:
-            self.issue("stream", "trace truncated: no execution-finished event")
-        if self._round_messages or self._round_faults:
+            if not explained_end:
+                self.issue(
+                    "stream", "trace truncated: no execution-finished event"
+                )
+        if (self._round_messages or self._round_faults) and not explained_end:
             self.issue(
                 "stream",
                 "trace ends mid-round: message/fault events without a "
                 "closing round-executed",
             )
-        if self._proof is not None:
+        if self._proof is not None and not explained_end:
             self.issue(
                 "proof", "proof segment truncated: no proof-finished event"
             )
-        if self._unreplayable_fault_line is not None and self._replay is None:
+        if (
+            self._unreplayable_fault_line is not None
+            and self._replay is None
+            and not self._fragment
+        ):
             spec = self._header.get("channel")
             if not isinstance(spec, Mapping):
                 self.issue(
@@ -906,7 +1009,8 @@ class _Checker:
                     else self._unreplayable_fault_line,
                 )
         self._check_verdict()
-        self._check_overhead()
+        if not self._fragment:
+            self._check_overhead()
         self._check_manifest(trace_sha256)
 
     def _check_overhead(self) -> None:
@@ -1066,15 +1170,17 @@ def certify_events(
     header: Optional[Mapping[str, Any]] = None,
     manifest: Optional[Mapping[str, Any]] = None,
     trace: str = "<events>",
+    fragment: bool = False,
 ) -> CertificateReport:
     """Certify an in-memory event stream (no file, no line anchors).
 
     ``header=None`` means the events came straight from this build's
     emitters and are treated as current-schema; pass the parsed file
-    header to apply the certifiability gate.
+    header to apply the certifiability gate.  ``fragment=True`` applies
+    the flight-dump relaxations (see :class:`_Checker`).
     """
     reason = _uncertifiable_reason(header)
-    checker = _Checker(header, manifest)
+    checker = _Checker(header, manifest, fragment=fragment)
     if reason:
         count = sum(1 for _ in events)
         return CertificateReport(
@@ -1083,6 +1189,8 @@ def certify_events(
             reason=reason,
             issues=(),
             events=count,
+            checks=FRAGMENT_CHECKS if fragment else CHECKS,
+            fragment=fragment,
         )
     for event in events:
         checker.feed(None, event)
@@ -1093,6 +1201,8 @@ def certify_events(
         reason="",
         issues=tuple(checker.issues),
         events=checker.events_seen,
+        checks=FRAGMENT_CHECKS if fragment else CHECKS,
+        fragment=fragment,
     )
 
 
@@ -1131,6 +1241,8 @@ def _file_sha256(path: Path) -> str:
 def certify_trace(
     path: Union[str, Path],
     manifest_path: Optional[Union[str, Path]] = None,
+    *,
+    fragment: bool = False,
 ) -> CertificateReport:
     """Certify a JSONL trace file (the ``repro.obs certify`` entry point).
 
@@ -1140,13 +1252,16 @@ def certify_trace(
     *fails*, exit 1) rather than an error — tampering must never look
     like a usage mistake.  Header-level schema errors (an unsupported
     major) still raise :class:`~repro.obs.sinks.TraceSchemaError`.
+
+    ``fragment=True`` (the CLI's ``--fragment``) checks a flight dump:
+    the invariants that survive a missing prefix and a missing end.
     """
     resolved = Path(path)
     trace_sha256 = _file_sha256(resolved)
     manifest, manifest_label = _load_manifest(resolved, manifest_path)
     header, numbered = iter_trace_numbered(resolved)
     reason = _uncertifiable_reason(header)
-    checker = _Checker(header, manifest)
+    checker = _Checker(header, manifest, fragment=fragment)
     count = 0
     stream_issue: Optional[CertifyIssue] = None
     try:
@@ -1160,6 +1275,7 @@ def certify_trace(
             message=f"trace unreadable past this point: {exc}",
             line=exc.line,
         )
+    checks = FRAGMENT_CHECKS if fragment else CHECKS
     if reason:
         return CertificateReport(
             trace=str(resolved),
@@ -1169,6 +1285,8 @@ def certify_trace(
             events=count,
             trace_sha256=trace_sha256,
             manifest=manifest_label,
+            checks=checks,
+            fragment=fragment,
         )
     checker.finalize(trace_sha256)
     issues = list(checker.issues)
@@ -1182,6 +1300,8 @@ def certify_trace(
         events=count,
         trace_sha256=trace_sha256,
         manifest=manifest_label,
+        checks=checks,
+        fragment=fragment,
     )
 
 

@@ -11,7 +11,46 @@ round counts) without storing the observations themselves.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterator, Mapping, Tuple, Union
+from typing import Any, Dict, Iterator, Mapping, Tuple, Union
+
+#: Log-bucket geometry shared by every histogram in the process (and, via
+#: snapshots, across processes): bucket ``i`` covers ``(GAMMA**(i-1),
+#: GAMMA**i]``.  Four buckets per octave keeps the relative half-width of
+#: a bucket under ~9.6% (``(GAMMA - 1) / 2``), so any quantile read off a
+#: bucket upper bound is within one bucket width of the sample-exact
+#: value by construction.
+BUCKET_GAMMA = 2.0**0.25
+#: Index clamp: values outside ``(GAMMA**(MIN-1), GAMMA**MAX]`` land in
+#: the edge buckets.  The range spans ~1e-9 .. ~1e12, which covers every
+#: unit the repo observes (rounds, bits, milliseconds) with slack, and
+#: bounds the bucket map at 281 entries — O(1) memory, never per-sample.
+BUCKET_MIN_INDEX = -120
+BUCKET_MAX_INDEX = 160
+
+def bucket_upper(index: int) -> float:
+    """Inclusive upper bound of bucket ``index``.
+
+    Computed as ``2.0 ** (index / 4)`` rather than ``BUCKET_GAMMA **
+    index`` so that every fourth boundary is an *exact* power of two —
+    the exponent ``index * 0.25`` is exact in binary floating point.
+    """
+    return 2.0 ** (index * 0.25)
+
+
+def bucket_index(value: float) -> int:
+    """Deterministic bucket index for a positive observation.
+
+    The initial ``ceil(4 * log2(value))`` estimate is corrected against
+    the same :func:`bucket_upper` powers used for reading quantiles, so
+    boundary values bucket identically on every platform regardless of
+    libm rounding.
+    """
+    index = math.ceil(math.log2(value) * 4.0)
+    while index > BUCKET_MIN_INDEX and bucket_upper(index - 1) >= value:
+        index -= 1
+    while index < BUCKET_MAX_INDEX and bucket_upper(index) < value:
+        index += 1
+    return max(BUCKET_MIN_INDEX, min(BUCKET_MAX_INDEX, index))
 
 
 class Counter:
@@ -34,13 +73,19 @@ class Counter:
 
 
 class Histogram:
-    """Streaming summary of scalar observations (count/sum/min/max/mean).
+    """Streaming summary of scalar observations with log-bucket quantiles.
 
-    Deliberately bucket-free: the experiments need order-of-magnitude
-    shape, not quantile precision, and a four-word summary never grows.
+    Alongside the four-word summary (count/sum/min/max), each observation
+    increments one fixed-log bucket (boundaries ``BUCKET_GAMMA ** i``,
+    shared process-wide), so quantiles are available in O(1) memory
+    without retaining samples.  Bucket maps from different workers merge
+    by plain addition, which is associative and commutative — merging
+    per-worker snapshots in any order yields the single-process totals.
+    Non-positive observations (a clock that returned 0.0) fall into a
+    dedicated ``low`` bucket with upper bound 0.0.
     """
 
-    __slots__ = ("name", "count", "total", "minimum", "maximum")
+    __slots__ = ("name", "count", "total", "minimum", "maximum", "low", "buckets")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -48,6 +93,8 @@ class Histogram:
         self.total = 0.0
         self.minimum = math.inf
         self.maximum = -math.inf
+        self.low = 0
+        self.buckets: Dict[int, int] = {}
 
     def observe(self, value: float) -> None:
         """Record one observation."""
@@ -57,18 +104,96 @@ class Histogram:
             self.minimum = value
         if value > self.maximum:
             self.maximum = value
+        if value <= 0.0:
+            self.low += 1
+        else:
+            index = bucket_index(value)
+            self.buckets[index] = self.buckets.get(index, 0) + 1
 
     @property
     def mean(self) -> float:
         """Mean of observations (NaN when empty, matching ``Summary.of``)."""
         return self.total / self.count if self.count else math.nan
 
+    def quantile(self, q: float) -> float:
+        """Nearest-rank quantile read off bucket upper bounds.
+
+        ``q`` is a fraction in ``[0, 1]`` (``quantile(0.95)`` is p95).
+        The result is the upper bound of the bucket holding the ranked
+        observation, clamped into ``[min, max]`` — so it is exact for the
+        extremes and otherwise overshoots by at most one bucket width
+        (relative error ≤ ``BUCKET_GAMMA - 1``).  NaN when empty.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"histogram {self.name}: quantile {q} not in [0, 1]")
+        if not self.count:
+            return math.nan
+        rank = min(self.count, max(1, math.ceil(q * self.count)))
+        cumulative = self.low
+        if cumulative >= rank:
+            return min(max(0.0, self.minimum), self.maximum)
+        for index in sorted(self.buckets):
+            cumulative += self.buckets[index]
+            if cumulative >= rank:
+                return min(max(bucket_upper(index), self.minimum), self.maximum)
+        return self.maximum  # unreachable unless counts drifted
+
+    def snapshot(self) -> HistogramSnapshot:
+        """Plain-data copy: summary scalars plus the bucket map.
+
+        Bucket keys are stringified indices so the snapshot survives a
+        JSON round-trip unchanged (JSON object keys are strings).
+        """
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.minimum if self.count else math.nan,
+            "max": self.maximum if self.count else math.nan,
+            "mean": self.mean,
+            "low": self.low,
+            "buckets": {str(i): self.buckets[i] for i in sorted(self.buckets)},
+        }
+
+    @classmethod
+    def from_snapshot(cls, name: str, snapshot: Mapping[str, Any]) -> "Histogram":
+        """Re-inflate a :meth:`snapshot` (possibly JSON round-tripped).
+
+        The inverse used by readers — ``repro.obs top``, certificate
+        cross-checks — that need quantiles from serialised bucket maps.
+        """
+        histogram = cls(name)
+        histogram.merge_snapshot(snapshot)
+        return histogram
+
+    def merge_snapshot(self, snapshot: Mapping[str, Any]) -> None:
+        """Fold another histogram's snapshot into this one (associative)."""
+        count = int(snapshot["count"])
+        if not count:
+            return
+        self.count += count
+        self.total += float(snapshot["total"])
+        other_min = float(snapshot["min"])
+        other_max = float(snapshot["max"])
+        if other_min < self.minimum:
+            self.minimum = other_min
+        if other_max > self.maximum:
+            self.maximum = other_max
+        self.low += int(snapshot.get("low", 0))
+        buckets = snapshot.get("buckets")
+        if isinstance(buckets, Mapping):
+            for key, n in buckets.items():
+                index = int(key)
+                self.buckets[index] = self.buckets.get(index, 0) + int(n)
+
     def __repr__(self) -> str:
         return f"<Histogram {self.name} n={self.count} mean={self.mean:.2f}>"
 
 
+#: A histogram snapshot: summary scalars plus the stringified bucket map.
+HistogramSnapshot = Dict[str, Union[int, float, Dict[str, int]]]
+
 #: Snapshot value types: counters flatten to int, histograms to a dict.
-SnapshotValue = Union[int, Dict[str, float]]
+SnapshotValue = Union[int, HistogramSnapshot]
 
 
 class CounterSet:
@@ -125,16 +250,7 @@ class CounterSet:
             if isinstance(value, int):
                 self.counter(name).inc(value)
             else:
-                histogram = self.histogram(name)
-                count = int(value["count"])
-                if not count:
-                    continue
-                histogram.count += count
-                histogram.total += value["total"]
-                if value["min"] < histogram.minimum:
-                    histogram.minimum = value["min"]
-                if value["max"] > histogram.maximum:
-                    histogram.maximum = value["max"]
+                self.histogram(name).merge_snapshot(value)
 
     def snapshot(self) -> Dict[str, SnapshotValue]:
         """Counters (as ints) then histograms (as summary dicts), in
@@ -143,13 +259,7 @@ class CounterSet:
             name: c.value for name, c in self._counters.items()
         }
         for name, h in self._histograms.items():
-            out[name] = {
-                "count": h.count,
-                "total": h.total,
-                "min": h.minimum if h.count else math.nan,
-                "max": h.maximum if h.count else math.nan,
-                "mean": h.mean,
-            }
+            out[name] = h.snapshot()
         return out
 
     def __iter__(self) -> Iterator[Tuple[str, SnapshotValue]]:

@@ -44,6 +44,12 @@ SWITCH_SENSING_NEGATIVE = "sensing-negative"
 SWITCH_BELIEF_DECAY = "belief-decay"
 SWITCH_REASONS = frozenset({SWITCH_SENSING_NEGATIVE, SWITCH_BELIEF_DECAY})
 
+#: ``SessionAbandoned.reason`` vocabulary.
+ABANDON_FAILURE = "failure"
+ABANDON_ABORT = "abort"
+ABANDON_EXPLICIT = "abandon"
+ABANDON_REASONS = frozenset({ABANDON_FAILURE, ABANDON_ABORT, ABANDON_EXPLICIT})
+
 #: ``TrialFinished.reason`` vocabulary.
 TRIAL_EVICTED = "evicted"
 TRIAL_ENDORSED = "endorsed"
@@ -369,6 +375,26 @@ class GoalVerdict(Event):
     bad_prefixes: Optional[int] = None
     last_bad_round: Optional[int] = None
     note: str = ""
+
+
+@register
+@dataclass(frozen=True)
+class SessionAbandoned(Event):
+    """A serve-engine session ended without settling (schema minor >= 1).
+
+    The terminator of a *flight dump*: when a session fails or the engine
+    aborts, :meth:`repro.serve.session.Session.abandon` emits this before
+    flushing sinks, so a recovered fragment is self-describing — the
+    reader knows the stream stopped because the session was torn down,
+    not because the file was truncated.  ``reason`` is one of the
+    ``ABANDON_*`` constants (``"failure"``, ``"abort"``, ``"abandon"``).
+    """
+
+    kind: ClassVar[str] = "session-abandoned"
+
+    session_id: str
+    rounds_completed: int
+    reason: str = ABANDON_EXPLICIT
 
 
 @register

@@ -13,6 +13,13 @@ sessions_per_s``; ``--format json`` prints the same payload to stdout.
 ``--ledger DIR`` makes every session write a manifest (add ``--trace``
 for certifiable traces, ``--certify`` to re-check each one on the spot).
 
+The live telemetry plane (:mod:`repro.obs.live`): ``--metrics FILE``
+streams flushed per-interval samples, ``--admin SPEC`` serves
+``/status``/``/sessions``/``/metrics`` on loopback or a UNIX socket
+(watch either with ``python -m repro.obs top``), and ``--flight N``
+gives every session a bounded flight recorder whose last events are
+dumped under ``<ledger>/flight/`` when the session dies.
+
 Exit codes: 0 on a clean run, 1 when any session failed, 2 on usage
 errors (argparse).
 """
@@ -90,6 +97,24 @@ def _parser() -> argparse.ArgumentParser:
         help="re-check every trace/manifest pair as it is written",
     )
     parser.add_argument(
+        "--metrics", type=Path, metavar="FILE",
+        help="stream live telemetry samples to this metrics.jsonl file",
+    )
+    parser.add_argument(
+        "--metrics-interval", type=float, default=1.0, metavar="SECONDS",
+        help="sampling interval for --metrics (default 1.0)",
+    )
+    parser.add_argument(
+        "--admin", metavar="SPEC",
+        help="serve /status /sessions /metrics on [host:]port (loopback) "
+        "or a UNIX socket path",
+    )
+    parser.add_argument(
+        "--flight", type=int, default=0, metavar="N",
+        help="per-session flight-recorder capacity; failed sessions dump "
+        "their last N events under <ledger>/flight/ (needs --ledger)",
+    )
+    parser.add_argument(
         "--out", type=Path, metavar="FILE",
         help="merge the report into this JSON baseline (BENCH_serve.json)",
     )
@@ -141,6 +166,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         _parser().error("--trace requires --ledger DIR")
     if args.certify and not args.trace:
         _parser().error("--certify requires --trace")
+    if args.flight and args.ledger is None:
+        _parser().error("--flight requires --ledger DIR")
 
     specs = demo_specs(
         args.family,
@@ -159,6 +186,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         ledger_dir=None if args.ledger is None else str(args.ledger),
         trace=args.trace,
         certify=args.certify,
+        metrics_path=None if args.metrics is None else str(args.metrics),
+        metrics_interval_s=args.metrics_interval,
+        admin=args.admin,
+        flight=args.flight,
     )
 
     payload = report.to_payload()

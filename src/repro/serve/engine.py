@@ -37,13 +37,22 @@ sweep runner ships, so serve metrics merge into existing tooling.  With
 from __future__ import annotations
 
 import asyncio
-import json
+import time
 from collections import deque
 from pathlib import Path
 from typing import Any, Deque, Dict, List, Optional, Union
 
 from repro.errors import ServeError
 from repro.obs.counters import CounterSet
+from repro.obs.events import ABANDON_ABORT, ABANDON_FAILURE
+from repro.obs.live import (
+    AdminRoute,
+    AdminServer,
+    MetricsSampler,
+    json_route,
+    render_prometheus,
+    write_metrics,
+)
 from repro.serve.session import (
     Session,
     SessionOutcome,
@@ -117,6 +126,24 @@ class ServeEngine:
         Per-session provenance, passed through to
         :class:`~repro.serve.session.Session`: manifests (and traces,
         and an immediate certification re-check) for every session.
+    metrics_path / metrics_interval_s:
+        With a path set, :meth:`start` spawns a
+        :class:`~repro.obs.live.MetricsSampler` task that appends one
+        flushed sample per interval to the ``metrics.jsonl`` stream —
+        counter deltas, gauge levels, cumulative histograms.  Off by
+        default: the telemetry plane must cost nothing when unused.
+    admin:
+        An admin-endpoint spec (``[host:]port`` on loopback, or a UNIX
+        socket path) serving ``/status`` and ``/sessions`` as JSON and
+        ``/metrics`` as Prometheus text.  The bind happens on a
+        background task; await :meth:`admin_address` for the resolved
+        address (port ``0`` picks an ephemeral port).
+    flight:
+        Per-session flight-recorder capacity (0 = off).  Each session
+        keeps a bounded ring of its most recent trace events; on
+        failure or abort the ring is dumped to
+        ``<ledger_dir>/flight/<session_id>.jsonl`` — a fragment
+        checkable by ``python -m repro.obs certify --fragment``.
     """
 
     def __init__(
@@ -129,6 +156,10 @@ class ServeEngine:
         trace: bool = False,
         certify: bool = False,
         counters: Optional[CounterSet] = None,
+        metrics_path: Optional[Union[str, Path]] = None,
+        metrics_interval_s: float = 1.0,
+        admin: Optional[str] = None,
+        flight: int = 0,
     ) -> None:
         if max_open <= 0:
             raise ServeError(f"max_open must be positive: {max_open}")
@@ -136,6 +167,8 @@ class ServeEngine:
             raise ServeError(f"workers must be positive: {workers}")
         if slice_rounds <= 0:
             raise ServeError(f"slice_rounds must be positive: {slice_rounds}")
+        if flight and ledger_dir is None:
+            raise ServeError("flight recording requires a ledger_dir for dumps")
         self.max_open = max_open
         self.slice_rounds = slice_rounds
         self.counters = counters if counters is not None else CounterSet()
@@ -143,14 +176,24 @@ class ServeEngine:
         self._ledger_dir = None if ledger_dir is None else Path(ledger_dir)
         self._trace = trace
         self._certify = certify
+        self._flight = flight
+        self._metrics_path = None if metrics_path is None else Path(metrics_path)
+        self._metrics_interval_s = metrics_interval_s
+        self._admin_spec = admin
+        self._sampler: Optional[MetricsSampler] = None
+        self._sampler_task: Optional["asyncio.Task[None]"] = None
+        self._admin: Optional[AdminServer] = None
+        self._admin_task: Optional["asyncio.Task[str]"] = None
 
         self._runnable: Deque[SessionHandle] = deque()
+        self._handles: Dict[str, SessionHandle] = {}
         self._space = asyncio.Condition()
         self._wakeup = asyncio.Event()
         self._open = 0
         self._next_id = 0
         self._closing = False
         self._stopping = False
+        self._started_at: Optional[float] = None
         self._workers: List["asyncio.Task[None]"] = []
 
     # ------------------------------------------------------------------
@@ -168,6 +211,24 @@ class ServeEngine:
             # the first session close would block the event loop mid-serve
             # (the RL101 hazard).  Here it costs startup time only.
             _cached_git_sha()
+        self._started_at = time.monotonic()
+        if self._metrics_path is not None:
+            # Constructing the sampler opens + flushes the stream header:
+            # startup-time I/O, same budget as the git-sha warm above.
+            self._sampler = MetricsSampler(
+                self.counters,
+                self._metrics_path,
+                interval_s=self._metrics_interval_s,
+                gauges=self._gauge_levels,
+            )
+            self._sampler_task = asyncio.create_task(
+                self._sampler.run(), name="serve-metrics"
+            )
+        if self._admin_spec is not None:
+            self._admin = AdminServer(self._admin_routes())
+            self._admin_task = asyncio.create_task(
+                self._admin.start(self._admin_spec), name="serve-admin"
+            )
         self._workers = [
             asyncio.create_task(self._worker(), name=f"serve-worker-{i}")
             for i in range(self._worker_count)
@@ -205,12 +266,15 @@ class ServeEngine:
         await self.join()
 
     async def close(self) -> None:
-        """Drain, stop the workers, and write the engine summary."""
+        """Drain, stop the workers and telemetry, write the summary."""
         await self.drain()
         self._stopping = True
         self._wakeup.set()
         if self._workers:
-            await asyncio.gather(*self._workers)
+            # return_exceptions: a close after an explicit abort() must
+            # not re-raise the workers' CancelledError.
+            await asyncio.gather(*self._workers, return_exceptions=True)
+        await self._stop_telemetry()
         # Runs after drain: no live session is left to stall, so the
         # summary write may block the loop for its one file.
         self._write_summary()  # reprolint: disable=RL101
@@ -219,8 +283,9 @@ class ServeEngine:
         """Fail fast: stop workers, fail every open session's future.
 
         Open sessions are :meth:`~repro.serve.session.Session.abandon`\\ ed
-        (trace sinks flushed, no verdict written) so an aborted ledger is
-        visibly incomplete rather than falsely certified.
+        (trace sinks flushed, flight rings dumped, no verdict written) so
+        an aborted ledger is visibly incomplete rather than falsely
+        certified.
         """
         self._closing = True
         self._stopping = True
@@ -232,15 +297,39 @@ class ServeEngine:
         error = ServeError("engine aborted")
         while self._runnable:
             handle = self._runnable.popleft()
-            # Inline sink flush on the fail-fast path: the engine is
-            # tearing down, there is no serving left to stall.
-            handle.session.abandon()  # reprolint: disable=RL101
+            # Inline sink flush (and flight dump) on the fail-fast path:
+            # the engine is tearing down, no serving is left to stall.
+            handle.session.abandon(ABANDON_ABORT)  # reprolint: disable=RL101
             if not handle.future.done():
                 handle.future.set_exception(error)
             self.counters.inc("serve.sessions_failed")
+        self._handles.clear()
         async with self._space:
             self._open = 0
             self._space.notify_all()
+        await self._stop_telemetry()
+
+    async def _stop_telemetry(self) -> None:
+        """Cancel the sampler task (final tick) and unbind the admin plane."""
+        sampler_task, self._sampler_task = self._sampler_task, None
+        if sampler_task is not None:
+            sampler_task.cancel()
+            try:
+                await sampler_task
+            except asyncio.CancelledError:
+                pass
+        if self._sampler is not None:
+            # Final flushed tick: the stream's deltas sum to the totals.
+            self._sampler.close()  # reprolint: disable=RL101
+        admin_task, self._admin_task = self._admin_task, None
+        if admin_task is not None:
+            try:
+                await admin_task
+            except (OSError, ValueError):
+                pass  # the bind itself failed; nothing to unbind
+        admin, self._admin = self._admin, None
+        if admin is not None:
+            await admin.aclose()
 
     # ------------------------------------------------------------------
     # admission
@@ -255,11 +344,13 @@ class ServeEngine:
             ledger_dir=self._ledger_dir,
             trace=self._trace,
             certify=self._certify,
+            flight=self._flight,
         )
         loop = asyncio.get_running_loop()
         handle = SessionHandle(session, loop.create_future())
         self._open += 1
         self._runnable.append(handle)
+        self._handles[session_id] = handle
         self.counters.inc("serve.sessions_submitted")
         self.counters.observe("serve.open_sessions", float(self._open))
         self.counters.observe("serve.queue_depth", float(len(self._runnable)))
@@ -367,9 +458,11 @@ class ServeEngine:
                 "serve.session_wall_ms", outcome.wall_time_s * 1000.0
             )
         else:
-            # Inline sink flush, same single-threaded write path as above.
-            handle.session.abandon()  # reprolint: disable=RL101
+            # Inline sink flush (and flight dump), same single-threaded
+            # write path as above.
+            handle.session.abandon(ABANDON_FAILURE)  # reprolint: disable=RL101
             self.counters.inc("serve.sessions_failed")
+        self._handles.pop(handle.session_id, None)
         async with self._space:
             self._open -= 1
             self._space.notify_all()
@@ -399,15 +492,71 @@ class ServeEngine:
         snapshot["runnable_now"] = len(self._runnable)
         return snapshot
 
+    def _gauge_levels(self) -> Dict[str, float]:
+        """The live gauge vector (the sampler's and admin plane's view)."""
+        return {
+            "open_sessions": float(self._open),
+            "queue_depth": float(len(self._runnable)),
+            "draining": 1.0 if self._closing else 0.0,
+        }
+
+    def _uptime_s(self) -> float:
+        if self._started_at is None:
+            return 0.0
+        return time.monotonic() - self._started_at
+
+    def _status_payload(self) -> Dict[str, Any]:
+        """The ``/status`` document (the shape ``repro.obs top`` eats)."""
+        return {
+            "seq": 0 if self._sampler is None else self._sampler.seq,
+            "uptime_s": round(self._uptime_s(), 6),
+            "counters": self.counters.snapshot(),
+            "gauges": self._gauge_levels(),
+            "draining": self._closing,
+        }
+
+    def _sessions_payload(self) -> List[Dict[str, Any]]:
+        """The ``/sessions`` document: every open session, in admit order."""
+        return [
+            {
+                "session_id": handle.session_id,
+                "label": handle.session.spec.label,
+                "rounds_completed": handle.session.rounds_completed,
+                "live": handle.session.live,
+            }
+            for handle in self._handles.values()
+        ]
+
+    def _admin_routes(self) -> Dict[str, AdminRoute]:
+        return {
+            "/status": json_route(self._status_payload),
+            "/sessions": json_route(self._sessions_payload),
+            "/metrics": lambda: (
+                "text/plain; version=0.0.4; charset=utf-8",
+                render_prometheus(self.counters.snapshot(), self._gauge_levels()),
+            ),
+        }
+
+    async def admin_address(self) -> str:
+        """The admin endpoint's resolved address (awaits the bind)."""
+        if self._admin_task is None:
+            raise ServeError("engine has no admin endpoint configured")
+        return await self._admin_task
+
     def _write_summary(self) -> None:
-        """Drop the engine's counter snapshot beside the session ledger."""
+        """Compose the engine's counter snapshot into ``engine.json``.
+
+        :func:`~repro.obs.live.write_metrics` merges over whatever the
+        file already holds and stamps ``metrics_schema`` + the git SHA —
+        a re-run refreshes its own figures without clobbering keys other
+        tooling parked there.
+        """
         if self._ledger_dir is None:
             return
-        self._ledger_dir.mkdir(parents=True, exist_ok=True)
-        path = self._ledger_dir / "engine.json"
-        path.write_text(
-            json.dumps(self.stats(), indent=2, sort_keys=False) + "\n",
-            encoding="utf-8",
+        write_metrics(
+            self._ledger_dir / "engine.json",
+            self.stats(),
+            git_sha=_cached_git_sha(),
         )
 
     def __repr__(self) -> str:

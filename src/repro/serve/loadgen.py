@@ -36,6 +36,7 @@ from repro.core.execution import METRICS_RECORDING, FaultyChannelLike, Recording
 from repro.core.goals import Goal
 from repro.core.strategy import ServerStrategy, UserStrategy
 from repro.errors import ServeError
+from repro.obs.counters import Histogram
 from repro.serve.engine import ServeEngine, SessionHandle, SessionRejected
 from repro.serve.session import SessionOutcome, SessionSpec, derive_session_seeds
 
@@ -162,11 +163,13 @@ async def generate_load(
             f"unknown admission mode {admission!r} (expected one of "
             f"{ADMISSION_MODES})"
         )
-    latencies_ms: List[float] = []
+    # Streaming quantiles: O(1) memory however many sessions arrive,
+    # where the old per-session latency list grew with the fleet.
+    latency_ms = Histogram("latency_ms")
 
     def _stamp(future: "asyncio.Future[SessionOutcome]", arrival: float) -> None:
         future.add_done_callback(
-            lambda _: latencies_ms.append((time.perf_counter() - arrival) * 1000.0)
+            lambda _: latency_ms.observe((time.perf_counter() - arrival) * 1000.0)
         )
 
     start = time.perf_counter()
@@ -215,9 +218,9 @@ async def generate_load(
         sessions_per_s=settled / wall if wall > 0 else 0.0,
         rounds_per_s=rounds / wall if wall > 0 else 0.0,
         open_high_water=open_high_water,
-        latency_p50_ms=percentile(latencies_ms, 50.0),
-        latency_p95_ms=percentile(latencies_ms, 95.0),
-        latency_p99_ms=percentile(latencies_ms, 99.0),
+        latency_p50_ms=latency_ms.quantile(0.5),
+        latency_p95_ms=latency_ms.quantile(0.95),
+        latency_p99_ms=latency_ms.quantile(0.99),
     )
 
 
@@ -232,6 +235,10 @@ def run_load(
     ledger_dir: Optional[str] = None,
     trace: bool = False,
     certify: bool = False,
+    metrics_path: Optional[str] = None,
+    metrics_interval_s: float = 1.0,
+    admin: Optional[str] = None,
+    flight: int = 0,
 ) -> LoadReport:
     """Synchronous wrapper: fresh engine, one load run, graceful close."""
 
@@ -243,6 +250,10 @@ def run_load(
             ledger_dir=ledger_dir,
             trace=trace,
             certify=certify,
+            metrics_path=metrics_path,
+            metrics_interval_s=metrics_interval_s,
+            admin=admin,
+            flight=flight,
         )
         async with engine:
             return await generate_load(

@@ -38,6 +38,8 @@ from repro.core.goals import Goal, GoalOutcome
 from repro.core.stepper import ExecutionStepper
 from repro.core.strategy import ServerStrategy, UserStrategy
 from repro.errors import ServeError
+from repro.obs.events import ABANDON_EXPLICIT, ABANDON_REASONS, SessionAbandoned
+from repro.obs.flight import FlightBuffer, TeeSink, dump_flight
 from repro.obs.tracer import Tracer
 
 if TYPE_CHECKING:
@@ -140,33 +142,50 @@ class Session:
         ledger_dir: Optional[Union[str, Path]] = None,
         trace: bool = False,
         certify: bool = False,
+        flight: int = 0,
     ) -> None:
         if trace and ledger_dir is None:
             raise ServeError("trace=True requires a ledger_dir to write into")
         if certify and not trace:
             raise ServeError("certify=True requires trace=True")
+        if flight < 0:
+            raise ServeError(f"flight capacity must be non-negative: {flight}")
+        if flight and ledger_dir is None:
+            raise ServeError("flight recording requires a ledger_dir for dumps")
         self.spec = spec
         self.session_id = session_id
         self._ledger_dir = None if ledger_dir is None else Path(ledger_dir)
         self._certify = certify
         self._outcome: Optional[SessionOutcome] = None
+        self._abandoned = False
         self._wall = 0.0
         self._cpu = 0.0
 
         self.trace_path: Optional[Path] = None
+        self.flight_path: Optional[Path] = None
         self._tracer: Optional[Tracer] = None
-        if trace:
+        self._flight: Optional[FlightBuffer] = None
+        if trace or flight:
             assert self._ledger_dir is not None
-            from repro.obs.ledger import channel_spec
-            from repro.obs.sinks import JsonlSink
+            from repro.obs.sinks import JsonlSink, Sink
 
             self._ledger_dir.mkdir(parents=True, exist_ok=True)
-            header: Dict[str, Any] = {}
-            described = channel_spec(spec.channel)
-            if described is not None:
-                header["channel"] = described
-            self.trace_path = self._ledger_dir / f"{session_id}.jsonl"
-            self._tracer = Tracer(sink=JsonlSink(self.trace_path, header=header))
+            sinks: List[Sink] = []
+            if trace:
+                from repro.obs.ledger import channel_spec
+
+                header: Dict[str, Any] = {}
+                described = channel_spec(spec.channel)
+                if described is not None:
+                    header["channel"] = described
+                self.trace_path = self._ledger_dir / f"{session_id}.jsonl"
+                sinks.append(JsonlSink(self.trace_path, header=header))
+            if flight:
+                self._flight = FlightBuffer(flight)
+                sinks.append(self._flight)
+            self._tracer = Tracer(
+                sink=sinks[0] if len(sinks) == 1 else TeeSink(*sinks)
+            )
 
         wall_start = time.perf_counter()
         cpu_start = time.process_time()
@@ -305,16 +324,39 @@ class Session:
         )
         return self._outcome
 
-    def abandon(self) -> None:
+    def abandon(self, reason: str = ABANDON_EXPLICIT) -> None:
         """Release resources without sealing (the engine's abort path).
 
-        Closes the trace sink so no file handle leaks; writes no verdict
-        and no manifest — an abandoned trace is visibly incomplete rather
-        than falsely certified.  Safe to call at any point, including
-        after :meth:`close` (then a no-op).
+        Emits a terminating ``session-abandoned`` event (so the stream is
+        self-describing about *why* it ends early), closes the trace sink
+        so no file handle leaks, and — when the session carries a flight
+        buffer — dumps the last events to ``flight/<session_id>.jsonl``,
+        a fragment checkable by ``python -m repro.obs certify --fragment``.
+        Writes no verdict and no manifest: an abandoned trace is visibly
+        incomplete rather than falsely certified.  Safe to call at any
+        point, including after :meth:`close` (then a no-op).
         """
-        if self._outcome is None and self._tracer is not None:
+        if reason not in ABANDON_REASONS:
+            raise ServeError(f"unknown abandon reason {reason!r}")
+        if self._outcome is not None or self._abandoned:
+            return
+        self._abandoned = True
+        if self._tracer is not None:
+            self._tracer.emit(
+                SessionAbandoned(
+                    session_id=self.session_id,
+                    rounds_completed=self.rounds_completed,
+                    reason=reason,
+                )
+            )
             self._tracer.close()
+        if self._flight is not None:
+            assert self._ledger_dir is not None
+            self.flight_path = dump_flight(
+                self._flight,
+                self._ledger_dir / "flight" / f"{self.session_id}.jsonl",
+                header={"session_id": self.session_id, "reason": reason},
+            )
 
     def __repr__(self) -> str:
         state = "closed" if self.closed else ("live" if self.live else "settled")

@@ -18,6 +18,7 @@ from repro.obs import (
     ProofStarted,
     RoundExecuted,
     SensingIndication,
+    SessionAbandoned,
     StrategySwitch,
     TrialFinished,
     TrialStarted,
@@ -41,6 +42,7 @@ ALL_EVENT_TYPES = [
     ProofStarted,
     ProofRoundChecked,
     ProofFinished,
+    SessionAbandoned,
 ]
 
 SAMPLES = [
@@ -66,6 +68,7 @@ SAMPLES = [
                       poly="1,0,96", challenge=11, claim_before=1,
                       claim_after=42),
     ProofFinished(accepted=True),
+    SessionAbandoned(session_id="s-1", rounds_completed=7, reason="failure"),
 ]
 
 

@@ -1,0 +1,409 @@
+"""Live telemetry: sampler stream, Prometheus exposition, admin plane, top.
+
+The contract under test: a metrics stream's per-tick counter deltas sum
+back to the accumulator's final totals (even when the process is
+SIGKILLed mid-run and the final line is torn), the Prometheus rendering
+round-trips through the shared parser, and the admin endpoint serves
+exactly its registered routes over loopback TCP or a UNIX socket.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+
+import pytest
+
+from repro.obs.counters import CounterSet, Histogram
+from repro.obs.live import (
+    METRICS_SCHEMA,
+    AdminServer,
+    MetricsSampler,
+    MetricsSchemaError,
+    build_view,
+    cumulative_counters,
+    fetch_admin,
+    final_histograms,
+    json_route,
+    parse_prometheus,
+    read_metrics,
+    render_prometheus,
+    render_top,
+    scrape_admin,
+    top_frames,
+    view_from_samples,
+    write_metrics,
+)
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+class TestMetricsSampler:
+    def test_header_is_written_at_construction(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        sampler = MetricsSampler(
+            CounterSet(), path, interval_s=0.5, header={"run": "r-1"}
+        )
+        try:
+            header, samples = read_metrics(path)
+        finally:
+            sampler.close()
+        assert header["metrics_schema"] == METRICS_SCHEMA
+        assert header["interval_s"] == 0.5
+        assert header["run"] == "r-1"
+        assert samples == []
+
+    def test_deltas_sum_to_final_totals(self, tmp_path):
+        counters = CounterSet()
+        path = tmp_path / "metrics.jsonl"
+        sampler = MetricsSampler(counters, path)
+        counters.inc("serve.rounds", 5)
+        sampler.tick()
+        counters.inc("serve.rounds", 7)
+        counters.inc("serve.sessions_settled")
+        sampler.close()  # final tick captures the tail deltas
+        _, samples = read_metrics(path)
+        totals = cumulative_counters(samples)
+        assert totals["serve.rounds"] == counters.get("serve.rounds") == 12
+        assert totals["serve.sessions_settled"] == 1
+
+    def test_zero_deltas_are_omitted_from_samples(self, tmp_path):
+        counters = CounterSet()
+        counters.inc("serve.rounds", 3)
+        sampler = MetricsSampler(counters, tmp_path / "m.jsonl")
+        first = sampler.tick()
+        second = sampler.tick()  # nothing moved between ticks
+        sampler.close()
+        assert first["counters"] == {"serve.rounds": 3}
+        assert second["counters"] == {}
+
+    def test_histograms_are_cumulative_snapshots(self, tmp_path):
+        counters = CounterSet()
+        path = tmp_path / "m.jsonl"
+        sampler = MetricsSampler(counters, path)
+        counters.observe("serve.session_wall_ms", 4.0)
+        sampler.tick()
+        counters.observe("serve.session_wall_ms", 16.0)
+        sampler.close()
+        _, samples = read_metrics(path)
+        final = final_histograms(samples)["serve.session_wall_ms"]
+        restored = Histogram.from_snapshot("serve.session_wall_ms", final)
+        assert restored.count == 2
+        assert restored.quantile(1.0) == 16.0
+
+    def test_every_tick_is_flushed_to_disk(self, tmp_path):
+        counters = CounterSet()
+        path = tmp_path / "m.jsonl"
+        sampler = MetricsSampler(counters, path)
+        counters.inc("serve.rounds")
+        sampler.tick()
+        # Read *before* close: the flush contract makes the tick durable.
+        _, samples = read_metrics(path)
+        assert len(samples) == 1
+        sampler.close()
+
+    def test_gauges_and_monotonic_seq(self, tmp_path):
+        levels = {"open_sessions": 2.0}
+        ticks = iter([0.0, 1.0, 2.0, 3.0])
+        sampler = MetricsSampler(
+            CounterSet(),
+            tmp_path / "m.jsonl",
+            gauges=lambda: levels,
+            clock=lambda: next(ticks),
+        )
+        first = sampler.tick()
+        levels["open_sessions"] = 5.0
+        second = sampler.tick()
+        sampler.close()
+        assert (first["seq"], second["seq"]) == (1, 2)
+        assert first["gauges"] == {"open_sessions": 2.0}
+        assert second["gauges"] == {"open_sessions": 5.0}
+        assert first["uptime_s"] == 1.0
+
+    def test_close_is_idempotent(self, tmp_path):
+        sampler = MetricsSampler(CounterSet(), tmp_path / "m.jsonl")
+        sampler.close()
+        sampler.close()
+        assert sampler.closed
+
+    def test_rejects_non_positive_interval(self, tmp_path):
+        with pytest.raises(ValueError):
+            MetricsSampler(CounterSet(), tmp_path / "m.jsonl", interval_s=0.0)
+
+    def test_async_run_ticks_until_cancelled(self, tmp_path):
+        counters = CounterSet()
+        path = tmp_path / "m.jsonl"
+
+        async def go():
+            sampler = MetricsSampler(counters, path, interval_s=0.01)
+            task = asyncio.ensure_future(sampler.run())
+            counters.inc("serve.rounds", 2)
+            await asyncio.sleep(0.05)
+            task.cancel()
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+            sampler.close()
+
+        run(go())
+        _, samples = read_metrics(path)
+        assert len(samples) >= 2
+        assert cumulative_counters(samples)["serve.rounds"] == 2
+
+
+class TestReadMetrics:
+    def test_torn_final_line_is_dropped(self, tmp_path):
+        counters = CounterSet()
+        path = tmp_path / "m.jsonl"
+        sampler = MetricsSampler(counters, path)
+        counters.inc("serve.rounds", 4)
+        sampler.tick()
+        sampler.close()
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"seq": 3, "counters": {"serve.rou')  # SIGKILL tear
+        _, samples = read_metrics(path)
+        assert cumulative_counters(samples)["serve.rounds"] == 4
+
+    def test_malformed_mid_stream_line_raises(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        path.write_text(
+            '{"metrics_schema": 1}\nnot json\n{"seq": 1}\n', encoding="utf-8"
+        )
+        with pytest.raises(MetricsSchemaError):
+            read_metrics(path)
+
+    def test_missing_header_raises(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        path.write_text('{"seq": 1}\n', encoding="utf-8")
+        with pytest.raises(MetricsSchemaError):
+            read_metrics(path)
+
+    def test_newer_schema_major_raises(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        path.write_text(
+            json.dumps({"metrics_schema": METRICS_SCHEMA + 1}) + "\n",
+            encoding="utf-8",
+        )
+        with pytest.raises(MetricsSchemaError):
+            read_metrics(path)
+
+
+class TestSigkillDurability:
+    def test_killed_sampler_leaves_a_readable_stream(self, tmp_path):
+        """SIGKILL the sampling process mid-run: the stream must still
+        parse, and its deltas must sum to a prefix of the true totals —
+        at most one interval short, never corrupt."""
+        path = tmp_path / "m.jsonl"
+        script = textwrap.dedent(
+            """
+            import sys
+            from repro.obs.counters import CounterSet
+            from repro.obs.live import MetricsSampler
+
+            counters = CounterSet()
+            sampler = MetricsSampler(counters, sys.argv[1], interval_s=1.0)
+            for i in range(10_000):
+                counters.inc("serve.rounds")
+                sampler.tick()
+                if i == 50:
+                    print("ready", flush=True)
+            """
+        )
+        env = dict(os.environ, PYTHONPATH="src")
+        proc = subprocess.Popen(
+            [sys.executable, "-c", script, str(path)],
+            stdout=subprocess.PIPE,
+            env=env,
+        )
+        try:
+            assert proc.stdout is not None
+            assert proc.stdout.readline().strip() == b"ready"
+            proc.kill()  # SIGKILL: no atexit, no flush-on-exit, no mercy
+            proc.wait(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+        assert proc.returncode == -signal.SIGKILL
+        _, samples = read_metrics(path)
+        totals = cumulative_counters(samples)
+        assert totals["serve.rounds"] >= 50
+        assert totals["serve.rounds"] == samples[-1]["seq"]
+
+
+class TestWriteMetrics:
+    def test_composes_over_existing_keys(self, tmp_path):
+        path = tmp_path / "engine.json"
+        path.write_text(json.dumps({"parked": "value", "rounds": 1}))
+        merged = write_metrics(path, {"rounds": 9})
+        on_disk = json.loads(path.read_text())
+        assert on_disk == merged
+        assert on_disk["parked"] == "value"  # compose, don't clobber
+        assert on_disk["rounds"] == 9
+        assert on_disk["metrics_schema"] == METRICS_SCHEMA
+        assert "git_sha" in on_disk
+
+    def test_corrupt_existing_file_is_replaced(self, tmp_path):
+        path = tmp_path / "engine.json"
+        path.write_text("{ not json")
+        merged = write_metrics(path, {"rounds": 2})
+        assert merged["rounds"] == 2
+
+
+class TestPrometheus:
+    def stats(self):
+        counters = CounterSet()
+        counters.inc("serve.rounds", 12)
+        for v in (2.0, 4.0, 4.0):
+            counters.observe("serve.session_wall_ms", v)
+        return counters.snapshot()
+
+    def test_counter_and_gauge_exposition(self):
+        text = render_prometheus(self.stats(), gauges={"open_sessions": 3.0})
+        samples = parse_prometheus(text)
+        assert samples["repro_serve_rounds_total"] == 12.0
+        assert samples["repro_open_sessions"] == 3.0
+
+    def test_histogram_buckets_are_cumulative(self):
+        samples = parse_prometheus(render_prometheus(self.stats()))
+        # 2.0 sits at bucket upper 2.0, the two 4.0s at upper 4.0.
+        assert samples['repro_serve_session_wall_ms_bucket{le="2.0"}'] == 1.0
+        assert samples['repro_serve_session_wall_ms_bucket{le="4.0"}'] == 3.0
+        assert samples['repro_serve_session_wall_ms_bucket{le="+Inf"}'] == 3.0
+        assert samples["repro_serve_session_wall_ms_count"] == 3.0
+        assert samples["repro_serve_session_wall_ms_sum"] == 10.0
+
+    def test_low_bucket_surfaces_as_le_zero(self):
+        counters = CounterSet()
+        counters.observe("h", -1.0)
+        counters.observe("h", 8.0)
+        samples = parse_prometheus(render_prometheus(counters.snapshot()))
+        assert samples['repro_h_bucket{le="0"}'] == 1.0
+        assert samples['repro_h_bucket{le="+Inf"}'] == 2.0
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(MetricsSchemaError):
+            parse_prometheus("repro_x_total not-a-number\n")
+
+
+class TestAdminServer:
+    def routes(self):
+        return {
+            "/status": json_route(lambda: {"ok": True}),
+            "/metrics": lambda: ("text/plain; version=0.0.4", "repro_up 1\n"),
+        }
+
+    def test_tcp_ephemeral_port_and_scrape(self):
+        async def go():
+            server = AdminServer(self.routes())
+            address = await server.start("127.0.0.1:0")
+            assert address != "127.0.0.1:0"  # resolved to the real port
+            body = await fetch_admin(address, "/status")
+            metrics = await fetch_admin(address, "/metrics")
+            await server.aclose()
+            return body, metrics
+
+        body, metrics = run(go())
+        assert json.loads(body) == {"ok": True}
+        assert parse_prometheus(metrics)["repro_up"] == 1.0
+
+    def test_unknown_route_is_404_listing_known(self):
+        async def go():
+            server = AdminServer(self.routes())
+            address = await server.start("127.0.0.1:0")
+            try:
+                await fetch_admin(address, "/nope")
+            finally:
+                await server.aclose()
+
+        with pytest.raises(MetricsSchemaError, match="404"):
+            run(go())
+
+    def test_non_loopback_host_is_refused(self):
+        async def go():
+            server = AdminServer(self.routes())
+            with pytest.raises(ValueError, match="loopback"):
+                await server.start("0.0.0.0:0")
+
+        run(go())
+
+    def test_unix_socket_round_trip(self, tmp_path):
+        spec = str(tmp_path / "admin.sock")
+
+        async def go():
+            server = AdminServer(self.routes())
+            address = await server.start(spec)
+            body = await fetch_admin(address, "/status")
+            await server.aclose()
+            return address, body
+
+        address, body = run(go())
+        assert address == spec
+        assert json.loads(body) == {"ok": True}
+        assert not os.path.exists(spec)  # aclose cleans up the socket file
+
+    def test_blocking_scrape_from_another_thread(self):
+        async def go():
+            server = AdminServer(self.routes())
+            address = await server.start("127.0.0.1:0")
+            body = await asyncio.get_event_loop().run_in_executor(
+                None, scrape_admin, address, "/status"
+            )
+            await server.aclose()
+            return body
+
+        assert json.loads(run(go())) == {"ok": True}
+
+
+class TestTop:
+    def sample_stream(self, tmp_path):
+        counters = CounterSet()
+        path = tmp_path / "m.jsonl"
+        sampler = MetricsSampler(counters, path, clock=iter([0.0, 1.0, 2.0]).__next__)
+        counters.inc("serve.rounds", 10)
+        counters.observe("serve.session_wall_ms", 8.0)
+        sampler.tick()
+        counters.inc("serve.rounds", 6)
+        sampler.close()
+        return path
+
+    def test_view_from_samples_folds_deltas(self, tmp_path):
+        _, samples = read_metrics(self.sample_stream(tmp_path))
+        view = view_from_samples(samples)
+        assert view["counters"]["serve.rounds"] == 16
+        assert view["seq"] == 2
+
+    def test_render_top_shows_totals_and_quantiles(self, tmp_path):
+        _, samples = read_metrics(self.sample_stream(tmp_path))
+        frame = render_top(view_from_samples(samples))
+        assert "serve.rounds" in frame
+        assert "16" in frame
+        assert "serve.session_wall_ms" in frame
+
+    def test_rates_use_the_previous_frame(self):
+        previous = build_view({"serve.rounds": 10}, {}, uptime_s=1.0)
+        current = build_view({"serve.rounds": 30}, {}, uptime_s=3.0)
+        frame = render_top(current, previous)
+        assert "10.0" in frame  # (30 - 10) / (3.0 - 1.0)
+
+    def test_top_frames_file_mode(self, tmp_path):
+        path = self.sample_stream(tmp_path)
+        frames = []
+        top_frames(
+            str(path),
+            frames=2,
+            follow=True,
+            interval_s=0.0,
+            write=frames.append,
+            sleep=lambda _s: None,
+        )
+        rendered = [f for f in frames if "serve.rounds" in f]
+        assert len(rendered) == 2

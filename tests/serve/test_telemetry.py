@@ -1,0 +1,298 @@
+"""The live telemetry plane, end to end through a real ServeEngine.
+
+Integration-level companions to the unit tests in
+``tests/obs/test_live.py`` and ``tests/obs/test_flight.py``: here every
+assertion goes through an engine actually serving sessions.  The
+headline contracts — the metrics stream's cumulative counters equal the
+final ``engine.json`` exactly, a mid-run admin scrape sees live gauges
+and Prometheus text that agrees with the engine's counters, a session
+that dies leaves a fragment-certifiable flight dump, and the engine's
+runtime metric names never drift from the static ``SERVE_*`` registry.
+
+All tests drive the engine through ``asyncio.run`` (stdlib only — no
+pytest-asyncio in the image).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.errors import ServeError
+from repro.obs.certify import certify_trace
+from repro.obs.live import (
+    METRICS_SCHEMA,
+    SERVE_COUNTERS,
+    SERVE_GAUGES,
+    SERVE_HISTOGRAMS,
+    cumulative_counters,
+    fetch_admin,
+    final_histograms,
+    parse_prometheus,
+    read_metrics,
+)
+from repro.serve.engine import ServeEngine, SessionRejected
+from repro.serve.loadgen import demo_specs
+
+from tests.serve.test_engine import ExplodingUser
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+def exploding_spec(template, *, after: int = 10, seed: int = 1):
+    """A spec whose user strategy raises mid-serve — a broken tenant."""
+    return template.__class__(
+        user=ExplodingUser(after=after),
+        server=template.server,
+        goal=template.goal,
+        seed=seed,
+        max_rounds=template.max_rounds,
+        label="exploding",
+    )
+
+
+class TestMetricsStreamAgainstEngineJson:
+    def test_stream_totals_exactly_equal_final_summary(self, tmp_path):
+        specs = demo_specs("mixed", 14, seed=7, max_rounds=80, drop=0.1)
+        metrics = tmp_path / "metrics.jsonl"
+
+        async def serve():
+            async with ServeEngine(
+                max_open=8,
+                workers=2,
+                slice_rounds=5,
+                ledger_dir=tmp_path,
+                metrics_path=metrics,
+                metrics_interval_s=0.02,
+            ) as eng:
+                handles = [await eng.submit(spec) for spec in specs]
+                await asyncio.gather(*(h.future for h in handles))
+
+        run(serve())
+
+        header, samples = read_metrics(metrics)
+        assert header["metrics_schema"] == METRICS_SCHEMA
+        summary = json.loads((tmp_path / "engine.json").read_text())
+
+        totals = cumulative_counters(samples)
+        # Names are created on first touch, so untouched counters are
+        # absent from both sides — absence and zero must agree too.
+        for name in SERVE_COUNTERS:
+            assert totals.get(name, 0) == summary.get(name, 0), name
+
+        # The stream's final cumulative histograms match the summary's.
+        streamed = final_histograms(samples)
+        for name in SERVE_HISTOGRAMS:
+            assert streamed[name]["count"] == summary[name]["count"], name
+            assert streamed[name]["total"] == pytest.approx(
+                summary[name]["total"]
+            ), name
+
+        # write_metrics stamped provenance onto the summary.
+        assert summary["metrics_schema"] == METRICS_SCHEMA
+        assert "git_sha" in summary
+
+    def test_summary_composes_instead_of_clobbering(self, tmp_path):
+        (tmp_path / "engine.json").write_text(
+            json.dumps({"parked_by": "ci", "serve.rounds": -1}) + "\n"
+        )
+        specs = demo_specs("control", 3, seed=2, max_rounds=40)
+
+        async def serve():
+            async with ServeEngine(
+                max_open=4, workers=1, slice_rounds=8, ledger_dir=tmp_path
+            ) as eng:
+                handles = [await eng.submit(spec) for spec in specs]
+                await asyncio.gather(*(h.future for h in handles))
+
+        run(serve())
+        summary = json.loads((tmp_path / "engine.json").read_text())
+        assert summary["parked_by"] == "ci"  # foreign key survives
+        assert summary["serve.rounds"] > 0  # our key is refreshed
+
+
+class TestAdminPlaneMidRun:
+    def test_status_sessions_and_prometheus_while_serving(self, tmp_path):
+        specs = demo_specs("mixed", 10, seed=5, max_rounds=120, drop=0.1)
+
+        async def serve():
+            async with ServeEngine(
+                max_open=16,
+                workers=1,
+                slice_rounds=2,
+                admin="127.0.0.1:0",
+            ) as eng:
+                address = await eng.admin_address()
+                handles = [await eng.submit(spec) for spec in specs]
+
+                status = json.loads(await fetch_admin(address, "/status"))
+                sessions = json.loads(await fetch_admin(address, "/sessions"))
+                prometheus = await fetch_admin(address, "/metrics")
+                snapshot = eng.counters.snapshot()
+
+                await asyncio.gather(*(h.future for h in handles))
+                return status, sessions, prometheus, snapshot
+
+        status, sessions, prometheus, snapshot = run(serve())
+
+        # /status: live gauges mid-run — everything submitted, none settled.
+        assert set(status["gauges"]) == set(SERVE_GAUGES)
+        assert status["gauges"]["open_sessions"] == len(sessions)
+        assert status["gauges"]["draining"] == 0.0
+        assert status["uptime_s"] >= 0.0
+        assert status["counters"]["serve.sessions_submitted"] == 10
+
+        # /sessions: one entry per open session, with live progress fields.
+        assert {s["label"] for s in sessions} == {s.label for s in demo_specs(
+            "mixed", 10, seed=5, max_rounds=120, drop=0.1
+        )}
+        for entry in sessions:
+            assert entry["live"] is True
+            assert entry["rounds_completed"] >= 0
+
+        # /metrics: Prometheus text that agrees with the engine's counters.
+        parsed = parse_prometheus(prometheus)
+        assert parsed["repro_serve_sessions_submitted_total"] == float(
+            snapshot["serve.sessions_submitted"]
+        )
+        # Rounds advance between the scrape and the snapshot (workers run
+        # during every await), so the scraped figure is a monotone lower
+        # bound on the later snapshot rather than an exact match.
+        assert 0.0 < parsed["repro_serve_rounds_total"] <= float(
+            snapshot["serve.rounds"]
+        )
+        assert parsed["repro_open_sessions"] == 10.0  # live gauge, mid-run
+        assert parsed["repro_serve_open_sessions_count"] >= 10.0
+
+    def test_midrun_gauge_in_scraped_text_is_live(self, tmp_path):
+        specs = demo_specs("control", 6, seed=9, max_rounds=120)
+
+        async def serve():
+            async with ServeEngine(
+                max_open=8, workers=1, slice_rounds=2, admin="127.0.0.1:0"
+            ) as eng:
+                address = await eng.admin_address()
+                handles = [await eng.submit(spec) for spec in specs]
+                parsed = parse_prometheus(await fetch_admin(address, "/metrics"))
+                await asyncio.gather(*(h.future for h in handles))
+                return parsed
+
+        parsed = run(serve())
+        assert parsed["repro_open_sessions"] == 6.0
+        assert parsed["repro_draining"] == 0.0
+
+    def test_admin_address_without_admin_raises(self):
+        async def serve():
+            async with ServeEngine(max_open=2, workers=1) as eng:
+                with pytest.raises(ServeError, match="no admin endpoint"):
+                    await eng.admin_address()
+
+        run(serve())
+
+
+class TestFlightDumps:
+    def test_failed_session_leaves_certifiable_fragment(self, tmp_path):
+        good = demo_specs("control", 3, seed=3, max_rounds=60)
+        bad = exploding_spec(good[0], after=10)
+
+        async def serve():
+            async with ServeEngine(
+                max_open=8,
+                workers=2,
+                slice_rounds=4,
+                ledger_dir=tmp_path,
+                flight=32,
+            ) as eng:
+                bad_handle = eng.try_submit(bad)
+                handles = [await eng.submit(spec) for spec in good]
+                with pytest.raises(RuntimeError, match="tenant bug"):
+                    await bad_handle.future
+                await asyncio.gather(*(h.future for h in handles))
+                return bad_handle.session_id
+
+        session_id = run(serve())
+
+        dump = tmp_path / "flight" / f"{session_id}.jsonl"
+        assert dump.exists()
+        header = json.loads(dump.read_text().splitlines()[0])
+        assert header["flight"] is True
+        assert header["reason"] == "failure"
+        assert header["session_id"] == session_id
+
+        report = certify_trace(dump, fragment=True)
+        assert report.certifiable, report.issues
+
+        # Healthy sessions dump nothing: the flight ring is failure-only.
+        dumped = {p.stem for p in (tmp_path / "flight").glob("*.jsonl")}
+        assert dumped == {session_id}
+
+    def test_abort_dumps_every_open_session_with_reason_abort(self, tmp_path):
+        specs = demo_specs("control", 3, seed=4, max_rounds=400)
+
+        async def serve():
+            eng = ServeEngine(
+                max_open=8,
+                workers=1,
+                slice_rounds=1,
+                ledger_dir=tmp_path,
+                flight=16,
+            )
+            eng.start()
+            handles = [await eng.submit(spec) for spec in specs]
+            await asyncio.sleep(0)  # let a slice or two run
+            await eng.abort()
+            return [h.session_id for h in handles]
+
+        session_ids = run(serve())
+
+        dumped = {p.stem for p in (tmp_path / "flight").glob("*.jsonl")}
+        assert dumped == set(session_ids)
+        for dump in (tmp_path / "flight").glob("*.jsonl"):
+            header = json.loads(dump.read_text().splitlines()[0])
+            assert header["reason"] == "abort"
+            report = certify_trace(dump, fragment=True)
+            assert report.certifiable, (dump.name, report.issues)
+
+
+class TestRegistrySelfCheck:
+    def test_runtime_metric_names_match_static_registry(self, tmp_path):
+        """The engine's runtime names and SERVE_* never drift apart.
+
+        One run exercises every admission flow — submit, park, reject,
+        settle, achieve, fail — then both inclusions are asserted: every
+        runtime name is registered, every registered name was touched.
+        """
+        specs = demo_specs("mixed", 6, seed=6, max_rounds=60, drop=0.1)
+        bad = exploding_spec(specs[0], after=5, seed=11)
+
+        async def serve():
+            async with ServeEngine(max_open=2, workers=1, slice_rounds=4) as eng:
+                overflow = demo_specs("control", 3, seed=8, max_rounds=40)
+                first = [eng.try_submit(spec) for spec in overflow[:2]]
+                with pytest.raises(SessionRejected):  # full -> rejected
+                    eng.try_submit(overflow[2])
+                parked = asyncio.ensure_future(eng.submit(bad))  # full -> parked
+                await asyncio.gather(*(h.future for h in first))
+                bad_handle = await parked
+                with pytest.raises(RuntimeError, match="tenant bug"):
+                    await bad_handle.future
+                handles = [await eng.submit(spec) for spec in specs]
+                await asyncio.gather(
+                    *(h.future for h in handles), return_exceptions=True
+                )
+                return eng.counters.snapshot()
+
+        snapshot = run(serve())
+
+        registered = set(SERVE_COUNTERS) | set(SERVE_HISTOGRAMS)
+        assert set(snapshot) <= registered, set(snapshot) - registered
+        assert set(snapshot) == registered, registered - set(snapshot)
+        for name in SERVE_COUNTERS:
+            assert isinstance(snapshot[name], int), name
+            assert snapshot[name] > 0, name
+        for name in SERVE_HISTOGRAMS:
+            assert snapshot[name]["count"] > 0, name
